@@ -1,0 +1,59 @@
+"""Ablation: fuzzy bounding-box reuse (section 6 future work, implemented).
+
+A cross-detector workload: classifier results are materialized on
+FasterRCNN-ResNet50 boxes, then the same exploration continues on
+FasterRCNN-ResNet101 boxes.  Exact (frame, bbox) keys mostly miss across
+detectors; fuzzy IoU matching recovers the reuse at the cost of
+approximate answers.
+"""
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.vbench.reporting import format_table
+from repro.vbench.workload import run_workload
+
+from conftest import MEDIUM_FRAMES, make_ua_video, run_once
+
+
+def _queries(limit: int) -> list[str]:
+    first = (f"SELECT id, bbox FROM ua_fuzzy CROSS APPLY "
+             f"FastRCNNObjectDetector(frame) WHERE id < {limit} "
+             "AND label = 'car' AND CarType(frame, bbox) = 'Nissan';")
+    second = first.replace("FastRCNNObjectDetector", "FasterRCNNResnet101")
+    third = second.replace("'Nissan'", "'Toyota'")
+    return [first, second, third]
+
+
+def test_ablation_fuzzy_reuse(benchmark):
+    video = make_ua_video("ua_fuzzy", max(400, MEDIUM_FRAMES // 4))
+    queries = _queries(video.num_frames // 2)
+
+    def collect():
+        exact = run_workload(video, queries,
+                             EvaConfig(reuse_policy=ReusePolicy.EVA))
+        fuzzy = run_workload(
+            video, queries,
+            EvaConfig(reuse_policy=ReusePolicy.EVA, fuzzy_reuse=True,
+                      fuzzy_iou_threshold=0.75))
+        return exact, fuzzy
+
+    exact, fuzzy = run_once(benchmark, collect)
+    rows = []
+    for label, result in (("Exact keys", exact), ("Fuzzy (IoU>0.75)",
+                                                  fuzzy)):
+        classifier = result.udf_stats["car_type"]
+        rows.append([label,
+                     round(result.total_time, 1),
+                     classifier.executed_invocations,
+                     classifier.reused_invocations,
+                     round(result.hit_percentage, 1)])
+    print()
+    print(format_table(
+        ["Config", "Time (s)", "CarType evals", "CarType reused",
+         "Hit %"],
+        rows, title="Ablation: fuzzy bbox reuse on a cross-detector "
+                    "workload"))
+
+    # Fuzzy matching recovers classifier reuse across detectors.
+    assert fuzzy.udf_stats["car_type"].reused_invocations > \
+        exact.udf_stats["car_type"].reused_invocations
+    assert fuzzy.total_time <= exact.total_time * 1.02

@@ -1,0 +1,47 @@
+"""Fig. 5: end-to-end workload speedup on MEDIUM-UA-DETRAC.
+
+Paper's shape: with No-Reuse as 1x, HashStash ~2x and FunCache ~2.35x on
+VBENCH-HIGH while EVA reaches ~4x — 0.97x of the Eq. 7 upper bound
+(4.11x).  On VBENCH-LOW the bound is 1.42x; EVA delivers ~0.92 of it while
+FunCache drops to ~0.95x (per-invocation hashing overhead) and HashStash
+hovers near 1.1x.
+"""
+
+from repro.config import ReusePolicy
+from repro.vbench.reporting import format_table
+
+from conftest import ALL_POLICIES, POLICY_LABELS, run_once, speedups
+
+
+def test_fig5_workload_speedup(benchmark, high_results, low_results):
+    def collect():
+        return {"VBENCH-LOW": (speedups(low_results), low_results),
+                "VBENCH-HIGH": (speedups(high_results), high_results)}
+
+    data = run_once(benchmark, collect)
+    rows = []
+    for workload, (ratio, results) in data.items():
+        upper = results[ReusePolicy.EVA].speedup_upper_bound
+        rows.append(
+            [workload]
+            + [round(ratio[p], 2) for p in ALL_POLICIES]
+            + [round(upper, 2),
+               round(ratio[ReusePolicy.EVA] / upper, 2),
+               round(results[ReusePolicy.NONE].total_time / 3600, 2)])
+    print()
+    print(format_table(
+        ["Workload"] + [POLICY_LABELS[p] for p in ALL_POLICIES]
+        + ["Upper bound (Eq.7)", "EVA/bound", "No-reuse hours"],
+        rows, title="Fig. 5: Workload speedup over No-Reuse"))
+
+    high, _ = data["VBENCH-HIGH"]
+    low, _ = data["VBENCH-LOW"]
+    # EVA wins on both workloads.
+    assert high[ReusePolicy.EVA] == max(high.values())
+    assert low[ReusePolicy.EVA] == max(low.values())
+    # EVA is ~4x on high-reuse and near its upper bound.
+    assert high[ReusePolicy.EVA] > 2.5
+    upper = data["VBENCH-HIGH"][1][ReusePolicy.EVA].speedup_upper_bound
+    assert high[ReusePolicy.EVA] > 0.8 * upper
+    # FunCache provides essentially no benefit on low-reuse workloads.
+    assert low[ReusePolicy.FUNCACHE] < 1.15

@@ -1,0 +1,114 @@
+"""Fig. 7: EVA's predicate reduction vs sympy's off-the-shelf simplify.
+
+For every UDF signature, the UdfManager maintains the aggregated predicate
+p_u and derives INTER/DIFF/UNION against each incoming guard.  EVA reduces
+these with Algorithm 1; the baseline treats relational atoms as opaque
+propositions and calls sympy's boolean simplification (pattern matching +
+Quine-McCluskey), which cannot exploit inequality interactions and blows up
+on polyadic predicates — exactly the failure Fig. 7 plots.
+
+This benchmark replays the guard-predicate stream of VBENCH-HIGH (captured
+from the optimizer on a small video — predicate structure is independent of
+video length) and reports the number of atomic formulae both methods
+produce for each derived predicate.
+"""
+
+import statistics
+
+import sympy
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.session import EvaSession
+from repro.symbolic.engine import SymbolicEngine
+from repro.symbolic.sympy_baseline import SympySimplifyBaseline
+from repro.vbench.queries import vbench_high
+from repro.vbench.reporting import format_table
+
+from conftest import make_ua_video, run_once
+
+#: Fig. 7's x-axis groups: the three reusable UDFs of VBENCH-HIGH.
+UDF_PREFIXES = ("fasterrcnn_resnet50", "car_type", "color_det")
+
+
+def _capture_guard_stream():
+    """(signature, guard expression) per UDF update, in workload order."""
+    video = make_ua_video("fig7", 600)
+    session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.EVA))
+    session.register_video(video)
+    stream = []
+    for query in vbench_high("fig7", 600):
+        session.execute(query)
+        for update in session.last_optimized.updates:
+            stream.append((update.signature.udf_name,
+                           update.guard.to_expression()))
+    return stream
+
+
+def _replay(stream):
+    """Accumulate p_u per UDF under both methods; record atom counts."""
+    engine = SymbolicEngine()
+    eva_counts = {prefix: [] for prefix in UDF_PREFIXES}
+    baseline_counts = {prefix: [] for prefix in UDF_PREFIXES}
+
+    eva_state = {}
+    base_state = {}
+    baseline = SympySimplifyBaseline()
+    for udf_name, guard_expr in stream:
+        prefix = next((p for p in UDF_PREFIXES if udf_name.startswith(p)),
+                      None)
+        if prefix is None:
+            continue
+        from repro.symbolic.dnf import DnfPredicate
+
+        guard = engine.analyze(guard_expr)
+        # -- EVA: Algorithm 1-reduced derived predicates.
+        p_u = eva_state.get(udf_name, DnfPredicate.false())
+        inter = engine.intersection(p_u, guard)
+        diff = engine.difference(p_u, guard)
+        union = engine.union(p_u, guard)
+        eva_counts[prefix].extend(
+            [inter.atom_count(), diff.atom_count(), union.atom_count()])
+        eva_state[udf_name] = union
+        # -- Baseline: opaque-atom boolean simplification.
+        q = baseline.simplify(guard_expr)
+        p = base_state.get(udf_name, sympy.false)
+        inter_b = baseline.simplify_formula(sympy.And(p, q))
+        diff_b = baseline.simplify_formula(sympy.And(sympy.Not(p), q))
+        union_b = baseline.simplify_formula(sympy.Or(p, q))
+        baseline_counts[prefix].extend(
+            [baseline.atom_count(inter_b), baseline.atom_count(diff_b),
+             baseline.atom_count(union_b)])
+        base_state[udf_name] = union_b
+    return eva_counts, baseline_counts
+
+
+def test_fig7_symbolic_reduction(benchmark):
+    stream = _capture_guard_stream()
+    eva_counts, baseline_counts = run_once(benchmark,
+                                           lambda: _replay(stream))
+
+    rows = []
+    for prefix in UDF_PREFIXES:
+        eva = eva_counts[prefix]
+        base = baseline_counts[prefix]
+        rows.append([
+            prefix,
+            round(statistics.mean(eva), 1), max(eva),
+            round(statistics.mean(base), 1), max(base),
+        ])
+    print()
+    print(format_table(
+        ["UDF", "EVA mean atoms", "EVA max", "simplify mean",
+         "simplify max"],
+        rows,
+        title="Fig. 7: atomic formulae in derived predicates"))
+
+    for prefix in UDF_PREFIXES:
+        assert statistics.mean(eva_counts[prefix]) <= \
+            statistics.mean(baseline_counts[prefix]) + 1e-9
+        # EVA's predicates stay compact even after 8 queries.
+        assert max(eva_counts[prefix]) <= 20
+    # On the polyadic classifiers the baseline visibly blows up.
+    polyadic_gap = (statistics.mean(baseline_counts["car_type"])
+                    / max(1e-9, statistics.mean(eva_counts["car_type"])))
+    assert polyadic_gap > 1.5

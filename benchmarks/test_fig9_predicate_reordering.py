@@ -1,0 +1,73 @@
+"""Fig. 9: canonical vs materialization-aware predicate reordering.
+
+Across the four VBENCH-HIGH permutations, every query with multiple
+UDF-based predicates is executed twice — once with the canonical ranking
+function (Eq. 2) and once with the materialization-aware one (Eq. 4), both
+with views enabled.  The paper reports 3-6x per-query speedups where the
+orderings differ, and ties where the canonical winner is also the most
+materialized.
+"""
+
+from repro.config import EvaConfig, RankingMode, ReusePolicy
+from repro.vbench.queries import vbench_high, vbench_permutation
+from repro.vbench.reporting import format_table
+from repro.vbench.workload import workload_session
+
+from conftest import MEDIUM_FRAMES, run_once
+
+#: Permutation 0 is the original VBENCH-HIGH order, where the
+#: asymmetric-materialization case (CarType materialized by Q1/Q2,
+#: ColorDet not yet) occurs by construction.
+PERMUTATIONS = (0, 1, 2, 3, 4)
+
+
+def _multi_udf(query: str) -> bool:
+    return "CarType" in query and "ColorDet" in query
+
+
+def _run(medium_video, ranking: RankingMode) -> dict[str, float]:
+    """Per-query times of multi-UDF-predicate queries, keyed by Q-number."""
+    base_queries = vbench_high("ua_medium", MEDIUM_FRAMES)
+    times: dict[str, float] = {}
+    for index in PERMUTATIONS:
+        queries = (list(base_queries) if index == 0
+                   else vbench_permutation(base_queries, index))
+        session = workload_session(
+            medium_video,
+            EvaConfig(reuse_policy=ReusePolicy.EVA, ranking=ranking))
+        for position, query in enumerate(queries):
+            session.execute(query)
+            if _multi_udf(query):
+                label = f"Q{index * 8 + position + 1}"
+                times[label] = session.last_query_metrics().total_time
+    return times
+
+
+def test_fig9_materialization_aware_reordering(benchmark, medium_video):
+    def collect():
+        canonical = _run(medium_video, RankingMode.CANONICAL)
+        aware = _run(medium_video, RankingMode.MATERIALIZATION_AWARE)
+        return canonical, aware
+
+    canonical, aware = run_once(benchmark, collect)
+    rows = []
+    for label in canonical:
+        speedup = canonical[label] / aware[label]
+        rows.append([label, round(canonical[label], 1),
+                     round(aware[label], 1), round(speedup, 2)])
+    print()
+    print(format_table(
+        ["Query", "Canonical (s)", "Mat-aware (s)", "Speedup"],
+        rows, title="Fig. 9: impact of materialization-aware reordering "
+                    "(multi-UDF-predicate queries)"))
+
+    speedup_values = [canonical[label] / aware[label]
+                      for label in canonical]
+    # The materialization-aware ranking never loses badly ...
+    assert min(speedup_values) > 0.85
+    # ... and wins by the paper's 3-6x where materialization is
+    # asymmetric (ties occur where both or neither UDF is materialized,
+    # as the paper notes for Q11/Q12/Q31).
+    assert max(speedup_values) > 2.0
+    wins = sum(1 for s in speedup_values if s > 1.1)
+    assert wins >= 2

@@ -1,0 +1,49 @@
+"""Table 2: hit percentage of HashStash, FunCache, and EVA.
+
+Paper's numbers (MEDIUM-UA-DETRAC):
+
+    Hit %        HashStash   FunCache   EVA
+    VBENCH-LOW        2.02      24.68    24.68
+    VBENCH-HIGH       5.62      66.01    66.01
+
+Expected shape: EVA's UDF-centric reuse matches the (optimal) tuple-level
+FunCache and exceeds HashStash by an order of magnitude, because operator
+sub-tree matching only ever reuses the detector, never the predicate UDFs.
+"""
+
+from repro.config import ReusePolicy
+from repro.vbench.reporting import format_table
+
+from conftest import POLICY_LABELS, run_once
+
+BASELINES = (ReusePolicy.HASHSTASH, ReusePolicy.FUNCACHE, ReusePolicy.EVA)
+
+
+def test_table2_hit_percentage(benchmark, high_results, low_results):
+    def collect():
+        return {
+            "VBENCH-LOW": {p: low_results[p].hit_percentage
+                           for p in BASELINES},
+            "VBENCH-HIGH": {p: high_results[p].hit_percentage
+                            for p in BASELINES},
+        }
+
+    table = run_once(benchmark, collect)
+    rows = [
+        [workload] + [round(values[p], 2) for p in BASELINES]
+        for workload, values in table.items()
+    ]
+    print()
+    print(format_table(
+        ["Hit Percentage (%)"] + [POLICY_LABELS[p] for p in BASELINES],
+        rows, title="Table 2: Hit Percentage"))
+
+    for workload, values in table.items():
+        # EVA matches the optimal tuple-level cache ...
+        assert abs(values[ReusePolicy.EVA]
+                   - values[ReusePolicy.FUNCACHE]) < 15.0, workload
+        # ... and far exceeds operator-level HashStash.
+        assert values[ReusePolicy.EVA] > \
+            2.5 * values[ReusePolicy.HASHSTASH], workload
+    assert table["VBENCH-HIGH"][ReusePolicy.EVA] > \
+        2 * table["VBENCH-LOW"][ReusePolicy.EVA]

@@ -1,0 +1,57 @@
+"""Table 3: UDF statistics under VBENCH-HIGH / MEDIUM-UA-DETRAC.
+
+Paper's numbers:
+
+    UDF                    C_u(ms)   #DI       #TI       device
+    FasterRCNN-ResNet50    99        13,820    72,457    GPU
+    CarType                6         114,431   414,119   GPU
+    ColorDet               5         111,631   219,264   CPU
+
+Expected shape: per-tuple costs are the profiled constants; the detector's
+distinct invocations approach the video length; classifiers see several
+distinct invocations per frame (one per detected vehicle) and total
+invocations a small multiple of distinct ones.
+"""
+
+from repro.config import ReusePolicy
+from repro.models.zoo import default_zoo
+from repro.vbench.reporting import format_table
+
+from conftest import MEDIUM_FRAMES, run_once
+
+
+def test_table3_udf_stats(benchmark, high_results):
+    def collect():
+        return high_results[ReusePolicy.NONE].udf_stats
+
+    stats = run_once(benchmark, collect)
+    zoo = default_zoo()
+    rows = []
+    for name in ("fasterrcnn_resnet50", "car_type", "color_det"):
+        stat = stats[name]
+        model = zoo.get(name)
+        rows.append([
+            name,
+            round(stat.per_tuple_cost * 1000, 1),
+            stat.distinct_invocations,
+            stat.total_invocations,
+            model.device,
+        ])
+    print()
+    print(format_table(
+        ["UDF", "C_u (ms)", "#DI", "#TI", "GPU/CPU"], rows,
+        title="Table 3: UDF statistics (VBENCH-HIGH, no-reuse run)"))
+
+    detector = stats["fasterrcnn_resnet50"]
+    # The paper's profiled per-tuple costs.
+    assert detector.per_tuple_cost == 0.099
+    assert stats["car_type"].per_tuple_cost == 0.006
+    assert stats["color_det"].per_tuple_cost == 0.005
+    # Distinct detector invocations cover most of the video.
+    assert detector.distinct_invocations > 0.9 * MEDIUM_FRAMES
+    # Total is a multiple of distinct (the reuse opportunity, ~5.2x in
+    # the paper).
+    assert detector.total_invocations > 3 * detector.distinct_invocations
+    # Classifiers run per (frame, bbox): several distinct per frame.
+    assert stats["car_type"].distinct_invocations > \
+        detector.distinct_invocations

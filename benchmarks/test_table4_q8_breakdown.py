@@ -1,0 +1,59 @@
+"""Table 4: fine-grained time breakdown of Q8 (No-Reuse vs EVA).
+
+Paper's numbers (seconds):
+
+    Latency (s)   UDF   Read Video   Read View   Mat   Other
+    No-Reuse      997   22           0           0     2
+    EVA           5     19           10          2     5
+
+Expected shape: EVA replaces ~1000 s of UDF evaluation with ~10 s of view
+reads plus a few seconds of residual UDF work; video read time is similar
+in both configurations; materialization and optimizer overhead are small.
+"""
+
+from repro.clock import CostCategory
+from repro.config import ReusePolicy
+from repro.vbench.reporting import format_table
+
+from conftest import run_once
+
+Q8 = 7  # Q8 is the last query of VBENCH-HIGH.
+
+
+def _row(label, metrics):
+    other = (metrics.time(CostCategory.OPTIMIZE)
+             + metrics.time(CostCategory.JOIN)
+             + metrics.time(CostCategory.APPLY)
+             + metrics.time(CostCategory.HASH)
+             + metrics.time(CostCategory.OTHER))
+    return [label,
+            round(metrics.time(CostCategory.UDF), 1),
+            round(metrics.time(CostCategory.READ_VIDEO), 1),
+            round(metrics.time(CostCategory.READ_VIEW), 1),
+            round(metrics.time(CostCategory.MATERIALIZE), 1),
+            round(other, 1)]
+
+
+def test_table4_q8_breakdown(benchmark, high_results):
+    def collect():
+        return (high_results[ReusePolicy.NONE].query_metrics[Q8],
+                high_results[ReusePolicy.EVA].query_metrics[Q8])
+
+    noreuse, eva = run_once(benchmark, collect)
+    print()
+    print(format_table(
+        ["Latency (s)", "UDF", "Read Video", "Read View", "Mat", "Other"],
+        [_row("No-Reuse", noreuse), _row("EVA", eva)],
+        title="Table 4: Time breakdown of Q8 in VBENCH-HIGH"))
+
+    # EVA removes nearly all UDF time from Q8.
+    assert eva.time(CostCategory.UDF) < 0.2 * noreuse.time(CostCategory.UDF)
+    # Both configurations read the video.
+    assert noreuse.time(CostCategory.READ_VIDEO) > 0
+    assert eva.time(CostCategory.READ_VIDEO) > 0
+    # Only EVA reads views; the reads cost far less than the saved UDF time.
+    assert noreuse.time(CostCategory.READ_VIEW) == 0
+    assert 0 < eva.time(CostCategory.READ_VIEW) < \
+        0.2 * noreuse.time(CostCategory.UDF)
+    # EVA wins the query overall.
+    assert eva.total_time < 0.5 * noreuse.total_time

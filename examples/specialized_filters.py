@@ -1,0 +1,58 @@
+"""Reuse + specialized filters on a sparse night-street video (section 5.6).
+
+On videos where most frames contain no vehicles, a lightweight two-conv
+binary filter decides per frame whether the expensive detector needs to run
+at all.  EVA treats the filter as just another UDF: it is planned *before*
+the detector, and — being deterministic — its results are materialized and
+reused like everything else.  Filtering is orthogonal to reuse: the gains
+multiply.
+
+Run with:  python examples/specialized_filters.py
+"""
+
+import repro
+from repro.types import VideoMetadata
+from repro.video.synthetic import SyntheticVideo
+
+
+def night_street() -> SyntheticVideo:
+    return SyntheticVideo(
+        VideoMetadata(name="night_street", num_frames=1000, width=600,
+                      height=400, fps=30.0, vehicles_per_frame=0.12),
+        seed=11)
+
+
+QUERY_PLAIN = (
+    "SELECT id, bbox FROM night_street "
+    "CROSS APPLY FastRCNNObjectDetector(frame) "
+    "WHERE id < 800 AND label = 'car';")
+QUERY_FILTERED = (
+    "SELECT id, bbox FROM night_street "
+    "CROSS APPLY FastRCNNObjectDetector(frame) "
+    "WHERE id < 800 AND VehicleFilter(frame) AND label = 'car';")
+
+
+def run_config(label: str, query: str) -> float:
+    session = repro.connect()
+    session.register_video(night_street())
+    session.execute(query)
+    time_first = session.last_query_metrics().total_time
+    detector = session.metrics.udf_stats["fasterrcnn_resnet50"]
+    print(f"{label}: {time_first:7.1f}s virtual, detector ran on "
+          f"{detector.executed_invocations} of 800 frames")
+    return time_first
+
+
+def main() -> None:
+    plain = run_config("EVA          ", QUERY_PLAIN)
+    filtered = run_config("EVA + filter ", QUERY_FILTERED)
+    print(f"\nfilter speedup on sparse video: {plain / filtered:.2f}x")
+
+    print("\nnote: the filter is a real 2-layer conv net; a few dim or "
+          "tiny vehicles slip past it, so the filtered query may return "
+          "slightly fewer rows - the accuracy/cost trade-off the paper "
+          "describes for specialized filters.")
+
+
+if __name__ == "__main__":
+    main()

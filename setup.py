@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) on
+environments whose setuptools lacks PEP 660 support. All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

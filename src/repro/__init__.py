@@ -1,0 +1,44 @@
+"""Reproduction of *EVA: A Symbolic Approach to Accelerating Exploratory
+Video Analytics with Materialized Views* (SIGMOD 2022).
+
+Public API::
+
+    import repro
+
+    session = repro.connect()                       # an EVA VDBMS instance
+    session.register_video(repro.video.ua_detrac()) # synthetic UA-DETRAC
+    result = session.execute("SELECT ... CROSS APPLY ... WHERE ...;")
+
+See :mod:`repro.session` for the session API, :mod:`repro.config` for
+reuse-policy configuration, and :mod:`repro.vbench` for the VBENCH
+benchmark used throughout the paper's evaluation.
+"""
+
+from repro import video
+from repro.config import (
+    EvaConfig,
+    ModelSelectionMode,
+    RankingMode,
+    ReusePolicy,
+)
+from repro.errors import EvaError
+from repro.session import EvaSession, connect
+from repro.types import Accuracy, BoundingBox, Detection, QueryResult
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "connect",
+    "EvaSession",
+    "EvaConfig",
+    "ReusePolicy",
+    "RankingMode",
+    "ModelSelectionMode",
+    "EvaError",
+    "QueryResult",
+    "Accuracy",
+    "BoundingBox",
+    "Detection",
+    "video",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Reuse-algorithm baselines re-implemented within EVA (section 5.1)."""
+
+from repro.baselines.hashstash import RecyclerEntry, RecyclerGraph
+
+__all__ = ["RecyclerGraph", "RecyclerEntry"]

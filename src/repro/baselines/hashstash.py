@@ -1,0 +1,78 @@
+"""HashStash baseline: plan-operator-level result recycling.
+
+HashStash (Dursun et al., re-implemented per section 5.1) keeps a *recycler
+graph*: one node per operator of each executed plan, holding that operator's
+materialized output.  Reuse works by sub-tree matching without requiring
+identical predicates: for an incoming query, all recycler nodes with the
+same operator sub-tree signature are matched, the union of their
+materialized results is deduplicated, and the query's own predicates are
+applied on top.
+
+Two structural consequences reproduce the paper's findings:
+
+* only the detector's CROSS APPLY sub-tree ever matches — UDFs inside
+  selection predicates are not operators, so CarType/ColorDet results are
+  never reused (hence the low hit percentage in Table 2);
+* every matched node's results are read and deduplicated in full, which is
+  more expensive than EVA's keyed view probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+@dataclass
+class RecyclerEntry:
+    """Materialized output of one operator from one executed plan."""
+
+    signature: str
+    #: key (e.g. frame id) -> output rows produced for that key.
+    results: dict[Hashable, tuple] = field(default_factory=dict)
+
+    @property
+    def num_keys(self) -> int:
+        return len(self.results)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(len(rows) for rows in self.results.values())
+
+
+class RecyclerGraph:
+    """All recycler entries of a session, grouped by operator signature."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, list[RecyclerEntry]] = {}
+
+    def matched(self, signature: str) -> list[RecyclerEntry]:
+        """Entries whose operator sub-tree matches ``signature``."""
+        return list(self._entries.get(signature, ()))
+
+    def add(self, entry: RecyclerEntry) -> None:
+        self._entries.setdefault(entry.signature, []).append(entry)
+
+    def union_of_matched(self, signature: str
+                         ) -> tuple[dict[Hashable, tuple], int]:
+        """Deduplicated union of all matched results.
+
+        Returns:
+            ``(combined, rows_read)`` where ``rows_read`` counts every row
+            read *before* deduplication — the cost HashStash pays.
+        """
+        combined: dict[Hashable, tuple] = {}
+        rows_read = 0
+        for entry in self.matched(signature):
+            for key, rows in entry.results.items():
+                rows_read += max(1, len(rows))
+                if key not in combined:
+                    combined[key] = rows
+        return combined, rows_read
+
+    def total_rows(self) -> int:
+        return sum(e.num_rows for group in self._entries.values()
+                   for e in group)
+
+    def reset(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,18 @@
+"""Catalog: tables, column statistics, UDF definitions, and view bindings."""
+
+from repro.catalog.schema import ColumnDef, ColumnType, TableSchema
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.catalog.udf_registry import UdfDefinition, UdfKind, UdfRegistry
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "ColumnDef",
+    "ColumnType",
+    "TableSchema",
+    "ColumnStatistics",
+    "TableStatistics",
+    "UdfDefinition",
+    "UdfKind",
+    "UdfRegistry",
+    "Catalog",
+]

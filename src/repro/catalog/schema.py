@@ -1,0 +1,65 @@
+"""Table schemas and column types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types understood by the storage codec."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    BBOX = "bbox"          # repro.types.BoundingBox
+    FRAME = "frame"        # repro.video.frames.Frame handle
+    OBJECT = "object"      # arbitrary python object (pickle round-trip)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column: a name and its logical type."""
+
+    name: str
+    ctype: ColumnType
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise CatalogError(f"invalid column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered collection of column definitions."""
+
+    columns: tuple[ColumnDef, ...]
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in schema: {names}")
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, ColumnType]) -> "TableSchema":
+        return cls(tuple(ColumnDef(name, ctype) for name, ctype in pairs))
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> ColumnDef:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise CatalogError(f"no column {name!r} in schema")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def extend(self, other: "TableSchema") -> "TableSchema":
+        """Schema with ``other``'s columns appended (names must not clash)."""
+        return TableSchema(self.columns + other.columns)

@@ -1,0 +1,167 @@
+"""Column statistics for selectivity estimation.
+
+The paper's optimizer "leverages existing histogram-based methods in
+traditional database systems to calculate the selectivity of predicates"
+(section 4.2).  This module provides those methods: uniform statistics for
+dense integer keys (frame ``id``), equi-width histograms for continuous
+columns (``area``, ``score``), and frequency tables for categorical columns
+(``label``, classifier outputs).
+
+Each statistics object answers two questions used by the symbolic
+selectivity estimator:
+
+* ``numeric_mass(lo, hi, ...)`` — fraction of rows with value in an interval;
+* ``categorical_mass(values, complemented)`` — fraction of rows whose value
+  lies in (or outside) a finite set.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class ColumnStatistics:
+    """Base class; concrete subclasses override the mass methods."""
+
+    def numeric_mass(self, lo: float, hi: float, lo_open: bool = False,
+                     hi_open: bool = False) -> float:
+        """Fraction of rows with value in the interval from lo to hi.
+
+        ``lo``/``hi`` may be ``-inf``/``+inf``; ``lo_open``/``hi_open``
+        select open endpoints (they matter for integer columns: ``id < 500``
+        covers one fewer frame than ``id <= 500``).
+        """
+        raise NotImplementedError
+
+    def categorical_mass(self, values: frozenset,
+                         complemented: bool = False) -> float:
+        """Fraction of rows whose value is in ``values`` (or its complement)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformIntStatistics(ColumnStatistics):
+    """Dense integer column uniformly distributed over ``[lo, hi)``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.hi <= self.lo:
+            raise ValueError(f"empty range [{self.lo}, {self.hi})")
+
+    def numeric_mass(self, lo: float, hi: float, lo_open: bool = False,
+                     hi_open: bool = False) -> float:
+        # Count integers of [self.lo, self.hi) that fall in the interval.
+        if lo == -math.inf:
+            first = self.lo
+        else:
+            first = math.floor(lo) + 1 if lo_open else math.ceil(lo)
+            first = max(self.lo, first)
+        if hi == math.inf:
+            last = self.hi - 1
+        else:
+            last = math.ceil(hi) - 1 if hi_open else math.floor(hi)
+            last = min(self.hi - 1, last)
+        if last < first:
+            return 0.0
+        return (last - first + 1) / (self.hi - self.lo)
+
+    def categorical_mass(self, values: frozenset,
+                         complemented: bool = False) -> float:
+        inside = sum(1 for v in values
+                     if isinstance(v, (int, float))
+                     and self.lo <= v < self.hi)
+        mass = inside / (self.hi - self.lo)
+        return 1.0 - mass if complemented else mass
+
+
+class HistogramStatistics(ColumnStatistics):
+    """Equi-width histogram over a continuous column, built from a sample."""
+
+    def __init__(self, sample: Iterable[float], num_buckets: int = 64):
+        values = sorted(float(v) for v in sample)
+        if not values:
+            raise ValueError("cannot build a histogram from an empty sample")
+        self._min = values[0]
+        self._max = values[-1]
+        self._n = len(values)
+        self._values = values  # sorted; used for exact interpolation
+        self._num_buckets = num_buckets
+
+    def numeric_mass(self, lo: float, hi: float, lo_open: bool = False,
+                     hi_open: bool = False) -> float:
+        if hi < lo:
+            return 0.0
+        # With the full sorted sample retained, the empirical CDF is exact
+        # for the sample, which subsumes any bucketing scheme.
+        left = (bisect.bisect_right(self._values, lo) if lo_open
+                else bisect.bisect_left(self._values, lo))
+        right = (bisect.bisect_left(self._values, hi) if hi_open
+                 else bisect.bisect_right(self._values, hi))
+        return max(0, right - left) / self._n
+
+    def categorical_mass(self, values: frozenset,
+                         complemented: bool = False) -> float:
+        mass = 0.0
+        for v in values:
+            try:
+                v = float(v)
+            except (TypeError, ValueError):
+                continue
+            left = bisect.bisect_left(self._values, v)
+            right = bisect.bisect_right(self._values, v)
+            mass += (right - left) / self._n
+        mass = min(1.0, mass)
+        return 1.0 - mass if complemented else mass
+
+
+class CategoricalStatistics(ColumnStatistics):
+    """Frequency table over a categorical column."""
+
+    def __init__(self, frequencies: dict[str, float]):
+        total = sum(frequencies.values())
+        if total <= 0:
+            raise ValueError("frequencies must sum to a positive value")
+        self._freq = {k: v / total for k, v in frequencies.items()}
+
+    @classmethod
+    def from_sample(cls, sample: Sequence[str]) -> "CategoricalStatistics":
+        counts: dict[str, float] = {}
+        for value in sample:
+            counts[value] = counts.get(value, 0.0) + 1.0
+        return cls(counts)
+
+    def numeric_mass(self, lo: float, hi: float, lo_open: bool = False,
+                     hi_open: bool = False) -> float:
+        # Range predicates over categorical columns are rare; fall back to
+        # an uninformative estimate rather than crash.
+        return 0.5
+
+    def categorical_mass(self, values: frozenset,
+                         complemented: bool = False) -> float:
+        mass = sum(self._freq.get(v, 0.0) for v in values)
+        mass = min(1.0, mass)
+        return 1.0 - mass if complemented else mass
+
+
+class TableStatistics:
+    """Per-column statistics for one table (plus UDF-output statistics)."""
+
+    #: Selectivity assumed for predicates on columns without statistics.
+    DEFAULT_SELECTIVITY = 0.33
+
+    def __init__(self) -> None:
+        self._columns: dict[str, ColumnStatistics] = {}
+
+    def set(self, column: str, stats: ColumnStatistics) -> None:
+        self._columns[column.lower()] = stats
+
+    def get(self, column: str) -> ColumnStatistics | None:
+        return self._columns.get(column.lower())
+
+    def has(self, column: str) -> bool:
+        return column.lower() in self._columns

@@ -1,0 +1,201 @@
+"""Command-line interface: an EVAQL shell, script runner, and bench driver.
+
+Usage::
+
+    python -m repro shell  --dataset ua_detrac:short
+    python -m repro run queries.sql --dataset jackson --policy none
+    python -m repro bench --workload high --frames 2000
+
+The shell reads statements terminated by ``;`` (multi-line input is fine),
+prints result tables, and reports the virtual execution time and reuse hit
+rate after each query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.errors import EvaError
+from repro.session import EvaSession
+from repro.types import QueryResult, VideoMetadata
+from repro.vbench.reporting import format_table
+from repro.video.datasets import jackson, ua_detrac
+from repro.video.synthetic import SyntheticVideo
+
+#: Rows printed per result before truncation in the shell.
+MAX_ROWS_SHOWN = 20
+
+
+def make_video(spec: str) -> SyntheticVideo:
+    """Parse a ``--dataset`` spec into a synthetic video.
+
+    Accepted forms: ``ua_detrac[:short|medium|long]``, ``jackson``, and
+    ``synthetic:<frames>[:<vehicles_per_frame>]``.
+    """
+    parts = spec.split(":")
+    kind = parts[0].lower()
+    if kind == "ua_detrac":
+        size = parts[1] if len(parts) > 1 else "medium"
+        return ua_detrac(size)
+    if kind == "jackson":
+        return jackson()
+    if kind == "synthetic":
+        if len(parts) < 2:
+            raise ValueError("synthetic dataset needs a frame count, "
+                             "e.g. synthetic:2000")
+        frames = int(parts[1])
+        density = float(parts[2]) if len(parts) > 2 else 8.3
+        return SyntheticVideo(
+            VideoMetadata(name="synthetic", num_frames=frames, width=960,
+                          height=540, fps=25.0,
+                          vehicles_per_frame=density),
+            seed=7)
+    raise ValueError(f"unknown dataset spec {spec!r}")
+
+
+def make_session(policy_name: str, dataset: str) -> EvaSession:
+    policy = ReusePolicy(policy_name.lower())
+    session = EvaSession(config=EvaConfig(reuse_policy=policy))
+    session.register_video(make_video(dataset))
+    return session
+
+
+def render_result(result: QueryResult, out: IO[str],
+                  max_rows: int = MAX_ROWS_SHOWN) -> None:
+    if not result.columns:
+        print("(no output)", file=out)
+        return
+    shown = result.rows[:max_rows]
+    print(format_table(result.columns,
+                       [[_short(v) for v in row] for row in shown]),
+          file=out)
+    if len(result.rows) > max_rows:
+        print(f"... {len(result.rows) - max_rows} more rows", file=out)
+
+
+def _short(value) -> str:
+    text = str(value)
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+def execute_and_render(session: EvaSession, statement: str,
+                       out: IO[str]) -> None:
+    try:
+        result = session.execute(statement)
+    except EvaError as error:
+        print(f"error: {error}", file=out)
+        return
+    render_result(result, out)
+    metrics = session.last_query_metrics()
+    if metrics is not None and metrics.query_text == statement:
+        print(f"-- {len(result)} rows, {metrics.total_time:.2f}s virtual, "
+              f"session hit rate {session.hit_percentage():.1f}%",
+              file=out)
+
+
+def read_statements(stream: IO[str]):
+    """Yield ';'-terminated statements from a character stream."""
+    buffer: list[str] = []
+    for line in stream:
+        stripped = line.strip()
+        if not buffer and (not stripped or stripped.startswith("--")):
+            continue
+        buffer.append(line)
+        if stripped.endswith(";"):
+            yield "".join(buffer).strip()
+            buffer = []
+    residual = "".join(buffer).strip()
+    if residual:
+        yield residual
+
+
+def run_shell(session: EvaSession, stdin: IO[str], stdout: IO[str]) -> int:
+    print("EVA reproduction shell - statements end with ';' "
+          "(ctrl-D to exit)", file=stdout)
+    print(f"table(s): {', '.join(session.storage.table_names())}",
+          file=stdout)
+    for statement in read_statements(stdin):
+        execute_and_render(session, statement, stdout)
+    return 0
+
+
+def run_script(session: EvaSession, path: str, stdout: IO[str]) -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        for statement in read_statements(handle):
+            print(f"> {statement}", file=stdout)
+            execute_and_render(session, statement, stdout)
+    return 0
+
+
+def run_bench(policy_name: str, workload: str, frames: int,
+              stdout: IO[str]) -> int:
+    from repro.vbench.queries import vbench_high, vbench_low
+    from repro.vbench.workload import run_workload
+
+    video = SyntheticVideo(
+        VideoMetadata(name="bench", num_frames=frames, width=960,
+                      height=540, fps=25.0, vehicles_per_frame=8.3),
+        seed=7)
+    queries = (vbench_high if workload == "high" else vbench_low)(
+        "bench", frames)
+    result = run_workload(video, queries,
+                          EvaConfig(reuse_policy=ReusePolicy(policy_name)))
+    rows = [[f"Q{i + 1}", round(m.total_time, 1), m.rows_returned]
+            for i, m in enumerate(result.query_metrics)]
+    rows.append(["total", round(result.total_time, 1), ""])
+    print(format_table(["query", "time (s, virtual)", "rows"], rows,
+                       title=f"VBENCH-{workload.upper()} under "
+                             f"{policy_name}"),
+          file=stdout)
+    print(f"hit rate {result.hit_percentage:.1f}%, view storage "
+          f"{result.storage_bytes / 1024:.0f} KiB", file=stdout)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EVA (SIGMOD 2022) reproduction - exploratory video "
+                    "analytics with materialized UDF views")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--policy", default="eva",
+                       choices=[p.value for p in ReusePolicy],
+                       help="reuse policy (default: eva)")
+        p.add_argument("--dataset", default="ua_detrac:short",
+                       help="ua_detrac[:size] | jackson | "
+                            "synthetic:<frames>[:<density>]")
+
+    shell = sub.add_parser("shell", help="interactive EVAQL shell")
+    common(shell)
+    run = sub.add_parser("run", help="execute an EVAQL script")
+    common(run)
+    run.add_argument("script", help="path to a .sql file")
+    bench = sub.add_parser("bench", help="run a VBENCH workload")
+    bench.add_argument("--policy", default="eva",
+                       choices=[p.value for p in ReusePolicy])
+    bench.add_argument("--workload", default="high",
+                       choices=["high", "low"])
+    bench.add_argument("--frames", type=int, default=2000)
+    return parser
+
+
+def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
+         stdout: IO[str] | None = None) -> int:
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "bench":
+        return run_bench(args.policy, args.workload, args.frames, stdout)
+    try:
+        session = make_session(args.policy, args.dataset)
+    except ValueError as error:
+        print(f"error: {error}", file=stdout)
+        return 2
+    if args.command == "shell":
+        return run_shell(session, stdin, stdout)
+    return run_script(session, args.script, stdout)

@@ -1,0 +1,107 @@
+"""Virtual time accounting for the simulated substrate.
+
+The paper measures wall-clock time on a GPU server.  This reproduction runs
+simulated models, so every physical operator instead *charges* a
+:class:`SimulationClock` with the calibrated per-tuple costs from the paper
+(Tables 3-5).  All reported "times" in benchmarks are virtual seconds on this
+clock; the arithmetic (count x per-tuple cost) is exactly what the paper's
+wall-clock numbers decompose into, so speedup shapes carry over.
+
+Cost categories mirror the paper's time-breakdown figures (Fig. 6, Table 4).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class CostCategory(enum.Enum):
+    """Where virtual time is spent; matches Fig. 6 / Table 4 buckets."""
+
+    UDF = "udf"
+    READ_VIDEO = "read_video"
+    READ_VIEW = "read_view"
+    MATERIALIZE = "materialize"
+    OPTIMIZE = "optimize"
+    JOIN = "join"
+    HASH = "hash"
+    APPLY = "apply"
+    OTHER = "other"
+
+
+@dataclass
+class SimulationClock:
+    """Accumulates virtual seconds per :class:`CostCategory`.
+
+    The clock is hierarchical-friendly: callers snapshot it before a query
+    and diff after to obtain a per-query breakdown.
+    """
+
+    _totals: dict[CostCategory, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+
+    def charge(self, category: CostCategory, seconds: float) -> None:
+        """Add ``seconds`` of virtual time to ``category``.
+
+        Raises:
+            ValueError: if ``seconds`` is negative.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self._totals[category] += seconds
+
+    @contextmanager
+    def measure(self, category: CostCategory) -> Iterator[None]:
+        """Charge *real* elapsed wall time of the block to ``category``.
+
+        Used for work that is genuinely performed in this reproduction
+        (e.g. the optimizer's symbolic analysis), where real seconds are the
+        honest cost.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.charge(category, time.perf_counter() - start)
+
+    def total(self, category: CostCategory | None = None) -> float:
+        """Total virtual seconds, overall or for one category."""
+        if category is not None:
+            return self._totals.get(category, 0.0)
+        return sum(self._totals.values())
+
+    def snapshot(self) -> "ClockSnapshot":
+        """Freeze the current totals for later diffing."""
+        return ClockSnapshot(dict(self._totals))
+
+    def breakdown(self) -> dict[CostCategory, float]:
+        """A copy of the per-category totals."""
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        self._totals.clear()
+
+
+@dataclass(frozen=True)
+class ClockSnapshot:
+    """An immutable point-in-time copy of a clock's totals."""
+
+    totals: dict[CostCategory, float]
+
+    def delta(self, clock: SimulationClock) -> dict[CostCategory, float]:
+        """Per-category time elapsed on ``clock`` since this snapshot."""
+        out: dict[CostCategory, float] = {}
+        for category, value in clock.breakdown().items():
+            diff = value - self.totals.get(category, 0.0)
+            if diff > 0:
+                out[category] = diff
+        return out
+
+    def delta_total(self, clock: SimulationClock) -> float:
+        return sum(self.delta(clock).values())

@@ -1,0 +1,87 @@
+"""Session configuration: reuse policy and optimizer modes.
+
+The evaluation compares several system configurations; each is a value of
+these enums so benchmarks can switch behavior without code changes:
+
+* :class:`ReusePolicy` — EVA's semantic reuse, the HashStash and FunCache
+  baselines, or no reuse at all (section 5.1).
+* :class:`RankingMode` — canonical (Eq. 2) vs materialization-aware (Eq. 4)
+  predicate reordering (Fig. 9).
+* :class:`ModelSelectionMode` — Algorithm 2's greedy set cover vs the
+  MIN-COST baseline that always picks the cheapest adequate model (Fig. 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.costs import CostConstants
+
+
+class ReusePolicy(enum.Enum):
+    NONE = "none"
+    EVA = "eva"
+    HASHSTASH = "hashstash"
+    FUNCACHE = "funcache"
+
+
+class RankingMode(enum.Enum):
+    CANONICAL = "canonical"
+    MATERIALIZATION_AWARE = "materialization-aware"
+
+
+class ModelSelectionMode(enum.Enum):
+    SET_COVER = "set-cover"
+    MIN_COST = "min-cost"
+
+
+class PredicateOrdering(enum.Enum):
+    """How Rule I orders UDF-based predicates.
+
+    RANK sorts by the ranking function (optimal by Theorem 4.1 under
+    predicate independence).  EXHAUSTIVE explores all orders in a
+    Cascades-style memo and keeps the cost-based winner.
+    """
+
+    RANK = "rank"
+    EXHAUSTIVE = "exhaustive"
+
+
+@dataclass
+class EvaConfig:
+    """Everything a session needs to know about how to run queries."""
+
+    reuse_policy: ReusePolicy = ReusePolicy.EVA
+    ranking: RankingMode | None = None
+    model_selection: ModelSelectionMode = ModelSelectionMode.SET_COVER
+    predicate_ordering: PredicateOrdering = PredicateOrdering.RANK
+    #: Wall-clock budget for symbolic reduction (Algorithm 1's TimeOut).
+    symbolic_time_budget: float = 0.5
+    #: Virtual-cost calibration.
+    costs: CostConstants = field(default_factory=CostConstants)
+    #: Rows per execution batch.
+    batch_rows: int = 512
+    #: Cache optimized plans per query text, invalidated whenever the
+    #: UdfManager's reuse state changes.  Exploratory analysts re-run
+    #: queries; a repeat skips parsing-to-plan work entirely.
+    enable_plan_cache: bool = True
+    #: Fuzzy bounding-box reuse (the paper's section 6 future work): on an
+    #: exact view miss, a patch classifier may reuse the stored result of a
+    #: spatially close box in the same frame.  Results become approximate.
+    fuzzy_reuse: bool = False
+    #: Minimum IoU between the query box and a stored box for fuzzy reuse.
+    fuzzy_iou_threshold: float = 0.80
+
+    def __post_init__(self):
+        if self.ranking is None:
+            # Materialization-aware ranking is EVA's contribution; the
+            # baselines use the canonical ranking function.
+            self.ranking = (RankingMode.MATERIALIZATION_AWARE
+                            if self.reuse_policy is ReusePolicy.EVA
+                            else RankingMode.CANONICAL)
+
+    @property
+    def uses_views(self) -> bool:
+        """Do plans consult materialized views (EVA and HashStash)?"""
+        return self.reuse_policy in (ReusePolicy.EVA, ReusePolicy.HASHSTASH)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the EVA reproduction.
+
+Every error raised by the library derives from :class:`EvaError`, so client
+code can catch a single base class.  Subsystems raise the most specific
+subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class EvaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParserError(EvaError):
+    """The EVAQL parser could not understand the input query.
+
+    Attributes:
+        position: character offset in the query text where parsing failed,
+            or ``None`` when the failure is not tied to a location.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class BindingError(EvaError):
+    """A name in the query (table, column, or UDF) could not be resolved."""
+
+
+class CatalogError(EvaError):
+    """Catalog inconsistency: duplicate or missing catalog entries."""
+
+
+class StorageError(EvaError):
+    """The storage engine could not read or write data."""
+
+
+class OptimizerError(EvaError):
+    """The optimizer could not produce a physical plan."""
+
+
+class ExecutorError(EvaError):
+    """A physical operator failed while executing a plan."""
+
+
+class UnsupportedPredicateError(EvaError):
+    """The symbolic engine does not support this predicate form.
+
+    Mirrors the paper's stated limitation (section 6): join predicates and
+    other non-axis-aligned expressions are not symbolically analyzable.
+    """
+
+
+class UdfError(EvaError):
+    """A user-defined function failed or was mis-declared."""

@@ -1,0 +1,7 @@
+"""Execution engine: physical operators over batches with cost accounting."""
+
+from repro.executor.context import ExecutionContext
+from repro.executor.engine import ExecutionEngine
+from repro.executor.function_cache import FunctionCache
+
+__all__ = ["ExecutionContext", "ExecutionEngine", "FunctionCache"]

@@ -1,0 +1,62 @@
+"""Execution context: everything operators need at run time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.hashstash import RecyclerGraph
+from repro.catalog.catalog import Catalog
+from repro.clock import SimulationClock
+from repro.config import EvaConfig, ReusePolicy
+from repro.errors import ExecutorError
+from repro.expressions.evaluator import ExpressionEvaluator
+from repro.executor.function_cache import FunctionCache
+from repro.metrics import MetricsCollector
+from repro.storage.engine import StorageEngine
+from repro.storage.view_store import ViewStore
+from repro.types import BoundingBox
+from repro.video.synthetic import SyntheticVideo
+
+
+def _builtin_area(bbox, frame=None) -> float:
+    """AREA(bbox[, frame]): box area relative to its frame."""
+    if not isinstance(bbox, BoundingBox):
+        raise ExecutorError(f"AREA expects a bounding box, got {bbox!r}")
+    if frame is not None:
+        return bbox.relative_area(frame.width, frame.height)
+    # Fallback: absolute pixel area (callers normally pass the frame).
+    return bbox.area()
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state for one session's operators."""
+
+    catalog: Catalog
+    storage: StorageEngine
+    view_store: ViewStore
+    clock: SimulationClock
+    metrics: MetricsCollector
+    config: EvaConfig
+    function_cache: FunctionCache | None = None
+    recycler: RecyclerGraph | None = None
+    evaluator: ExpressionEvaluator = field(init=False)
+
+    def __post_init__(self):
+        self.evaluator = ExpressionEvaluator(builtins={
+            "area": _builtin_area,
+        })
+        if (self.config.reuse_policy is ReusePolicy.FUNCACHE
+                and self.function_cache is None):
+            self.function_cache = FunctionCache(self.clock,
+                                                self.config.costs)
+        if (self.config.reuse_policy is ReusePolicy.HASHSTASH
+                and self.recycler is None):
+            self.recycler = RecyclerGraph()
+
+    def video(self, table_name: str) -> SyntheticVideo:
+        return self.storage.table(table_name).video
+
+    @property
+    def costs(self):
+        return self.config.costs

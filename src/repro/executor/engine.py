@@ -1,0 +1,69 @@
+"""Plan-to-operator translation and query execution."""
+
+from __future__ import annotations
+
+from repro.errors import ExecutorError
+from repro.executor.context import ExecutionContext
+from repro.executor.operators import (
+    ClassifierApplyOperator,
+    DetectorApplyOperator,
+    DistinctOperator,
+    FilterOperator,
+    GroupByOperator,
+    LimitOperator,
+    Operator,
+    OrderByOperator,
+    ProjectOperator,
+    ScanOperator,
+)
+from repro.optimizer.plans import (
+    PhysClassifierApply,
+    PhysDetectorApply,
+    PhysDistinct,
+    PhysFilter,
+    PhysGroupBy,
+    PhysLimit,
+    PhysOrderBy,
+    PhysProject,
+    PhysScan,
+    PhysicalPlan,
+)
+from repro.storage.batch import Batch
+
+
+class ExecutionEngine:
+    """Builds operator trees from physical plans and runs them."""
+
+    def __init__(self, context: ExecutionContext):
+        self.context = context
+
+    def build(self, plan: PhysicalPlan) -> Operator:
+        if isinstance(plan, PhysScan):
+            return ScanOperator(plan, self.context)
+        if isinstance(plan, PhysDetectorApply):
+            return DetectorApplyOperator(
+                self.build(plan.child), plan, self.context)
+        if isinstance(plan, PhysClassifierApply):
+            return ClassifierApplyOperator(
+                self.build(plan.child), plan, self.context)
+        if isinstance(plan, PhysFilter):
+            return FilterOperator(self.build(plan.child), plan, self.context)
+        if isinstance(plan, PhysProject):
+            return ProjectOperator(self.build(plan.child), plan,
+                                   self.context)
+        if isinstance(plan, PhysGroupBy):
+            return GroupByOperator(self.build(plan.child), plan,
+                                   self.context)
+        if isinstance(plan, PhysDistinct):
+            return DistinctOperator(self.build(plan.child), plan,
+                                    self.context)
+        if isinstance(plan, PhysOrderBy):
+            return OrderByOperator(self.build(plan.child), plan,
+                                   self.context)
+        if isinstance(plan, PhysLimit):
+            return LimitOperator(self.build(plan.child), plan, self.context)
+        raise ExecutorError(f"no operator for plan node {type(plan).__name__}")
+
+    def run(self, plan: PhysicalPlan) -> Batch:
+        """Execute ``plan`` to completion and return the result batch."""
+        return self.build(plan).run_to_completion()

@@ -1,0 +1,27 @@
+"""Physical operators (pull-based batch iterators)."""
+
+from repro.executor.operators.base import Operator
+from repro.executor.operators.scan import ScanOperator
+from repro.executor.operators.detector import DetectorApplyOperator
+from repro.executor.operators.classifier import ClassifierApplyOperator
+from repro.executor.operators.relational import (
+    DistinctOperator,
+    FilterOperator,
+    GroupByOperator,
+    LimitOperator,
+    OrderByOperator,
+    ProjectOperator,
+)
+
+__all__ = [
+    "Operator",
+    "ScanOperator",
+    "DetectorApplyOperator",
+    "ClassifierApplyOperator",
+    "FilterOperator",
+    "DistinctOperator",
+    "ProjectOperator",
+    "GroupByOperator",
+    "OrderByOperator",
+    "LimitOperator",
+]

@@ -1,0 +1,27 @@
+"""Operator base class."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.executor.context import ExecutionContext
+from repro.storage.batch import Batch
+
+
+class Operator(abc.ABC):
+    """A pull-based physical operator producing batches."""
+
+    def __init__(self, context: ExecutionContext):
+        self.context = context
+
+    @abc.abstractmethod
+    def execute(self) -> Iterator[Batch]:
+        """Stream output batches."""
+
+    def run_to_completion(self) -> Batch:
+        """Drain the operator into a single batch (for plan roots)."""
+        batches = list(self.execute())
+        if not batches:
+            return Batch()
+        return Batch.concat(batches)

@@ -1,0 +1,193 @@
+"""Conditional APPLY of patch classifiers and frame filters.
+
+Adds one column per UDF term (named via
+:func:`repro.expressions.evaluator.udf_column_name`) holding the term's
+value for each row.  Under the EVA policy the operator probes the term's
+materialized view first and evaluates the model only on misses, appending
+fresh results (the conditional-APPLY + STORE composite of Fig. 4); under
+FunCache it probes the execution-time cache; otherwise it always evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.clock import CostCategory
+from repro.config import ReusePolicy
+from repro.errors import ExecutorError
+from repro.catalog.udf_registry import UdfKind
+from repro.executor.context import ExecutionContext
+from repro.executor.operators.base import Operator
+from repro.expressions.analysis import term_key
+from repro.expressions.evaluator import udf_column_name
+from repro.models.base import PatchClassifierModel
+from repro.models.filters import SpecializedFilter
+from repro.optimizer.plans import PhysClassifierApply
+from repro.storage.batch import Batch
+from repro.types import BoundingBox
+from repro.video.frames import Frame
+
+
+def bbox_view_key(bbox: BoundingBox) -> tuple[int, int, int, int]:
+    """Rounded box coordinates: the view key component for patch UDFs."""
+    return (round(bbox.x1), round(bbox.y1), round(bbox.x2), round(bbox.y2))
+
+
+class ClassifierApplyOperator(Operator):
+    """Adds the computed UDF column to every row."""
+
+    def __init__(self, child: Operator, node: PhysClassifierApply,
+                 context: ExecutionContext):
+        super().__init__(context)
+        self.child = child
+        self.node = node
+        self.model = context.catalog.zoo.get(node.model_name)
+        definition = context.catalog.udfs.get(node.call.name)
+        self.kind = definition.kind
+        if self.kind not in (UdfKind.PATCH_CLASSIFIER, UdfKind.FRAME_FILTER):
+            raise ExecutorError(
+                f"cannot apply UDF kind {self.kind} as a classifier")
+        self.column = udf_column_name(term_key(node.call))
+        self._view_name = f"mv::{node.signature}"
+        self._join_charged = False
+
+    def execute(self) -> Iterator[Batch]:
+        policy = self.context.config.reuse_policy
+        for batch in self.child.execute():
+            self.context.clock.charge(
+                CostCategory.APPLY, self.context.costs.apply_per_batch)
+            values = [self._resolve(row, policy)
+                      for row in batch.iter_rows()]
+            yield batch.with_column(self.column, values)
+
+    # -- per-row resolution ------------------------------------------------------
+
+    def _resolve(self, row: dict, policy: ReusePolicy):
+        frame: Frame = row["frame"]
+        key = self._key(row, frame)
+        if policy is ReusePolicy.EVA and self.node.use_view:
+            hit = self._probe_view(key)
+            if hit is not None:
+                self._record(frame, key, reused=True)
+                return hit["value"]
+            if (self.context.config.fuzzy_reuse
+                    and self.kind is UdfKind.PATCH_CLASSIFIER):
+                fuzzy = self._probe_view_fuzzy(frame, row["bbox"])
+                if fuzzy is not None:
+                    self._record(frame, key, reused=True)
+                    return fuzzy["value"]
+            value = self._evaluate(row, frame)
+            if self.node.store:
+                self._store(key, value)
+            return value
+        if policy is ReusePolicy.FUNCACHE:
+            cache = self.context.function_cache
+            assert cache is not None
+            hit, value = cache.lookup(self.model.name,
+                                      (self.model.name,) + key,
+                                      self._input_bytes(row, frame))
+            if hit:
+                self._record(frame, key, reused=True)
+                return value
+            value = self._evaluate(row, frame)
+            cache.store(self.model.name, (self.model.name,) + key, value)
+            return value
+        return self._evaluate(row, frame)
+
+    def _key(self, row: dict, frame: Frame) -> tuple:
+        if self.kind is UdfKind.FRAME_FILTER:
+            return (frame.frame_id,)
+        bbox = row.get("bbox")
+        if not isinstance(bbox, BoundingBox):
+            raise ExecutorError(
+                f"{self.node.call.to_sql()} needs a bbox column "
+                "(is the detector APPLY missing?)")
+        return (frame.frame_id, bbox_view_key(bbox))
+
+    def _input_bytes(self, row: dict, frame: Frame) -> int:
+        if self.kind is UdfKind.FRAME_FILTER:
+            return frame.nbytes()
+        bbox: BoundingBox = row["bbox"]
+        return int(bbox.area()) * 3  # the cropped RGB patch
+
+    # -- view path --------------------------------------------------------------
+
+    def _probe_view(self, key: tuple) -> dict | None:
+        view = self.context.view_store.get(self._view_name)
+        if view is None:
+            return None
+        if not self._join_charged:
+            self.context.clock.charge(CostCategory.JOIN,
+                                      self.context.costs.join_setup)
+            self._join_charged = True
+        self.context.clock.charge(CostCategory.READ_VIEW,
+                                  self.context.costs.view_read_per_key)
+        rows = view.get(key)
+        if not rows:
+            return None
+        self.context.clock.charge(CostCategory.READ_VIEW,
+                                  self.context.costs.view_read_per_row)
+        return rows[0]
+
+    def _probe_view_fuzzy(self, frame: Frame, bbox: BoundingBox
+                          ) -> dict | None:
+        """Section 6 extension: reuse the result of a spatially close box.
+
+        Different detectors place near-identical boxes around the same
+        object; when the exact key misses, a stored box in the same frame
+        with IoU above the configured threshold is close enough for patch
+        attributes (type, color) to transfer.  This makes results
+        *approximate* — it is off by default.
+        """
+        view = self.context.view_store.get(self._view_name)
+        if view is None:
+            return None
+        threshold = self.context.config.fuzzy_iou_threshold
+        costs = self.context.costs
+        best_rows = None
+        best_iou = threshold
+        candidates = view.keys_with_prefix(frame.frame_id)
+        if candidates:
+            # One extra (indexed) probe per candidate box in this frame.
+            self.context.clock.charge(
+                CostCategory.READ_VIEW,
+                costs.view_read_per_key
+                + len(candidates) * costs.view_read_per_row)
+        for key in candidates:
+            stored_bbox = BoundingBox(*key[1])
+            iou = bbox.iou(stored_bbox)
+            if iou > best_iou:
+                rows = view.get(key)
+                if rows:
+                    best_iou = iou
+                    best_rows = rows
+        return best_rows[0] if best_rows else None
+
+    def _store(self, key: tuple, value) -> None:
+        view = self.context.view_store.create_or_get(
+            self._view_name, ["id", "bbox_key"], ["value"])
+        if key in view:
+            return
+        view.put(key, [{"value": value}])
+        self.context.clock.charge(CostCategory.MATERIALIZE,
+                                  self.context.costs.materialize_per_row)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def _evaluate(self, row: dict, frame: Frame):
+        video = self.context.video(frame.video_name)
+        self.context.clock.charge(CostCategory.UDF,
+                                  self.model.per_tuple_cost)
+        if self.kind is UdfKind.FRAME_FILTER:
+            assert isinstance(self.model, SpecializedFilter)
+            value = self.model.predict(video, frame.frame_id)
+        else:
+            assert isinstance(self.model, PatchClassifierModel)
+            value = self.model.classify(video, frame.frame_id, row["bbox"])
+        self._record(frame, self._key(row, frame), reused=False)
+        return value
+
+    def _record(self, frame: Frame, key: tuple, reused: bool) -> None:
+        self.context.metrics.record_invocations(
+            self.model.name, [(frame.video_name,) + key], reused,
+            per_tuple_cost=self.model.per_tuple_cost)

@@ -1,0 +1,263 @@
+"""Detector CROSS APPLY operator with reuse.
+
+Implements the composite of Fig. 4 in pipelined form.  For each input frame
+the operator consults its :class:`~repro.optimizer.plans.DetectorSource`
+list in order:
+
+* a **view** source serves the frame when its predicate covers the frame's
+  values *and* the frame's key is present in that model's materialized view
+  (the LEFT OUTER JOIN + pass-through-predicate check);
+* a **model** source evaluates the physical model (the conditional APPLY),
+  and — when the plan says so — appends the fresh results to the model's
+  view (the STORE operator).
+
+Under the HashStash policy the operator instead reads the deduplicated
+union of all matched recycler entries up front, and under FunCache it
+probes the execution engine's function cache per frame.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.clock import CostCategory
+from repro.baselines.hashstash import RecyclerEntry
+from repro.config import ReusePolicy
+from repro.errors import ExecutorError
+from repro.executor.context import ExecutionContext
+from repro.executor.operators.base import Operator
+from repro.models.base import ObjectDetectorModel
+from repro.optimizer.plans import DetectorSource, PhysDetectorApply
+from repro.optimizer.udf_manager import UdfSignature
+from repro.storage.batch import Batch
+from repro.symbolic.compiled import compile_dnf
+from repro.types import Detection
+from repro.video.frames import Frame
+
+#: Output columns the detector adds to each row.
+DETECTOR_COLUMNS = ("label", "bbox", "score", "area")
+VIEW_OUTPUT_COLUMNS = ["label", "bbox", "score"]
+
+
+class DetectorApplyOperator(Operator):
+    """CROSS APPLY of an object detector over frames."""
+
+    def __init__(self, child: Operator, node: PhysDetectorApply,
+                 context: ExecutionContext):
+        super().__init__(context)
+        self.child = child
+        self.node = node
+        self._sources = [
+            (source, compile_dnf(source.predicate),
+             self._model_for(source))
+            for source in node.sources
+        ]
+        self._fallback_model = self._pick_fallback()
+        self._join_charged = False
+        # HashStash state: combined recycler results and this query's
+        # fresh output (a new recycler entry).
+        self._hashstash_combined: dict | None = None
+        self._hashstash_output: dict = {}
+
+    def _model_for(self, source: DetectorSource) -> ObjectDetectorModel:
+        model = self.context.catalog.zoo.get(source.model_name)
+        if not isinstance(model, ObjectDetectorModel):
+            raise ExecutorError(
+                f"{source.model_name!r} is not an object detector")
+        return model
+
+    def _pick_fallback(self) -> ObjectDetectorModel:
+        """Safety net: the cheapest model named by any source."""
+        models = [model for source, _, model in self._sources
+                  if not source.use_view]
+        if not models:
+            models = [model for _, _, model in self._sources]
+        return min(models, key=lambda m: m.per_tuple_cost)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self) -> Iterator[Batch]:
+        policy = self.context.config.reuse_policy
+        if policy is ReusePolicy.HASHSTASH:
+            self._prepare_hashstash()
+        try:
+            for batch in self.child.execute():
+                self.context.clock.charge(
+                    CostCategory.APPLY, self.context.costs.apply_per_batch)
+                out = self._apply_batch(batch, policy)
+                if out.num_rows:
+                    yield out
+        finally:
+            if policy is ReusePolicy.HASHSTASH and self._hashstash_output:
+                self.context.recycler.add(RecyclerEntry(
+                    self._recycler_signature,
+                    dict(self._hashstash_output)))
+
+    def _apply_batch(self, batch: Batch, policy: ReusePolicy) -> Batch:
+        out_rows: list[dict] = []
+        for row in batch.iter_rows():
+            frame: Frame = row["frame"]
+            detections = self._resolve(row, frame, policy)
+            for detection in detections:
+                out_row = dict(row)
+                out_row["label"] = detection.label
+                out_row["bbox"] = detection.bbox
+                out_row["score"] = detection.score
+                out_row["area"] = detection.bbox.relative_area(
+                    frame.width, frame.height)
+                out_rows.append(out_row)
+        if not out_rows:
+            return Batch()
+        columns = list(batch.column_names) + list(DETECTOR_COLUMNS)
+        return Batch({name: [r[name] for r in out_rows]
+                      for name in columns})
+
+    # -- per-frame resolution ----------------------------------------------------
+
+    def _resolve(self, row: dict, frame: Frame, policy: ReusePolicy
+                 ) -> tuple[Detection, ...]:
+        values = {"id": row["id"], "timestamp": row.get("timestamp")}
+        values = {k: v for k, v in values.items() if v is not None}
+        # Pull forward any frame-level UDF columns computed upstream (the
+        # specialized-filter dimension may appear in source predicates).
+        for name, value in row.items():
+            if name.startswith("__udf::"):
+                values["udf:" + name[len("__udf::"):]] = value
+
+        if policy is ReusePolicy.HASHSTASH:
+            return self._resolve_hashstash(frame)
+        if policy is ReusePolicy.FUNCACHE:
+            return self._resolve_funcache(frame)
+
+        for source, predicate, model in self._sources:
+            if source.use_view:
+                # Fig. 4's LEFT OUTER JOIN probes the view for every input
+                # tuple; key presence (not the symbolic hint) decides.
+                hit = self._probe_view(model.name, frame)
+                if hit is not None:
+                    return hit
+                continue  # missing from the view: fall through
+            if not predicate(values):
+                continue
+            return self._evaluate(model, frame,
+                                  store=self.node.store)
+        # Safety fallback: no source matched (conservative symbolic info).
+        return self._evaluate(self._fallback_model, frame,
+                              store=self.node.store)
+
+    def _probe_view(self, model_name: str, frame: Frame
+                    ) -> tuple[Detection, ...] | None:
+        view = self.context.view_store.get(self._view_name(model_name,
+                                                           frame))
+        if view is None:
+            return None
+        if not self._join_charged:
+            # The 3*C_M hash-join setup of Eq. 3, charged once per query.
+            self.context.clock.charge(CostCategory.JOIN,
+                                      self.context.costs.join_setup)
+            self._join_charged = True
+        key = (frame.frame_id,)
+        costs = self.context.costs
+        self.context.clock.charge(CostCategory.READ_VIEW,
+                                  costs.view_read_per_key)
+        rows = view.get(key)
+        if rows is None:
+            return None
+        self.context.clock.charge(
+            CostCategory.READ_VIEW, len(rows) * costs.view_read_per_row)
+        self._record(model_name, frame, reused=True)
+        return tuple(Detection(r["label"], r["bbox"], r["score"])
+                     for r in rows)
+
+    def _evaluate(self, model: ObjectDetectorModel, frame: Frame,
+                  store: bool) -> tuple[Detection, ...]:
+        video = self.context.video(frame.video_name)
+        self.context.clock.charge(CostCategory.UDF, model.per_tuple_cost)
+        detections = tuple(model.detect(video, frame.frame_id))
+        self._record(model.name, frame, reused=False)
+        if store:
+            self._store(model.name, frame, detections)
+        if self.context.config.reuse_policy is ReusePolicy.HASHSTASH:
+            self._hashstash_output[frame.frame_id] = detections
+        return detections
+
+    def _store(self, model_name: str, frame: Frame,
+               detections: tuple[Detection, ...]) -> None:
+        view = self.context.view_store.create_or_get(
+            self._view_name(model_name, frame), ["id"],
+            VIEW_OUTPUT_COLUMNS)
+        key = (frame.frame_id,)
+        if key in view:
+            return
+        view.put(key, [{"label": d.label, "bbox": d.bbox, "score": d.score}
+                       for d in detections])
+        self.context.clock.charge(
+            CostCategory.MATERIALIZE,
+            max(1, len(detections)) * self.context.costs.materialize_per_row)
+
+    # -- baseline paths -----------------------------------------------------------
+
+    @property
+    def _recycler_signature(self) -> str:
+        """Sub-tree signature for recycler matching.
+
+        Includes the resolved physical model: a logical detector resolved
+        to different models must not cross-reuse operator results.
+        """
+        return f"{self.node.signature}#{self._fallback_model.name}"
+
+    def _prepare_hashstash(self) -> None:
+        """Read + deduplicate the union of matched recycler entries."""
+        recycler = self.context.recycler
+        if recycler is None:
+            raise ExecutorError("HashStash policy without a recycler graph")
+        combined, rows_read = recycler.union_of_matched(
+            self._recycler_signature)
+        if rows_read:
+            costs = self.context.costs
+            self.context.clock.charge(CostCategory.JOIN, costs.join_setup)
+            self.context.clock.charge(
+                CostCategory.READ_VIEW,
+                rows_read * (costs.view_read_per_row
+                             + costs.view_read_per_key))
+            # Deduplicating the union of all matched entries is hash work.
+            self.context.clock.charge(
+                CostCategory.HASH,
+                rows_read * costs.hashstash_dedup_per_row)
+        self._hashstash_combined = combined
+
+    def _resolve_hashstash(self, frame: Frame) -> tuple[Detection, ...]:
+        assert self._hashstash_combined is not None
+        hit = self._hashstash_combined.get(frame.frame_id)
+        if hit is not None:
+            model = self._fallback_model
+            self._record(model.name, frame, reused=True)
+            self._hashstash_output[frame.frame_id] = hit
+            return hit
+        return self._evaluate(self._fallback_model, frame, store=False)
+
+    def _resolve_funcache(self, frame: Frame) -> tuple[Detection, ...]:
+        cache = self.context.function_cache
+        assert cache is not None
+        model = self._fallback_model
+        key = (model.name,) + frame.cache_key()
+        hit, value = cache.lookup(model.name, key, frame.nbytes())
+        if hit:
+            self._record(model.name, frame, reused=True)
+            return value
+        detections = self._evaluate(model, frame, store=False)
+        cache.store(model.name, key, detections)
+        return detections
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    def _record(self, model_name: str, frame: Frame, reused: bool) -> None:
+        model = self.context.catalog.zoo.get(model_name)
+        self.context.metrics.record_invocations(
+            model_name, [frame.cache_key()], reused,
+            per_tuple_cost=model.per_tuple_cost)
+
+    @staticmethod
+    def _view_name(model_name: str, frame: Frame) -> str:
+        signature = UdfSignature(model_name, (frame.video_name,))
+        return f"mv::{signature.key()}"

@@ -1,0 +1,231 @@
+"""Filter, project, group-by, order-by, and limit operators."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ExecutorError
+from repro.executor.context import ExecutionContext
+from repro.executor.operators.base import Operator
+from repro.expressions.expr import AggregateCall, Expression, Star
+from repro.optimizer.plans import (
+    PhysFilter,
+    PhysGroupBy,
+    PhysLimit,
+    PhysOrderBy,
+    PhysProject,
+)
+from repro.storage.batch import Batch
+
+
+class FilterOperator(Operator):
+    """Row filter over an arbitrary predicate expression."""
+
+    def __init__(self, child: Operator, node: PhysFilter,
+                 context: ExecutionContext):
+        super().__init__(context)
+        self.child = child
+        self.node = node
+
+    def execute(self) -> Iterator[Batch]:
+        evaluator = self.context.evaluator
+        predicate = self.node.predicate
+        for batch in self.child.execute():
+            mask = [evaluator.evaluate_predicate(predicate, row)
+                    for row in batch.iter_rows()]
+            filtered = batch.filter(mask)
+            if filtered.num_rows:
+                yield filtered
+
+
+class ProjectOperator(Operator):
+    """Evaluates the select list; ``*`` expands to the input columns."""
+
+    def __init__(self, child: Operator, node: PhysProject,
+                 context: ExecutionContext):
+        super().__init__(context)
+        self.child = child
+        self.node = node
+
+    def execute(self) -> Iterator[Batch]:
+        evaluator = self.context.evaluator
+        produced = False
+        for batch in self.child.execute():
+            produced = True
+            columns: dict[str, list] = {}
+            for expr, name in self.node.items:
+                if isinstance(expr, Star):
+                    for column in batch.column_names:
+                        if not column.startswith("__udf::"):
+                            columns[column] = batch.column(column)
+                    continue
+                columns[name] = [evaluator.evaluate(expr, row)
+                                 for row in batch.iter_rows()]
+            yield Batch(columns)
+        if not produced:
+            # Empty result: still emit the output schema (star columns
+            # cannot be known without input and are omitted).
+            yield Batch({name: [] for expr, name in self.node.items
+                         if not isinstance(expr, Star)})
+
+
+class GroupByOperator(Operator):
+    """Hash aggregation: COUNT(*)/COUNT(expr), SUM, AVG, MIN, MAX."""
+
+    def __init__(self, child: Operator, node: PhysGroupBy,
+                 context: ExecutionContext):
+        super().__init__(context)
+        self.child = child
+        self.node = node
+
+    def execute(self) -> Iterator[Batch]:
+        evaluator = self.context.evaluator
+        groups: dict[tuple, dict] = {}
+        order: list[tuple] = []
+        for batch in self.child.execute():
+            for row in batch.iter_rows():
+                key = tuple(evaluator.evaluate(k, row)
+                            for k in self.node.keys)
+                state = groups.get(key)
+                if state is None:
+                    state = {"first_row": row, "count": 0,
+                             "agg": [{"count": 0, "sum": 0.0,
+                                      "min": None, "max": None}
+                                     for _ in self.node.items]}
+                    groups[key] = state
+                    order.append(key)
+                state["count"] += 1
+                for index, (expr, _) in enumerate(self.node.items):
+                    self._accumulate(state, index, expr, row, evaluator)
+        rows = []
+        for key in order:
+            state = groups[key]
+            out_row = tuple(
+                self._finalize(state, index, expr, evaluator)
+                for index, (expr, _) in enumerate(self.node.items))
+            rows.append(out_row)
+        names = [name for _, name in self.node.items]
+        yield Batch.from_rows(names, rows)
+
+    SUPPORTED_AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+    @classmethod
+    def _accumulate(cls, state: dict, index: int, expr: Expression,
+                    row: dict, evaluator) -> None:
+        aggregate = _find_aggregate(expr)
+        if aggregate is None:
+            return
+        if aggregate.func not in cls.SUPPORTED_AGGREGATES:
+            raise ExecutorError(
+                f"unsupported aggregate {aggregate.func.upper()}")
+        acc = state["agg"][index]
+        if isinstance(aggregate.arg, Star):
+            acc["count"] += 1
+            return
+        value = evaluator.evaluate(aggregate.arg, row)
+        if value is None:
+            return
+        acc["count"] += 1
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            acc["sum"] += value
+        elif aggregate.func in ("sum", "avg"):
+            raise ExecutorError(
+                f"{aggregate.func.upper()} needs numeric input, got "
+                f"{type(value).__name__}")
+        if acc["min"] is None or value < acc["min"]:
+            acc["min"] = value
+        if acc["max"] is None or value > acc["max"]:
+            acc["max"] = value
+
+    @staticmethod
+    def _finalize(state: dict, index: int, expr: Expression, evaluator):
+        aggregate = _find_aggregate(expr)
+        if aggregate is None:
+            return evaluator.evaluate(expr, state["first_row"])
+        acc = state["agg"][index]
+        if aggregate.func == "count":
+            return acc["count"]
+        if aggregate.func == "sum":
+            return acc["sum"] if acc["count"] else None
+        if aggregate.func == "avg":
+            return acc["sum"] / acc["count"] if acc["count"] else None
+        if aggregate.func == "min":
+            return acc["min"]
+        return acc["max"]
+
+
+class DistinctOperator(Operator):
+    """Removes duplicate rows (SELECT DISTINCT), preserving order."""
+
+    def __init__(self, child: Operator, node, context: ExecutionContext):
+        super().__init__(context)
+        self.child = child
+        self.node = node
+
+    def execute(self):
+        seen: set = set()
+        for batch in self.child.execute():
+            mask = []
+            for row_tuple in batch.to_tuples():
+                fingerprint = repr(row_tuple)
+                if fingerprint in seen:
+                    mask.append(False)
+                else:
+                    seen.add(fingerprint)
+                    mask.append(True)
+            filtered = batch.filter(mask)
+            if filtered.num_rows or filtered.column_names:
+                yield filtered
+
+
+class OrderByOperator(Operator):
+    """Full sort (blocking)."""
+
+    def __init__(self, child: Operator, node: PhysOrderBy,
+                 context: ExecutionContext):
+        super().__init__(context)
+        self.child = child
+        self.node = node
+
+    def execute(self) -> Iterator[Batch]:
+        batch = self.child.run_to_completion()
+        if not batch.num_rows:
+            yield batch  # keep the (possibly empty) output schema
+            return
+        evaluator = self.context.evaluator
+        indices = list(range(batch.num_rows))
+        # Sort by keys right-to-left for stable multi-key ordering.
+        for expr, ascending in reversed(self.node.keys):
+            keys = [evaluator.evaluate(expr, batch.row(i)) for i in indices]
+            decorated = sorted(zip(keys, indices), key=lambda p: p[0],
+                               reverse=not ascending)
+            indices = [i for _, i in decorated]
+        yield batch.take(indices)
+
+
+class LimitOperator(Operator):
+    """LIMIT n."""
+
+    def __init__(self, child: Operator, node: PhysLimit,
+                 context: ExecutionContext):
+        super().__init__(context)
+        self.child = child
+        self.node = node
+
+    def execute(self) -> Iterator[Batch]:
+        remaining = self.node.count
+        for batch in self.child.execute():
+            if remaining <= 0:
+                return
+            if batch.num_rows > remaining:
+                yield batch.slice(0, remaining)
+                return
+            remaining -= batch.num_rows
+            yield batch
+
+
+def _find_aggregate(expr: Expression) -> AggregateCall | None:
+    for node in expr.walk():
+        if isinstance(node, AggregateCall):
+            return node
+    return None

@@ -1,0 +1,135 @@
+"""Static analysis helpers over expression trees."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.expressions.expr import (
+    And,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    TRUE,
+)
+
+
+def split_conjuncts(expr: Expression | None) -> list[Expression]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None or expr == TRUE:
+        return []
+    if isinstance(expr, And):
+        out: list[Expression] = []
+        for operand in expr.operands:
+            out.extend(split_conjuncts(operand))
+        return out
+    return [expr]
+
+
+def conjunction_of(conjuncts: Iterable[Expression]) -> Expression:
+    """AND the conjuncts back together (TRUE when empty)."""
+    conjuncts = [c for c in conjuncts if c != TRUE]
+    if not conjuncts:
+        return TRUE
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return And(tuple(conjuncts))
+
+
+def collect_function_calls(expr: Expression) -> list[FunctionCall]:
+    """All UDF calls in the tree, in pre-order, deduplicated."""
+    seen: set[FunctionCall] = set()
+    out: list[FunctionCall] = []
+    for node in expr.walk():
+        if isinstance(node, FunctionCall) and node not in seen:
+            seen.add(node)
+            out.append(node)
+    return out
+
+
+def collect_columns(expr: Expression) -> set[str]:
+    """Names of all columns referenced anywhere in the tree."""
+    return {node.name for node in expr.walk() if isinstance(node, ColumnRef)}
+
+
+def references_only(expr: Expression, columns: set[str],
+                    allow_functions: bool = False) -> bool:
+    """True when every leaf is a literal or a column from ``columns``.
+
+    With ``allow_functions=False``, any UDF call disqualifies the
+    expression — used to separate direct-column predicates from UDF-based
+    predicates during pushdown.
+    """
+    for node in expr.walk():
+        if isinstance(node, ColumnRef) and node.name not in columns:
+            return False
+        if isinstance(node, FunctionCall) and not allow_functions:
+            return False
+    return True
+
+
+def substitute(expr: Expression,
+               replace: Callable[[Expression], Expression | None]
+               ) -> Expression:
+    """Rebuild the tree, replacing nodes where ``replace`` returns non-None.
+
+    ``replace`` is consulted top-down; when it rewrites a node, the new node
+    is *not* recursed into.
+    """
+    replacement = replace(expr)
+    if replacement is not None:
+        return replacement
+    # Reconstruct with substituted children where anything changed.
+    from repro.expressions.expr import (
+        AggregateCall, And, Arithmetic, Comparison, Not, Or)
+
+    if isinstance(expr, Comparison):
+        left = substitute(expr.left, replace)
+        right = substitute(expr.right, replace)
+        if left is not expr.left or right is not expr.right:
+            return Comparison(left, expr.op, right)
+        return expr
+    if isinstance(expr, Arithmetic):
+        left = substitute(expr.left, replace)
+        right = substitute(expr.right, replace)
+        if left is not expr.left or right is not expr.right:
+            return Arithmetic(left, expr.op, right)
+        return expr
+    if isinstance(expr, And):
+        operands = tuple(substitute(o, replace) for o in expr.operands)
+        return And(operands) if operands != expr.operands else expr
+    if isinstance(expr, Or):
+        operands = tuple(substitute(o, replace) for o in expr.operands)
+        return Or(operands) if operands != expr.operands else expr
+    if isinstance(expr, Not):
+        operand = substitute(expr.operand, replace)
+        return Not(operand) if operand is not expr.operand else expr
+    if isinstance(expr, FunctionCall):
+        args = tuple(substitute(a, replace) for a in expr.args)
+        if args != expr.args:
+            return FunctionCall(expr.name, args, expr.accuracy)
+        return expr
+    if isinstance(expr, AggregateCall):
+        arg = substitute(expr.arg, replace)
+        return AggregateCall(expr.func, arg) if arg is not expr.arg else expr
+    return expr
+
+
+def term_key(call: FunctionCall) -> str:
+    """Canonical identity of a UDF *term*: name + argument shape.
+
+    Two calls with the same term key denote the same computation over a row
+    (e.g. every occurrence of ``CarType(frame, bbox)``), which is the unit
+    at which results are shared within a query plan.
+    """
+    parts = []
+    for arg in call.args:
+        if isinstance(arg, ColumnRef):
+            parts.append(arg.name)
+        elif isinstance(arg, Literal):
+            parts.append(repr(arg.value))
+        elif isinstance(arg, FunctionCall):
+            parts.append(term_key(arg))
+        else:
+            parts.append(arg.to_sql())
+    return f"{call.name}({','.join(parts)})"

@@ -1,0 +1,272 @@
+"""Expression AST nodes.
+
+The grammar matches the paper's predicate syntax (section 4.1):
+
+    p     ::= expr cp expr | p logic p | NOT p
+    cp    ::= > | < | = | != | <= | >=
+    logic ::= AND | OR
+
+plus the non-predicate expressions queries need: column references,
+literals, UDF calls (with an optional ACCURACY annotation), aggregates, and
+``*``.  Nodes are frozen dataclasses, so structural equality and hashing
+come for free — the symbolic engine and optimizer rely on both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.types import Accuracy
+
+
+class CompOp(enum.Enum):
+    """Comparison operators."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    NE = "!="
+
+    def negate(self) -> "CompOp":
+        return _NEGATIONS[self]
+
+    def flip(self) -> "CompOp":
+        """Operator with sides swapped: ``a < b`` == ``b > a``."""
+        return _FLIPS[self]
+
+    def apply(self, left, right) -> bool:
+        if left is None or right is None:
+            return False
+        if self is CompOp.EQ:
+            return left == right
+        if self is CompOp.NE:
+            return left != right
+        if self is CompOp.LT:
+            return left < right
+        if self is CompOp.LE:
+            return left <= right
+        if self is CompOp.GT:
+            return left > right
+        return left >= right
+
+
+_NEGATIONS = {
+    CompOp.LT: CompOp.GE, CompOp.GE: CompOp.LT,
+    CompOp.GT: CompOp.LE, CompOp.LE: CompOp.GT,
+    CompOp.EQ: CompOp.NE, CompOp.NE: CompOp.EQ,
+}
+_FLIPS = {
+    CompOp.LT: CompOp.GT, CompOp.GT: CompOp.LT,
+    CompOp.LE: CompOp.GE, CompOp.GE: CompOp.LE,
+    CompOp.EQ: CompOp.EQ, CompOp.NE: CompOp.NE,
+}
+
+
+@dataclass(frozen=True)
+class Expression:
+    """Base class for all expression nodes."""
+
+    def children(self) -> tuple["Expression", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expression"]:
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column; names are case-insensitive (stored lower)."""
+
+    name: str
+
+    def __post_init__(self):
+        object.__setattr__(self, "name", self.name.lower())
+
+    def to_sql(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: number, string, or boolean."""
+
+    value: object
+
+    def to_sql(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+TRUE = Literal(True)
+FALSE = Literal(False)
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` in a select list or COUNT(*)."""
+
+    def to_sql(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A UDF invocation, e.g. ``CarType(frame, bbox)``.
+
+    ``accuracy`` carries the ``ACCURACY 'HIGH'`` annotation used when the
+    name denotes a logical vision task (Listing 1's OBJECT_DETECTOR).
+    """
+
+    name: str
+    args: tuple[Expression, ...] = ()
+    accuracy: Accuracy | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "name", self.name.lower())
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.args
+
+    def to_sql(self) -> str:
+        args = ", ".join(a.to_sql() for a in self.args)
+        suffix = f" ACCURACY '{self.accuracy.value}'" if self.accuracy else ""
+        return f"{self.name}({args}){suffix}"
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expression):
+    """An aggregate in the select list, e.g. ``COUNT(*)``."""
+
+    func: str
+    arg: Expression = field(default_factory=Star)
+
+    def __post_init__(self):
+        object.__setattr__(self, "func", self.func.lower())
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.arg,)
+
+    def to_sql(self) -> str:
+        return f"{self.func.upper()}({self.arg.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """Binary arithmetic: ``left op right`` with op in ``+ - * /``.
+
+    The symbolic engine solves *affine* arithmetic over a single term
+    (column or UDF call) down to an axis-aligned constraint; anything
+    beyond that executes fine but is not symbolically analyzable.
+    """
+
+    left: Expression
+    op: str
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in ("+", "-", "*", "/"):
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def to_sql(self) -> str:
+        left = self._wrap(self.left)
+        right = self._wrap(self.right)
+        return f"{left} {self.op} {right}"
+
+    @staticmethod
+    def _wrap(expr: Expression) -> str:
+        if isinstance(expr, Arithmetic):
+            return f"({expr.to_sql()})"
+        return expr.to_sql()
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """``left cp right``."""
+
+    left: Expression
+    op: CompOp
+    right: Expression
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op.value} {self.right.to_sql()}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """N-ary conjunction (flattened at construction)."""
+
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self):
+        flat: list[Expression] = []
+        for operand in self.operands:
+            if isinstance(operand, And):
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.operands
+
+    def to_sql(self) -> str:
+        return " AND ".join(_parenthesize(o) for o in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """N-ary disjunction (flattened at construction)."""
+
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self):
+        flat: list[Expression] = []
+        for operand in self.operands:
+            if isinstance(operand, Or):
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.operands
+
+    def to_sql(self) -> str:
+        return " OR ".join(_parenthesize(o) for o in self.operands)
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation."""
+
+    operand: Expression
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def to_sql(self) -> str:
+        return f"NOT {_parenthesize(self.operand)}"
+
+
+def _parenthesize(expr: Expression) -> str:
+    if isinstance(expr, (And, Or, Not)):
+        return f"({expr.to_sql()})"
+    return expr.to_sql()

@@ -1,0 +1,48 @@
+"""Simulated deep-learning vision models.
+
+The paper wraps PyTorch models (object detectors, vehicle-type and color
+classifiers, license readers, specialized filters) in UDFs.  Offline, this
+package simulates each model: it reads the synthetic video's ground truth
+and corrupts it according to the model's accuracy profile, deterministically
+per (model, video, frame).  Per-tuple inference costs are the paper's
+profiled values (Table 3 and Table 5) and are charged to the virtual clock
+by the execution engine.
+"""
+
+from repro.models.base import (
+    ObjectDetectorModel,
+    PatchClassifierModel,
+    VisionModel,
+)
+from repro.models.detectors import (
+    SimulatedDetector,
+    FASTERRCNN_RESNET50,
+    FASTERRCNN_RESNET101,
+    YOLO_TINY,
+)
+from repro.models.classifiers import (
+    SimulatedPatchClassifier,
+    CAR_TYPE,
+    COLOR_DET,
+    LICENSE_READER,
+)
+from repro.models.filters import SpecializedFilter, VEHICLE_FILTER
+from repro.models.zoo import ModelZoo, default_zoo
+
+__all__ = [
+    "VisionModel",
+    "ObjectDetectorModel",
+    "PatchClassifierModel",
+    "SimulatedDetector",
+    "SimulatedPatchClassifier",
+    "SpecializedFilter",
+    "FASTERRCNN_RESNET50",
+    "FASTERRCNN_RESNET101",
+    "YOLO_TINY",
+    "CAR_TYPE",
+    "COLOR_DET",
+    "LICENSE_READER",
+    "VEHICLE_FILTER",
+    "ModelZoo",
+    "default_zoo",
+]

@@ -1,0 +1,52 @@
+"""Abstract interfaces for simulated vision models."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.types import Accuracy, BoundingBox, Detection
+from repro.video.synthetic import SyntheticVideo
+
+
+class VisionModel(abc.ABC):
+    """A (simulated) deep-learning model with a profiled per-tuple cost.
+
+    Attributes:
+        name: unique physical-model name used in catalog and views.
+        per_tuple_cost: profiled inference seconds per input tuple
+            (Table 3 / Table 5 of the paper), charged to the virtual clock.
+        device: ``"GPU"`` or ``"CPU"``, reported in Table 3.
+    """
+
+    def __init__(self, name: str, per_tuple_cost: float, device: str = "GPU"):
+        if per_tuple_cost < 0:
+            raise ValueError("per_tuple_cost must be non-negative")
+        self.name = name
+        self.per_tuple_cost = per_tuple_cost
+        self.device = device
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class ObjectDetectorModel(VisionModel):
+    """Detects objects in a frame; one logical-type ``ObjectDetector``."""
+
+    def __init__(self, name: str, per_tuple_cost: float,
+                 accuracy: Accuracy, device: str = "GPU"):
+        super().__init__(name, per_tuple_cost, device)
+        self.accuracy = accuracy
+
+    @abc.abstractmethod
+    def detect(self, video: SyntheticVideo, frame_id: int
+               ) -> list[Detection]:
+        """Return the detections for one frame, deterministically."""
+
+
+class PatchClassifierModel(VisionModel):
+    """Classifies a bounding-box patch of a frame (CarType, ColorDet...)."""
+
+    @abc.abstractmethod
+    def classify(self, video: SyntheticVideo, frame_id: int,
+                 bbox: BoundingBox) -> str:
+        """Return the class label for one patch, deterministically."""

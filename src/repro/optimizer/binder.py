@@ -1,0 +1,179 @@
+"""Name resolution and query normalization (binding).
+
+Binding turns a parsed :class:`SelectStatement` into a validated, normalized
+form the optimizer can reason about:
+
+* the table must be a registered video; its metadata and statistics attach;
+* UDF names resolve against the registry; unknown names raise
+  :class:`~repro.errors.BindingError`;
+* ``AREA(bbox)`` calls rewrite to the derived ``area`` column the detector
+  APPLY produces;
+* ``timestamp`` comparisons rewrite to equivalent ``id`` comparisons
+  (``timestamp = id / fps``), so scan-range extraction has a single
+  dimension to work with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.udf_registry import UdfDefinition, UdfKind
+from repro.errors import BindingError
+from repro.expressions.analysis import substitute
+from repro.expressions.expr import (
+    AggregateCall,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Literal,
+    Star,
+)
+from repro.parser.ast_nodes import SelectStatement
+from repro.types import VideoMetadata
+
+#: Columns available before the detector APPLY.
+SCAN_COLUMNS = frozenset({"id", "timestamp", "frame"})
+#: Columns the detector APPLY adds.
+DETECTOR_COLUMNS = frozenset({"label", "bbox", "score", "area"})
+
+
+@dataclass(frozen=True)
+class BoundQuery:
+    """A validated, normalized SELECT query."""
+
+    statement: SelectStatement
+    metadata: VideoMetadata
+    detector_call: FunctionCall | None
+    detector_def: UdfDefinition | None
+    where: Expression | None
+    select_items: tuple[tuple[Expression, str], ...]
+    group_keys: tuple[Expression, ...]
+    order_keys: tuple[tuple[Expression, bool], ...]
+    limit: int | None
+
+    @property
+    def table_name(self) -> str:
+        return self.metadata.name
+
+    @property
+    def available_columns(self) -> frozenset[str]:
+        if self.detector_call is None:
+            return SCAN_COLUMNS
+        return SCAN_COLUMNS | DETECTOR_COLUMNS
+
+
+def bind(statement: SelectStatement, catalog: Catalog) -> BoundQuery:
+    """Validate and normalize ``statement`` against ``catalog``."""
+    if not catalog.has_table(statement.table_name):
+        raise BindingError(f"unknown table {statement.table_name!r}")
+    metadata = catalog.video_metadata(statement.table_name)
+
+    detector_call: FunctionCall | None = None
+    detector_def: UdfDefinition | None = None
+    if statement.cross_applies:
+        if len(statement.cross_applies) > 1:
+            raise BindingError(
+                "only one CROSS APPLY per query is supported")
+        detector_call = statement.cross_applies[0].call
+        detector_def = _resolve_udf(detector_call, catalog)
+        if detector_def.kind is not UdfKind.DETECTOR:
+            raise BindingError(
+                f"CROSS APPLY requires a table-valued UDF; "
+                f"{detector_call.name!r} is {detector_def.kind.value}")
+
+    normalizer = _Normalizer(catalog, metadata)
+    where = (normalizer.normalize(statement.where)
+             if statement.where is not None else None)
+    select_items = tuple(
+        (normalizer.normalize(expr), alias or _default_name(expr))
+        for expr, alias in statement.select_list
+    )
+    group_keys = tuple(normalizer.normalize(e) for e in statement.group_by)
+    order_keys = tuple((normalizer.normalize(item.expr), item.ascending)
+                       for item in statement.order_by)
+
+    bound = BoundQuery(
+        statement=statement,
+        metadata=metadata,
+        detector_call=detector_call,
+        detector_def=detector_def,
+        where=where,
+        select_items=select_items,
+        group_keys=group_keys,
+        order_keys=order_keys,
+        limit=statement.limit,
+    )
+    _validate_column_references(bound)
+    return bound
+
+
+def _default_name(expr: Expression) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    return expr.to_sql()
+
+
+def _resolve_udf(call: FunctionCall, catalog: Catalog) -> UdfDefinition:
+    if call.name not in catalog.udfs:
+        raise BindingError(f"unknown UDF {call.name!r}")
+    return catalog.udfs.get(call.name)
+
+
+class _Normalizer:
+    """Rewrites expressions into canonical bound form."""
+
+    def __init__(self, catalog: Catalog, metadata: VideoMetadata):
+        self._catalog = catalog
+        self._metadata = metadata
+
+    def normalize(self, expr: Expression) -> Expression:
+        return substitute(expr, self._rewrite)
+
+    def _rewrite(self, node: Expression) -> Expression | None:
+        if isinstance(node, FunctionCall):
+            definition = _resolve_udf(node, self._catalog)
+            if definition.kind is UdfKind.BUILTIN and \
+                    definition.builtin_name == "area":
+                # AREA(bbox) — under whatever name it was registered — is
+                # the derived column the detector APPLY adds.
+                return ColumnRef("area")
+            return None
+        if isinstance(node, Comparison):
+            return self._rewrite_timestamp(node)
+        return None
+
+    def _rewrite_timestamp(self, node: Comparison) -> Expression | None:
+        """``timestamp cp v``  ->  ``id cp v*fps`` (id = timestamp*fps)."""
+        fps = self._metadata.fps
+        if fps <= 0:
+            return None
+        left, op, right = node.left, node.op, node.right
+        if isinstance(right, ColumnRef) and right.name == "timestamp":
+            left, right = right, left
+            op = op.flip()
+        if (isinstance(left, ColumnRef) and left.name == "timestamp"
+                and isinstance(right, Literal)
+                and isinstance(right.value, (int, float))
+                and not isinstance(right.value, bool)):
+            return Comparison(ColumnRef("id"), op,
+                              Literal(right.value * fps))
+        return None
+
+
+def _validate_column_references(bound: BoundQuery) -> None:
+    available = bound.available_columns
+    exprs: list[Expression] = [e for e, _ in bound.select_items]
+    exprs.extend(bound.group_keys)
+    exprs.extend(e for e, _ in bound.order_keys)
+    if bound.where is not None:
+        exprs.append(bound.where)
+    for expr in exprs:
+        for node in expr.walk():
+            if isinstance(node, ColumnRef) and node.name not in available:
+                raise BindingError(
+                    f"unknown column {node.name!r}; available: "
+                    f"{sorted(available)}")
+            if isinstance(node, (Star, AggregateCall)):
+                continue

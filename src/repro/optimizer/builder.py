@@ -1,0 +1,82 @@
+"""Logical plan construction from a bound query.
+
+The builder produces the *canonical* logical plan the rule engine then
+rewrites: a scan, the detector CROSS APPLY, one selection carrying the
+whole WHERE clause, APPLY nodes for UDF terms appearing only in the
+output, and the output operator (projection or aggregation).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.udf_registry import UdfKind
+from repro.expressions.analysis import term_key
+from repro.expressions.expr import AggregateCall
+from repro.optimizer.binder import BoundQuery
+from repro.optimizer.opt_context import OptimizationContext
+from repro.optimizer.plans import (
+    LogicalApply,
+    LogicalClassifierApply,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalLimit,
+    LogicalNode,
+    LogicalOrderBy,
+    LogicalProject,
+    walk_plan,
+)
+
+
+def build_logical_plan(bound: BoundQuery,
+                       ctx: OptimizationContext) -> LogicalNode:
+    """Canonical (pre-rewrite) logical plan for ``bound``."""
+    plan: LogicalNode = LogicalGet(bound.table_name)
+    if bound.detector_call is not None:
+        plan = LogicalApply(plan, bound.detector_call)
+    if bound.where is not None:
+        plan = LogicalFilter(plan, bound.where)
+    plan = _apply_output_udf_terms(plan, bound, ctx)
+    plan = _build_output(plan, bound)
+    if bound.statement.distinct:
+        plan = LogicalDistinct(plan)
+    if bound.order_keys:
+        plan = LogicalOrderBy(plan, bound.order_keys)
+    if bound.limit is not None:
+        plan = LogicalLimit(plan, bound.limit)
+    return plan
+
+
+def _apply_output_udf_terms(plan: LogicalNode, bound: BoundQuery,
+                            ctx: OptimizationContext) -> LogicalNode:
+    """APPLY nodes for expensive UDF terms used only in the output list
+    (Q2's LICENSE in Listing 1).  Terms already present in the WHERE
+    clause are skipped — the predicate transformation rule applies them."""
+    applied = set()
+    for node in walk_plan(plan):
+        if isinstance(node, (LogicalClassifierApply, LogicalApply)):
+            applied.add(term_key(node.call))
+    if bound.where is not None:
+        applied.update(term_key(c)
+                       for c in ctx.expensive_calls(bound.where))
+    for expr in list(bound.group_keys) + [e for e, _ in bound.select_items]:
+        for call in ctx.expensive_calls(expr):
+            definition = ctx.udf_definition(call)
+            if definition.kind is UdfKind.DETECTOR:
+                continue
+            if term_key(call) in applied:
+                continue
+            plan = LogicalClassifierApply(plan, call)
+            applied.add(term_key(call))
+    return plan
+
+
+def _build_output(plan: LogicalNode, bound: BoundQuery) -> LogicalNode:
+    has_aggregates = any(
+        isinstance(node, AggregateCall)
+        for expr, _ in bound.select_items
+        for node in expr.walk()
+    )
+    if has_aggregates or bound.group_keys:
+        return LogicalGroupBy(plan, bound.group_keys, bound.select_items)
+    return LogicalProject(plan, bound.select_items)

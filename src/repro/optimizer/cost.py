@@ -1,0 +1,6 @@
+"""Re-export of the cost model (lives in :mod:`repro.costs` to keep the
+config module free of optimizer-package imports)."""
+
+from repro.costs import CostConstants, CostModel
+
+__all__ = ["CostConstants", "CostModel"]

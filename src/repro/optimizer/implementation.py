@@ -1,0 +1,353 @@
+"""Physical implementation: logical plans to costed physical operators.
+
+This is where Rule II of section 4.4 — the materialization-aware
+transformation — takes effect: each logical APPLY is implemented either
+against the materialized views (the LEFT OUTER JOIN + conditional APPLY +
+STORE composite of Fig. 4, realized by the executor's reuse-aware
+operators) or as plain evaluation, chosen by the Eq. 3 cost model.  For a
+logical detector, Algorithm 2 selects the physical model set.
+
+Implementation folds bottom-up, tracking estimated cardinality so costs
+compound the way Theorem 4.1's expansion does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import sympy
+from sympy import FiniteSet, Interval, Union as SymUnion
+
+from repro.catalog.udf_registry import UdfDefinition
+from repro.config import ModelSelectionMode, ReusePolicy
+from repro.errors import OptimizerError, UnsupportedPredicateError
+from repro.expressions.expr import FunctionCall
+from repro.optimizer.model_selection import (
+    ModelCandidate,
+    select_physical_udfs,
+)
+from repro.optimizer.opt_context import OptimizationContext
+from repro.optimizer.plans import (
+    DetectorSource,
+    LogicalApply,
+    LogicalClassifierApply,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalLimit,
+    LogicalNode,
+    LogicalOrderBy,
+    LogicalProject,
+    PhysClassifierApply,
+    PhysDetectorApply,
+    PhysDistinct,
+    PhysFilter,
+    PhysGroupBy,
+    PhysLimit,
+    PhysOrderBy,
+    PhysProject,
+    PhysScan,
+    PhysicalPlan,
+)
+from repro.optimizer.udf_manager import UdfSignature
+from repro.symbolic.dnf import DnfPredicate, dnf_from_expression
+
+
+@dataclass
+class ImplementedPlan:
+    """A physical subtree plus the estimates costing needs."""
+
+    plan: PhysicalPlan
+    rows: float
+    cost: float
+    #: Post-execution UdfManager updates gathered along the way.
+    updates: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class PlanUpdate:
+    """One p_u := UNION(p_u, q) to record after the query runs."""
+
+    signature: UdfSignature
+    guard: DnfPredicate
+    per_tuple_cost: float
+
+
+class PhysicalImplementer:
+    """Bottom-up logical-to-physical folding with Eq. 3 costing."""
+
+    def __init__(self, ctx: OptimizationContext):
+        self.ctx = ctx
+
+    def implement(self, node: LogicalNode) -> ImplementedPlan:
+        if isinstance(node, LogicalGet):
+            return self._implement_get(node)
+        if isinstance(node, LogicalApply):
+            return self._implement_detector(node)
+        if isinstance(node, LogicalClassifierApply):
+            return self._implement_classifier(node)
+        if isinstance(node, LogicalFilter):
+            return self._implement_filter(node)
+        if isinstance(node, LogicalProject):
+            return self._passthrough(node, PhysProject, items=node.items)
+        if isinstance(node, LogicalGroupBy):
+            return self._passthrough(node, PhysGroupBy, keys=node.keys,
+                                     items=node.items)
+        if isinstance(node, LogicalDistinct):
+            return self._passthrough(node, PhysDistinct)
+        if isinstance(node, LogicalOrderBy):
+            return self._passthrough(node, PhysOrderBy, keys=node.keys)
+        if isinstance(node, LogicalLimit):
+            return self._passthrough(node, PhysLimit, count=node.count)
+        raise OptimizerError(
+            f"no implementation rule for {type(node).__name__}")
+
+    # -- leaf: scan ------------------------------------------------------------
+
+    def _implement_get(self, node: LogicalGet) -> ImplementedPlan:
+        num_frames = self.ctx.bound.metadata.num_frames
+        predicate = (self.ctx.engine.analyze(node.predicate)
+                     if node.predicate is not None
+                     else DnfPredicate.true())
+        ranges = scan_ranges(predicate, num_frames)
+        rows = float(sum(stop - start for start, stop in ranges))
+        cost = rows * self.ctx.cost_model.constants.read_video_per_frame
+        return ImplementedPlan(
+            PhysScan(node.table_name, tuple(ranges)), rows, cost)
+
+    # -- Rule II: detector APPLY --------------------------------------------------
+
+    def _implement_detector(self, node: LogicalApply) -> ImplementedPlan:
+        child = self.implement(node.child)
+        definition = self.ctx.udf_definition(node.call)
+        guard = node.guard if node.guard is not None else \
+            DnfPredicate.true()
+        store = self.ctx.stores_results
+        alternatives = self._detector_alternatives(
+            node.call, definition, guard)
+        best_sources, best_cost = None, math.inf
+        for sources in alternatives:
+            cost = self._detector_cost(sources, guard, child.rows)
+            if cost < best_cost:
+                best_cost = cost
+                best_sources = sources
+        assert best_sources is not None
+        self.ctx.detector_sources = tuple(best_sources)
+        plan = PhysDetectorApply(
+            child=child.plan,
+            signature=f"{node.call.name}@{self.ctx.bound.table_name}",
+            sources=tuple(best_sources),
+            store=store,
+            guard=guard,
+        )
+        updates = list(child.updates)
+        if store:
+            for source in best_sources:
+                if not source.use_view:
+                    model = self.ctx.catalog.zoo.get(source.model_name)
+                    updates.append(PlanUpdate(
+                        self.ctx.model_signature(source.model_name),
+                        source.predicate, model.per_tuple_cost))
+        rows = child.rows * self._detections_per_frame()
+        return ImplementedPlan(plan, rows, child.cost + best_cost, updates)
+
+    def _detector_alternatives(self, call: FunctionCall,
+                               definition: UdfDefinition,
+                               guard: DnfPredicate
+                               ) -> list[list[DetectorSource]]:
+        ctx = self.ctx
+        if definition.is_logical:
+            return [self._logical_detector_sources(call, definition, guard)]
+        model = ctx.catalog.zoo.get(definition.model_name)
+        signature = ctx.model_signature(model.name)
+        no_reuse = [DetectorSource(model.name, False, guard)]
+        if not ctx.uses_views or not ctx.udf_manager.known(signature):
+            return [no_reuse]
+        inter = ctx.udf_manager.intersection_with_history(signature, guard)
+        diff = ctx.udf_manager.difference_with_history(signature, guard)
+        if inter.is_false():
+            return [no_reuse]
+        reuse = [DetectorSource(model.name, True, inter),
+                 DetectorSource(model.name, False, diff)]
+        return [no_reuse, reuse]
+
+    def _logical_detector_sources(self, call: FunctionCall,
+                                  definition: UdfDefinition,
+                                  guard: DnfPredicate
+                                  ) -> list[DetectorSource]:
+        ctx = self.ctx
+        logical_type = definition.logical_type or "ObjectDetector"
+        models = ctx.catalog.physical_detectors(
+            logical_type, min_accuracy=call.accuracy)
+        if not models:
+            raise OptimizerError(
+                f"no physical model implements {logical_type} at accuracy "
+                f"{call.accuracy}")
+        reuse = ctx.reuse_policy is ReusePolicy.EVA
+        if reuse and ctx.model_selection is ModelSelectionMode.SET_COVER:
+            candidates = [
+                ModelCandidate(m, ctx.model_signature(m.name))
+                for m in models
+            ]
+            return select_physical_udfs(
+                candidates, guard, ctx.udf_manager, ctx.engine,
+                ctx.estimator, ctx.bound.metadata.num_frames,
+                ctx.cost_model.constants.view_read_per_key)
+        cheapest = min(models, key=lambda m: m.per_tuple_cost)
+        signature = ctx.model_signature(cheapest.name)
+        if reuse and ctx.udf_manager.known(signature):
+            inter = ctx.udf_manager.intersection_with_history(
+                signature, guard)
+            diff = ctx.udf_manager.difference_with_history(signature, guard)
+            sources = []
+            if not inter.is_false():
+                sources.append(DetectorSource(cheapest.name, True, inter))
+            sources.append(DetectorSource(cheapest.name, False, diff))
+            return sources
+        return [DetectorSource(cheapest.name, False, guard)]
+
+    def _detector_cost(self, sources: list[DetectorSource],
+                       guard: DnfPredicate, input_rows: float) -> float:
+        """Eq. 3 applied to the chosen source mix."""
+        guard_selectivity = max(self.ctx.estimator.selectivity(guard), 1e-9)
+        cost = 0.0
+        for source in sources:
+            fraction = min(1.0, self.ctx.estimator.selectivity(
+                source.predicate) / guard_selectivity)
+            rows = input_rows * fraction
+            model = self.ctx.catalog.zoo.get(source.model_name)
+            if source.use_view:
+                cost += self.ctx.cost_model.udf_predicate_cost(
+                    rows, model.per_tuple_cost, missing_fraction=0.0)
+            else:
+                cost += rows * model.per_tuple_cost
+        return cost
+
+    # -- Rule II: classifier APPLY -----------------------------------------------
+
+    def _implement_classifier(self, node: LogicalClassifierApply
+                              ) -> ImplementedPlan:
+        child = self.implement(node.child)
+        ctx = self.ctx
+        definition = ctx.udf_definition(node.call)
+        if definition.model_name is None:
+            raise OptimizerError(
+                f"UDF {node.call.name!r} has no physical implementation")
+        guard = node.guard if node.guard is not None else \
+            DnfPredicate.true()
+        signature = ctx.classifier_signature(node.call)
+        use_view = ctx.reuse_policy is ReusePolicy.EVA
+        store = use_view
+        missing = 1.0
+        if use_view and ctx.udf_manager.known(signature):
+            guard_selectivity = max(ctx.estimator.selectivity(guard), 1e-9)
+            diff = ctx.udf_manager.difference_with_history(signature, guard)
+            missing = min(1.0, ctx.estimator.selectivity(diff)
+                          / guard_selectivity)
+        cost = ctx.cost_model.udf_predicate_cost(
+            child.rows, definition.per_tuple_cost, missing)
+        plan = PhysClassifierApply(
+            child=child.plan,
+            signature=signature.key(),
+            call=node.call,
+            model_name=definition.model_name,
+            use_view=use_view,
+            store=store,
+            guard=guard,
+        )
+        updates = list(child.updates)
+        if store:
+            updates.append(PlanUpdate(signature, guard,
+                                      definition.per_tuple_cost))
+        return ImplementedPlan(plan, child.rows, child.cost + cost, updates)
+
+    # -- relational operators ------------------------------------------------------
+
+    def _implement_filter(self, node: LogicalFilter) -> ImplementedPlan:
+        child = self.implement(node.child)
+        try:
+            selectivity = self.ctx.estimator.selectivity(
+                self.ctx.engine.analyze(node.predicate))
+        except UnsupportedPredicateError:
+            selectivity = 0.33
+        plan = PhysFilter(child.plan, node.predicate)
+        return ImplementedPlan(plan, child.rows * selectivity, child.cost,
+                               child.updates)
+
+    def _passthrough(self, node, physical_type, **fields) -> ImplementedPlan:
+        child = self.implement(node.child)
+        plan = physical_type(child.plan, **fields)
+        return ImplementedPlan(plan, child.rows, child.cost, child.updates)
+
+    def _detections_per_frame(self) -> float:
+        density = self.ctx.bound.metadata.vehicles_per_frame
+        return max(1.0, density)
+
+
+# ---------------------------------------------------------------------------
+# Scan-range derivation
+# ---------------------------------------------------------------------------
+
+
+def scan_ranges(predicate: DnfPredicate, num_frames: int
+                ) -> list[tuple[int, int]]:
+    """Half-open frame ranges covering the predicate's id constraint."""
+    if predicate.is_false():
+        return []
+    intervals: list[tuple[int, int]] = []
+    for conjunctive in predicate.conjunctives:
+        constraint = conjunctive.constraint("id")
+        if constraint is None:
+            return [(0, num_frames)]
+        intervals.extend(_integer_ranges(constraint.sset, num_frames))
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [intervals[0]]
+    for start, stop in intervals[1:]:
+        last_start, last_stop = merged[-1]
+        if start <= last_stop:
+            merged[-1] = (last_start, max(last_stop, stop))
+        else:
+            merged.append((start, stop))
+    return merged
+
+
+def _integer_ranges(sset: sympy.Set, num_frames: int
+                    ) -> list[tuple[int, int]]:
+    ranges: list[tuple[int, int]] = []
+    parts = (sset.args if isinstance(sset, SymUnion) else (sset,))
+    for part in parts:
+        if isinstance(part, FiniteSet):
+            for point in part.args:
+                value = float(point)
+                if value == int(value) and 0 <= value < num_frames:
+                    ranges.append((int(value), int(value) + 1))
+        elif isinstance(part, Interval):
+            if part.start == -sympy.oo:
+                start = 0
+            else:
+                lo = float(part.start)
+                start = math.ceil(lo)
+                if part.left_open and start == lo:
+                    start += 1
+            if part.end == sympy.oo:
+                stop = num_frames - 1
+            else:
+                hi = float(part.end)
+                stop = math.floor(hi)
+                if part.right_open and stop == hi:
+                    stop -= 1
+            start = max(0, start)
+            stop = min(num_frames - 1, stop)
+            if stop >= start:
+                ranges.append((start, stop + 1))
+        elif part == sympy.S.Reals:
+            ranges.append((0, num_frames))
+        elif part is sympy.S.EmptySet:
+            continue
+        else:
+            raise OptimizerError(f"cannot derive scan range from {part}")
+    return ranges

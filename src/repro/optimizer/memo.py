@@ -1,0 +1,174 @@
+"""A Cascades-style memo for UDF-predicate ordering exploration.
+
+The rank-based ordering (Eq. 4) is provably optimal under predicate
+independence (Theorem 4.1), so EVA's default path just sorts.  This module
+provides the classical alternative: enumerate orderings as memo groups,
+cost each with the Theorem's T(O, |R|) expansion, and keep the winner.
+
+Two uses:
+
+* ``predicate_ordering='exhaustive'`` in :class:`~repro.config.EvaConfig`
+  switches Rule I to memo search — useful when the independence assumption
+  is suspect;
+* the test suite asserts memo search and rank ordering agree, which is an
+  end-to-end validation of Theorem 4.1 on real cost numbers.
+
+The memo itself is general: groups hold logically equivalent expressions;
+each group caches its winner (lowest-cost physical alternative).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+from repro.errors import OptimizerError
+
+
+@dataclass
+class GroupExpression:
+    """One alternative within a group: an operator + child group ids."""
+
+    operator: Hashable
+    children: tuple[int, ...] = ()
+
+
+@dataclass
+class Group:
+    """A set of logically equivalent expressions with a cached winner."""
+
+    group_id: int
+    expressions: list[GroupExpression] = field(default_factory=list)
+    winner: GroupExpression | None = None
+    winner_cost: float = float("inf")
+
+    def add(self, expression: GroupExpression) -> None:
+        if expression not in self.expressions:
+            self.expressions.append(expression)
+
+    def record_winner(self, expression: GroupExpression,
+                      cost: float) -> None:
+        if cost < self.winner_cost:
+            self.winner = expression
+            self.winner_cost = cost
+
+
+class Memo:
+    """Group storage with structural deduplication."""
+
+    def __init__(self) -> None:
+        self._groups: list[Group] = []
+        self._index: dict[Hashable, int] = {}
+
+    def group(self, group_id: int) -> Group:
+        return self._groups[group_id]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._groups)
+
+    def insert(self, key: Hashable,
+               expressions: Sequence[GroupExpression] = ()) -> int:
+        """Group id for ``key``, creating the group on first sight."""
+        group_id = self._index.get(key)
+        if group_id is None:
+            group_id = len(self._groups)
+            self._groups.append(Group(group_id))
+            self._index[key] = group_id
+        for expression in expressions:
+            self._groups[group_id].add(expression)
+        return group_id
+
+
+@dataclass(frozen=True)
+class OrderingCandidate:
+    """One UDF predicate with the stats ordering cost needs."""
+
+    key: str
+    selectivity: float
+    udf_cost: float
+    missing_fraction: float
+
+
+def search_predicate_ordering(
+        candidates: Sequence[OrderingCandidate],
+        input_rows: float,
+        step_cost: Callable[[float, OrderingCandidate], float],
+        max_predicates: int = 6,
+) -> tuple[list[OrderingCandidate], float, Memo]:
+    """Exhaustive memo search over evaluation orders.
+
+    Groups are keyed by the *set* of predicates still to evaluate, so
+    shared suffixes are costed once (the dynamic-programming structure of
+    ordering problems).  Returns the best order, its cost, and the memo
+    (exposed for tests and EXPLAIN-style introspection).
+
+    Args:
+        candidates: the UDF predicates to order.
+        input_rows: |R| flowing into the first predicate.
+        step_cost: cost of evaluating one predicate over a given number of
+            input rows (Eq. 3 instantiated by the caller).
+        max_predicates: guard against factorial blowups.
+    """
+    if len(candidates) > max_predicates:
+        raise OptimizerError(
+            f"refusing to enumerate {len(candidates)}! orderings; "
+            "use rank-based ordering instead")
+    memo = Memo()
+    best_cost: dict[frozenset, float] = {}
+    best_order: dict[frozenset, list[OrderingCandidate]] = {}
+
+    def solve(remaining: frozenset, rows: float) -> float:
+        """Cheapest cost to evaluate ``remaining`` given ``rows`` input.
+
+        Rows entering a suffix are determined by the (order-independent)
+        product of the already-applied selectivities, so memoizing on the
+        remaining *set* is exact.
+        """
+        if not remaining:
+            return 0.0
+        if remaining in best_cost:
+            return best_cost[remaining]
+        group_id = memo.insert(remaining)
+        best = float("inf")
+        best_first: OrderingCandidate | None = None
+        for candidate in sorted(remaining, key=lambda c: c.key):
+            rest = remaining - {candidate}
+            expression = GroupExpression(
+                operator=candidate.key,
+                children=(memo.insert(rest),) if rest else ())
+            memo.group(group_id).add(expression)
+            cost = (step_cost(rows, candidate)
+                    + solve(rest, rows * candidate.selectivity))
+            memo.group(group_id).record_winner(expression, cost)
+            if cost < best:
+                best = cost
+                best_first = candidate
+        assert best_first is not None
+        best_cost[remaining] = best
+        best_order[remaining] = ([best_first]
+                                 + best_order.get(
+                                     remaining - {best_first}, []))
+        return best
+
+    universe = frozenset(candidates)
+    total = solve(universe, input_rows)
+    return best_order.get(universe, []), total, memo
+
+
+def enumerate_ordering_costs(
+        candidates: Sequence[OrderingCandidate],
+        input_rows: float,
+        step_cost: Callable[[float, OrderingCandidate], float],
+) -> dict[tuple[str, ...], float]:
+    """Brute-force cost of every permutation (for tests)."""
+    out: dict[tuple[str, ...], float] = {}
+    for order in itertools.permutations(candidates):
+        rows = input_rows
+        cost = 0.0
+        for candidate in order:
+            cost += step_cost(rows, candidate)
+            rows *= candidate.selectivity
+        out[tuple(c.key for c in order)] = cost
+    return out

@@ -1,0 +1,124 @@
+"""The optimizer driver: Fig. 1's query lifecycle as rule phases.
+
+``Optimizer.optimize`` runs:
+
+1. **Bind** the statement (:mod:`repro.optimizer.binder`).
+2. **Build** the canonical logical plan (:mod:`repro.optimizer.builder`).
+3. **Canonical rules** — predicate pushdown through the APPLY, frame-filter
+   placement, scan-predicate merging (:mod:`repro.optimizer.rules`).
+4. **Semantic reuse rules** — Rule I unpacks UDF-based predicates into an
+   APPLY chain ordered by the materialization-aware ranking function
+   (:mod:`repro.optimizer.reuse_rules`); guards (the associated predicates
+   of section 4.1) are annotated on every APPLY.
+5. **Implementation** — Rule II: cost-based, materialization-aware
+   physical implementation (:mod:`repro.optimizer.implementation`).
+
+The returned :class:`OptimizedQuery` carries the physical plan plus the
+post-execution updates (``p_u := UNION(p_u, q)`` per stored UDF) and
+introspection data used by tests and the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.config import (
+    EvaConfig,
+    ModelSelectionMode,
+    PredicateOrdering,
+    RankingMode,
+    ReusePolicy,
+)
+from repro.costs import CostModel
+from repro.optimizer.binder import bind
+from repro.optimizer.builder import build_logical_plan
+from repro.optimizer.implementation import PhysicalImplementer, PlanUpdate
+from repro.optimizer.opt_context import OptimizationContext
+from repro.optimizer.plans import DetectorSource, PhysicalPlan
+from repro.optimizer.reuse_rules import REUSE_RULES
+from repro.optimizer.rules import (
+    AnnotateApplyGuardRule,
+    CANONICAL_RULES,
+    RuleEngine,
+)
+from repro.optimizer.udf_manager import UdfManager
+from repro.parser.ast_nodes import SelectStatement
+from repro.symbolic.engine import SymbolicEngine
+
+#: Re-export: sessions record these after execution.
+UdfUpdate = PlanUpdate
+
+
+@dataclass
+class OptimizedQuery:
+    """The physical plan plus everything the session needs around it."""
+
+    plan: PhysicalPlan
+    updates: list[PlanUpdate] = field(default_factory=list)
+    #: UDF-predicate evaluation order chosen by the ranking function
+    #: (term keys, for tests and the Fig. 9 experiment).
+    predicate_order: list[str] = field(default_factory=list)
+    #: Detector sources chosen (for the Fig. 10 experiment).
+    detector_sources: tuple[DetectorSource, ...] = ()
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Subset of :class:`~repro.config.EvaConfig` the optimizer reads."""
+
+    reuse_policy: ReusePolicy
+    ranking: RankingMode
+    model_selection: ModelSelectionMode
+    symbolic_time_budget: float = 0.5
+    predicate_ordering: PredicateOrdering = PredicateOrdering.RANK
+
+    @classmethod
+    def from_eva_config(cls, config: EvaConfig) -> "OptimizerConfig":
+        return cls(
+            reuse_policy=config.reuse_policy,
+            ranking=config.ranking,
+            model_selection=config.model_selection,
+            symbolic_time_budget=config.symbolic_time_budget,
+            predicate_ordering=config.predicate_ordering,
+        )
+
+
+class Optimizer:
+    """Produces physical plans with the semantic reuse algorithm applied."""
+
+    def __init__(self, catalog: Catalog, udf_manager: UdfManager,
+                 engine: SymbolicEngine, config: OptimizerConfig,
+                 cost_model: CostModel | None = None):
+        self.catalog = catalog
+        self.udf_manager = udf_manager
+        self.engine = engine
+        self.config = config
+        self.cost_model = cost_model or CostModel()
+        self._rule_engine = RuleEngine()
+
+    def optimize(self, statement: SelectStatement) -> OptimizedQuery:
+        bound = bind(statement, self.catalog)
+        ctx = OptimizationContext(
+            bound=bound,
+            catalog=self.catalog,
+            udf_manager=self.udf_manager,
+            engine=self.engine,
+            cost_model=self.cost_model,
+            reuse_policy=self.config.reuse_policy,
+            ranking=self.config.ranking,
+            model_selection=self.config.model_selection,
+            predicate_ordering=self.config.predicate_ordering,
+        )
+        plan = build_logical_plan(bound, ctx)
+        plan = self._rule_engine.rewrite(plan, CANONICAL_RULES, ctx)
+        plan = self._rule_engine.rewrite(plan, REUSE_RULES, ctx)
+        plan = self._rule_engine.rewrite(plan, [AnnotateApplyGuardRule()],
+                                         ctx)
+        implemented = PhysicalImplementer(ctx).implement(plan)
+        return OptimizedQuery(
+            plan=implemented.plan,
+            updates=list(implemented.updates),
+            predicate_order=list(ctx.predicate_order),
+            detector_sources=ctx.detector_sources,
+        )

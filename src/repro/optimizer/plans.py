@@ -1,0 +1,249 @@
+"""Plan node definitions.
+
+Logical nodes describe *what* to compute; physical nodes add *how*: which
+physical model serves each UDF, whether a materialized view is consulted
+(the LEFT OUTER JOIN + conditional APPLY + STORE composite of Fig. 4), and
+in which order UDF-based predicates run.
+
+Physical plans are linear chains (one video input, no joins beyond the view
+lookup), so each node holds its single child.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.expressions.expr import Expression, FunctionCall
+from repro.symbolic.dnf import DnfPredicate
+
+
+# ---------------------------------------------------------------------------
+# Logical plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LogicalNode:
+    """Base class for logical operators."""
+
+
+@dataclass(frozen=True)
+class LogicalGet(LogicalNode):
+    table_name: str
+    #: Predicate over scan-time columns (id, timestamp) pushed into the get.
+    predicate: Expression | None = None
+
+
+@dataclass(frozen=True)
+class LogicalApply(LogicalNode):
+    """CROSS APPLY of a table-valued UDF (the detector).
+
+    ``guard`` is the predicate known to hold on the input tuples — the
+    "associated predicate" of section 4.1 the UdfManager aggregates.
+    """
+
+    child: LogicalNode
+    call: FunctionCall
+    guard: "DnfPredicate | None" = None
+
+
+@dataclass(frozen=True)
+class LogicalClassifierApply(LogicalNode):
+    """APPLY of a scalar UDF term (patch classifier / frame filter).
+
+    Produced by the UDF-based predicate transformation rule (section 4.4,
+    Rule I) when it unpacks a selection operator containing UDF-based
+    predicates into a chain of APPLY operators.
+    """
+
+    child: LogicalNode
+    call: FunctionCall
+    guard: "DnfPredicate | None" = None
+
+
+@dataclass(frozen=True)
+class LogicalFilter(LogicalNode):
+    child: LogicalNode
+    predicate: Expression
+
+
+@dataclass(frozen=True)
+class LogicalProject(LogicalNode):
+    child: LogicalNode
+    items: tuple[tuple[Expression, str], ...]  # (expr, output name)
+
+
+@dataclass(frozen=True)
+class LogicalGroupBy(LogicalNode):
+    child: LogicalNode
+    keys: tuple[Expression, ...]
+    items: tuple[tuple[Expression, str], ...]
+
+
+@dataclass(frozen=True)
+class LogicalDistinct(LogicalNode):
+    child: LogicalNode
+
+
+@dataclass(frozen=True)
+class LogicalOrderBy(LogicalNode):
+    child: LogicalNode
+    keys: tuple[tuple[Expression, bool], ...]  # (expr, ascending)
+
+
+@dataclass(frozen=True)
+class LogicalLimit(LogicalNode):
+    child: LogicalNode
+    count: int
+
+
+# ---------------------------------------------------------------------------
+# Physical plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """Base class for physical operators (each holds its child, if any)."""
+
+
+@dataclass(frozen=True)
+class PhysScan(PhysicalPlan):
+    """Scan frame ranges of one video."""
+
+    table_name: str
+    #: Half-open [start, stop) frame ranges derived from the id predicate.
+    ranges: tuple[tuple[int, int], ...]
+    #: Residual scan predicate (e.g. timestamp constraints) re-checked per
+    #: row; None when the ranges capture the predicate exactly.
+    residual: Expression | None = None
+
+
+@dataclass(frozen=True)
+class DetectorSource:
+    """One entry of Algorithm 2's output: where detector results come from.
+
+    ``use_view`` selects between reading the model's materialized view and
+    evaluating the model.  ``predicate`` is the (reduced) region of input
+    space this source is responsible for; sources are consulted in order and
+    the first whose predicate covers a tuple wins.
+    """
+
+    model_name: str
+    use_view: bool
+    predicate: DnfPredicate
+
+
+@dataclass(frozen=True)
+class PhysDetectorApply(PhysicalPlan):
+    """Detector CROSS APPLY with optional view reuse (Fig. 4 composite).
+
+    Emits one output row per detection, adding ``label``, ``bbox``,
+    ``score`` and the derived ``area`` column.  Frames with no detections
+    produce no rows (inner CROSS APPLY semantics).
+    """
+
+    child: PhysicalPlan
+    signature: str
+    sources: tuple[DetectorSource, ...]
+    #: Store newly computed results into each evaluated model's view.
+    store: bool
+    #: The UDF's guard predicate in the final plan (for the UdfManager).
+    guard: DnfPredicate | None = None
+
+
+@dataclass(frozen=True)
+class PhysClassifierApply(PhysicalPlan):
+    """Conditional APPLY of a patch classifier (or frame filter).
+
+    Adds one column holding the UDF term's value; downstream filters and
+    projections read that column.
+    """
+
+    child: PhysicalPlan
+    signature: str
+    call: FunctionCall
+    model_name: str
+    use_view: bool
+    store: bool
+    guard: DnfPredicate | None = None
+
+
+@dataclass(frozen=True)
+class PhysFilter(PhysicalPlan):
+    child: PhysicalPlan
+    predicate: Expression
+
+
+@dataclass(frozen=True)
+class PhysProject(PhysicalPlan):
+    child: PhysicalPlan
+    items: tuple[tuple[Expression, str], ...]
+
+
+@dataclass(frozen=True)
+class PhysGroupBy(PhysicalPlan):
+    child: PhysicalPlan
+    keys: tuple[Expression, ...]
+    items: tuple[tuple[Expression, str], ...]
+
+
+@dataclass(frozen=True)
+class PhysDistinct(PhysicalPlan):
+    child: PhysicalPlan
+
+
+@dataclass(frozen=True)
+class PhysOrderBy(PhysicalPlan):
+    child: PhysicalPlan
+    keys: tuple[tuple[Expression, bool], ...]
+
+
+@dataclass(frozen=True)
+class PhysLimit(PhysicalPlan):
+    child: PhysicalPlan
+    count: int
+
+
+def plan_children(node) -> tuple:
+    child = getattr(node, "child", None)
+    return (child,) if child is not None else ()
+
+
+def walk_plan(node):
+    """Pre-order traversal of a (logical or physical) plan chain."""
+    yield node
+    for child in plan_children(node):
+        yield from walk_plan(child)
+
+
+def replace_child(node, new_child):
+    """A copy of ``node`` with its child swapped (plans are immutable)."""
+    from dataclasses import replace
+
+    return replace(node, child=new_child)
+
+
+def explain(node: PhysicalPlan, indent: int = 0) -> str:
+    """Human-readable plan tree (EXPLAIN output)."""
+    pad = "  " * indent
+    name = type(node).__name__.removeprefix("Phys")
+    details = ""
+    if isinstance(node, PhysScan):
+        details = f" {node.table_name} ranges={list(node.ranges)}"
+    elif isinstance(node, PhysDetectorApply):
+        sources = ", ".join(
+            f"{'view' if s.use_view else 'model'}:{s.model_name}"
+            for s in node.sources)
+        details = f" [{sources}] store={node.store}"
+    elif isinstance(node, PhysClassifierApply):
+        details = (f" {node.call.to_sql()} model={node.model_name} "
+                   f"view={node.use_view} store={node.store}")
+    elif isinstance(node, PhysFilter):
+        details = f" {node.predicate.to_sql()}"
+    elif isinstance(node, PhysProject):
+        details = " " + ", ".join(name for _, name in node.items)
+    lines = [f"{pad}{name}{details}"]
+    for child in plan_children(node):
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""EVAQL parser: lexer, statement AST, and recursive-descent parser.
+
+The paper uses Antlr; this hand-written parser covers the EVAQL subset the
+paper exercises (Listings 1-2, Table 1): SELECT with CROSS APPLY and an
+ACCURACY annotation, WHERE predicates, GROUP BY/ORDER BY/LIMIT, and
+CREATE [OR REPLACE] UDF.
+"""
+
+from repro.parser.lexer import Lexer, Token, TokenType
+from repro.parser.ast_nodes import (
+    CreateUdfStatement,
+    CrossApplyClause,
+    SelectStatement,
+    Statement,
+)
+from repro.parser.parser import Parser, parse
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "Statement",
+    "SelectStatement",
+    "CrossApplyClause",
+    "CreateUdfStatement",
+    "Parser",
+    "parse",
+]

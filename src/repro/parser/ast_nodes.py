@@ -1,0 +1,93 @@
+"""Statement-level AST produced by the parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.expressions.expr import Expression, FunctionCall
+from repro.types import Accuracy
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class for parsed statements."""
+
+
+@dataclass(frozen=True)
+class CrossApplyClause:
+    """``CROSS APPLY udf(args) [ACCURACY '...']`` in a FROM clause."""
+
+    call: FunctionCall
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    """A SELECT query over one video table."""
+
+    select_list: tuple[tuple[Expression, str | None], ...]  # (expr, alias)
+    table_name: str
+    cross_applies: tuple[CrossApplyClause, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class ShowUdfsStatement(Statement):
+    """``SHOW UDFS;`` — list registered UDFs."""
+
+
+@dataclass(frozen=True)
+class DropUdfStatement(Statement):
+    """``DROP UDF name;`` — remove a UDF from the catalog."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ExplainStatement(Statement):
+    """``EXPLAIN [ANALYZE] SELECT ...;``.
+
+    Plain EXPLAIN shows the physical plan without running; EXPLAIN ANALYZE
+    executes the query with instrumented operators and reports per-operator
+    output rows and real time.
+    """
+
+    query: SelectStatement
+    analyze: bool = False
+
+
+@dataclass(frozen=True)
+class UdfIoSpec:
+    """One INPUT/OUTPUT item of CREATE UDF (parsed, stored verbatim)."""
+
+    name: str
+    type_text: str
+
+
+@dataclass(frozen=True)
+class CreateUdfStatement(Statement):
+    """``CREATE [OR REPLACE] UDF name ... IMPL '...' ...`` (Listing 2)."""
+
+    name: str
+    impl: str
+    or_replace: bool = False
+    inputs: tuple[UdfIoSpec, ...] = ()
+    outputs: tuple[UdfIoSpec, ...] = ()
+    logical_type: str | None = None
+    properties: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> Accuracy | None:
+        value = self.properties.get("ACCURACY")
+        if value is None:
+            return None
+        return Accuracy.parse(value)

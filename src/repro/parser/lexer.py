@@ -1,0 +1,163 @@
+"""Tokenizer for EVAQL."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParserError
+
+
+class TokenType(enum.Enum):
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"     # < <= > >= = != <>
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    SEMICOLON = ";"
+    STAR = "*"
+    DOT = "."
+    MINUS = "-"
+    PLUS = "+"
+    SLASH = "/"
+    EOF = "eof"
+
+
+#: Reserved words recognized as keywords (case-insensitive).
+KEYWORDS = frozenset({
+    "select", "from", "where", "and", "or", "not", "group", "order", "by",
+    "limit", "cross", "apply", "accuracy", "as", "create", "replace",
+    "udf", "input", "output", "impl", "logical_type", "properties",
+    "count", "sum", "avg", "min", "max", "true", "false", "asc", "desc",
+    "between", "in", "distinct", "show", "udfs", "drop", "explain",
+    "analyze",
+})
+
+_OPERATOR_STARTS = "<>=!"
+
+
+@dataclass(frozen=True)
+class Token:
+    ttype: TokenType
+    value: str
+    position: int
+
+    def matches(self, ttype: TokenType, value: str | None = None) -> bool:
+        if self.ttype is not ttype:
+            return False
+        return value is None or self.value == value
+
+
+class Lexer:
+    """Converts query text into a token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.ttype is TokenType.EOF:
+                return out
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.pos >= len(self.text):
+            return Token(TokenType.EOF, "", self.pos)
+        start = self.pos
+        ch = self.text[self.pos]
+        if ch.isalpha() or ch == "_":
+            return self._identifier(start)
+        if ch.isdigit() or (ch == "." and self._peek_is_digit()):
+            return self._number(start)
+        if ch == "'":
+            return self._string(start)
+        if ch in _OPERATOR_STARTS:
+            return self._operator(start)
+        simple = {
+            "(": TokenType.LPAREN, ")": TokenType.RPAREN,
+            ",": TokenType.COMMA, ";": TokenType.SEMICOLON,
+            "*": TokenType.STAR, ".": TokenType.DOT,
+            "-": TokenType.MINUS, "+": TokenType.PLUS,
+            "/": TokenType.SLASH,
+        }.get(ch)
+        if simple is not None:
+            self.pos += 1
+            return Token(simple, ch, start)
+        raise ParserError(f"unexpected character {ch!r}", start)
+
+    def _skip_whitespace_and_comments(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            if text[self.pos].isspace():
+                self.pos += 1
+            elif text.startswith("--", self.pos):
+                end = text.find("\n", self.pos)
+                self.pos = len(text) if end < 0 else end + 1
+            else:
+                return
+
+    def _identifier(self, start: int) -> Token:
+        text = self.text
+        while (self.pos < len(text)
+               and (text[self.pos].isalnum() or text[self.pos] == "_")):
+            self.pos += 1
+        word = text[start:self.pos]
+        if word.lower() in KEYWORDS:
+            return Token(TokenType.KEYWORD, word.lower(), start)
+        return Token(TokenType.IDENTIFIER, word, start)
+
+    def _number(self, start: int) -> Token:
+        text = self.text
+        seen_dot = False
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch.isdigit():
+                self.pos += 1
+            elif ch == "." and not seen_dot:
+                seen_dot = True
+                self.pos += 1
+            else:
+                break
+        return Token(TokenType.NUMBER, text[start:self.pos], start)
+
+    def _string(self, start: int) -> Token:
+        text = self.text
+        self.pos += 1  # opening quote
+        chunks: list[str] = []
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch == "'":
+                # '' escapes a quote inside the string.
+                if self.pos + 1 < len(text) and text[self.pos + 1] == "'":
+                    chunks.append("'")
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return Token(TokenType.STRING, "".join(chunks), start)
+            chunks.append(ch)
+            self.pos += 1
+        raise ParserError("unterminated string literal", start)
+
+    def _operator(self, start: int) -> Token:
+        text = self.text
+        two = text[self.pos:self.pos + 2]
+        if two in ("<=", ">=", "!=", "<>"):
+            self.pos += 2
+            return Token(TokenType.OPERATOR,
+                         "!=" if two == "<>" else two, start)
+        one = text[self.pos]
+        if one in "<>=":
+            self.pos += 1
+            return Token(TokenType.OPERATOR, one, start)
+        raise ParserError(f"unexpected operator {two!r}", start)
+
+    def _peek_is_digit(self) -> bool:
+        return (self.pos + 1 < len(self.text)
+                and self.text[self.pos + 1].isdigit())

@@ -1,0 +1,480 @@
+"""Recursive-descent parser for EVAQL.
+
+Grammar (informal):
+
+    statement    := select_stmt | create_udf_stmt
+    select_stmt  := SELECT select_list FROM identifier
+                    (CROSS APPLY function_call)*
+                    [WHERE predicate] [GROUP BY expr_list]
+                    [ORDER BY order_list] [LIMIT number] [';']
+    predicate    := or_expr
+    or_expr      := and_expr (OR and_expr)*
+    and_expr     := not_expr (AND not_expr)*
+    not_expr     := NOT not_expr | primary_pred
+    primary_pred := '(' predicate ')' | value_expr [cp value_expr]
+                  | value_expr BETWEEN value AND value
+    value_expr   := function_call | column | literal
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParserError
+from repro.expressions.expr import (
+    AggregateCall,
+    And,
+    Arithmetic,
+    ColumnRef,
+    CompOp,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Literal,
+    Not,
+    Or,
+    Star,
+)
+from repro.parser.ast_nodes import (
+    CreateUdfStatement,
+    CrossApplyClause,
+    DropUdfStatement,
+    ExplainStatement,
+    OrderItem,
+    SelectStatement,
+    ShowUdfsStatement,
+    Statement,
+    UdfIoSpec,
+)
+from repro.parser.lexer import Lexer, Token, TokenType
+from repro.types import Accuracy
+
+
+def parse(text: str) -> Statement:
+    """Parse one statement from ``text``."""
+    return Parser(text).parse_statement()
+
+
+def parse_predicate(text: str) -> Expression:
+    """Parse a standalone predicate expression (used when reloading
+    persisted aggregated predicates)."""
+    parser = Parser(text)
+    predicate = parser._predicate()
+    parser._expect(TokenType.EOF)
+    return predicate
+
+
+class Parser:
+    """One-statement recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self._tokens = Lexer(text).tokens()
+        self._index = 0
+
+    # -- statement dispatch -------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        token = self._peek()
+        if token.matches(TokenType.KEYWORD, "select"):
+            statement: Statement = self._select_statement()
+        elif token.matches(TokenType.KEYWORD, "create"):
+            statement = self._create_udf_statement()
+        elif token.matches(TokenType.KEYWORD, "show"):
+            self._advance()
+            self._expect_keyword("udfs")
+            statement = ShowUdfsStatement()
+        elif token.matches(TokenType.KEYWORD, "drop"):
+            self._advance()
+            self._expect_keyword("udf")
+            statement = DropUdfStatement(
+                self._expect(TokenType.IDENTIFIER).value)
+        elif token.matches(TokenType.KEYWORD, "explain"):
+            self._advance()
+            analyze = self._accept_keyword("analyze")
+            statement = ExplainStatement(self._select_statement(),
+                                         analyze=analyze)
+        else:
+            raise ParserError(
+                "expected SELECT, CREATE, SHOW, DROP, or EXPLAIN; "
+                f"got {token.value!r}",
+                token.position)
+        self._accept(TokenType.SEMICOLON)
+        self._expect(TokenType.EOF)
+        return statement
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _select_statement(self) -> SelectStatement:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        select_list = self._select_list()
+        self._expect_keyword("from")
+        table = self._expect(TokenType.IDENTIFIER).value
+        cross_applies = []
+        while self._peek().matches(TokenType.KEYWORD, "cross"):
+            self._advance()
+            self._expect_keyword("apply")
+            call = self._function_call(self._expect(
+                TokenType.IDENTIFIER).value)
+            cross_applies.append(CrossApplyClause(call))
+        where = None
+        if self._accept_keyword("where"):
+            where = self._predicate()
+        group_by: tuple[Expression, ...] = ()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = tuple(self._expression_list())
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            while True:
+                expr = self._value_expression()
+                ascending = True
+                if self._accept_keyword("desc"):
+                    ascending = False
+                else:
+                    self._accept_keyword("asc")
+                order_by.append(OrderItem(expr, ascending))
+                if not self._accept(TokenType.COMMA):
+                    break
+        limit = None
+        if self._accept_keyword("limit"):
+            limit = int(self._expect(TokenType.NUMBER).value)
+        return SelectStatement(
+            select_list=tuple(select_list),
+            table_name=table,
+            cross_applies=tuple(cross_applies),
+            where=where,
+            group_by=group_by,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_list(self) -> list[tuple[Expression, str | None]]:
+        items: list[tuple[Expression, str | None]] = []
+        while True:
+            if self._peek().ttype is TokenType.STAR:
+                self._advance()
+                items.append((Star(), None))
+            else:
+                expr = self._value_expression()
+                alias = None
+                if self._accept_keyword("as"):
+                    alias = self._expect(TokenType.IDENTIFIER).value
+                items.append((expr, alias))
+            if not self._accept(TokenType.COMMA):
+                return items
+
+    def _expression_list(self) -> list[Expression]:
+        exprs = [self._value_expression()]
+        while self._accept(TokenType.COMMA):
+            exprs.append(self._value_expression())
+        return exprs
+
+    # -- predicates ---------------------------------------------------------
+
+    def _predicate(self) -> Expression:
+        return self._or_expression()
+
+    def _or_expression(self) -> Expression:
+        operands = [self._and_expression()]
+        while self._accept_keyword("or"):
+            operands.append(self._and_expression())
+        return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+    def _and_expression(self) -> Expression:
+        operands = [self._not_expression()]
+        while self._accept_keyword("and"):
+            operands.append(self._not_expression())
+        return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+    def _not_expression(self) -> Expression:
+        if self._accept_keyword("not"):
+            return Not(self._not_expression())
+        return self._primary_predicate()
+
+    def _primary_predicate(self) -> Expression:
+        if self._peek().ttype is TokenType.LPAREN:
+            # Could be a parenthesized predicate or a parenthesized value
+            # expression like (area + 0.05) * 2 > 0.3; parse and fall
+            # through to arithmetic/comparison suffixes.
+            self._advance()
+            inner = self._predicate()
+            self._expect(TokenType.RPAREN)
+            if self._peek().ttype in (TokenType.STAR, TokenType.SLASH,
+                                      TokenType.PLUS, TokenType.MINUS):
+                inner = self._arithmetic_suffix(inner)
+            return self._comparison_suffix(inner)
+        left = self._value_expression()
+        if self._accept_keyword("between"):
+            low = self._value_expression()
+            self._expect_keyword("and")
+            high = self._value_expression()
+            return And((Comparison(left, CompOp.GE, low),
+                        Comparison(left, CompOp.LE, high)))
+        if self._accept_keyword("in"):
+            return self._in_list(left, negated=False)
+        if (self._peek().matches(TokenType.KEYWORD, "not")
+                and self._peek_next().matches(TokenType.KEYWORD, "in")):
+            self._advance()
+            self._advance()
+            return self._in_list(left, negated=True)
+        return self._comparison_suffix(left)
+
+    def _in_list(self, left: Expression, negated: bool) -> Expression:
+        """Desugar ``x [NOT] IN (a, b, ...)`` into equality logic."""
+        self._expect(TokenType.LPAREN)
+        values = [self._value_expression()]
+        while self._accept(TokenType.COMMA):
+            values.append(self._value_expression())
+        self._expect(TokenType.RPAREN)
+        if negated:
+            atoms = tuple(Comparison(left, CompOp.NE, v) for v in values)
+            return atoms[0] if len(atoms) == 1 else And(atoms)
+        atoms = tuple(Comparison(left, CompOp.EQ, v) for v in values)
+        return atoms[0] if len(atoms) == 1 else Or(atoms)
+
+    def _comparison_suffix(self, left: Expression) -> Expression:
+        token = self._peek()
+        if token.ttype is TokenType.OPERATOR:
+            self._advance()
+            op = CompOp(token.value)
+            right = self._value_expression()
+            return Comparison(left, op, right)
+        return left
+
+    def _arithmetic_suffix(self, seed: Expression) -> Expression:
+        """Continue arithmetic after a parenthesized sub-expression."""
+        expr = seed
+        while self._peek().ttype in (TokenType.STAR, TokenType.SLASH):
+            op = "*" if self._advance().ttype is TokenType.STAR else "/"
+            expr = Arithmetic(expr, op, self._primary_value())
+        while self._peek().ttype in (TokenType.PLUS, TokenType.MINUS):
+            op = "+" if self._advance().ttype is TokenType.PLUS else "-"
+            expr = Arithmetic(expr, op, self._multiplicative())
+        return expr
+
+    # -- value expressions ---------------------------------------------------
+
+    def _value_expression(self) -> Expression:
+        """Additive-precedence arithmetic over primary values."""
+        expr = self._multiplicative()
+        while self._peek().ttype in (TokenType.PLUS, TokenType.MINUS):
+            op = "+" if self._advance().ttype is TokenType.PLUS else "-"
+            expr = Arithmetic(expr, op, self._multiplicative())
+        return expr
+
+    def _multiplicative(self) -> Expression:
+        expr = self._primary_value()
+        while self._peek().ttype in (TokenType.STAR, TokenType.SLASH):
+            op = "*" if self._advance().ttype is TokenType.STAR else "/"
+            expr = Arithmetic(expr, op, self._primary_value())
+        return expr
+
+    def _primary_value(self) -> Expression:
+        token = self._peek()
+        if token.ttype in (TokenType.MINUS, TokenType.PLUS):
+            sign = -1 if token.ttype is TokenType.MINUS else 1
+            self._advance()
+            number = self._expect(TokenType.NUMBER)
+            text = number.value
+            value = float(text) if "." in text else int(text)
+            return Literal(sign * value)
+        if token.ttype is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.ttype is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.matches(TokenType.KEYWORD, "true"):
+            self._advance()
+            return Literal(True)
+        if token.matches(TokenType.KEYWORD, "false"):
+            self._advance()
+            return Literal(False)
+        if token.ttype is TokenType.KEYWORD and token.value in (
+                "count", "sum", "avg", "min", "max"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            if self._peek().ttype is TokenType.STAR:
+                if token.value != "count":
+                    raise ParserError(
+                        f"{token.value.upper()}(*) is not valid",
+                        token.position)
+                self._advance()
+                arg: Expression = Star()
+            else:
+                arg = self._value_expression()
+            self._expect(TokenType.RPAREN)
+            return AggregateCall(token.value, arg)
+        if token.ttype is TokenType.IDENTIFIER:
+            self._advance()
+            if self._peek().ttype is TokenType.LPAREN:
+                return self._function_call(token.value)
+            return ColumnRef(token.value)
+        if token.ttype is TokenType.LPAREN:
+            self._advance()
+            inner = self._value_expression()
+            self._expect(TokenType.RPAREN)
+            return inner
+        raise ParserError(
+            f"expected a value expression, got {token.value!r}",
+            token.position)
+
+    def _function_call(self, name: str) -> FunctionCall:
+        self._expect(TokenType.LPAREN)
+        args: list[Expression] = []
+        if self._peek().ttype is not TokenType.RPAREN:
+            args.append(self._value_expression())
+            while self._accept(TokenType.COMMA):
+                args.append(self._value_expression())
+        self._expect(TokenType.RPAREN)
+        accuracy = None
+        if self._accept_keyword("accuracy"):
+            accuracy = Accuracy.parse(self._expect(TokenType.STRING).value)
+        return FunctionCall(name, tuple(args), accuracy)
+
+    # -- CREATE UDF -----------------------------------------------------------
+
+    def _create_udf_statement(self) -> CreateUdfStatement:
+        self._expect_keyword("create")
+        or_replace = False
+        if self._accept_keyword("or"):
+            self._expect_keyword("replace")
+            or_replace = True
+        self._expect_keyword("udf")
+        name = self._expect(TokenType.IDENTIFIER).value
+        inputs: tuple[UdfIoSpec, ...] = ()
+        outputs: tuple[UdfIoSpec, ...] = ()
+        impl: str | None = None
+        logical_type: str | None = None
+        properties: dict[str, str] = {}
+        while True:
+            token = self._peek()
+            if token.matches(TokenType.KEYWORD, "input"):
+                self._advance()
+                self._expect_operator("=")
+                inputs = self._io_spec_list()
+            elif token.matches(TokenType.KEYWORD, "output"):
+                self._advance()
+                self._expect_operator("=")
+                outputs = self._io_spec_list()
+            elif token.matches(TokenType.KEYWORD, "impl"):
+                self._advance()
+                self._expect_operator("=")
+                impl = self._expect(TokenType.STRING).value
+            elif token.matches(TokenType.KEYWORD, "logical_type"):
+                self._advance()
+                self._expect_operator("=")
+                logical_type = self._expect(TokenType.IDENTIFIER).value
+            elif token.matches(TokenType.KEYWORD, "properties"):
+                self._advance()
+                self._expect_operator("=")
+                properties = self._properties()
+            else:
+                break
+        if impl is None:
+            raise ParserError("CREATE UDF requires an IMPL clause",
+                              self._peek().position)
+        return CreateUdfStatement(
+            name=name,
+            impl=impl,
+            or_replace=or_replace,
+            inputs=inputs,
+            outputs=outputs,
+            logical_type=logical_type,
+            properties=properties,
+        )
+
+    def _io_spec_list(self) -> tuple[UdfIoSpec, ...]:
+        """Parse ``(name TYPE..., name TYPE...)``, keeping types verbatim."""
+        self._expect(TokenType.LPAREN)
+        specs: list[UdfIoSpec] = []
+        while True:
+            name = self._expect(TokenType.IDENTIFIER).value
+            type_tokens: list[str] = []
+            depth = 0
+            while True:
+                token = self._peek()
+                if token.ttype is TokenType.LPAREN:
+                    depth += 1
+                elif token.ttype is TokenType.RPAREN:
+                    if depth == 0:
+                        break
+                    depth -= 1
+                elif token.ttype is TokenType.COMMA and depth == 0:
+                    break
+                elif token.ttype is TokenType.EOF:
+                    raise ParserError("unterminated UDF I/O spec",
+                                      token.position)
+                type_tokens.append(token.value)
+                self._advance()
+            specs.append(UdfIoSpec(name, " ".join(type_tokens)))
+            if not self._accept(TokenType.COMMA):
+                break
+        self._expect(TokenType.RPAREN)
+        return tuple(specs)
+
+    def _properties(self) -> dict[str, str]:
+        """Parse ``('KEY'='VALUE', ...)``."""
+        self._expect(TokenType.LPAREN)
+        out: dict[str, str] = {}
+        while True:
+            key = self._expect(TokenType.STRING).value
+            self._expect_operator("=")
+            value = self._expect(TokenType.STRING).value
+            out[key.upper()] = value
+            if not self._accept(TokenType.COMMA):
+                break
+        self._expect(TokenType.RPAREN)
+        return out
+
+    # -- token plumbing --------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _peek_next(self) -> Token:
+        if self._index + 1 < len(self._tokens):
+            return self._tokens[self._index + 1]
+        return self._tokens[-1]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.ttype is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, ttype: TokenType) -> Token:
+        token = self._peek()
+        if token.ttype is not ttype:
+            raise ParserError(
+                f"expected {ttype.value}, got {token.value!r}",
+                token.position)
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.matches(TokenType.KEYWORD, word):
+            raise ParserError(
+                f"expected {word.upper()}, got {token.value!r}",
+                token.position)
+        return self._advance()
+
+    def _expect_operator(self, op: str) -> Token:
+        token = self._peek()
+        if not token.matches(TokenType.OPERATOR, op):
+            raise ParserError(
+                f"expected {op!r}, got {token.value!r}", token.position)
+        return self._advance()
+
+    def _accept(self, ttype: TokenType) -> Token | None:
+        if self._peek().ttype is ttype:
+            return self._advance()
+        return None
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().matches(TokenType.KEYWORD, word):
+            self._advance()
+            return True
+        return False

@@ -1,0 +1,307 @@
+"""The public entry point: :func:`connect` and :class:`EvaSession`.
+
+A session owns one instance of every subsystem (catalog, storage, view
+store, optimizer state, virtual clock, metrics) and executes EVAQL
+statements end to end::
+
+    import repro
+
+    session = repro.connect()
+    session.register_video(repro.video.ua_detrac("medium"))
+    result = session.execute(
+        "SELECT id, label FROM ua_detrac_medium "
+        "CROSS APPLY FastRCNNObjectDetector(frame) "
+        "WHERE id < 100 AND label = 'car';")
+
+Reuse behavior is controlled by the session's :class:`~repro.config.EvaConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.clock import CostCategory, SimulationClock
+from repro.config import EvaConfig, ReusePolicy
+from repro.errors import CatalogError, EvaError
+from repro.executor.context import ExecutionContext
+from repro.executor.engine import ExecutionEngine
+from repro.metrics import MetricsCollector, QueryMetrics
+from repro.models.zoo import ModelZoo, default_zoo
+from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.optimizer.udf_manager import UdfManager
+from repro.parser.ast_nodes import (
+    CreateUdfStatement,
+    DropUdfStatement,
+    ExplainStatement,
+    SelectStatement,
+    ShowUdfsStatement,
+)
+from repro.parser.parser import parse
+from repro.storage.engine import StorageEngine
+from repro.storage.view_store import ViewStore
+from repro.symbolic.engine import SymbolicEngine
+from repro.types import QueryResult
+from repro.video.synthetic import SyntheticVideo
+
+#: UDF name -> zoo model registered by :meth:`EvaSession.register_standard_udfs`.
+STANDARD_MODEL_UDFS = {
+    "FastRCNNObjectDetector": "fasterrcnn_resnet50",
+    "FasterRCNNResnet101": "fasterrcnn_resnet101",
+    "YoloTiny": "yolo_tiny",
+    "CarType": "car_type",
+    "ColorDet": "color_det",
+    "License": "license_reader",
+    "VehicleFilter": "vehicle_filter",
+}
+
+
+def connect(config: EvaConfig | None = None,
+            zoo: ModelZoo | None = None) -> "EvaSession":
+    """Create a fresh session (standard UDFs pre-registered)."""
+    return EvaSession(config=config, zoo=zoo)
+
+
+class EvaSession:
+    """One VDBMS instance: catalog + storage + optimizer + executor."""
+
+    def __init__(self, config: EvaConfig | None = None,
+                 zoo: ModelZoo | None = None,
+                 register_standard_udfs: bool = True):
+        self.config = config or EvaConfig()
+        self.catalog = Catalog(zoo or default_zoo())
+        self.storage = StorageEngine()
+        self.view_store = ViewStore()
+        self.clock = SimulationClock()
+        self.metrics = MetricsCollector()
+        self.symbolic = SymbolicEngine(self.config.symbolic_time_budget)
+        self.udf_manager = UdfManager(self.symbolic)
+        self.optimizer = Optimizer(
+            self.catalog, self.udf_manager, self.symbolic,
+            OptimizerConfig.from_eva_config(self.config))
+        self.context = ExecutionContext(
+            catalog=self.catalog,
+            storage=self.storage,
+            view_store=self.view_store,
+            clock=self.clock,
+            metrics=self.metrics,
+            config=self.config,
+        )
+        self.engine = ExecutionEngine(self.context)
+        #: The OptimizedQuery of the most recent SELECT (introspection).
+        self.last_optimized = None
+        #: Plan cache: query text -> (UdfManager version, OptimizedQuery).
+        self._plan_cache: dict[str, tuple[int, object]] = {}
+        if register_standard_udfs:
+            self.register_standard_udfs()
+
+    # -- setup ---------------------------------------------------------------
+
+    def register_video(self, video: SyntheticVideo) -> None:
+        """Register a video as a scannable table in catalog and storage."""
+        self.catalog.register_video(video)
+        self.storage.register_video(video)
+
+    def register_standard_udfs(self) -> None:
+        """Register the paper's UDF suite (Table 1 / Table 5 names)."""
+        for udf_name, model_name in STANDARD_MODEL_UDFS.items():
+            if udf_name not in self.catalog.udfs:
+                self.catalog.register_model_udf(udf_name, model_name)
+        if "ObjectDetector" not in self.catalog.udfs:
+            self.catalog.register_logical_udf("ObjectDetector",
+                                              "ObjectDetector")
+        if "Area" not in self.catalog.udfs:
+            # AREA is the canonical *inexpensive* UDF the optimizer must
+            # not materialize (section 3.1, step 1).
+            self.catalog.register_builtin_udf("Area", impl=None,
+                                              per_tuple_cost=2e-6)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse, optimize, and run one EVAQL statement."""
+        statement = parse(sql)
+        if isinstance(statement, CreateUdfStatement):
+            return self._execute_create_udf(statement)
+        if isinstance(statement, SelectStatement):
+            return self._execute_select(sql, statement)
+        if isinstance(statement, ShowUdfsStatement):
+            return self._execute_show_udfs()
+        if isinstance(statement, DropUdfStatement):
+            self.catalog.udfs.drop(statement.name)
+            return QueryResult(columns=["status"],
+                               rows=[(f"UDF {statement.name} dropped",)])
+        if isinstance(statement, ExplainStatement):
+            from repro.optimizer.plans import explain as explain_plan
+
+            optimized = self.optimizer.optimize(statement.query)
+            if statement.analyze:
+                from repro.executor.instrument import explain_analyze
+
+                _, annotated = explain_analyze(optimized.plan, self.context)
+                for update in optimized.updates:
+                    self.udf_manager.record_execution(
+                        update.signature, update.guard,
+                        update.per_tuple_cost)
+                return QueryResult(
+                    columns=["plan"],
+                    rows=[(line,) for line in annotated.splitlines()])
+            return QueryResult(
+                columns=["plan"],
+                rows=[(line,)
+                      for line in explain_plan(optimized.plan).splitlines()])
+        raise EvaError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_show_udfs(self) -> QueryResult:
+        rows = []
+        for udf in self.catalog.udfs.definitions():
+            rows.append((
+                udf.name,
+                udf.kind.value,
+                udf.model_name or ("<logical>" if udf.is_logical
+                                   else "<builtin>"),
+                udf.accuracy.value if udf.accuracy else "",
+                round(udf.per_tuple_cost * 1000, 3),
+            ))
+        return QueryResult(
+            columns=["name", "kind", "implementation", "accuracy",
+                     "cost_ms"],
+            rows=rows)
+
+    def _execute_select(self, sql: str,
+                        statement: SelectStatement) -> QueryResult:
+        self.metrics.begin_query(sql, self.clock)
+        optimized = None
+        if self.config.enable_plan_cache:
+            cached = self._plan_cache.get(sql)
+            if cached is not None and cached[0] == self.udf_manager.version:
+                optimized = cached[1]
+        if optimized is None:
+            with self.clock.measure(CostCategory.OPTIMIZE):
+                optimized = self.optimizer.optimize(statement)
+            if self.config.enable_plan_cache:
+                self._plan_cache[sql] = (self.udf_manager.version,
+                                         optimized)
+        self.last_optimized = optimized
+        batch = self.engine.run(optimized.plan)
+        # p_u := UNION(p_u, q) for every UDF whose results were stored.
+        with self.clock.measure(CostCategory.OPTIMIZE):
+            for update in optimized.updates:
+                self.udf_manager.record_execution(
+                    update.signature, update.guard, update.per_tuple_cost)
+        query_metrics = self.metrics.end_query(self.clock, batch.num_rows)
+        return QueryResult(
+            columns=batch.column_names,
+            rows=batch.to_tuples(),
+            metrics=query_metrics,
+        )
+
+    def _execute_create_udf(self, statement: CreateUdfStatement
+                            ) -> QueryResult:
+        impl = statement.impl
+        replace = statement.or_replace
+        if impl.startswith("model:"):
+            self.catalog.register_model_udf(
+                statement.name, impl.removeprefix("model:"),
+                replace=replace)
+        elif impl.startswith("logical:"):
+            self.catalog.register_logical_udf(
+                statement.name, impl.removeprefix("logical:"),
+                replace=replace)
+        elif impl.startswith("builtin:"):
+            self.catalog.register_builtin_udf(
+                statement.name, impl=None, replace=replace,
+                builtin_name=impl.removeprefix("builtin:"))
+        else:
+            raise CatalogError(
+                "IMPL must be 'model:<zoo-name>', 'logical:<type>', or "
+                f"'builtin:<name>'; got {impl!r}")
+        return QueryResult(columns=["status"],
+                           rows=[(f"UDF {statement.name} registered",)])
+
+    # -- introspection & lifecycle -----------------------------------------------
+
+    def explain(self, sql: str) -> str:
+        """The physical plan EVA would run for ``sql``."""
+        from repro.optimizer.plans import explain as explain_plan
+
+        statement = parse(sql)
+        if not isinstance(statement, SelectStatement):
+            raise EvaError("EXPLAIN supports SELECT statements only")
+        return explain_plan(self.optimizer.optimize(statement).plan)
+
+    def last_query_metrics(self) -> QueryMetrics | None:
+        if not self.metrics.query_metrics:
+            return None
+        return self.metrics.query_metrics[-1]
+
+    def workload_time(self) -> float:
+        """Total virtual seconds across all executed queries."""
+        return self.metrics.workload_time()
+
+    def hit_percentage(self) -> float:
+        return self.metrics.hit_percentage()
+
+    def storage_footprint_bytes(self) -> int:
+        """Serialized size of all materialized views."""
+        return self.view_store.total_serialized_bytes()
+
+    def save_reuse_state(self, directory) -> int:
+        """Persist materialized views and aggregated predicates to disk.
+
+        Returns the number of bytes written.  A later session over the same
+        videos can :meth:`load_reuse_state` and keep reusing results across
+        process restarts.
+        """
+        import json
+        from pathlib import Path
+
+        directory = Path(directory)
+        total = self.view_store.save_to(directory / "views")
+        histories = [
+            {
+                "udf_name": h.signature.udf_name,
+                "sources": list(h.signature.sources),
+                "per_tuple_cost": h.per_tuple_cost,
+                "predicate_sql":
+                    h.aggregated_predicate.to_expression().to_sql(),
+            }
+            for h in self.udf_manager.histories()
+        ]
+        payload = json.dumps(histories, indent=2).encode("utf-8")
+        (directory / "udf_manager.json").write_bytes(payload)
+        return total + len(payload)
+
+    def load_reuse_state(self, directory) -> None:
+        """Restore state previously written by :meth:`save_reuse_state`."""
+        import json
+        from pathlib import Path
+
+        from repro.optimizer.udf_manager import UdfSignature
+        from repro.parser.parser import parse_predicate
+        from repro.storage.view_store import ViewStore
+
+        directory = Path(directory)
+        self.view_store = ViewStore.load_from(directory / "views")
+        self.context.view_store = self.view_store
+        self.udf_manager.reset()
+        manifest = json.loads(
+            (directory / "udf_manager.json").read_text("utf-8"))
+        for entry in manifest:
+            signature = UdfSignature(entry["udf_name"],
+                                     tuple(entry["sources"]))
+            predicate = self.symbolic.analyze(
+                parse_predicate(entry["predicate_sql"]))
+            self.udf_manager.record_execution(
+                signature, predicate, entry["per_tuple_cost"])
+
+    def reset_reuse_state(self) -> None:
+        """Drop all materialized state (views, caches, histories, metrics)."""
+        self.view_store.drop_all()
+        self.udf_manager.reset()
+        if self.context.function_cache is not None:
+            self.context.function_cache.clear()
+        if self.context.recycler is not None:
+            self.context.recycler.reset()
+        self.metrics = MetricsCollector()
+        self.context.metrics = self.metrics
+        self.clock.reset()
+        self._plan_cache.clear()

@@ -1,0 +1,150 @@
+"""Column-oriented batches: the unit of data flow between operators.
+
+A :class:`Batch` holds named columns of equal length.  Values are arbitrary
+Python objects (ints, strings, :class:`~repro.types.BoundingBox`, frame
+handles), so batches can carry video frames and model outputs alike.  The
+execution engine streams batches between physical operators, mirroring the
+paper's batch-level processing (section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import ExecutorError
+
+
+class Batch:
+    """An immutable-by-convention set of equal-length named columns."""
+
+    __slots__ = ("_columns", "_names")
+
+    def __init__(self, columns: Mapping[str, list] | None = None):
+        self._columns: dict[str, list] = dict(columns or {})
+        self._names: list[str] = list(self._columns)
+        lengths = {len(col) for col in self._columns.values()}
+        if len(lengths) > 1:
+            raise ExecutorError(
+                f"ragged batch: column lengths {sorted(lengths)}")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls, column_names: Iterable[str] = ()) -> "Batch":
+        return cls({name: [] for name in column_names})
+
+    @classmethod
+    def from_rows(cls, column_names: list[str],
+                  rows: Iterable[tuple]) -> "Batch":
+        columns: dict[str, list] = {name: [] for name in column_names}
+        for row in rows:
+            if len(row) != len(column_names):
+                raise ExecutorError(
+                    f"row width {len(row)} != {len(column_names)} columns")
+            for name, value in zip(column_names, row):
+                columns[name].append(value)
+        return cls(columns)
+
+    @classmethod
+    def concat(cls, batches: Iterable["Batch"]) -> "Batch":
+        batches = [b for b in batches if b.num_rows or b.column_names]
+        if not batches:
+            return cls()
+        names = batches[0].column_names
+        for batch in batches[1:]:
+            if batch.column_names != names:
+                raise ExecutorError(
+                    "cannot concat batches with differing columns: "
+                    f"{names} vs {batch.column_names}")
+        columns = {
+            name: [v for batch in batches for v in batch.column(name)]
+            for name in names
+        }
+        return cls(columns)
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        if not self._names:
+            return 0
+        return len(self._columns[self._names[0]])
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._names)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Batch {self.num_rows} rows x {self._names}>"
+
+    # -- access ---------------------------------------------------------------
+
+    def column(self, name: str) -> list:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ExecutorError(
+                f"no column {name!r}; have {self._names}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def row(self, index: int) -> dict[str, Any]:
+        return {name: self._columns[name][index] for name in self._names}
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        columns = [self._columns[name] for name in self._names]
+        for values in zip(*columns):
+            yield dict(zip(self._names, values))
+
+    def to_tuples(self, column_names: list[str] | None = None
+                  ) -> list[tuple]:
+        names = column_names if column_names is not None else self._names
+        columns = [self.column(name) for name in names]
+        return list(zip(*columns)) if names else []
+
+    # -- transforms ------------------------------------------------------------
+
+    def project(self, column_names: list[str]) -> "Batch":
+        return Batch({name: self.column(name) for name in column_names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Batch":
+        return Batch({mapping.get(name, name): values
+                      for name, values in self._columns.items()})
+
+    def with_column(self, name: str, values: list) -> "Batch":
+        """A new batch with ``name`` added (or replaced)."""
+        if self._names and len(values) != self.num_rows:
+            raise ExecutorError(
+                f"column {name!r} has {len(values)} values, "
+                f"batch has {self.num_rows} rows")
+        columns = dict(self._columns)
+        columns[name] = list(values)
+        return Batch(columns)
+
+    def filter(self, mask: list[bool]) -> "Batch":
+        if len(mask) != self.num_rows:
+            raise ExecutorError(
+                f"mask length {len(mask)} != {self.num_rows} rows")
+        return Batch({
+            name: [v for v, keep in zip(values, mask) if keep]
+            for name, values in self._columns.items()
+        })
+
+    def take(self, indices: list[int]) -> "Batch":
+        return Batch({
+            name: [values[i] for i in indices]
+            for name, values in self._columns.items()
+        })
+
+    def slice(self, start: int, stop: int) -> "Batch":
+        return Batch({name: values[start:stop]
+                      for name, values in self._columns.items()})
+
+    def sorted_by(self, column_name: str) -> "Batch":
+        order = sorted(range(self.num_rows),
+                       key=lambda i: self.column(column_name)[i])
+        return self.take(order)

@@ -1,0 +1,118 @@
+"""A simple columnar on-disk table format.
+
+Stand-in for the paper's Petastorm/Parquet storage: a table is a directory
+containing ``manifest.json`` (schema + row count) and one ``.npz`` file per
+column group.  Numeric columns are stored as numpy arrays; strings as JSON;
+bounding boxes as an ``(n, 4)`` float array; arbitrary objects via pickle.
+
+The format exists so the storage footprint experiment (section 5.2) measures
+real serialized bytes, and so materialized views survive process restarts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.catalog.schema import ColumnType, TableSchema
+from repro.storage.batch import Batch
+from repro.types import BoundingBox
+
+_MANIFEST = "manifest.json"
+_COLUMNS = "columns.npz"
+_MANIFEST_VERSION = 1
+
+
+def write_table(directory: str | Path, schema: TableSchema,
+                batch: Batch) -> int:
+    """Write ``batch`` with ``schema`` into ``directory``.
+
+    Returns:
+        Total bytes written (manifest + column data).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    for col in schema.columns:
+        values = batch.column(col.name)
+        arrays[col.name] = _encode_column(col.ctype, values)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    column_bytes = buffer.getvalue()
+    (directory / _COLUMNS).write_bytes(column_bytes)
+    manifest = {
+        "version": _MANIFEST_VERSION,
+        "num_rows": batch.num_rows,
+        "columns": [
+            {"name": c.name, "type": c.ctype.value} for c in schema.columns
+        ],
+    }
+    manifest_bytes = json.dumps(manifest, indent=2).encode("utf-8")
+    (directory / _MANIFEST).write_bytes(manifest_bytes)
+    return len(column_bytes) + len(manifest_bytes)
+
+
+def read_table(directory: str | Path) -> tuple[TableSchema, Batch]:
+    """Read a table previously written by :func:`write_table`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise StorageError(f"no table at {directory}")
+    manifest = json.loads(manifest_path.read_text("utf-8"))
+    if manifest.get("version") != _MANIFEST_VERSION:
+        raise StorageError(
+            f"unsupported table version {manifest.get('version')}")
+    schema = TableSchema.of(*[
+        (c["name"], ColumnType(c["type"])) for c in manifest["columns"]
+    ])
+    with np.load(directory / _COLUMNS, allow_pickle=False) as arrays:
+        columns = {
+            col.name: _decode_column(col.ctype, arrays[col.name])
+            for col in schema.columns
+        }
+    batch = Batch(columns)
+    if batch.num_rows != manifest["num_rows"]:
+        raise StorageError(
+            f"row count mismatch: manifest says {manifest['num_rows']}, "
+            f"data has {batch.num_rows}")
+    return schema, batch
+
+
+def _encode_column(ctype: ColumnType, values: list) -> np.ndarray:
+    if ctype is ColumnType.INTEGER:
+        return np.asarray(values, dtype=np.int64)
+    if ctype is ColumnType.FLOAT:
+        return np.asarray(values, dtype=np.float64)
+    if ctype is ColumnType.BOOLEAN:
+        return np.asarray(values, dtype=np.bool_)
+    if ctype is ColumnType.STRING:
+        payload = json.dumps(values).encode("utf-8")
+        return np.frombuffer(payload, dtype=np.uint8)
+    if ctype is ColumnType.BBOX:
+        flat = [(b.x1, b.y1, b.x2, b.y2) for b in values]
+        return np.asarray(flat, dtype=np.float64).reshape(-1, 4)
+    if ctype in (ColumnType.OBJECT, ColumnType.FRAME):
+        payload = pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+        return np.frombuffer(payload, dtype=np.uint8)
+    raise StorageError(f"cannot encode column type {ctype}")
+
+
+def _decode_column(ctype: ColumnType, array: np.ndarray) -> list:
+    if ctype is ColumnType.INTEGER:
+        return [int(v) for v in array]
+    if ctype is ColumnType.FLOAT:
+        return [float(v) for v in array]
+    if ctype is ColumnType.BOOLEAN:
+        return [bool(v) for v in array]
+    if ctype is ColumnType.STRING:
+        return json.loads(array.tobytes().decode("utf-8"))
+    if ctype is ColumnType.BBOX:
+        return [BoundingBox(*row) for row in array.reshape(-1, 4)]
+    if ctype in (ColumnType.OBJECT, ColumnType.FRAME):
+        return pickle.loads(array.tobytes())
+    raise StorageError(f"cannot decode column type {ctype}")

@@ -1,0 +1,254 @@
+"""Materialized views over UDF results.
+
+A :class:`MaterializedView` records, for one UDF signature, which input keys
+have been computed and what output rows each produced.  Keys identify UDF
+inputs: ``(frame_id,)`` for detectors, ``(frame_id, bbox_key)`` for patch
+classifiers.  A key may map to *zero* output rows (e.g. a frame with no
+detections) — recording emptiness is what lets the conditional APPLY
+operator skip re-evaluating the UDF on such inputs.
+
+Views live in memory and can be serialized through the columnar format to
+measure the storage footprint the paper reports in section 5.2 (~0.09 % of
+the video's size).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.types import BoundingBox
+
+Key = tuple[Hashable, ...]
+
+
+class MaterializedView:
+    """Append-only map from UDF input keys to tuples of output rows."""
+
+    def __init__(self, name: str, key_columns: list[str],
+                 output_columns: list[str]):
+        if not key_columns:
+            raise StorageError(f"view {name!r} needs at least one key column")
+        self.name = name
+        self.key_columns = list(key_columns)
+        self.output_columns = list(output_columns)
+        self._entries: dict[Key, tuple[dict, ...]] = {}
+        #: Lazily-built secondary index: first key component -> keys.
+        #: Used by fuzzy bounding-box reuse to enumerate a frame's boxes.
+        self._prefix_index: dict[Hashable, list[Key]] | None = None
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(self, key: Key, rows: Iterable[Mapping]) -> None:
+        """Record that ``key`` was computed, producing ``rows``.
+
+        Re-putting an existing key is a no-op (results are deterministic, so
+        the stored rows are already correct); this makes concurrent appends
+        from overlapping queries idempotent.
+        """
+        if key in self._entries:
+            return
+        stored = tuple(
+            {col: row[col] for col in self.output_columns} for row in rows)
+        self._entries[key] = stored
+        if self._prefix_index is not None:
+            self._prefix_index.setdefault(key[0], []).append(key)
+
+    def put_many(self, items: Iterable[tuple[Key, Iterable[Mapping]]]) -> int:
+        """Bulk :meth:`put`; returns how many keys were newly added."""
+        added = 0
+        for key, rows in items:
+            if key not in self._entries:
+                self.put(key, rows)
+                added += 1
+        return added
+
+    # -- reads ------------------------------------------------------------------
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def get(self, key: Key) -> tuple[dict, ...] | None:
+        """Stored output rows for ``key``, or None if never computed."""
+        return self._entries.get(key)
+
+    def keys(self) -> Iterable[Key]:
+        return self._entries.keys()
+
+    def keys_with_prefix(self, first_component: Hashable) -> list[Key]:
+        """All keys whose first component equals ``first_component``.
+
+        Backs fuzzy bounding-box reuse: enumerate the stored boxes of one
+        frame to find a spatial near-match.
+        """
+        if self._prefix_index is None:
+            index: dict[Hashable, list[Key]] = {}
+            for key in self._entries:
+                index.setdefault(key[0], []).append(key)
+            self._prefix_index = index
+        return list(self._prefix_index.get(first_component, ()))
+
+    @property
+    def num_keys(self) -> int:
+        return len(self._entries)
+
+    @property
+    def num_output_rows(self) -> int:
+        return sum(len(rows) for rows in self._entries.values())
+
+    # -- serialization ----------------------------------------------------------
+
+    def serialized_bytes(self) -> int:
+        """Bytes this view occupies when serialized (compressed)."""
+        return len(self.serialize())
+
+    def serialize(self) -> bytes:
+        """Serialize all entries (compressed npz + JSON payloads)."""
+        keys_flat: list[list] = []
+        rows_flat: list[tuple[int, dict]] = []
+        for idx, (key, rows) in enumerate(self._entries.items()):
+            keys_flat.append([_jsonable(part) for part in key])
+            for row in rows:
+                rows_flat.append((idx, row))
+        buffer = io.BytesIO()
+        arrays = {
+            "keys": _to_json_array(keys_flat),
+            "row_keys": np.asarray([i for i, _ in rows_flat],
+                                   dtype=np.int64),
+        }
+        for col in self.output_columns:
+            arrays[f"col_{col}"] = _to_json_array(
+                [_jsonable(row[col]) for _, row in rows_flat])
+        np.savez_compressed(buffer, **arrays)
+        return buffer.getvalue()
+
+    @classmethod
+    def deserialize(cls, name: str, key_columns: list[str],
+                    output_columns: list[str],
+                    payload: bytes) -> "MaterializedView":
+        """Rebuild a view previously produced by :meth:`serialize`."""
+        view = cls(name, key_columns, output_columns)
+        with np.load(io.BytesIO(payload), allow_pickle=False) as arrays:
+            keys_flat = _from_json_array(arrays["keys"])
+            row_keys = [int(v) for v in arrays["row_keys"]]
+            columns = {col: _from_json_array(arrays[f"col_{col}"])
+                       for col in output_columns}
+        rows_by_key: dict[int, list[dict]] = {i: [] for i in
+                                              range(len(keys_flat))}
+        for position, key_index in enumerate(row_keys):
+            rows_by_key[key_index].append({
+                col: _from_jsonable(columns[col][position])
+                for col in output_columns})
+        for index, raw_key in enumerate(keys_flat):
+            key = tuple(_from_jsonable(part) for part in raw_key)
+            view.put(key, rows_by_key[index])
+        return view
+
+
+class ViewStore:
+    """All materialized views of a session, by view name."""
+
+    def __init__(self) -> None:
+        self._views: dict[str, MaterializedView] = {}
+
+    def create_or_get(self, name: str, key_columns: list[str],
+                      output_columns: list[str]) -> MaterializedView:
+        view = self._views.get(name)
+        if view is None:
+            view = MaterializedView(name, key_columns, output_columns)
+            self._views[name] = view
+            return view
+        if (view.key_columns != list(key_columns)
+                or view.output_columns != list(output_columns)):
+            raise StorageError(
+                f"view {name!r} exists with a different layout")
+        return view
+
+    def get(self, name: str) -> MaterializedView | None:
+        return self._views.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def names(self) -> list[str]:
+        return sorted(self._views)
+
+    def total_serialized_bytes(self) -> int:
+        return sum(v.serialized_bytes() for v in self._views.values())
+
+    def drop_all(self) -> None:
+        self._views.clear()
+
+    # -- persistence -------------------------------------------------------------
+
+    def save_to(self, directory) -> int:
+        """Persist every view under ``directory``; returns bytes written."""
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = []
+        total = 0
+        for index, (name, view) in enumerate(sorted(self._views.items())):
+            filename = f"view_{index:04d}.npz"
+            payload = view.serialize()
+            (directory / filename).write_bytes(payload)
+            total += len(payload)
+            manifest.append({
+                "name": name,
+                "file": filename,
+                "key_columns": view.key_columns,
+                "output_columns": view.output_columns,
+            })
+        manifest_bytes = json.dumps(manifest, indent=2).encode("utf-8")
+        (directory / "views.json").write_bytes(manifest_bytes)
+        return total + len(manifest_bytes)
+
+    @classmethod
+    def load_from(cls, directory) -> "ViewStore":
+        """Rebuild a store previously written by :meth:`save_to`."""
+        from pathlib import Path
+
+        directory = Path(directory)
+        manifest_path = directory / "views.json"
+        if not manifest_path.exists():
+            raise StorageError(f"no view store at {directory}")
+        store = cls()
+        for entry in json.loads(manifest_path.read_text("utf-8")):
+            payload = (directory / entry["file"]).read_bytes()
+            view = MaterializedView.deserialize(
+                entry["name"], entry["key_columns"],
+                entry["output_columns"], payload)
+            store._views[entry["name"]] = view
+        return store
+
+
+def _jsonable(value):
+    if isinstance(value, BoundingBox):
+        return ["__bbox__", value.x1, value.y1, value.x2, value.y2]
+    if isinstance(value, tuple):
+        return ["__tuple__"] + [_jsonable(v) for v in value]
+    return value
+
+
+def _from_jsonable(value):
+    if isinstance(value, list):
+        if value and value[0] == "__bbox__":
+            return BoundingBox(*value[1:])
+        if value and value[0] == "__tuple__":
+            return tuple(_from_jsonable(v) for v in value[1:])
+        return tuple(_from_jsonable(v) for v in value)
+    return value
+
+
+def _to_json_array(values: list) -> np.ndarray:
+    payload = json.dumps(values).encode("utf-8")
+    return np.frombuffer(payload, dtype=np.uint8)
+
+
+def _from_json_array(array: np.ndarray) -> list:
+    return json.loads(array.tobytes().decode("utf-8"))

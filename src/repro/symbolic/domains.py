@@ -1,0 +1,371 @@
+"""Per-dimension constraint domains.
+
+A *constraint* restricts one dimension (a column or a UDF term).  Numeric
+dimensions use sympy real sets — intervals, finite point sets, and their
+unions — which is exactly the "inequality solver" capability of a computer
+algebra system the paper leverages (section 5.4).  Categorical dimensions
+(labels, classifier outputs) use finite value sets with an optional
+complement flag, since their universe is open-ended.
+
+Every constraint supports the algebra Algorithm 1 needs — intersection,
+union, complement, subset tests — plus an *atom count*: the number of
+atomic comparison formulas required to express it, the metric Fig. 7 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import sympy
+from sympy import Interval, FiniteSet, S, Union as SymUnion
+
+from repro.errors import UnsupportedPredicateError
+from repro.expressions.expr import CompOp, Comparison, Expression, Literal, Or
+
+
+class Constraint:
+    """Base class; see :class:`NumericConstraint` and
+    :class:`CategoricalConstraint`."""
+
+    def intersect(self, other: "Constraint") -> "Constraint":
+        raise NotImplementedError
+
+    def union(self, other: "Constraint") -> "Constraint":
+        raise NotImplementedError
+
+    def complement(self) -> "Constraint":
+        raise NotImplementedError
+
+    def subtract(self, other: "Constraint") -> "Constraint":
+        return self.intersect(other.complement())
+
+    def is_empty(self) -> bool:
+        raise NotImplementedError
+
+    def is_universe(self) -> bool:
+        raise NotImplementedError
+
+    def is_subset(self, other: "Constraint") -> bool:
+        """Conservative subset test (False when undecidable)."""
+        raise NotImplementedError
+
+    def atom_count(self) -> int:
+        raise NotImplementedError
+
+    def contains(self, value) -> bool:
+        """Does a concrete value satisfy the constraint?"""
+        raise NotImplementedError
+
+    def to_comparisons(self, term: Expression) -> Expression | None:
+        """Render back to an AST predicate over ``term``; None = TRUE."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NumericConstraint(Constraint):
+    """A set of reals, held as a canonical sympy set."""
+
+    sset: sympy.Set
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def universe(cls) -> "NumericConstraint":
+        return cls(S.Reals)
+
+    @classmethod
+    def empty(cls) -> "NumericConstraint":
+        return cls(S.EmptySet)
+
+    @classmethod
+    def from_comparison(cls, op: CompOp, value) -> "NumericConstraint":
+        value = sympy.nsimplify(value, rational=True)
+        if op is CompOp.LT:
+            return cls(Interval.open(-sympy.oo, value))
+        if op is CompOp.LE:
+            return cls(Interval(-sympy.oo, value))
+        if op is CompOp.GT:
+            return cls(Interval.open(value, sympy.oo))
+        if op is CompOp.GE:
+            return cls(Interval(value, sympy.oo))
+        if op is CompOp.EQ:
+            return cls(FiniteSet(value))
+        if op is CompOp.NE:
+            return cls(SymUnion(Interval.open(-sympy.oo, value),
+                                Interval.open(value, sympy.oo)))
+        raise UnsupportedPredicateError(f"unsupported operator {op}")
+
+    @classmethod
+    def interval(cls, lo, hi, left_open: bool = False,
+                 right_open: bool = False) -> "NumericConstraint":
+        return cls(Interval(sympy.nsimplify(lo, rational=True),
+                            sympy.nsimplify(hi, rational=True),
+                            left_open, right_open))
+
+    # -- algebra ----------------------------------------------------------------
+
+    def intersect(self, other: Constraint) -> "NumericConstraint":
+        other = self._coerce(other)
+        return NumericConstraint(self.sset.intersect(other.sset))
+
+    def union(self, other: Constraint) -> "NumericConstraint":
+        other = self._coerce(other)
+        return NumericConstraint(SymUnion(self.sset, other.sset))
+
+    def complement(self) -> "NumericConstraint":
+        return NumericConstraint(S.Reals - self.sset)
+
+    def is_empty(self) -> bool:
+        return self.sset is S.EmptySet or self.sset.is_empty is True
+
+    def is_universe(self) -> bool:
+        return self.sset == S.Reals
+
+    def is_subset(self, other: Constraint) -> bool:
+        other = self._coerce(other)
+        result = self.sset.is_subset(other.sset)
+        return bool(result) if result is not None else False
+
+    def contains(self, value) -> bool:
+        try:
+            return bool(self.sset.contains(sympy.nsimplify(
+                value, rational=True)))
+        except (TypeError, ValueError):
+            return False
+
+    # -- rendering ----------------------------------------------------------------
+
+    def atom_count(self) -> int:
+        return _set_atom_count(self.sset)
+
+    def to_comparisons(self, term: Expression) -> Expression | None:
+        if self.is_universe():
+            return None
+        pieces = _set_pieces(self.sset)
+        disjuncts: list[Expression] = []
+        for piece in pieces:
+            expr = _piece_to_expression(piece, term)
+            if expr is not None:
+                disjuncts.append(expr)
+        if not disjuncts:
+            from repro.expressions.expr import FALSE
+            return FALSE
+        if len(disjuncts) == 1:
+            return disjuncts[0]
+        return Or(tuple(disjuncts))
+
+    @staticmethod
+    def _coerce(other: Constraint) -> "NumericConstraint":
+        if not isinstance(other, NumericConstraint):
+            raise UnsupportedPredicateError(
+                "mixed numeric/categorical constraints on one dimension")
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Num({self.sset})"
+
+
+@dataclass(frozen=True)
+class CategoricalConstraint(Constraint):
+    """A finite set of values, or the complement of one.
+
+    ``complemented=False`` means "value in ``values``";
+    ``complemented=True`` means "value not in ``values``".  The categorical
+    universe is open (any string), so complements stay symbolic.
+    """
+
+    values: frozenset
+    complemented: bool = False
+
+    @classmethod
+    def universe(cls) -> "CategoricalConstraint":
+        return cls(frozenset(), complemented=True)
+
+    @classmethod
+    def empty(cls) -> "CategoricalConstraint":
+        return cls(frozenset(), complemented=False)
+
+    @classmethod
+    def from_comparison(cls, op: CompOp, value) -> "CategoricalConstraint":
+        if op is CompOp.EQ:
+            return cls(frozenset([value]))
+        if op is CompOp.NE:
+            return cls(frozenset([value]), complemented=True)
+        raise UnsupportedPredicateError(
+            f"ordering comparison {op.value!r} on a categorical value")
+
+    # -- algebra (complement-aware set arithmetic) -----------------------------
+
+    def intersect(self, other: Constraint) -> "CategoricalConstraint":
+        other = self._coerce(other)
+        if not self.complemented and not other.complemented:
+            return CategoricalConstraint(self.values & other.values)
+        if not self.complemented and other.complemented:
+            return CategoricalConstraint(self.values - other.values)
+        if self.complemented and not other.complemented:
+            return CategoricalConstraint(other.values - self.values)
+        return CategoricalConstraint(self.values | other.values,
+                                     complemented=True)
+
+    def union(self, other: Constraint) -> "CategoricalConstraint":
+        other = self._coerce(other)
+        if not self.complemented and not other.complemented:
+            return CategoricalConstraint(self.values | other.values)
+        if not self.complemented and other.complemented:
+            return CategoricalConstraint(other.values - self.values,
+                                         complemented=True)
+        if self.complemented and not other.complemented:
+            return CategoricalConstraint(self.values - other.values,
+                                         complemented=True)
+        return CategoricalConstraint(self.values & other.values,
+                                     complemented=True)
+
+    def complement(self) -> "CategoricalConstraint":
+        return CategoricalConstraint(self.values, not self.complemented)
+
+    def is_empty(self) -> bool:
+        return not self.complemented and not self.values
+
+    def is_universe(self) -> bool:
+        return self.complemented and not self.values
+
+    def is_subset(self, other: Constraint) -> bool:
+        other = self._coerce(other)
+        if not self.complemented and not other.complemented:
+            return self.values <= other.values
+        if not self.complemented and other.complemented:
+            return not (self.values & other.values)
+        if self.complemented and not other.complemented:
+            # An infinite co-finite set fits in a finite set only if empty.
+            return False
+        return other.values <= self.values
+
+    def contains(self, value) -> bool:
+        inside = value in self.values
+        return not inside if self.complemented else inside
+
+    # -- rendering -----------------------------------------------------------------
+
+    def atom_count(self) -> int:
+        return len(self.values)
+
+    def to_comparisons(self, term: Expression) -> Expression | None:
+        from repro.expressions.analysis import conjunction_of
+
+        if self.is_universe():
+            return None
+        op = CompOp.NE if self.complemented else CompOp.EQ
+        atoms = [Comparison(term, op, Literal(v))
+                 for v in sorted(self.values, key=repr)]
+        if not atoms:
+            from repro.expressions.expr import FALSE
+            return FALSE  # empty inclusion set: unsatisfiable
+        if self.complemented:
+            return conjunction_of(atoms)
+        return atoms[0] if len(atoms) == 1 else Or(tuple(atoms))
+
+    @staticmethod
+    def _coerce(other: Constraint) -> "CategoricalConstraint":
+        if not isinstance(other, CategoricalConstraint):
+            raise UnsupportedPredicateError(
+                "mixed numeric/categorical constraints on one dimension")
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        prefix = "NOT " if self.complemented else ""
+        return f"Cat({prefix}{set(self.values) or '{}'})"
+
+
+# -- sympy set helpers ------------------------------------------------------------
+
+
+def _set_pieces(sset: sympy.Set) -> list[sympy.Set]:
+    """Decompose a canonical real set into disjoint intervals/points."""
+    if isinstance(sset, SymUnion):
+        pieces: list[sympy.Set] = []
+        for arg in sset.args:
+            pieces.extend(_set_pieces(arg))
+        return pieces
+    if isinstance(sset, FiniteSet):
+        return [FiniteSet(v) for v in sset.args]
+    if sset is S.EmptySet:
+        return []
+    return [sset]
+
+
+def _set_atom_count(sset: sympy.Set) -> int:
+    """Atomic comparison formulas needed to express ``sset``.
+
+    A two-sided interval costs 2 atoms, a half-line 1, a point 1; the
+    special shape (-oo, v) U (v, oo) is a single ``!=`` atom.
+    """
+    if sset == S.Reals:
+        return 0
+    if sset is S.EmptySet:
+        return 1  # the formula FALSE
+    if isinstance(sset, FiniteSet):
+        return len(sset.args)
+    if isinstance(sset, Interval):
+        atoms = 0
+        if sset.start != -sympy.oo:
+            atoms += 1
+        if sset.end != sympy.oo:
+            atoms += 1
+        return max(atoms, 1)
+    if isinstance(sset, SymUnion):
+        point = _not_equal_point(sset)
+        if point is not None:
+            return 1
+        return sum(_set_atom_count(arg) for arg in sset.args)
+    if isinstance(sset, sympy.Complement):
+        universe, removed = sset.args
+        if universe == S.Reals and isinstance(removed, FiniteSet):
+            return len(removed.args)
+    # Unknown shape: count leaf sets conservatively.
+    return max(1, len(sset.args))
+
+
+def _not_equal_point(sset: SymUnion):
+    """If ``sset`` is (-oo, v) U (v, oo), return v, else None."""
+    if len(sset.args) != 2:
+        return None
+    left, right = sorted(sset.args, key=lambda s: str(s))
+    if not (isinstance(left, Interval) and isinstance(right, Interval)):
+        return None
+    candidates = [(left, right), (right, left)]
+    for lo, hi in candidates:
+        if (lo.start == -sympy.oo and hi.end == sympy.oo
+                and lo.end == hi.start and lo.right_open and hi.left_open):
+            return lo.end
+    return None
+
+
+def _piece_to_expression(piece: sympy.Set, term: Expression
+                         ) -> Expression | None:
+    from repro.expressions.analysis import conjunction_of
+
+    if isinstance(piece, FiniteSet):
+        values = [_to_python_number(v) for v in piece.args]
+        atoms = [Comparison(term, CompOp.EQ, Literal(v)) for v in values]
+        return atoms[0] if len(atoms) == 1 else Or(tuple(atoms))
+    if isinstance(piece, Interval):
+        atoms: list[Expression] = []
+        if piece.start != -sympy.oo:
+            op = CompOp.GT if piece.left_open else CompOp.GE
+            atoms.append(Comparison(term, op,
+                                    Literal(_to_python_number(piece.start))))
+        if piece.end != sympy.oo:
+            op = CompOp.LT if piece.right_open else CompOp.LE
+            atoms.append(Comparison(term, op,
+                                    Literal(_to_python_number(piece.end))))
+        if not atoms:
+            return None
+        return conjunction_of(atoms)
+    raise UnsupportedPredicateError(
+        f"cannot render sympy set {piece} back to a predicate")
+
+
+def _to_python_number(value: sympy.Expr):
+    if value.is_Integer:
+        return int(value)
+    return float(value)

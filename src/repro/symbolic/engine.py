@@ -1,0 +1,60 @@
+"""The SymbolicEngine facade the optimizer talks to (Fig. 1).
+
+Wraps DNF conversion, Algorithm 1 reduction, the INTER/DIFF/UNION derived
+predicates, and selectivity estimation behind one object with a shared time
+budget.
+"""
+
+from __future__ import annotations
+
+from repro.expressions.expr import Expression
+from repro.symbolic.dnf import DnfPredicate, dnf_from_expression
+from repro.symbolic.operations import (
+    difference,
+    intersection,
+    negation,
+    union,
+)
+from repro.symbolic.reduce import DEFAULT_TIME_BUDGET, reduce_predicate
+from repro.symbolic.selectivity import SelectivityEstimator, StatsResolver
+
+
+class SymbolicEngine:
+    """Symbolic predicate analysis with a configurable time budget."""
+
+    def __init__(self, time_budget: float = DEFAULT_TIME_BUDGET):
+        self.time_budget = time_budget
+
+    # -- conversion & reduction -------------------------------------------
+
+    def analyze(self, expr: Expression | None) -> DnfPredicate:
+        """Expression -> reduced DNF."""
+        return reduce_predicate(dnf_from_expression(expr), self.time_budget)
+
+    def reduce(self, predicate: DnfPredicate) -> DnfPredicate:
+        return reduce_predicate(predicate, self.time_budget)
+
+    # -- derived predicates ------------------------------------------------
+
+    def intersection(self, p1: DnfPredicate, p2: DnfPredicate
+                     ) -> DnfPredicate:
+        return intersection(p1, p2, self.time_budget)
+
+    def difference(self, p1: DnfPredicate, p2: DnfPredicate
+                   ) -> DnfPredicate:
+        return difference(p1, p2, self.time_budget)
+
+    def union(self, p1: DnfPredicate, p2: DnfPredicate) -> DnfPredicate:
+        return union(p1, p2, self.time_budget)
+
+    def negation(self, p: DnfPredicate) -> DnfPredicate:
+        return negation(p, self.time_budget)
+
+    # -- estimation -----------------------------------------------------------
+
+    def estimator(self, resolver: StatsResolver) -> SelectivityEstimator:
+        return SelectivityEstimator(resolver)
+
+    def selectivity(self, predicate: DnfPredicate,
+                    resolver: StatsResolver) -> float:
+        return SelectivityEstimator(resolver).selectivity(predicate)

@@ -1,0 +1,112 @@
+"""The sympy ``simplify`` baseline of Fig. 7.
+
+The paper compares EVA's reduction algorithm against SymPy's off-the-shelf
+boolean simplification (pattern matching + Quine-McCluskey).  That approach
+treats each relational atom as an opaque proposition, so it cannot exploit
+interactions between inequalities (``x < 5`` implies ``x < 10``) — exactly
+the failure mode Fig. 7 demonstrates on polyadic predicates.
+
+This module reproduces the baseline: an expression AST is translated into a
+sympy boolean formula over relational atoms and fed to
+``sympy.logic.boolalg.simplify_logic``; the atom count of the result is the
+Fig. 7 metric.
+"""
+
+from __future__ import annotations
+
+import sympy
+from sympy.logic.boolalg import simplify_logic
+
+from repro.errors import UnsupportedPredicateError
+from repro.expressions.expr import (
+    And,
+    ColumnRef,
+    CompOp,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Literal,
+    Not,
+    Or,
+)
+from repro.expressions.analysis import term_key
+
+
+class SympySimplifyBaseline:
+    """Boolean simplification with relational atoms treated as opaque."""
+
+    #: ``simplify_logic`` is double-exponential past this many distinct
+    #: atoms; beyond it we keep the formula as-is (the baseline "gives up",
+    #: which matches the unbounded growth the paper observed).
+    MAX_ATOMS_FOR_SIMPLIFY = 12
+
+    def __init__(self) -> None:
+        self._atom_cache: dict[tuple, sympy.Symbol] = {}
+
+    def simplify(self, expr: Expression) -> sympy.Basic:
+        return self.simplify_formula(self._translate(expr))
+
+    def simplify_formula(self, formula: sympy.Basic) -> sympy.Basic:
+        """Simplify an already-translated boolean formula (capped)."""
+        if len(formula.atoms(sympy.Symbol)) > self.MAX_ATOMS_FOR_SIMPLIFY:
+            return formula
+        return simplify_logic(formula)
+
+    def atom_count(self, formula: sympy.Basic) -> int:
+        """Number of atomic propositions in a simplified formula."""
+        if formula in (sympy.true, sympy.false):
+            return 0 if formula == sympy.true else 1
+        if isinstance(formula, sympy.Symbol):
+            return 1
+        if isinstance(formula, sympy.Not):
+            return self.atom_count(formula.args[0])
+        return sum(self.atom_count(arg) for arg in formula.args)
+
+    # -- translation -----------------------------------------------------------
+
+    def _translate(self, expr: Expression) -> sympy.Basic:
+        if isinstance(expr, And):
+            return sympy.And(*[self._translate(o) for o in expr.operands])
+        if isinstance(expr, Or):
+            return sympy.Or(*[self._translate(o) for o in expr.operands])
+        if isinstance(expr, Not):
+            return sympy.Not(self._translate(expr.operand))
+        if isinstance(expr, Comparison):
+            return self._atom(expr)
+        if isinstance(expr, Literal) and isinstance(expr.value, bool):
+            return sympy.true if expr.value else sympy.false
+        raise UnsupportedPredicateError(
+            f"baseline cannot translate {expr!r}")
+
+    def _atom(self, comparison: Comparison) -> sympy.Basic:
+        left, op, right = comparison.left, comparison.op, comparison.right
+        if isinstance(left, Literal) and not isinstance(right, Literal):
+            left, right = right, left
+            op = op.flip()
+        if not isinstance(right, Literal):
+            raise UnsupportedPredicateError(
+                f"baseline cannot translate {comparison.to_sql()}")
+        term = self._term_name(left)
+        # Negated relations reuse the positive atom under a NOT so that
+        # Quine-McCluskey can at least cancel ``p`` with ``NOT p``.
+        canonical = {
+            CompOp.GE: (CompOp.LT, True),
+            CompOp.GT: (CompOp.LE, True),
+            CompOp.NE: (CompOp.EQ, True),
+        }
+        op2, negated = canonical.get(op, (op, False))
+        key = (term, op2.value, repr(right.value))
+        symbol = self._atom_cache.get(key)
+        if symbol is None:
+            symbol = sympy.Symbol(f"a{len(self._atom_cache)}")
+            self._atom_cache[key] = symbol
+        return sympy.Not(symbol) if negated else symbol
+
+    @staticmethod
+    def _term_name(term: Expression) -> str:
+        if isinstance(term, ColumnRef):
+            return term.name
+        if isinstance(term, FunctionCall):
+            return term_key(term)
+        raise UnsupportedPredicateError(
+            f"baseline cannot name term {term!r}")

@@ -1,0 +1,142 @@
+"""Core value types shared across subsystems.
+
+These are plain, immutable data holders: bounding boxes, detected objects,
+and dataset descriptors.  They deliberately avoid any dependency on the
+storage or execution layers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Accuracy(enum.Enum):
+    """Accuracy tiers for logical vision tasks (Listing 2 ``PROPERTIES``)."""
+
+    LOW = "LOW"
+    MEDIUM = "MEDIUM"
+    HIGH = "HIGH"
+
+    @classmethod
+    def parse(cls, text: str) -> "Accuracy":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown accuracy tier: {text!r}") from None
+
+    def __ge__(self, other: "Accuracy") -> bool:
+        return _ACCURACY_ORDER[self] >= _ACCURACY_ORDER[other]
+
+    def __gt__(self, other: "Accuracy") -> bool:
+        return _ACCURACY_ORDER[self] > _ACCURACY_ORDER[other]
+
+    def __le__(self, other: "Accuracy") -> bool:
+        return _ACCURACY_ORDER[self] <= _ACCURACY_ORDER[other]
+
+    def __lt__(self, other: "Accuracy") -> bool:
+        return _ACCURACY_ORDER[self] < _ACCURACY_ORDER[other]
+
+
+_ACCURACY_ORDER = {Accuracy.LOW: 0, Accuracy.MEDIUM: 1, Accuracy.HIGH: 2}
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned box in pixel coordinates, ``(x1, y1)`` top-left."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def area(self) -> float:
+        """Absolute area in square pixels."""
+        return max(0.0, self.x2 - self.x1) * max(0.0, self.y2 - self.y1)
+
+    def relative_area(self, frame_width: int, frame_height: int) -> float:
+        """Area relative to the frame size, in ``[0, 1]``.
+
+        This is the quantity the paper's ``AREA(bbox)`` UDF computes
+        (e.g. ``AREA(bbox) > 0.3`` in Listing 1).
+        """
+        frame_area = frame_width * frame_height
+        if frame_area <= 0:
+            return 0.0
+        return self.area() / frame_area
+
+    def iou(self, other: "BoundingBox") -> float:
+        """Intersection-over-union with another box."""
+        ix1 = max(self.x1, other.x1)
+        iy1 = max(self.y1, other.y1)
+        ix2 = min(self.x2, other.x2)
+        iy2 = min(self.y2, other.y2)
+        inter = max(0.0, ix2 - ix1) * max(0.0, iy2 - iy1)
+        union = self.area() + other.area() - inter
+        if union <= 0:
+            return 0.0
+        return inter / union
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.x1, self.y1, self.x2, self.y2)
+
+
+@dataclass(frozen=True)
+class GroundTruthObject:
+    """One true object in a synthetic frame.
+
+    The synthetic video generator produces these; simulated models read them
+    and emit (possibly corrupted) detections.
+    """
+
+    object_id: int
+    label: str
+    bbox: BoundingBox
+    color: str
+    vehicle_type: str
+    license_plate: str
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detection emitted by a (simulated) object detector."""
+
+    label: str
+    bbox: BoundingBox
+    score: float
+
+
+@dataclass(frozen=True)
+class VideoMetadata:
+    """Descriptor of a video dataset registered in the catalog."""
+
+    name: str
+    num_frames: int
+    width: int
+    height: int
+    fps: float = 30.0
+    # Mean number of vehicle objects per frame; drives the synthetic
+    # generator and matches the statistics reported in section 5.1.
+    vehicles_per_frame: float = 0.0
+
+    def duration_seconds(self) -> float:
+        if self.fps <= 0:
+            return 0.0
+        return self.num_frames / self.fps
+
+
+@dataclass
+class QueryResult:
+    """Result of executing one query: rows plus execution metrics."""
+
+    columns: list[str]
+    rows: list[tuple]
+    metrics: "object | None" = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list:
+        """Return one output column as a list, by name."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]

@@ -1,0 +1,31 @@
+"""VBENCH: the exploratory video analytics benchmark (section 5.1).
+
+There is no standard benchmark for exploratory video analytics, so the
+paper introduces VBENCH: two query sets over the UA-DETRAC and JACKSON
+videos with low and high reuse potential, built from the zoom-in /
+zoom-out / range-shift operations analysts perform while refining a query.
+"""
+
+from repro.vbench.queries import (
+    vbench_high,
+    vbench_low,
+    vbench_logical,
+    vbench_permutation,
+)
+from repro.vbench.workload import (
+    WorkloadResult,
+    run_workload,
+    workload_session,
+)
+from repro.vbench.reporting import format_table
+
+__all__ = [
+    "vbench_high",
+    "vbench_low",
+    "vbench_logical",
+    "vbench_permutation",
+    "run_workload",
+    "workload_session",
+    "WorkloadResult",
+    "format_table",
+]

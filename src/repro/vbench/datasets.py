@@ -1,0 +1,60 @@
+"""Evaluation datasets for VBENCH (section 5.1), optionally scaled.
+
+Library-level factories used by the benchmark harness and the CLI: the
+UA-DETRAC variants (SHORT / MEDIUM / LONG) and the JACKSON night-street
+stand-in, with a ``scale`` knob that shrinks frame counts proportionally
+for quick runs (query id-ranges scale with them via
+:func:`repro.vbench.queries.vbench_high`'s ``num_frames`` argument).
+"""
+
+from __future__ import annotations
+
+from repro.types import VideoMetadata
+from repro.video.datasets import (
+    JACKSON_VEHICLES_PER_FRAME,
+    UA_DETRAC_FRAMES,
+)
+from repro.video.synthetic import SyntheticVideo
+
+#: Vehicle densities per UA-DETRAC variant; LONG is slightly denser,
+#: matching Fig. 12's right axis.
+UA_DETRAC_DENSITIES = {"short": 7.9, "medium": 8.3, "long": 9.0}
+
+
+def scaled_frames(size: str, scale: float = 1.0, minimum: int = 200) -> int:
+    """Frame count for a UA-DETRAC variant at the given scale."""
+    if size not in UA_DETRAC_FRAMES:
+        raise ValueError(
+            f"size must be one of {sorted(UA_DETRAC_FRAMES)}, got {size!r}")
+    return max(minimum, round(UA_DETRAC_FRAMES[size] * scale))
+
+
+def ua_detrac_scaled(size: str = "medium", scale: float = 1.0,
+                     seed: int = 7, name: str | None = None
+                     ) -> SyntheticVideo:
+    """A UA-DETRAC-statistics video, optionally shrunk by ``scale``."""
+    frames = scaled_frames(size, scale)
+    metadata = VideoMetadata(
+        name=name or f"ua_detrac_{size}",
+        num_frames=frames,
+        width=960,
+        height=540,
+        fps=25.0,
+        vehicles_per_frame=UA_DETRAC_DENSITIES[size],
+    )
+    return SyntheticVideo(metadata, seed=seed)
+
+
+def jackson_scaled(scale: float = 1.0, seed: int = 11,
+                   name: str = "jackson") -> SyntheticVideo:
+    """A JACKSON-statistics video, optionally shrunk by ``scale``."""
+    frames = max(200, round(14_000 * scale))
+    metadata = VideoMetadata(
+        name=name,
+        num_frames=frames,
+        width=600,
+        height=400,
+        fps=30.0,
+        vehicles_per_frame=JACKSON_VEHICLES_PER_FRAME,
+    )
+    return SyntheticVideo(metadata, seed=seed)

@@ -1,0 +1,216 @@
+"""Parameterized exploratory-workload generation.
+
+Section 5.1 describes VBENCH workloads as sequences of the operations an
+analyst performs while refining a query — *zoom in* (add a constraint),
+*zoom out* (drop one), and *range shift* — with a target overlap between
+the frames consecutive queries read.  The hand-written
+:func:`~repro.vbench.queries.vbench_high`/``vbench_low`` sets fix one such
+sequence; this module generates arbitrary ones, so reuse algorithms can be
+stress-tested across the whole overlap spectrum.
+
+Generation is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro._rng import stable_rng
+
+#: Candidate UDF predicates (term, value pool) an analyst toggles.
+UDF_PREDICATES = (
+    ("CarType(frame, bbox)", ("Nissan", "Toyota", "Ford", "Honda")),
+    ("ColorDet(frame, bbox)", ("Gray", "White", "Black", "Red")),
+)
+#: Candidate direct predicates: (column, comparison values).
+AREA_THRESHOLDS = (0.1, 0.15, 0.2, 0.25, 0.3)
+SCORE_THRESHOLDS = (0.3, 0.4, 0.5)
+
+
+class Operation(enum.Enum):
+    """The refinement operations of exploratory analysis."""
+
+    ZOOM_IN = "zoom-in"
+    ZOOM_OUT = "zoom-out"
+    SHIFT = "shift"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs for a generated workload."""
+
+    num_queries: int = 8
+    #: Target overlap of consecutive queries' frame ranges, as
+    #: |A intersect B| / |A union B| in [0, 1].
+    target_overlap: float = 0.5
+    #: Window width as a fraction of the video length.
+    window_fraction: float = 0.4
+    #: Probability of zooming (in or out) instead of shifting.
+    zoom_probability: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_queries < 1:
+            raise ValueError("need at least one query")
+        if not 0.0 <= self.target_overlap <= 1.0:
+            raise ValueError("target_overlap must be in [0, 1]")
+        if not 0.0 < self.window_fraction <= 1.0:
+            raise ValueError("window_fraction must be in (0, 1]")
+
+
+@dataclass
+class _AnalystState:
+    """The analyst's current query: a window plus predicate toggles."""
+
+    start: int
+    width: int
+    area_index: int | None = None
+    score_index: int | None = None
+    udf_values: dict[str, str] = field(default_factory=dict)
+
+
+def generate_workload(table: str, num_frames: int,
+                      spec: WorkloadSpec) -> list[str]:
+    """A deterministic exploratory query sequence per ``spec``."""
+    rng = stable_rng("workload", spec.seed, table, num_frames,
+                     spec.num_queries, spec.target_overlap)
+    width = max(1, round(num_frames * spec.window_fraction))
+    state = _AnalystState(
+        start=rng.randrange(max(1, num_frames - width)),
+        width=width,
+        area_index=rng.randrange(len(AREA_THRESHOLDS)),
+    )
+    term, values = UDF_PREDICATES[rng.randrange(len(UDF_PREDICATES))]
+    state.udf_values[term] = rng.choice(values)
+
+    queries = [_render(table, state)]
+    while len(queries) < spec.num_queries:
+        operation = _pick_operation(rng, spec, state)
+        _apply_operation(operation, state, rng, spec, num_frames)
+        queries.append(_render(table, state))
+    return queries
+
+
+def consecutive_overlap(queries: list[str]) -> float:
+    """Mean Jaccard overlap of consecutive queries' id ranges."""
+    ranges = [_id_range(q) for q in queries]
+    overlaps = []
+    for (a_start, a_stop), (b_start, b_stop) in zip(ranges, ranges[1:]):
+        inter = max(0, min(a_stop, b_stop) - max(a_start, b_start))
+        union = (a_stop - a_start) + (b_stop - b_start) - inter
+        overlaps.append(inter / union if union else 0.0)
+    return sum(overlaps) / len(overlaps) if overlaps else 1.0
+
+
+# -- internals -----------------------------------------------------------------
+
+
+def _pick_operation(rng, spec: WorkloadSpec,
+                    state: _AnalystState) -> Operation:
+    if rng.random() >= spec.zoom_probability:
+        return Operation.SHIFT
+    can_zoom_out = (state.area_index is not None
+                    or state.score_index is not None
+                    or len(state.udf_values) > 1)
+    if can_zoom_out and rng.random() < 0.5:
+        return Operation.ZOOM_OUT
+    return Operation.ZOOM_IN
+
+
+def _apply_operation(operation: Operation, state: _AnalystState, rng,
+                     spec: WorkloadSpec, num_frames: int) -> None:
+    if operation is Operation.SHIFT:
+        _shift(state, rng, spec, num_frames)
+        return
+    if operation is Operation.ZOOM_IN:
+        _zoom_in(state, rng)
+        return
+    _zoom_out(state, rng)
+
+
+def _shift(state: _AnalystState, rng, spec: WorkloadSpec,
+           num_frames: int) -> None:
+    """Move the window so the Jaccard overlap matches the target.
+
+    For equal-width windows shifted by d, overlap = (w - d) / (w + d),
+    hence d = w * (1 - t) / (1 + t) for target t.
+    """
+    width = state.width
+    target = spec.target_overlap
+    shift = round(width * (1.0 - target) / (1.0 + target))
+    shift = max(1, shift) if target < 1.0 else 0
+    direction = rng.choice((-1, 1))
+    new_start = state.start + direction * shift
+    if new_start < 0 or new_start + width > num_frames:
+        new_start = state.start - direction * shift
+    state.start = min(max(0, new_start), max(0, num_frames - width))
+
+
+def _zoom_in(state: _AnalystState, rng) -> None:
+    choices = []
+    if state.area_index is None:
+        choices.append("area")
+    if state.score_index is None:
+        choices.append("score")
+    free_terms = [term for term, _ in UDF_PREDICATES
+                  if term not in state.udf_values]
+    if free_terms:
+        choices.append("udf")
+    if not choices:
+        # Everything constrained already: tighten the area threshold.
+        state.area_index = min(state.area_index + 1,
+                               len(AREA_THRESHOLDS) - 1)
+        return
+    what = rng.choice(choices)
+    if what == "area":
+        state.area_index = rng.randrange(len(AREA_THRESHOLDS))
+    elif what == "score":
+        state.score_index = rng.randrange(len(SCORE_THRESHOLDS))
+    else:
+        term = rng.choice(free_terms)
+        values = dict(UDF_PREDICATES)[term]
+        state.udf_values[term] = rng.choice(values)
+
+
+def _zoom_out(state: _AnalystState, rng) -> None:
+    choices = []
+    if state.area_index is not None:
+        choices.append("area")
+    if state.score_index is not None:
+        choices.append("score")
+    if len(state.udf_values) > 1:
+        choices.append("udf")
+    if not choices:
+        return
+    what = rng.choice(choices)
+    if what == "area":
+        state.area_index = None
+    elif what == "score":
+        state.score_index = None
+    else:
+        term = rng.choice(sorted(state.udf_values))
+        del state.udf_values[term]
+
+
+def _render(table: str, state: _AnalystState) -> str:
+    conjuncts = [
+        f"id >= {state.start}",
+        f"id < {state.start + state.width}",
+        "label = 'car'",
+    ]
+    if state.area_index is not None:
+        conjuncts.append(f"area > {AREA_THRESHOLDS[state.area_index]}")
+    if state.score_index is not None:
+        conjuncts.append(f"score > {SCORE_THRESHOLDS[state.score_index]}")
+    for term in sorted(state.udf_values):
+        conjuncts.append(f"{term} = '{state.udf_values[term]}'")
+    where = " AND ".join(conjuncts)
+    return (f"SELECT id, bbox FROM {table} CROSS APPLY "
+            f"FastRCNNObjectDetector(frame) WHERE {where};")
+
+
+def _id_range(query: str) -> tuple[int, int]:
+    start = int(query.split("id >= ")[1].split(" ")[0])
+    stop = int(query.split("id < ")[1].split(" ")[0])
+    return start, stop

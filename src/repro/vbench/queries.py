@@ -1,0 +1,157 @@
+"""VBENCH query sets.
+
+Both sets contain eight vehicle-focused queries with up to five predicate
+clauses — three direct-column (``id``, ``label``, ``area``/``score``) and
+two UDF-based (vehicle color and type) — emulating an exploratory search
+for a suspicious vehicle through zooming and range shifting (Table 1).
+
+Frame-id bounds are expressed as fractions of the paper's 14k-frame
+MEDIUM-UA-DETRAC set and scaled to the target video's length, the way the
+paper scales the ``id`` ranges for SHORT/LONG-UA-DETRAC (section 5.5).
+
+* ``vbench_high`` — iterative refinement over one region: consecutive
+  queries overlap heavily (high reuse potential).
+* ``vbench_low`` — skimming through different parts of the video with
+  small (~4.5%) consecutive overlaps plus two later revisits.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro._rng import stable_rng
+
+#: The reference video length the fractional id bounds are expressed in.
+REFERENCE_FRAMES = 14_000
+
+#: The physical detector all non-logical VBENCH queries invoke, matching
+#: the paper's choice of FASTER-RCNN for the end-to-end comparison.
+DEFAULT_DETECTOR = "FastRCNNObjectDetector(frame)"
+
+
+def _scale(bound: int, num_frames: int) -> int:
+    return round(bound * num_frames / REFERENCE_FRAMES)
+
+
+def _query(table: str, select: str, where: str,
+           detector: str = DEFAULT_DETECTOR, suffix: str = "") -> str:
+    return (f"SELECT {select} FROM {table} CROSS APPLY {detector} "
+            f"WHERE {where}{suffix};")
+
+
+def vbench_high(table: str, num_frames: int = REFERENCE_FRAMES,
+                detector: str = DEFAULT_DETECTOR) -> list[str]:
+    """The high-reuse-potential query set (iterative refinement)."""
+    s = lambda b: _scale(b, num_frames)  # noqa: E731 - local shorthand
+    return [
+        # Q1: initial search for a large Nissan.
+        _query(table, "id, bbox",
+               f"id < {s(10000)} AND label = 'car' AND area > 0.3 "
+               "AND CarType(frame, bbox) = 'Nissan'", detector),
+        # Q2: zoom out — drop the area constraint.
+        _query(table, "id, bbox",
+               f"id < {s(10000)} AND label = 'car' "
+               "AND CarType(frame, bbox) = 'Nissan'", detector),
+        # Q3: zoom in — add the color constraint.
+        _query(table, "id, bbox",
+               f"id < {s(10000)} AND area > 0.25 AND label = 'car' "
+               "AND CarType(frame, bbox) = 'Nissan' "
+               "AND ColorDet(frame, bbox) = 'Gray'", detector),
+        # Q4: shift the range later into the video.
+        _query(table, "id, bbox",
+               f"id >= {s(2500)} AND id < {s(12500)} AND label = 'car' "
+               "AND area > 0.25 AND CarType(frame, bbox) = 'Nissan' "
+               "AND ColorDet(frame, bbox) = 'Gray'", detector),
+        # Q5: zoom out — color only.
+        _query(table, "id, bbox",
+               f"id >= {s(2500)} AND id < {s(12500)} AND label = 'car' "
+               "AND ColorDet(frame, bbox) = 'Gray'", detector),
+        # Q6: shift again (Table 1's example).
+        _query(table, "id, bbox",
+               f"id > {s(7500)} AND label = 'car' "
+               "AND ColorDet(frame, bbox) = 'Gray'", detector),
+        # Q7: zoom in on a different vehicle type.
+        _query(table, "id, bbox",
+               f"id > {s(7500)} AND label = 'car' AND area > 0.2 "
+               "AND ColorDet(frame, bbox) = 'Gray' "
+               "AND CarType(frame, bbox) = 'Toyota'", detector),
+        # Q8: wide final sweep (the Table 4 exemplar).
+        _query(table, "id, bbox",
+               f"id >= {s(4000)} AND id < {s(14000)} AND label = 'car' "
+               "AND area > 0.15 AND CarType(frame, bbox) = 'Nissan'",
+               detector),
+    ]
+
+
+def vbench_low(table: str, num_frames: int = REFERENCE_FRAMES,
+               detector: str = DEFAULT_DETECTOR) -> list[str]:
+    """The low-reuse-potential query set (skimming + two revisits)."""
+    s = lambda b: _scale(b, num_frames)  # noqa: E731 - local shorthand
+    width = 1750
+    stride = 1670  # ~4.5% consecutive overlap
+    windows = [(s(i * stride), s(i * stride + width)) for i in range(6)]
+    w = windows
+    return [
+        _query(table, "id, bbox",
+               f"id >= {w[0][0]} AND id < {w[0][1]} AND label = 'car' "
+               "AND area > 0.2 AND CarType(frame, bbox) = 'Nissan'",
+               detector),
+        _query(table, "id, bbox",
+               f"id >= {w[1][0]} AND id < {w[1][1]} AND label = 'car' "
+               "AND score > 0.5 AND ColorDet(frame, bbox) = 'Gray'",
+               detector),
+        _query(table, "id, bbox",
+               f"id >= {w[2][0]} AND id < {w[2][1]} AND label = 'car' "
+               "AND area > 0.15 AND CarType(frame, bbox) = 'Toyota'",
+               detector),
+        _query(table, "id, bbox",
+               f"id >= {w[3][0]} AND id < {w[3][1]} AND label = 'car' "
+               "AND ColorDet(frame, bbox) = 'White' "
+               "AND CarType(frame, bbox) = 'Toyota'", detector),
+        _query(table, "id, bbox",
+               f"id >= {w[4][0]} AND id < {w[4][1]} AND label = 'car' "
+               "AND area > 0.25 AND ColorDet(frame, bbox) = 'Gray'",
+               detector),
+        _query(table, "id, bbox",
+               f"id >= {w[5][0]} AND id < {w[5][1]} AND label = 'car' "
+               "AND score > 0.4 AND CarType(frame, bbox) = 'Ford'",
+               detector),
+        # Revisit the first window, zooming to a different color.
+        _query(table, "id, bbox",
+               f"id >= {w[0][0]} AND id < {w[0][1]} AND label = 'car' "
+               "AND CarType(frame, bbox) = 'Nissan' "
+               "AND ColorDet(frame, bbox) = 'Red'", detector),
+        # Revisit the fourth window, zooming out on area.
+        _query(table, "id, bbox",
+               f"id >= {w[3][0]} AND id < {w[3][1]} AND label = 'car' "
+               "AND area > 0.1 AND CarType(frame, bbox) = 'Toyota'",
+               detector),
+    ]
+
+
+def vbench_permutation(queries: list[str], index: int) -> list[str]:
+    """Random permutation ``index`` (1-4) of a query set (Fig. 8)."""
+    rng: random.Random = stable_rng("vbench-permutation", index)
+    permuted = list(queries)
+    rng.shuffle(permuted)
+    return permuted
+
+
+#: Accuracy requirement per query for the logical-UDF experiment (Fig. 10):
+#: the workload emulates applications with different accuracy needs.
+LOGICAL_ACCURACIES = ("MEDIUM", "MEDIUM", "HIGH", "LOW",
+                      "LOW", "MEDIUM", "HIGH", "LOW")
+
+
+def vbench_logical(table: str, num_frames: int = REFERENCE_FRAMES,
+                   accuracies: tuple[str, ...] = LOGICAL_ACCURACIES
+                   ) -> list[str]:
+    """VBENCH-HIGH with the physical detector replaced by the logical
+    ``ObjectDetector`` and per-query accuracy requirements (section 5.4)."""
+    queries = []
+    for query, accuracy in zip(
+            vbench_high(table, num_frames), accuracies):
+        queries.append(query.replace(
+            DEFAULT_DETECTOR,
+            f"ObjectDetector(frame) ACCURACY '{accuracy}'"))
+    return queries

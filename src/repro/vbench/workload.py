@@ -1,0 +1,78 @@
+"""Workload execution harness for VBENCH."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clock import CostCategory
+from repro.config import EvaConfig, ReusePolicy
+from repro.metrics import QueryMetrics, UdfInvocationStats
+from repro.session import EvaSession
+from repro.video.synthetic import SyntheticVideo
+
+
+@dataclass
+class WorkloadResult:
+    """Everything the evaluation reports for one workload run."""
+
+    config: EvaConfig
+    query_metrics: list[QueryMetrics] = field(default_factory=list)
+    udf_stats: dict[str, UdfInvocationStats] = field(default_factory=dict)
+    hit_percentage: float = 0.0
+    storage_bytes: int = 0
+    speedup_upper_bound: float = 1.0
+
+    @property
+    def total_time(self) -> float:
+        """Virtual seconds spent across the workload."""
+        return sum(m.total_time for m in self.query_metrics)
+
+    def query_times(self) -> list[float]:
+        return [m.total_time for m in self.query_metrics]
+
+    def speedup_over(self, baseline: "WorkloadResult") -> float:
+        if self.total_time <= 0:
+            return float("inf")
+        return baseline.total_time / self.total_time
+
+    def category_times(self, category: CostCategory) -> list[float]:
+        return [m.time(category) for m in self.query_metrics]
+
+
+def workload_session(video: SyntheticVideo,
+                     config: EvaConfig | None = None) -> EvaSession:
+    """A fresh session with ``video`` registered (clean state, section 5.1)."""
+    session = EvaSession(config=config)
+    session.register_video(video)
+    return session
+
+
+def run_workload(video: SyntheticVideo, queries: list[str],
+                 config: EvaConfig | None = None,
+                 session: EvaSession | None = None) -> WorkloadResult:
+    """Run ``queries`` in order on a clean session and collect metrics."""
+    if session is None:
+        session = workload_session(video, config)
+    for query in queries:
+        session.execute(query)
+    return WorkloadResult(
+        config=session.config,
+        query_metrics=list(session.metrics.query_metrics),
+        udf_stats=dict(session.metrics.udf_stats),
+        hit_percentage=session.hit_percentage(),
+        storage_bytes=session.storage_footprint_bytes(),
+        speedup_upper_bound=session.metrics.speedup_upper_bound(),
+    )
+
+
+def run_all_policies(video: SyntheticVideo, queries: list[str],
+                     policies: tuple[ReusePolicy, ...] = (
+                         ReusePolicy.NONE, ReusePolicy.HASHSTASH,
+                         ReusePolicy.FUNCACHE, ReusePolicy.EVA),
+                     ) -> dict[ReusePolicy, WorkloadResult]:
+    """Run the same workload under each policy, each from a clean state."""
+    return {
+        policy: run_workload(video, queries,
+                             EvaConfig(reuse_policy=policy))
+        for policy in policies
+    }

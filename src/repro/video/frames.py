@@ -1,0 +1,43 @@
+"""Frame handles and per-frame ground truth.
+
+A :class:`Frame` is a lightweight *handle* — it identifies a frame of a
+registered video without materializing pixels.  Simulated models resolve the
+handle against the synthetic video to obtain ground truth.  The handle also
+knows its nominal pixel-buffer size, which the FunCache baseline uses to
+charge realistic hashing costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import GroundTruthObject
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Handle to one frame of a video (no pixel data)."""
+
+    video_name: str
+    frame_id: int
+    width: int
+    height: int
+
+    def nbytes(self) -> int:
+        """Size of the RGB pixel buffer this frame would occupy."""
+        return self.width * self.height * 3
+
+    def cache_key(self) -> tuple[str, int]:
+        """Stable identity used for function-result caching."""
+        return (self.video_name, self.frame_id)
+
+
+@dataclass(frozen=True)
+class FrameGroundTruth:
+    """The true objects visible in one frame."""
+
+    frame_id: int
+    objects: tuple[GroundTruthObject, ...]
+
+    def vehicle_count(self) -> int:
+        return len(self.objects)

@@ -1,0 +1,152 @@
+"""Tests for arithmetic expressions and affine symbolic solving."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.errors import ExecutorError, UnsupportedPredicateError
+from repro.expressions.evaluator import ExpressionEvaluator
+from repro.parser.parser import parse
+from repro.session import EvaSession
+from repro.symbolic.dnf import dnf_from_expression
+from repro.symbolic.engine import SymbolicEngine
+
+
+def where(sql: str):
+    return parse(f"SELECT id FROM v WHERE {sql};").where
+
+
+class TestParsing:
+    def test_precedence(self):
+        # Multiplication binds tighter: x + (2 * 3), not (x + 2) * 3.
+        assert where("x + 2 * 3 = 7").left.to_sql() == "x + (2 * 3)"
+        evaluator = ExpressionEvaluator()
+        assert evaluator.evaluate(where("x + 2 * 3 = 7").left, {"x": 1}) == 7
+
+    def test_parenthesized_grouping(self):
+        expr = where("(x + 2) * 3 = 9").left
+        assert ExpressionEvaluator().evaluate(expr, {"x": 1}) == 9
+
+    def test_unary_minus_with_arithmetic(self):
+        expr = where("-2 * x < 4").left
+        assert ExpressionEvaluator().evaluate(expr, {"x": 3}) == -6
+
+    def test_division(self):
+        expr = where("x / 4 = 2").left
+        assert ExpressionEvaluator().evaluate(expr, {"x": 8}) == 2
+
+    def test_select_list_arithmetic(self):
+        stmt = parse("SELECT area * 100 AS pct FROM v;")
+        assert stmt.select_list[0][1] == "pct"
+
+
+class TestEvaluation:
+    def setup_method(self):
+        self.evaluator = ExpressionEvaluator()
+
+    def test_null_propagation(self):
+        assert self.evaluator.evaluate(where("x + 1 = 2").left,
+                                       {"x": None}) is None
+
+    def test_division_by_zero_is_null(self):
+        assert self.evaluator.evaluate(where("x / y = 1").left,
+                                       {"x": 4, "y": 0}) is None
+
+    def test_string_arithmetic_rejected(self):
+        with pytest.raises(ExecutorError):
+            self.evaluator.evaluate(where("label - 1 = 0").left,
+                                    {"label": "car"})
+
+
+class TestAffineSolving:
+    def setup_method(self):
+        self.engine = SymbolicEngine()
+
+    def test_scaling(self):
+        dnf = self.engine.analyze(where("timestamp * 25 < 100"))
+        assert dnf.to_expression() == where("timestamp < 4")
+
+    def test_shift_and_scale(self):
+        dnf = self.engine.analyze(where("(area + 0.05) * 2 > 0.3"))
+        rendered = dnf.to_expression().to_sql()
+        assert rendered.startswith("area >")
+
+    def test_negative_coefficient_flips_operator(self):
+        dnf = self.engine.analyze(where("10 - x <= 4"))
+        assert dnf.to_expression() == where("x >= 6")
+
+    def test_term_on_both_sides(self):
+        dnf = self.engine.analyze(where("2 * x < x + 5"))
+        assert dnf.to_expression() == where("x < 5")
+
+    def test_constant_comparison_folds(self):
+        assert self.engine.analyze(where("2 * 3 < 7")).is_true()
+        assert self.engine.analyze(where("2 * 3 > 7")).is_false()
+
+    def test_udf_term_arithmetic(self):
+        dnf = self.engine.analyze(
+            where("Area(bbox) * 100 > 30"))
+        assert "area(bbox) > 0.3" in dnf.to_expression().to_sql()
+
+    def test_two_distinct_terms_rejected(self):
+        with pytest.raises(UnsupportedPredicateError):
+            self.engine.analyze(where("x + y < 5"))
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(UnsupportedPredicateError):
+            self.engine.analyze(where("x * x < 5"))
+
+    def test_division_by_term_rejected(self):
+        with pytest.raises(UnsupportedPredicateError):
+            self.engine.analyze(where("5 / x < 1"))
+
+    @settings(max_examples=150)
+    @given(st.integers(-5, 5).filter(lambda a: a != 0),
+           st.integers(-10, 10), st.integers(-20, 20),
+           st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+           st.integers(-30, 30))
+    def test_affine_solution_matches_bruteforce(self, a, b, c, op, x):
+        """a*x + b cp c solved symbolically == evaluated directly."""
+        predicate = where(f"{a} * x + {b} {op} {c}")
+        dnf = dnf_from_expression(predicate)
+        expected = ExpressionEvaluator().evaluate_predicate(
+            predicate, {"x": x})
+        assert dnf.satisfied_by({"x": x}) == expected
+
+
+class TestEndToEnd:
+    def test_arithmetic_predicate_drives_scan_range(self, tiny_video):
+        """`timestamp * fps`-style arithmetic folds into the scan ranges."""
+        session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.EVA))
+        session.register_video(tiny_video)
+        from repro.optimizer.plans import PhysScan, walk_plan
+
+        optimized = session.optimizer.optimize(parse(
+            "SELECT id FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id * 2 < 100;"))
+        scan = next(n for n in walk_plan(optimized.plan)
+                    if isinstance(n, PhysScan))
+        assert scan.ranges == ((0, 50),)
+
+    def test_arithmetic_in_projection(self, tiny_video):
+        session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.EVA))
+        session.register_video(tiny_video)
+        result = session.execute(
+            "SELECT id, area * 100 AS pct FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 5;")
+        for pct in result.column("pct"):
+            assert 0.0 <= pct <= 100.0
+
+    def test_reuse_sees_through_arithmetic(self, tiny_video):
+        """`id * 2 < 100` and `id < 50` are the same guard symbolically,
+        so the second query fully reuses the first's results."""
+        session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.EVA))
+        session.register_video(tiny_video)
+        session.execute(
+            "SELECT id FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id * 2 < 100;")
+        session.execute(
+            "SELECT id FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 50;")
+        stats = session.metrics.udf_stats["fasterrcnn_resnet50"]
+        assert stats.reused_invocations == 50

@@ -1,0 +1,93 @@
+"""Tests for binding and normalization edge cases."""
+
+import pytest
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.errors import BindingError
+from repro.expressions.expr import ColumnRef, CompOp, Comparison, Literal
+from repro.optimizer.binder import bind
+from repro.parser.parser import parse
+from repro.session import EvaSession
+
+
+@pytest.fixture
+def catalog(tiny_video):
+    session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.NONE))
+    session.register_video(tiny_video)
+    return session.catalog
+
+
+def _bind(catalog, sql):
+    return bind(parse(sql), catalog)
+
+
+class TestTimestampRewrite:
+    def test_left_side(self, catalog):
+        bound = _bind(catalog, "SELECT id FROM tiny WHERE timestamp < 4;")
+        # 4 seconds * 25 fps.
+        assert bound.where == Comparison(ColumnRef("id"), CompOp.LT,
+                                         Literal(100.0))
+
+    def test_right_side_flips(self, catalog):
+        bound = _bind(catalog, "SELECT id FROM tiny WHERE 4 > timestamp;")
+        assert bound.where == Comparison(ColumnRef("id"), CompOp.LT,
+                                         Literal(100.0))
+
+    def test_equality(self, catalog):
+        bound = _bind(catalog, "SELECT id FROM tiny WHERE timestamp = 2;")
+        assert bound.where == Comparison(ColumnRef("id"), CompOp.EQ,
+                                         Literal(50.0))
+
+    def test_timestamp_selectable(self, catalog):
+        bound = _bind(catalog, "SELECT timestamp FROM tiny;")
+        assert bound.select_items[0][1] == "timestamp"
+
+
+class TestAreaRewrite:
+    def test_area_call_becomes_column(self, catalog):
+        bound = _bind(catalog,
+                      "SELECT id FROM tiny CROSS APPLY "
+                      "FastRCNNObjectDetector(frame) "
+                      "WHERE Area(bbox) > 0.2;")
+        assert bound.where == Comparison(ColumnRef("area"), CompOp.GT,
+                                         Literal(0.2))
+
+    def test_area_in_select_list(self, catalog):
+        bound = _bind(catalog,
+                      "SELECT Area(bbox) FROM tiny CROSS APPLY "
+                      "FastRCNNObjectDetector(frame);")
+        assert bound.select_items[0][0] == ColumnRef("area")
+
+
+class TestValidation:
+    def test_multiple_cross_applies_rejected(self, catalog):
+        with pytest.raises(BindingError):
+            _bind(catalog,
+                  "SELECT id FROM tiny "
+                  "CROSS APPLY FastRCNNObjectDetector(frame) "
+                  "CROSS APPLY YoloTiny(frame);")
+
+    def test_unknown_column_in_order_by(self, catalog):
+        with pytest.raises(BindingError):
+            _bind(catalog, "SELECT id FROM tiny ORDER BY wat;")
+
+    def test_unknown_column_in_group_by(self, catalog):
+        with pytest.raises(BindingError):
+            _bind(catalog,
+                  "SELECT wat, COUNT(*) FROM tiny CROSS APPLY "
+                  "FastRCNNObjectDetector(frame) GROUP BY wat;")
+
+    def test_default_output_names(self, catalog):
+        bound = _bind(catalog,
+                      "SELECT id, CarType(frame, bbox) FROM tiny "
+                      "CROSS APPLY FastRCNNObjectDetector(frame);")
+        assert bound.select_items[0][1] == "id"
+        assert bound.select_items[1][1] == "cartype(frame, bbox)"
+
+    def test_detector_metadata_attached(self, catalog):
+        bound = _bind(catalog,
+                      "SELECT id FROM tiny CROSS APPLY "
+                      "FastRCNNObjectDetector(frame);")
+        assert bound.detector_def is not None
+        assert bound.detector_def.model_name == "fasterrcnn_resnet50"
+        assert bound.metadata.num_frames == 400

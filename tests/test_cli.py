@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import (
+    main,
+    make_session,
+    make_video,
+    read_statements,
+    render_result,
+)
+from repro.types import QueryResult
+
+
+class TestDatasetSpecs:
+    def test_ua_detrac_default_size(self):
+        video = make_video("ua_detrac")
+        assert video.num_frames == 14_000
+
+    def test_ua_detrac_short(self):
+        assert make_video("ua_detrac:short").num_frames == 7_500
+
+    def test_jackson(self):
+        assert make_video("jackson").name == "jackson"
+
+    def test_synthetic(self):
+        video = make_video("synthetic:500:2.5")
+        assert video.num_frames == 500
+        assert video.metadata.vehicles_per_frame == 2.5
+
+    def test_synthetic_requires_frames(self):
+        with pytest.raises(ValueError):
+            make_video("synthetic")
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError):
+            make_video("webcam")
+
+
+class TestStatementReader:
+    def test_splits_on_semicolons(self):
+        stream = io.StringIO("SELECT 1;\nSELECT\n  2;\n")
+        statements = list(read_statements(stream))
+        assert len(statements) == 2
+        assert statements[1] == "SELECT\n  2;"
+
+    def test_skips_blank_lines_and_comments(self):
+        stream = io.StringIO("-- a comment\n\nSHOW UDFS;\n")
+        assert list(read_statements(stream)) == ["SHOW UDFS;"]
+
+    def test_trailing_statement_without_semicolon(self):
+        stream = io.StringIO("SHOW UDFS")
+        assert list(read_statements(stream)) == ["SHOW UDFS"]
+
+
+class TestRendering:
+    def test_truncates_long_results(self):
+        out = io.StringIO()
+        result = QueryResult(columns=["n"],
+                             rows=[(i,) for i in range(50)])
+        render_result(result, out, max_rows=5)
+        text = out.getvalue()
+        assert "... 45 more rows" in text
+
+
+class TestShell:
+    def test_shell_session_end_to_end(self):
+        stdin = io.StringIO(
+            "SELECT id FROM synthetic CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 3;\n"
+            "SHOW UDFS;\n"
+            "SELECT nonsense FROM nowhere;\n")
+        stdout = io.StringIO()
+        code = main(["shell", "--dataset", "synthetic:50"],
+                    stdin=stdin, stdout=stdout)
+        text = stdout.getvalue()
+        assert code == 0
+        assert "virtual" in text       # query metrics line
+        assert "CarType" in text        # SHOW UDFS output
+        assert "error:" in text         # bad query reported, not fatal
+
+    def test_policy_flag(self):
+        session = make_session("none", "synthetic:50")
+        assert session.config.reuse_policy.value == "none"
+
+
+class TestScriptRunner:
+    def test_run_script(self, tmp_path):
+        script = tmp_path / "demo.sql"
+        script.write_text(
+            "-- demo\n"
+            "SELECT id FROM synthetic CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 2;\n", "utf-8")
+        stdout = io.StringIO()
+        code = main(["run", str(script), "--dataset", "synthetic:50"],
+                    stdout=stdout)
+        assert code == 0
+        assert "rows" in stdout.getvalue()
+
+
+class TestBenchCommand:
+    def test_bench_runs_small_workload(self):
+        stdout = io.StringIO()
+        code = main(["bench", "--frames", "400", "--workload", "high"],
+                    stdout=stdout)
+        text = stdout.getvalue()
+        assert code == 0
+        assert "VBENCH-HIGH" in text
+        assert "hit rate" in text
+
+
+class TestBenchLowWorkload:
+    def test_bench_low(self):
+        stdout = io.StringIO()
+        code = main(["bench", "--frames", "400", "--workload", "low",
+                     "--policy", "none"], stdout=stdout)
+        assert code == 0
+        assert "VBENCH-LOW" in stdout.getvalue()
+
+
+class TestRenderEdgeCases:
+    def test_render_no_columns(self):
+        out = io.StringIO()
+        render_result(QueryResult(columns=[], rows=[]), out)
+        assert "(no output)" in out.getvalue()
+
+    def test_long_values_truncated(self):
+        out = io.StringIO()
+        render_result(QueryResult(columns=["v"], rows=[("x" * 100,)]), out)
+        assert "..." in out.getvalue()

@@ -1,0 +1,67 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.clock import CostCategory, SimulationClock
+
+
+class TestSimulationClock:
+    def test_charge_accumulates(self):
+        clock = SimulationClock()
+        clock.charge(CostCategory.UDF, 1.5)
+        clock.charge(CostCategory.UDF, 0.5)
+        assert clock.total(CostCategory.UDF) == pytest.approx(2.0)
+
+    def test_total_sums_categories(self):
+        clock = SimulationClock()
+        clock.charge(CostCategory.UDF, 1.0)
+        clock.charge(CostCategory.READ_VIDEO, 2.0)
+        assert clock.total() == pytest.approx(3.0)
+
+    def test_negative_charge_rejected(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.charge(CostCategory.UDF, -0.1)
+
+    def test_snapshot_delta(self):
+        clock = SimulationClock()
+        clock.charge(CostCategory.UDF, 1.0)
+        snapshot = clock.snapshot()
+        clock.charge(CostCategory.UDF, 2.0)
+        clock.charge(CostCategory.JOIN, 0.5)
+        delta = snapshot.delta(clock)
+        assert delta[CostCategory.UDF] == pytest.approx(2.0)
+        assert delta[CostCategory.JOIN] == pytest.approx(0.5)
+        assert snapshot.delta_total(clock) == pytest.approx(2.5)
+
+    def test_snapshot_delta_excludes_untouched_categories(self):
+        clock = SimulationClock()
+        clock.charge(CostCategory.UDF, 1.0)
+        snapshot = clock.snapshot()
+        assert snapshot.delta(clock) == {}
+
+    def test_measure_charges_real_time(self):
+        clock = SimulationClock()
+        with clock.measure(CostCategory.OPTIMIZE):
+            sum(range(1000))
+        assert clock.total(CostCategory.OPTIMIZE) > 0.0
+
+    def test_measure_charges_on_exception(self):
+        clock = SimulationClock()
+        with pytest.raises(RuntimeError):
+            with clock.measure(CostCategory.OPTIMIZE):
+                raise RuntimeError("boom")
+        assert clock.total(CostCategory.OPTIMIZE) > 0.0
+
+    def test_reset(self):
+        clock = SimulationClock()
+        clock.charge(CostCategory.UDF, 1.0)
+        clock.reset()
+        assert clock.total() == 0.0
+
+    def test_breakdown_is_a_copy(self):
+        clock = SimulationClock()
+        clock.charge(CostCategory.UDF, 1.0)
+        breakdown = clock.breakdown()
+        breakdown[CostCategory.UDF] = 99.0
+        assert clock.total(CostCategory.UDF) == pytest.approx(1.0)

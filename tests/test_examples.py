@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Examples are part of the public contract (README points users at them);
+this keeps them from rotting.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda p: p.stem)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples should print something"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLE_SCRIPTS}
+    assert "quickstart" in names
+    assert len(names) >= 3, "the README promises at least three examples"

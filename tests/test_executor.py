@@ -1,0 +1,203 @@
+"""Tests for individual execution-engine pieces: relational operators,
+the function cache, and the HashStash recycler graph."""
+
+import pytest
+
+from repro.baselines.hashstash import RecyclerEntry, RecyclerGraph
+from repro.clock import CostCategory, SimulationClock
+from repro.config import EvaConfig, ReusePolicy
+from repro.costs import CostConstants
+from repro.errors import ExecutorError
+from repro.executor.function_cache import FunctionCache
+from repro.expressions.expr import (
+    AggregateCall,
+    ColumnRef,
+    CompOp,
+    Comparison,
+    Literal,
+    Star,
+)
+from repro.optimizer.plans import (
+    PhysFilter,
+    PhysGroupBy,
+    PhysLimit,
+    PhysOrderBy,
+    PhysProject,
+)
+from repro.session import EvaSession
+from repro.storage.batch import Batch
+
+
+class _StubOperator:
+    """Feeds fixed batches into an operator under test."""
+
+    def __init__(self, batches):
+        self._batches = batches
+
+    def execute(self):
+        yield from self._batches
+
+    def run_to_completion(self):
+        return Batch.concat(list(self._batches))
+
+
+def _context(tiny_video):
+    session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.NONE))
+    session.register_video(tiny_video)
+    return session.context
+
+
+class TestRelationalOperators:
+    def test_filter(self, tiny_video):
+        from repro.executor.operators.relational import FilterOperator
+
+        child = _StubOperator([Batch({"a": [1, 5, 9]})])
+        node = PhysFilter(None, Comparison(ColumnRef("a"), CompOp.GT,
+                                           Literal(4)))
+        out = FilterOperator(child, node, _context(tiny_video))
+        assert out.run_to_completion().column("a") == [5, 9]
+
+    def test_project_expression(self, tiny_video):
+        from repro.executor.operators.relational import ProjectOperator
+
+        child = _StubOperator([Batch({"a": [1, 2], "b": [3, 4]})])
+        node = PhysProject(None, ((ColumnRef("b"), "bee"),))
+        out = ProjectOperator(child, node, _context(tiny_video))
+        batch = out.run_to_completion()
+        assert batch.column_names == ["bee"]
+        assert batch.column("bee") == [3, 4]
+
+    def test_project_star_hides_internal_columns(self, tiny_video):
+        from repro.executor.operators.relational import ProjectOperator
+
+        child = _StubOperator([Batch({"a": [1], "__udf::x": [2]})])
+        node = PhysProject(None, ((Star(), "*"),))
+        batch = ProjectOperator(child, node,
+                                _context(tiny_video)).run_to_completion()
+        assert batch.column_names == ["a"]
+
+    def test_group_by_counts(self, tiny_video):
+        from repro.executor.operators.relational import GroupByOperator
+
+        child = _StubOperator([
+            Batch({"k": ["a", "b", "a"], "v": [1, None, 3]}),
+            Batch({"k": ["a"], "v": [4]}),
+        ])
+        node = PhysGroupBy(
+            None, (ColumnRef("k"),),
+            ((ColumnRef("k"), "k"),
+             (AggregateCall("count", Star()), "n"),
+             (AggregateCall("count", ColumnRef("v")), "nv")))
+        batch = GroupByOperator(child, node,
+                                _context(tiny_video)).run_to_completion()
+        rows = {row[0]: row[1:] for row in batch.to_tuples()}
+        assert rows["a"] == (3, 3)
+        assert rows["b"] == (1, 0)
+
+    def test_unsupported_aggregate(self, tiny_video):
+        from repro.executor.operators.relational import GroupByOperator
+
+        child = _StubOperator([Batch({"k": [1]})])
+        node = PhysGroupBy(None, (ColumnRef("k"),),
+                           ((AggregateCall("median", ColumnRef("k")), "m"),))
+        with pytest.raises(ExecutorError):
+            GroupByOperator(child, node,
+                            _context(tiny_video)).run_to_completion()
+
+    def test_order_by_multi_key(self, tiny_video):
+        from repro.executor.operators.relational import OrderByOperator
+
+        child = _StubOperator([Batch({"a": [1, 2, 1, 2],
+                                      "b": [9, 8, 7, 6]})])
+        node = PhysOrderBy(None, ((ColumnRef("a"), True),
+                                  (ColumnRef("b"), False)))
+        batch = OrderByOperator(child, node,
+                                _context(tiny_video)).run_to_completion()
+        assert batch.to_tuples() == [(1, 9), (1, 7), (2, 8), (2, 6)]
+
+    def test_limit_across_batches(self, tiny_video):
+        from repro.executor.operators.relational import LimitOperator
+
+        child = _StubOperator([Batch({"a": [1, 2]}), Batch({"a": [3, 4]})])
+        node = PhysLimit(None, 3)
+        batch = LimitOperator(child, node,
+                              _context(tiny_video)).run_to_completion()
+        assert batch.column("a") == [1, 2, 3]
+
+
+class TestFunctionCache:
+    def test_miss_then_hit(self):
+        clock = SimulationClock()
+        cache = FunctionCache(clock, CostConstants())
+        hit, _ = cache.lookup("f", ("k",), input_bytes=1000)
+        assert not hit
+        cache.store("f", ("k",), 42)
+        hit, value = cache.lookup("f", ("k",), input_bytes=1000)
+        assert hit and value == 42
+        assert cache.entries("f") == 1
+
+    def test_hash_cost_charged_on_every_probe(self):
+        clock = SimulationClock()
+        constants = CostConstants()
+        cache = FunctionCache(clock, constants)
+        cache.lookup("f", ("k",), input_bytes=10_000)
+        cache.lookup("f", ("k",), input_bytes=10_000)
+        expected = 2 * (constants.hash_per_call
+                        + 10_000 * constants.hash_per_byte)
+        assert clock.total(CostCategory.HASH) == pytest.approx(expected)
+
+    def test_caches_are_per_udf(self):
+        cache = FunctionCache(SimulationClock(), CostConstants())
+        cache.store("f", ("k",), 1)
+        hit, _ = cache.lookup("g", ("k",), 10)
+        assert not hit
+
+    def test_clear(self):
+        cache = FunctionCache(SimulationClock(), CostConstants())
+        cache.store("f", ("k",), 1)
+        cache.clear()
+        assert cache.entries("f") == 0
+
+
+class TestRecyclerGraph:
+    def test_union_deduplicates_and_counts_reads(self):
+        graph = RecyclerGraph()
+        graph.add(RecyclerEntry("sig", {1: ("a",), 2: ("b", "c")}))
+        graph.add(RecyclerEntry("sig", {2: ("STALE",), 3: ()}))
+        combined, rows_read = graph.union_of_matched("sig")
+        assert combined[1] == ("a",)
+        assert combined[2] == ("b", "c")  # first entry wins
+        assert combined[3] == ()
+        # 1 + 2 rows from entry 1; 1 + 1 (empty counts as one) from entry 2.
+        assert rows_read == 5
+
+    def test_signature_isolation(self):
+        graph = RecyclerGraph()
+        graph.add(RecyclerEntry("a", {1: ()}))
+        assert graph.matched("b") == []
+        combined, rows_read = graph.union_of_matched("b")
+        assert combined == {} and rows_read == 0
+
+    def test_total_rows_and_reset(self):
+        graph = RecyclerGraph()
+        graph.add(RecyclerEntry("a", {1: ("x", "y")}))
+        assert graph.total_rows() == 2
+        graph.reset()
+        assert graph.total_rows() == 0
+
+
+class TestHashStashBehavior:
+    def test_detector_reused_but_classifiers_recomputed(self, tiny_video):
+        """HashStash's structural limitation (Table 2): operator-level
+        matching reuses the detector sub-tree, never predicate UDFs."""
+        session = EvaSession(
+            config=EvaConfig(reuse_policy=ReusePolicy.HASHSTASH))
+        session.register_video(tiny_video)
+        query = ("SELECT id FROM tiny CROSS APPLY "
+                 "FastRCNNObjectDetector(frame) WHERE id < 30 "
+                 "AND label='car' AND CarType(frame,bbox)='Nissan';")
+        session.execute(query)
+        session.execute(query)
+        stats = session.metrics.udf_stats
+        assert stats["fasterrcnn_resnet50"].reused_invocations == 30
+        assert stats["car_type"].reused_invocations == 0

@@ -1,0 +1,168 @@
+"""Tests for expression ASTs, analysis helpers, and evaluation."""
+
+import pytest
+
+from repro.errors import ExecutorError
+from repro.expressions.analysis import (
+    collect_columns,
+    collect_function_calls,
+    conjunction_of,
+    references_only,
+    split_conjuncts,
+    substitute,
+    term_key,
+)
+from repro.expressions.evaluator import ExpressionEvaluator, udf_column_name
+from repro.expressions.expr import (
+    And,
+    ColumnRef,
+    CompOp,
+    Comparison,
+    FunctionCall,
+    Literal,
+    Not,
+    Or,
+    Star,
+    TRUE,
+)
+from repro.parser.parser import parse
+
+
+def where(sql: str):
+    return parse(f"SELECT id FROM v WHERE {sql};").where
+
+
+class TestAstBasics:
+    def test_and_flattens(self):
+        nested = And((And((Literal(1), Literal(2))), Literal(3)))
+        assert len(nested.operands) == 3
+
+    def test_or_flattens(self):
+        nested = Or((Or((Literal(1), Literal(2))), Literal(3)))
+        assert len(nested.operands) == 3
+
+    def test_column_names_lowercased(self):
+        assert ColumnRef("BBox").name == "bbox"
+
+    def test_structural_equality(self):
+        assert where("a = 1 AND b = 2") == where("a = 1 AND b = 2")
+        assert where("a = 1") != where("a = 2")
+
+    def test_compop_negate_and_flip(self):
+        assert CompOp.LT.negate() is CompOp.GE
+        assert CompOp.EQ.negate() is CompOp.NE
+        assert CompOp.LE.flip() is CompOp.GE
+        assert CompOp.NE.flip() is CompOp.NE
+
+    def test_to_sql_roundtrip_through_parser(self):
+        original = where("(a > 1 OR b = 'x') AND NOT c <= 2.5")
+        assert where(original.to_sql()) == original
+
+
+class TestAnalysis:
+    def test_split_conjuncts(self):
+        conjuncts = split_conjuncts(where("a = 1 AND b = 2 AND c = 3"))
+        assert len(conjuncts) == 3
+
+    def test_split_conjuncts_none(self):
+        assert split_conjuncts(None) == []
+        assert split_conjuncts(TRUE) == []
+
+    def test_conjunction_of_roundtrip(self):
+        pred = where("a = 1 AND b = 2")
+        assert conjunction_of(split_conjuncts(pred)) == pred
+
+    def test_conjunction_of_empty_is_true(self):
+        assert conjunction_of([]) == TRUE
+
+    def test_collect_function_calls_deduplicates(self):
+        pred = where("CarType(frame,bbox) = 'a' OR CarType(frame,bbox) = 'b'")
+        calls = collect_function_calls(pred)
+        assert len(calls) == 1
+        assert calls[0].name == "cartype"
+
+    def test_collect_columns(self):
+        assert collect_columns(where("a = 1 AND f(b) > c")) == {"a", "b", "c"}
+
+    def test_references_only(self):
+        pred = where("a = 1 AND b = 2")
+        assert references_only(pred, {"a", "b"})
+        assert not references_only(pred, {"a"})
+        with_fn = where("f(a) = 1")
+        assert not references_only(with_fn, {"a"})
+        assert references_only(with_fn, {"a"}, allow_functions=True)
+
+    def test_term_key_stable(self):
+        call = FunctionCall("CarType", (ColumnRef("frame"),
+                                        ColumnRef("bbox")))
+        assert term_key(call) == "cartype(frame,bbox)"
+
+    def test_term_key_nested_call(self):
+        inner = FunctionCall("f", (ColumnRef("x"),))
+        outer = FunctionCall("g", (inner, Literal(3)))
+        assert term_key(outer) == "g(f(x),3)"
+
+    def test_substitute_rewrites_node(self):
+        pred = where("a = 1 AND b = 2")
+
+        def replace(node):
+            if node == ColumnRef("a"):
+                return ColumnRef("z")
+            return None
+
+        rewritten = substitute(pred, replace)
+        assert collect_columns(rewritten) == {"z", "b"}
+        # The original is untouched.
+        assert collect_columns(pred) == {"a", "b"}
+
+
+class TestEvaluator:
+    def setup_method(self):
+        self.evaluator = ExpressionEvaluator(
+            builtins={"double": lambda v: v * 2})
+
+    def test_comparisons(self):
+        row = {"a": 5, "label": "car"}
+        assert self.evaluator.evaluate_predicate(where("a > 3"), row)
+        assert not self.evaluator.evaluate_predicate(where("a > 7"), row)
+        assert self.evaluator.evaluate_predicate(
+            where("label = 'car'"), row)
+        assert self.evaluator.evaluate_predicate(where("a != 6"), row)
+
+    def test_logic(self):
+        row = {"a": 5}
+        assert self.evaluator.evaluate_predicate(
+            where("a > 3 AND a < 10"), row)
+        assert self.evaluator.evaluate_predicate(
+            where("a > 100 OR a = 5"), row)
+        assert self.evaluator.evaluate_predicate(where("NOT a = 6"), row)
+
+    def test_missing_column_compares_false(self):
+        assert not self.evaluator.evaluate_predicate(where("zzz > 3"), {})
+
+    def test_builtin_function(self):
+        assert self.evaluator.evaluate(
+            where("double(a) = 10").left, {"a": 5}) == 10
+
+    def test_precomputed_udf_column_wins(self):
+        pred = where("CarType(frame,bbox) = 'Nissan'")
+        column = udf_column_name("cartype(frame,bbox)")
+        assert self.evaluator.evaluate_predicate(pred, {column: "Nissan"})
+        assert not self.evaluator.evaluate_predicate(pred, {column: "Ford"})
+
+    def test_unapplied_udf_raises(self):
+        with pytest.raises(ExecutorError):
+            self.evaluator.evaluate(where("Mystery(a) = 1").left, {"a": 1})
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(ExecutorError):
+            self.evaluator.evaluate_predicate(
+                where("a > 'text'"), {"a": 5})
+
+    def test_star_cannot_be_evaluated(self):
+        with pytest.raises(ExecutorError):
+            self.evaluator.evaluate(Star(), {})
+
+    def test_comparison_against_none_is_false(self):
+        assert not self.evaluator.evaluate_predicate(
+            where("a = 1"), {"a": None})

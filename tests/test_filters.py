@@ -1,0 +1,87 @@
+"""Tests for specialized-filter integration (section 5.6)."""
+
+import pytest
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.optimizer.plans import PhysClassifierApply, PhysDetectorApply, \
+    walk_plan
+from repro.parser.parser import parse
+from repro.session import EvaSession
+
+
+def _session(video, policy=ReusePolicy.EVA):
+    session = EvaSession(config=EvaConfig(reuse_policy=policy))
+    session.register_video(video)
+    return session
+
+
+FILTERED_QUERY = (
+    "SELECT id FROM sparse CROSS APPLY FastRCNNObjectDetector(frame) "
+    "WHERE id < 200 AND VehicleFilter(frame) AND label = 'car';")
+UNFILTERED_QUERY = (
+    "SELECT id FROM sparse CROSS APPLY FastRCNNObjectDetector(frame) "
+    "WHERE id < 200 AND label = 'car';")
+
+
+class TestSpecializedFilterPlanning:
+    def test_filter_planned_before_detector(self, sparse_video):
+        session = _session(sparse_video)
+        plan = session.optimizer.optimize(parse(FILTERED_QUERY)).plan
+        nodes = list(walk_plan(plan))
+        filter_index = next(i for i, n in enumerate(nodes)
+                            if isinstance(n, PhysClassifierApply)
+                            and n.call.name == "vehiclefilter")
+        detector_index = next(i for i, n in enumerate(nodes)
+                              if isinstance(n, PhysDetectorApply))
+        # walk is root-first, so "before detector" = larger index.
+        assert filter_index > detector_index
+
+    def test_filter_reduces_detector_invocations(self, sparse_video):
+        with_filter = _session(sparse_video)
+        with_filter.execute(FILTERED_QUERY)
+        without = _session(sparse_video)
+        without.execute(UNFILTERED_QUERY)
+        filtered_count = with_filter.metrics.udf_stats[
+            "fasterrcnn_resnet50"].total_invocations
+        raw_count = without.metrics.udf_stats[
+            "fasterrcnn_resnet50"].total_invocations
+        assert filtered_count < raw_count * 0.8
+
+    def test_filter_speeds_up_sparse_video(self, sparse_video):
+        """EVA+Filter beats plain EVA on sparse video (section 5.6)."""
+        with_filter = _session(sparse_video)
+        with_filter.execute(FILTERED_QUERY)
+        without = _session(sparse_video)
+        without.execute(UNFILTERED_QUERY)
+        assert with_filter.workload_time() < without.workload_time()
+
+    def test_filter_results_are_materialized(self, sparse_video):
+        """Filters are lightweight UDFs whose results EVA also
+        materializes whenever possible (section 5.6)."""
+        session = _session(sparse_video)
+        session.execute(FILTERED_QUERY)
+        names = session.view_store.names()
+        assert any("vehicle_filter" in name for name in names)
+        # A repeat run reuses the filter's own results too.
+        session.execute(FILTERED_QUERY)
+        stats = session.metrics.udf_stats["vehicle_filter"]
+        assert stats.reused_invocations > 0
+
+    def test_detector_guard_tracks_filter_dimension(self, sparse_video):
+        """The detector's aggregated predicate includes the filter term,
+        so a later unfiltered query knows which frames are missing."""
+        session = _session(sparse_video)
+        session.execute(FILTERED_QUERY)
+        session.execute(UNFILTERED_QUERY)
+        # The unfiltered query re-evaluates only filter-rejected frames;
+        # the frames the filter passed are served from the view.
+        stats = session.metrics.udf_stats["fasterrcnn_resnet50"]
+        assert stats.distinct_invocations == 200
+        assert stats.reused_invocations > 0
+        assert stats.total_invocations == 200 + stats.reused_invocations
+
+    def test_results_equivalent_with_and_without_reuse(self, sparse_video):
+        eva = _session(sparse_video)
+        none = _session(sparse_video, ReusePolicy.NONE)
+        assert sorted(eva.execute(FILTERED_QUERY).rows) == \
+            sorted(none.execute(FILTERED_QUERY).rows)

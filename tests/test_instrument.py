@@ -1,0 +1,102 @@
+"""Tests for EXPLAIN ANALYZE and operator instrumentation."""
+
+import pytest
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.session import EvaSession
+
+
+@pytest.fixture
+def session(tiny_video):
+    session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.EVA))
+    session.register_video(tiny_video)
+    return session
+
+
+QUERY = ("SELECT id, bbox FROM tiny CROSS APPLY "
+         "FastRCNNObjectDetector(frame) WHERE id < 20 AND label = 'car' "
+         "AND CarType(frame, bbox) = 'Nissan';")
+
+
+class TestExplainAnalyze:
+    def test_annotates_every_operator(self, session):
+        result = session.execute(f"EXPLAIN ANALYZE {QUERY}")
+        lines = [row[0] for row in result.rows]
+        assert all("rows=" in line and "time=" in line for line in lines)
+        assert any(line.lstrip().startswith("Scan") for line in lines)
+
+    def test_row_counts_decrease_down_the_filter_chain(self, session):
+        result = session.execute(f"EXPLAIN ANALYZE {QUERY}")
+        lines = [row[0] for row in result.rows]
+
+        def rows_of(prefix):
+            line = next(l for l in lines if l.lstrip().startswith(prefix))
+            return int(line.split("rows=")[1].split()[0])
+
+        scan_rows = rows_of("Scan")
+        detector_rows = rows_of("DetectorApply")
+        project_rows = rows_of("Project")
+        assert scan_rows == 20
+        assert detector_rows > scan_rows  # cross apply fans out
+        assert project_rows <= detector_rows
+
+    def test_analyze_actually_executes(self, session):
+        session.execute(f"EXPLAIN ANALYZE {QUERY}")
+        stats = session.metrics.udf_stats
+        assert stats["fasterrcnn_resnet50"].total_invocations == 20
+
+    def test_analyze_materializes_for_later_queries(self, session):
+        """EXPLAIN ANALYZE runs for real, so its results are reusable."""
+        session.execute(f"EXPLAIN ANALYZE {QUERY}")
+        session.execute(QUERY)
+        detector = session.metrics.udf_stats["fasterrcnn_resnet50"]
+        assert detector.reused_invocations == 20
+
+    def test_plain_explain_does_not_execute(self, session):
+        session.execute(f"EXPLAIN {QUERY}")
+        assert session.metrics.udf_stats == {}
+
+    def test_matches_normal_execution_results(self, session):
+        analyzed = session.execute(f"EXPLAIN ANALYZE {QUERY}")
+        root_line = analyzed.rows[0][0]
+        root_rows = int(root_line.split("rows=")[1].split()[0])
+        direct = session.execute(QUERY)
+        assert root_rows == len(direct)
+
+
+class TestInstrumentedEngineInternals:
+    def test_every_plan_node_gets_a_wrapper(self, session):
+        from repro.executor.instrument import InstrumentedEngine
+        from repro.optimizer.plans import walk_plan
+        from repro.parser.parser import parse
+
+        optimized = session.optimizer.optimize(parse(QUERY))
+        engine = InstrumentedEngine(session.context)
+        engine.run(optimized.plan)
+        for node in walk_plan(optimized.plan):
+            assert id(node) in engine.instrumented
+
+    def test_wrapper_counts_match_child_output(self, session):
+        from repro.executor.instrument import InstrumentedEngine
+        from repro.optimizer.plans import PhysScan, walk_plan
+        from repro.parser.parser import parse
+
+        optimized = session.optimizer.optimize(parse(QUERY))
+        engine = InstrumentedEngine(session.context)
+        result = engine.run(optimized.plan)
+        scan_node = next(n for n in walk_plan(optimized.plan)
+                         if isinstance(n, PhysScan))
+        scan_stats = engine.instrumented[id(scan_node)]
+        assert scan_stats.rows_out == 20
+        root_stats = engine.instrumented[id(optimized.plan)]
+        assert root_stats.rows_out == result.num_rows
+
+    def test_elapsed_time_recorded(self, session):
+        from repro.executor.instrument import InstrumentedEngine
+        from repro.parser.parser import parse
+
+        optimized = session.optimizer.optimize(parse(QUERY))
+        engine = InstrumentedEngine(session.context)
+        engine.run(optimized.plan)
+        root_stats = engine.instrumented[id(optimized.plan)]
+        assert root_stats.elapsed > 0.0

@@ -1,0 +1,100 @@
+"""Metamorphic property tests over randomly generated workloads.
+
+The strongest correctness property of the whole system: for *any*
+exploratory workload, every reuse policy must return exactly the rows the
+no-reuse configuration returns, query by query.  Workloads come from the
+parameterized generator, so hypothesis explores the zoom/shift space the
+paper's analysts inhabit.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import EvaConfig, PredicateOrdering, ReusePolicy
+from repro.session import EvaSession
+from repro.types import VideoMetadata
+from repro.vbench.generator import WorkloadSpec, generate_workload
+from repro.video.synthetic import SyntheticVideo
+
+_VIDEO = SyntheticVideo(
+    VideoMetadata(name="meta", num_frames=160, width=960, height=540,
+                  fps=25.0, vehicles_per_frame=6.0),
+    seed=21)
+
+
+def _run(queries, config: EvaConfig):
+    session = EvaSession(config=config)
+    session.register_video(_VIDEO)
+    outputs = []
+    for query in queries:
+        result = session.execute(query)
+        outputs.append(sorted(result.rows, key=repr))
+    return outputs
+
+
+workload_specs = st.builds(
+    WorkloadSpec,
+    num_queries=st.integers(2, 4),
+    target_overlap=st.floats(0.0, 1.0),
+    window_fraction=st.floats(0.2, 0.8),
+    zoom_probability=st.floats(0.0, 1.0),
+    seed=st.integers(0, 10_000),
+)
+
+
+class TestPolicyEquivalence:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(workload_specs)
+    def test_eva_matches_noreuse_on_random_workloads(self, spec):
+        queries = generate_workload("meta", 160, spec)
+        baseline = _run(queries, EvaConfig(reuse_policy=ReusePolicy.NONE))
+        eva = _run(queries, EvaConfig(reuse_policy=ReusePolicy.EVA))
+        assert eva == baseline
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(workload_specs)
+    def test_all_policies_agree(self, spec):
+        queries = generate_workload("meta", 160, spec)
+        reference = None
+        for policy in (ReusePolicy.NONE, ReusePolicy.HASHSTASH,
+                       ReusePolicy.FUNCACHE, ReusePolicy.EVA):
+            outputs = _run(queries, EvaConfig(reuse_policy=policy))
+            if reference is None:
+                reference = outputs
+            else:
+                assert outputs == reference, policy
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(workload_specs)
+    def test_exhaustive_ordering_matches_rank(self, spec):
+        queries = generate_workload("meta", 160, spec)
+        rank = _run(queries, EvaConfig(
+            reuse_policy=ReusePolicy.EVA,
+            predicate_ordering=PredicateOrdering.RANK))
+        memo = _run(queries, EvaConfig(
+            reuse_policy=ReusePolicy.EVA,
+            predicate_ordering=PredicateOrdering.EXHAUSTIVE))
+        assert memo == rank
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(workload_specs)
+    def test_eva_never_slower_than_noreuse_overall(self, spec):
+        """Reuse may cost a little on a single query (materialization),
+        but never on a whole workload of two or more queries with any
+        overlap at all — and never by more than the small write overhead."""
+        queries = generate_workload("meta", 160, spec)
+        none_session = EvaSession(
+            config=EvaConfig(reuse_policy=ReusePolicy.NONE))
+        none_session.register_video(_VIDEO)
+        eva_session = EvaSession(
+            config=EvaConfig(reuse_policy=ReusePolicy.EVA))
+        eva_session.register_video(_VIDEO)
+        for query in queries:
+            none_session.execute(query)
+            eva_session.execute(query)
+        assert eva_session.workload_time() <= \
+            none_session.workload_time() * 1.10

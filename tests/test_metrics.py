@@ -1,0 +1,66 @@
+"""Tests for workload metric collection."""
+
+import pytest
+
+from repro.clock import CostCategory, SimulationClock
+from repro.metrics import MetricsCollector, UdfInvocationStats
+
+
+class TestUdfInvocationStats:
+    def test_record_counts(self):
+        stats = UdfInvocationStats("m", per_tuple_cost=0.1)
+        stats.record([1, 2, 3], reused=False)
+        stats.record([2, 3, 4], reused=True)
+        assert stats.total_invocations == 6
+        assert stats.reused_invocations == 3
+        assert stats.distinct_invocations == 4
+        assert stats.executed_invocations == 3
+
+
+class TestMetricsCollector:
+    def test_hit_percentage_empty(self):
+        assert MetricsCollector().hit_percentage() == 0.0
+
+    def test_hit_percentage(self):
+        collector = MetricsCollector()
+        collector.record_invocations("m", [1, 2, 3], reused=False)
+        collector.record_invocations("m", [1], reused=True)
+        assert collector.hit_percentage() == pytest.approx(25.0)
+
+    def test_per_query_accounting(self):
+        collector = MetricsCollector()
+        clock = SimulationClock()
+        collector.begin_query("SELECT 1", clock)
+        clock.charge(CostCategory.UDF, 2.0)
+        collector.record_invocations("m", [1, 2], reused=False)
+        metrics = collector.end_query(clock, rows_returned=5)
+        assert metrics.total_time == pytest.approx(2.0)
+        assert metrics.udf_counts == {"m": 2}
+        assert metrics.rows_returned == 5
+        assert metrics.udf_time == pytest.approx(2.0)
+
+    def test_end_query_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            MetricsCollector().end_query(SimulationClock(), 0)
+
+    def test_reuse_time_buckets(self):
+        collector = MetricsCollector()
+        clock = SimulationClock()
+        collector.begin_query("q", clock)
+        clock.charge(CostCategory.READ_VIEW, 1.0)
+        clock.charge(CostCategory.MATERIALIZE, 0.5)
+        clock.charge(CostCategory.UDF, 3.0)
+        metrics = collector.end_query(clock, 0)
+        assert metrics.reuse_time == pytest.approx(1.5)
+
+    def test_speedup_upper_bound(self):
+        collector = MetricsCollector()
+        # 4 invocations, 2 distinct, all the same cost: bound = 2.0 (Eq. 7).
+        collector.record_invocations("m", ["a", "b"], reused=False,
+                                     per_tuple_cost=1.0)
+        collector.record_invocations("m", ["a", "b"], reused=True,
+                                     per_tuple_cost=1.0)
+        assert collector.speedup_upper_bound() == pytest.approx(2.0)
+
+    def test_speedup_upper_bound_no_work(self):
+        assert MetricsCollector().speedup_upper_bound() == 1.0

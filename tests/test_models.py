@@ -1,0 +1,177 @@
+"""Tests for the simulated model zoo."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.models.classifiers import (
+    CAR_TYPE,
+    COLOR_DET,
+    LICENSE_READER,
+    SimulatedPatchClassifier,
+)
+from repro.models.detectors import (
+    FASTERRCNN_RESNET50,
+    FASTERRCNN_RESNET101,
+    YOLO_TINY,
+    SimulatedDetector,
+)
+from repro.models.filters import VEHICLE_FILTER
+from repro.models.zoo import default_zoo
+from repro.types import Accuracy, BoundingBox
+
+
+class TestDetectors:
+    def test_detection_is_deterministic(self, tiny_video):
+        a = FASTERRCNN_RESNET50.detect(tiny_video, 42)
+        b = FASTERRCNN_RESNET50.detect(tiny_video, 42)
+        assert a == b
+
+    def test_models_differ(self, tiny_video):
+        a = FASTERRCNN_RESNET50.detect(tiny_video, 42)
+        b = YOLO_TINY.detect(tiny_video, 42)
+        assert a != b
+
+    def test_recall_ordering(self, tiny_video):
+        """Higher-accuracy models find more objects on average
+        (the section 6 chained-cost limitation depends on this)."""
+        def total(model):
+            return sum(len(model.detect(tiny_video, f))
+                       for f in range(0, 400, 10))
+
+        assert total(YOLO_TINY) < total(FASTERRCNN_RESNET50)
+        assert total(FASTERRCNN_RESNET50) <= total(FASTERRCNN_RESNET101) * 1.05
+
+    def test_costs_match_paper_table5(self):
+        assert YOLO_TINY.per_tuple_cost == pytest.approx(0.009)
+        assert FASTERRCNN_RESNET50.per_tuple_cost == pytest.approx(0.099)
+        assert FASTERRCNN_RESNET101.per_tuple_cost == pytest.approx(0.120)
+
+    def test_accuracy_tiers(self):
+        assert YOLO_TINY.accuracy is Accuracy.LOW
+        assert FASTERRCNN_RESNET50.accuracy is Accuracy.MEDIUM
+        assert FASTERRCNN_RESNET101.accuracy is Accuracy.HIGH
+
+    def test_detections_sorted_spatially(self, tiny_video):
+        detections = FASTERRCNN_RESNET50.detect(tiny_video, 10)
+        xs = [d.bbox.x1 for d in detections]
+        assert xs == sorted(xs)
+
+    def test_scores_in_unit_interval(self, tiny_video):
+        for frame_id in range(0, 100, 10):
+            for det in FASTERRCNN_RESNET101.detect(tiny_video, frame_id):
+                assert 0.0 <= det.score <= 1.0
+
+    def test_invalid_recall_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedDetector("bad", 0.01, Accuracy.LOW, recall=1.5,
+                              label_accuracy=0.9, false_positive_rate=0.0,
+                              bbox_jitter=0.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedDetector("bad", -1.0, Accuracy.LOW, recall=0.5,
+                              label_accuracy=0.9, false_positive_rate=0.0,
+                              bbox_jitter=0.0)
+
+
+class TestClassifiers:
+    def _a_box(self, video, frame_id=20):
+        truth = video.ground_truth(frame_id)
+        assert truth.objects, "fixture frame should contain objects"
+        return truth.objects[0]
+
+    def test_classification_is_deterministic(self, tiny_video):
+        obj = self._a_box(tiny_video)
+        a = CAR_TYPE.classify(tiny_video, 20, obj.bbox)
+        b = CAR_TYPE.classify(tiny_video, 20, obj.bbox)
+        assert a == b
+
+    def test_classifier_mostly_correct(self, tiny_video):
+        correct = 0
+        total = 0
+        for frame_id in range(0, 400, 8):
+            for obj in tiny_video.ground_truth(frame_id).objects[:2]:
+                total += 1
+                if CAR_TYPE.classify(tiny_video, frame_id,
+                                     obj.bbox) == obj.vehicle_type:
+                    correct += 1
+        assert total > 50
+        assert correct / total > 0.8
+
+    def test_color_classifier_mostly_correct(self, tiny_video):
+        correct = 0
+        total = 0
+        for frame_id in range(0, 400, 8):
+            for obj in tiny_video.ground_truth(frame_id).objects[:2]:
+                total += 1
+                if COLOR_DET.classify(tiny_video, frame_id,
+                                      obj.bbox) == obj.color:
+                    correct += 1
+        assert correct / total > 0.85
+
+    def test_hallucination_on_empty_region(self, tiny_video):
+        """Boxes matching nothing still get a (deterministic) answer."""
+        bogus = BoundingBox(0, 0, 3, 3)
+        value = CAR_TYPE.classify(tiny_video, 20, bogus)
+        assert value in CAR_TYPE.classes
+        assert value == CAR_TYPE.classify(tiny_video, 20, bogus)
+
+    def test_license_reader_format(self, tiny_video):
+        obj = self._a_box(tiny_video)
+        plate = LICENSE_READER.classify(tiny_video, 20, obj.bbox)
+        assert len(plate) == 7
+
+    def test_invalid_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedPatchClassifier("bad", 0.01, "wheels", None, 0.9)
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedPatchClassifier("bad", 0.01, "color", None, 1.2)
+
+
+class TestSpecializedFilter:
+    def test_deterministic(self, sparse_video):
+        assert (VEHICLE_FILTER.predict(sparse_video, 5)
+                == VEHICLE_FILTER.predict(sparse_video, 5))
+
+    def test_agreement_with_ground_truth(self, sparse_video):
+        """The two-conv filter should be right most of the time but
+        imperfect (it is a real tiny network, not an oracle)."""
+        agree = 0
+        for frame_id in range(300):
+            predicted = VEHICLE_FILTER.predict(sparse_video, frame_id)
+            actual = sparse_video.ground_truth(frame_id).vehicle_count() > 0
+            agree += predicted == actual
+        assert agree / 300 > 0.8
+
+    def test_dense_video_mostly_positive(self, tiny_video):
+        positives = sum(VEHICLE_FILTER.predict(tiny_video, f)
+                        for f in range(0, 400, 10))
+        assert positives > 35
+
+
+class TestModelZoo:
+    def test_default_zoo_contents(self):
+        zoo = default_zoo()
+        assert "fasterrcnn_resnet50" in zoo
+        assert "car_type" in zoo
+        assert len(zoo.names()) == 7
+
+    def test_duplicate_registration_rejected(self):
+        zoo = default_zoo()
+        with pytest.raises(CatalogError):
+            zoo.register(YOLO_TINY)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(CatalogError):
+            default_zoo().get("nope")
+
+    def test_logical_lookup_with_accuracy(self):
+        zoo = default_zoo()
+        all_detectors = zoo.physical_models("ObjectDetector")
+        assert len(all_detectors) == 3
+        high = zoo.physical_models("ObjectDetector", Accuracy.HIGH)
+        assert [m.name for m in high] == ["fasterrcnn_resnet101"]
+        medium = zoo.physical_models("ObjectDetector", Accuracy.MEDIUM)
+        assert len(medium) == 2

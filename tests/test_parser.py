@@ -1,0 +1,179 @@
+"""Tests for the EVAQL lexer and parser."""
+
+import pytest
+
+from repro.errors import ParserError
+from repro.expressions.expr import (
+    AggregateCall,
+    And,
+    ColumnRef,
+    CompOp,
+    Comparison,
+    FunctionCall,
+    Literal,
+    Not,
+    Or,
+    Star,
+)
+from repro.parser.ast_nodes import CreateUdfStatement, SelectStatement
+from repro.parser.lexer import Lexer, TokenType
+from repro.parser.parser import parse
+from repro.types import Accuracy
+
+
+class TestLexer:
+    def _types(self, text):
+        return [t.ttype for t in Lexer(text).tokens()]
+
+    def test_basic_tokens(self):
+        tokens = Lexer("SELECT id FROM v;").tokens()
+        assert [t.value for t in tokens[:4]] == ["select", "id", "from", "v"]
+        assert tokens[-1].ttype is TokenType.EOF
+
+    def test_operators(self):
+        tokens = Lexer("a <= 1 != 2 <> 3 >= 4 < 5 > 6 = 7").tokens()
+        ops = [t.value for t in tokens if t.ttype is TokenType.OPERATOR]
+        assert ops == ["<=", "!=", "!=", ">=", "<", ">", "="]
+
+    def test_string_with_escaped_quote(self):
+        tokens = Lexer("'it''s'").tokens()
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParserError):
+            Lexer("'oops").tokens()
+
+    def test_numbers(self):
+        tokens = Lexer("42 3.14 .5").tokens()
+        values = [t.value for t in tokens if t.ttype is TokenType.NUMBER]
+        assert values == ["42", "3.14", ".5"]
+
+    def test_comments_skipped(self):
+        tokens = Lexer("SELECT -- a comment\n id").tokens()
+        assert [t.value for t in tokens[:2]] == ["select", "id"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParserError) as err:
+            Lexer("SELECT #").tokens()
+        assert err.value.position == 7
+
+
+class TestSelectParsing:
+    def test_minimal_select(self):
+        stmt = parse("SELECT id FROM video")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.table_name == "video"
+        assert stmt.select_list == ((ColumnRef("id"), None),)
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM v;")
+        assert isinstance(stmt.select_list[0][0], Star)
+
+    def test_alias(self):
+        stmt = parse("SELECT id AS frame_id FROM v;")
+        assert stmt.select_list[0][1] == "frame_id"
+
+    def test_cross_apply_with_accuracy(self):
+        stmt = parse("SELECT id FROM v CROSS APPLY "
+                     "ObjectDetector(frame) ACCURACY 'LOW';")
+        call = stmt.cross_applies[0].call
+        assert call.name == "objectdetector"
+        assert call.accuracy is Accuracy.LOW
+
+    def test_where_precedence(self):
+        stmt = parse("SELECT id FROM v WHERE a = 1 OR b = 2 AND c = 3;")
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.operands[1], And)
+
+    def test_not(self):
+        stmt = parse("SELECT id FROM v WHERE NOT a = 1;")
+        assert isinstance(stmt.where, Not)
+
+    def test_between_desugars(self):
+        stmt = parse("SELECT id FROM v WHERE id BETWEEN 3 AND 9;")
+        assert stmt.where == And((
+            Comparison(ColumnRef("id"), CompOp.GE, Literal(3)),
+            Comparison(ColumnRef("id"), CompOp.LE, Literal(9)),
+        ))
+
+    def test_parenthesized_predicate(self):
+        stmt = parse("SELECT id FROM v WHERE (a = 1 OR b = 2) AND c = 3;")
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.operands[0], Or)
+
+    def test_function_call_in_predicate(self):
+        stmt = parse(
+            "SELECT id FROM v WHERE CarType(frame, bbox) = 'Nissan';")
+        comparison = stmt.where
+        assert isinstance(comparison.left, FunctionCall)
+        assert comparison.left.args == (ColumnRef("frame"),
+                                        ColumnRef("bbox"))
+
+    def test_group_by_and_count(self):
+        stmt = parse("SELECT id, COUNT(*) FROM v GROUP BY id;")
+        assert stmt.group_by == (ColumnRef("id"),)
+        assert isinstance(stmt.select_list[1][0], AggregateCall)
+
+    def test_count_expression(self):
+        stmt = parse("SELECT COUNT(label) FROM v;")
+        aggregate = stmt.select_list[0][0]
+        assert aggregate.arg == ColumnRef("label")
+
+    def test_order_by_and_limit(self):
+        stmt = parse("SELECT id FROM v ORDER BY id DESC, score LIMIT 10;")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 10
+
+    def test_float_and_negative_style_literals(self):
+        stmt = parse("SELECT id FROM v WHERE score > 0.5;")
+        assert stmt.where.right == Literal(0.5)
+
+    def test_boolean_literals(self):
+        stmt = parse("SELECT id FROM v WHERE flag = TRUE;")
+        assert stmt.where.right == Literal(True)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParserError):
+            parse("SELECT id FROM v extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParserError):
+            parse("SELECT id;")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(ParserError):
+            parse("DELETE FROM v;")
+
+
+class TestCreateUdfParsing:
+    LISTING_2 = """
+        CREATE OR REPLACE UDF YOLO
+        INPUT = (frame NDARRAY UINT8(3, ANYDIM, ANYDIM))
+        OUTPUT = (labels NDARRAY STR(ANYDIM),
+                  bboxes NDARRAY FLOAT32(ANYDIM, 4))
+        IMPL = 'model:yolo_tiny'
+        LOGICAL_TYPE = ObjectDetector
+        PROPERTIES = ('ACCURACY' = 'HIGH');
+    """
+
+    def test_listing_2(self):
+        stmt = parse(self.LISTING_2)
+        assert isinstance(stmt, CreateUdfStatement)
+        assert stmt.name == "YOLO"
+        assert stmt.or_replace is True
+        assert stmt.impl == "model:yolo_tiny"
+        assert stmt.logical_type == "ObjectDetector"
+        assert stmt.accuracy is Accuracy.HIGH
+        assert stmt.inputs[0].name == "frame"
+        assert "UINT8" in stmt.inputs[0].type_text
+        assert len(stmt.outputs) == 2
+
+    def test_minimal_create(self):
+        stmt = parse("CREATE UDF f IMPL = 'model:car_type';")
+        assert stmt.or_replace is False
+        assert stmt.accuracy is None
+
+    def test_impl_required(self):
+        with pytest.raises(ParserError):
+            parse("CREATE UDF f LOGICAL_TYPE = Foo;")

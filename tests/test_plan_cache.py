@@ -1,0 +1,83 @@
+"""Tests for the version-keyed plan cache."""
+
+import pytest
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.session import EvaSession
+
+
+def _session(video, policy=ReusePolicy.EVA, **kwargs):
+    session = EvaSession(config=EvaConfig(reuse_policy=policy, **kwargs))
+    session.register_video(video)
+    return session
+
+
+QUERY = ("SELECT id FROM tiny CROSS APPLY FastRCNNObjectDetector(frame) "
+         "WHERE id < 20 AND label = 'car' "
+         "AND CarType(frame, bbox) = 'Nissan';")
+OTHER = QUERY.replace("id < 20", "id < 40")
+
+
+class TestPlanCache:
+    def test_repeat_under_none_policy_hits_cache(self, tiny_video):
+        """With no reuse state, nothing invalidates: the plan is reused."""
+        session = _session(tiny_video, ReusePolicy.NONE)
+        session.execute(QUERY)
+        first_plan = session.last_optimized
+        session.execute(QUERY)
+        assert session.last_optimized is first_plan
+
+    def test_eva_state_change_invalidates(self, tiny_video):
+        """Under EVA, the first run materializes results, so the repeat
+        must be re-optimized (the new plan reads from views)."""
+        session = _session(tiny_video, ReusePolicy.EVA)
+        session.execute(QUERY)
+        first_plan = session.last_optimized
+        session.execute(QUERY)
+        assert session.last_optimized is not first_plan
+        sources = session.last_optimized.detector_sources
+        assert sources[0].use_view
+
+    def test_settled_state_hits_cache(self, tiny_video):
+        """Once everything is materialized, re-running stops changing
+        state and the plan cache takes over."""
+        session = _session(tiny_video, ReusePolicy.EVA)
+        session.execute(QUERY)
+        session.execute(QUERY)  # re-optimized; fully covered now
+        settled_plan = session.last_optimized
+        version = session.udf_manager.version
+        session.execute(QUERY)
+        assert session.udf_manager.version == version
+        assert session.last_optimized is settled_plan
+
+    def test_distinct_queries_cached_separately(self, tiny_video):
+        session = _session(tiny_video, ReusePolicy.NONE)
+        session.execute(QUERY)
+        plan_a = session.last_optimized
+        session.execute(OTHER)
+        plan_b = session.last_optimized
+        assert plan_a is not plan_b
+        session.execute(QUERY)
+        assert session.last_optimized is plan_a
+
+    def test_cache_can_be_disabled(self, tiny_video):
+        session = _session(tiny_video, ReusePolicy.NONE,
+                           enable_plan_cache=False)
+        session.execute(QUERY)
+        first_plan = session.last_optimized
+        session.execute(QUERY)
+        assert session.last_optimized is not first_plan
+
+    def test_reset_clears_cache(self, tiny_video):
+        session = _session(tiny_video, ReusePolicy.NONE)
+        session.execute(QUERY)
+        first_plan = session.last_optimized
+        session.reset_reuse_state()
+        session.execute(QUERY)
+        assert session.last_optimized is not first_plan
+
+    def test_cached_plans_return_identical_results(self, tiny_video):
+        session = _session(tiny_video, ReusePolicy.NONE)
+        first = session.execute(QUERY)
+        second = session.execute(QUERY)  # cached plan
+        assert first.rows == second.rows

@@ -1,0 +1,105 @@
+"""Targeted tests for Algorithm 1's reduction branches."""
+
+import pytest
+
+from repro.parser.parser import parse
+from repro.symbolic.dnf import dnf_from_expression
+from repro.symbolic.reduce import (
+    reduce_predicate,
+    reduce_union_conjunctives,
+)
+
+
+def conj(sql: str):
+    dnf = dnf_from_expression(
+        parse(f"SELECT id FROM v WHERE {sql};").where)
+    assert len(dnf.conjunctives) == 1
+    return dnf.conjunctives[0]
+
+
+class TestReduceUnionConjunctives:
+    def test_case_i_full_subsumption(self):
+        c1 = conj("x >= 0 AND x <= 10")
+        c2 = conj("x >= 2 AND x <= 8 AND label = 'car'")
+        replacement = reduce_union_conjunctives(c1, c2)
+        assert replacement == [c1]
+
+    def test_case_ii_concatenation(self):
+        c1 = conj("x >= 0 AND x <= 5 AND label = 'car'")
+        c2 = conj("x >= 5 AND x <= 9 AND label = 'car'")
+        replacement = reduce_union_conjunctives(c1, c2)
+        assert replacement is not None
+        assert len(replacement) == 1
+        merged = replacement[0]
+        assert merged.satisfied_by({"x": 7, "label": "car"})
+        assert not merged.satisfied_by({"x": 10, "label": "car"})
+
+    def test_case_ii_categorical_merge(self):
+        c1 = conj("x >= 0 AND x <= 5 AND label = 'car'")
+        c2 = conj("x >= 0 AND x <= 5 AND label = 'bus'")
+        replacement = reduce_union_conjunctives(c1, c2)
+        assert replacement is not None
+        assert len(replacement) == 1
+        assert replacement[0].satisfied_by({"x": 2, "label": "bus"})
+        assert replacement[0].satisfied_by({"x": 2, "label": "car"})
+        assert not replacement[0].satisfied_by({"x": 2, "label": "van"})
+
+    def test_case_iii_carving(self):
+        c1 = conj("x >= 0 AND x <= 6")
+        c2 = conj("x >= 4 AND x <= 9 AND label = 'car'")
+        replacement = reduce_union_conjunctives(c1, c2)
+        assert replacement is not None
+        assert len(replacement) == 2
+        carved = next(c for c in replacement if c != c1)
+        # The overlap [4, 6] was removed from c2's x-range.
+        assert not carved.satisfied_by({"x": 5, "label": "car"})
+        assert carved.satisfied_by({"x": 8, "label": "car"})
+
+    def test_unconstrained_dimension_subsumes(self):
+        """c2 unconstrained on x with equal other dims: c1 disappears."""
+        c1 = conj("x >= 0 AND x <= 5 AND label = 'car'")
+        c2 = conj("label = 'car'")
+        replacement = reduce_union_conjunctives(c1, c2)
+        assert replacement == [c2]
+
+    def test_carve_against_unconstrained_dimension(self):
+        """c2 covers all of x but is narrower elsewhere: the x-overlap
+        with c1 is carved out of c2 (the complement branch)."""
+        c1 = conj("x >= 0 AND x <= 5")
+        c2 = conj("label = 'car'")
+        replacement = reduce_union_conjunctives(c1, c2)
+        if replacement is not None:
+            union_holds = lambda values: any(  # noqa: E731
+                c.satisfied_by(values) for c in replacement)
+            for x, label, expected in [
+                    (2, "car", True), (2, "bus", True),
+                    (9, "car", True), (9, "bus", False)]:
+                assert union_holds({"x": x, "label": label}) is expected
+
+    def test_no_relationship_returns_none(self):
+        c1 = conj("x >= 0 AND x <= 5 AND y >= 0 AND y <= 5")
+        c2 = conj("x >= 10 AND x <= 15 AND y >= 10 AND y <= 15")
+        assert reduce_union_conjunctives(c1, c2) is None
+
+
+class TestReducePredicate:
+    def test_empty_conjunctives_dropped(self):
+        dnf = dnf_from_expression(parse(
+            "SELECT id FROM v WHERE (x < 2 AND x > 5) OR x = 1;").where)
+        reduced = reduce_predicate(dnf)
+        assert len(reduced.conjunctives) == 1
+
+    def test_universe_shortcut(self):
+        dnf = dnf_from_expression(parse(
+            "SELECT id FROM v WHERE x < 5 OR x >= 5 OR y = 2;").where)
+        reduced = reduce_predicate(dnf)
+        assert reduced.is_true()
+
+    def test_chain_of_windows_collapses(self):
+        clauses = " OR ".join(
+            f"(x >= {i} AND x < {i + 12})" for i in range(0, 100, 10))
+        dnf = dnf_from_expression(parse(
+            f"SELECT id FROM v WHERE {clauses};").where)
+        reduced = reduce_predicate(dnf)
+        assert len(reduced.conjunctives) == 1
+        assert reduced.atom_count() == 2

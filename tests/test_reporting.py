@@ -1,0 +1,60 @@
+"""Tests for benchmark reporting helpers and workload-result summaries."""
+
+import pytest
+
+from repro.clock import CostCategory
+from repro.config import EvaConfig, ReusePolicy
+from repro.metrics import QueryMetrics
+from repro.vbench.reporting import format_table
+from repro.vbench.workload import WorkloadResult
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        header, rule, row1, row2 = lines
+        assert len(set(len(line) for line in (header, rule))) == 1
+        assert row1.index("2") == row2.index("4")
+
+    def test_float_formatting_tiers(self):
+        text = format_table(["v"], [[0.12345], [12.345], [1234.5], [0.0]])
+        assert "0.1235" in text  # small floats keep four decimals
+        assert "12.35" in text   # mid-range floats keep two
+        assert "1234" in text    # large floats drop decimals
+        assert "\n0" in text      # exact zero prints bare
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestWorkloadResult:
+    def _result(self, times, policy=ReusePolicy.EVA):
+        metrics = []
+        for t in times:
+            m = QueryMetrics("q")
+            m.time_breakdown = {CostCategory.UDF: t}
+            metrics.append(m)
+        return WorkloadResult(config=EvaConfig(reuse_policy=policy),
+                              query_metrics=metrics)
+
+    def test_total_and_query_times(self):
+        result = self._result([1.0, 2.0, 3.0])
+        assert result.total_time == pytest.approx(6.0)
+        assert result.query_times() == [1.0, 2.0, 3.0]
+
+    def test_speedup_over(self):
+        fast = self._result([1.0])
+        slow = self._result([4.0])
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+
+    def test_speedup_over_zero_time(self):
+        zero = self._result([])
+        other = self._result([1.0])
+        assert zero.speedup_over(other) == float("inf")
+
+    def test_category_times(self):
+        result = self._result([1.5, 2.5])
+        assert result.category_times(CostCategory.UDF) == [1.5, 2.5]
+        assert result.category_times(CostCategory.HASH) == [0.0, 0.0]

@@ -1,0 +1,93 @@
+"""Tests for selectivity estimation over DNF predicates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.statistics import (
+    CategoricalStatistics,
+    HistogramStatistics,
+    UniformIntStatistics,
+)
+from repro.parser.parser import parse
+from repro.symbolic.dnf import dnf_from_expression
+from repro.symbolic.selectivity import SelectivityEstimator
+
+
+def where(sql: str):
+    return parse(f"SELECT id FROM v WHERE {sql};").where
+
+
+STATS = {
+    "id": UniformIntStatistics(0, 1000),
+    "score": HistogramStatistics([i / 100 for i in range(101)]),
+    "label": CategoricalStatistics({"car": 0.8, "bus": 0.2}),
+}
+
+
+def estimator() -> SelectivityEstimator:
+    return SelectivityEstimator(STATS.get)
+
+
+class TestSelectivityEstimator:
+    def test_true_false(self):
+        est = estimator()
+        assert est.selectivity(dnf_from_expression(None)) == 1.0
+        assert est.selectivity(
+            dnf_from_expression(where("id > 5 AND id < 2"))) == 0.0
+
+    def test_range(self):
+        sel = estimator().selectivity(
+            dnf_from_expression(where("id < 500")))
+        assert sel == pytest.approx(0.5)
+
+    def test_conjunction_multiplies(self):
+        sel = estimator().selectivity(dnf_from_expression(
+            where("id < 500 AND label = 'car'")))
+        assert sel == pytest.approx(0.4)
+
+    def test_not_equal(self):
+        sel = estimator().selectivity(dnf_from_expression(
+            where("label != 'car'")))
+        assert sel == pytest.approx(0.2)
+
+    def test_numeric_point_on_uniform_ints(self):
+        sel = estimator().selectivity(dnf_from_expression(
+            where("id = 7")))
+        assert sel == pytest.approx(0.001)
+
+    def test_disjunction_inclusion_exclusion(self):
+        """P(id<500 OR id>=250) uses P(A)+P(B)-P(A AND B)."""
+        sel = estimator().selectivity(dnf_from_expression(
+            where("id < 500 OR id >= 250")))
+        assert sel == pytest.approx(1.0, abs=0.01)
+
+    def test_disjoint_disjunction_adds(self):
+        sel = estimator().selectivity(dnf_from_expression(
+            where("id < 100 OR id >= 900")))
+        assert sel == pytest.approx(0.2, abs=0.01)
+
+    def test_unknown_dimension_uses_default(self):
+        est = SelectivityEstimator(lambda dim: None,
+                                   default_selectivity=0.25)
+        sel = est.selectivity(dnf_from_expression(where("mystery = 1")))
+        assert sel == pytest.approx(0.25)
+
+    def test_histogram_range(self):
+        sel = estimator().selectivity(dnf_from_expression(
+            where("score > 0.75")))
+        assert sel == pytest.approx(0.25, abs=0.02)
+
+    @settings(max_examples=60)
+    @given(st.integers(0, 999), st.integers(0, 999))
+    def test_matches_exact_count_on_uniform_ids(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        predicate = dnf_from_expression(where(f"id >= {lo} AND id <= {hi}"))
+        expected = (hi - lo + 1) / 1000
+        assert estimator().selectivity(predicate) == pytest.approx(expected)
+
+    def test_selectivity_clamped_to_unit_interval(self):
+        # A big OR of overlapping ranges must not exceed 1.
+        clauses = " OR ".join(
+            f"(id >= {i} AND id < {i + 500})" for i in range(0, 600, 100))
+        sel = estimator().selectivity(dnf_from_expression(where(clauses)))
+        assert 0.0 <= sel <= 1.0

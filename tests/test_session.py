@@ -1,0 +1,209 @@
+"""End-to-end session tests: correctness of reuse across policies.
+
+The strongest integration property: because simulated models are pure
+functions of their inputs, every reuse policy must return *exactly* the
+same rows as the no-reuse configuration for any query sequence.
+"""
+
+import pytest
+
+from repro.clock import CostCategory
+from repro.config import EvaConfig, ReusePolicy
+from repro.errors import CatalogError, EvaError
+from repro.session import EvaSession
+
+
+def _session(policy, video, **kwargs):
+    session = EvaSession(config=EvaConfig(reuse_policy=policy, **kwargs))
+    session.register_video(video)
+    return session
+
+
+QUERY_SEQUENCE = [
+    # Q1: initial narrow search.
+    "SELECT id, bbox FROM tiny CROSS APPLY FastRCNNObjectDetector(frame) "
+    "WHERE id < 60 AND label = 'car' AND area > 0.2 "
+    "AND CarType(frame, bbox) = 'Nissan';",
+    # Q2: zoom out.
+    "SELECT id, bbox FROM tiny CROSS APPLY FastRCNNObjectDetector(frame) "
+    "WHERE id < 60 AND label = 'car' AND CarType(frame, bbox) = 'Nissan';",
+    # Q3: zoom in with a second UDF predicate.
+    "SELECT id, bbox FROM tiny CROSS APPLY FastRCNNObjectDetector(frame) "
+    "WHERE id < 60 AND label = 'car' AND CarType(frame, bbox) = 'Nissan' "
+    "AND ColorDet(frame, bbox) = 'Gray';",
+    # Q4: shifted range.
+    "SELECT id, bbox FROM tiny CROSS APPLY FastRCNNObjectDetector(frame) "
+    "WHERE id >= 40 AND id < 90 AND label = 'car' "
+    "AND ColorDet(frame, bbox) = 'Gray';",
+]
+
+
+class TestCrossPolicyEquivalence:
+    @pytest.mark.parametrize("policy", [ReusePolicy.EVA,
+                                        ReusePolicy.HASHSTASH,
+                                        ReusePolicy.FUNCACHE])
+    def test_same_results_as_noreuse(self, tiny_video, policy):
+        baseline = _session(ReusePolicy.NONE, tiny_video)
+        candidate = _session(policy, tiny_video)
+        for query in QUERY_SEQUENCE:
+            expected = baseline.execute(query)
+            actual = candidate.execute(query)
+            assert actual.columns == expected.columns
+            assert sorted(actual.rows, key=repr) == \
+                sorted(expected.rows, key=repr), f"mismatch on: {query}"
+
+    def test_eva_is_faster_than_noreuse(self, tiny_video):
+        baseline = _session(ReusePolicy.NONE, tiny_video)
+        eva = _session(ReusePolicy.EVA, tiny_video)
+        for query in QUERY_SEQUENCE:
+            baseline.execute(query)
+            eva.execute(query)
+        assert eva.workload_time() < baseline.workload_time()
+
+    def test_eva_records_hits(self, tiny_video):
+        eva = _session(ReusePolicy.EVA, tiny_video)
+        for query in QUERY_SEQUENCE:
+            eva.execute(query)
+        assert eva.hit_percentage() > 20.0
+
+    def test_noreuse_never_hits(self, tiny_video):
+        baseline = _session(ReusePolicy.NONE, tiny_video)
+        for query in QUERY_SEQUENCE:
+            baseline.execute(query)
+        assert baseline.hit_percentage() == 0.0
+
+
+class TestRepeatedQuery:
+    QUERY = QUERY_SEQUENCE[0]
+
+    def test_second_run_avoids_udf_evaluation(self, tiny_video):
+        session = _session(ReusePolicy.EVA, tiny_video)
+        session.execute(self.QUERY)
+        first = session.last_query_metrics()
+        session.execute(self.QUERY)
+        second = session.last_query_metrics()
+        assert second.time(CostCategory.UDF) < \
+            first.time(CostCategory.UDF) * 0.05
+        assert second.total_time < first.total_time
+
+    def test_repeated_results_identical(self, tiny_video):
+        session = _session(ReusePolicy.EVA, tiny_video)
+        first = session.execute(self.QUERY)
+        second = session.execute(self.QUERY)
+        assert first.rows == second.rows
+
+
+class TestQueryFeatures:
+    def test_group_by_count(self, tiny_video):
+        session = _session(ReusePolicy.NONE, tiny_video)
+        result = session.execute(
+            "SELECT id, COUNT(*) FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 10 AND label = 'car' "
+            "GROUP BY id;")
+        assert result.columns == ["id", "COUNT(*)"]
+        counts = dict(result.rows)
+        # Counts must match a manual filter of detector output.
+        raw = session.execute(
+            "SELECT id, label FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 10 "
+            "AND label = 'car';")
+        expected = {}
+        for frame_id in raw.column("id"):
+            expected[frame_id] = expected.get(frame_id, 0) + 1
+        assert counts == expected
+
+    def test_order_by_and_limit(self, tiny_video):
+        session = _session(ReusePolicy.NONE, tiny_video)
+        result = session.execute(
+            "SELECT id FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 20 "
+            "ORDER BY id DESC LIMIT 5;")
+        ids = result.column("id")
+        assert len(ids) == 5
+        assert ids == sorted(ids, reverse=True)
+
+    def test_select_star(self, tiny_video):
+        session = _session(ReusePolicy.NONE, tiny_video)
+        result = session.execute(
+            "SELECT * FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id = 5;")
+        for column in ("id", "timestamp", "frame", "label", "bbox",
+                       "score", "area"):
+            assert column in result.columns
+
+    def test_select_list_udf(self, tiny_video):
+        session = _session(ReusePolicy.EVA, tiny_video)
+        result = session.execute(
+            "SELECT id, License(frame, bbox) FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 5 AND label = 'car';")
+        plates = result.column("license(frame, bbox)")
+        assert all(isinstance(p, str) and p for p in plates)
+
+    def test_empty_result(self, tiny_video):
+        session = _session(ReusePolicy.EVA, tiny_video)
+        result = session.execute(
+            "SELECT id FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 0;")
+        assert len(result) == 0
+
+    def test_scan_only_query(self, tiny_video):
+        session = _session(ReusePolicy.NONE, tiny_video)
+        result = session.execute(
+            "SELECT id, timestamp FROM tiny WHERE id < 3;")
+        assert result.rows == [(0, 0.0), (1, 1 / 25), (2, 2 / 25)]
+
+
+class TestCreateUdf:
+    def test_create_model_udf(self, tiny_video):
+        session = _session(ReusePolicy.EVA, tiny_video)
+        session.execute("CREATE UDF MyDetector "
+                        "IMPL = 'model:fasterrcnn_resnet101';")
+        result = session.execute(
+            "SELECT id FROM tiny CROSS APPLY MyDetector(frame) "
+            "WHERE id < 3;")
+        assert len(result) > 0
+
+    def test_create_or_replace(self, tiny_video):
+        session = _session(ReusePolicy.EVA, tiny_video)
+        session.execute("CREATE UDF D IMPL = 'model:yolo_tiny';")
+        with pytest.raises(CatalogError):
+            session.execute("CREATE UDF D IMPL = 'model:yolo_tiny';")
+        session.execute(
+            "CREATE OR REPLACE UDF D IMPL = 'model:fasterrcnn_resnet50';")
+
+    def test_bad_impl_rejected(self, tiny_video):
+        session = _session(ReusePolicy.EVA, tiny_video)
+        with pytest.raises(CatalogError):
+            session.execute("CREATE UDF D IMPL = 'udfs/yolo.py';")
+
+
+class TestSessionLifecycle:
+    def test_explain(self, tiny_video):
+        session = _session(ReusePolicy.EVA, tiny_video)
+        text = session.explain(QUERY_SEQUENCE[0])
+        assert "DetectorApply" in text
+
+    def test_explain_rejects_create(self, tiny_video):
+        session = _session(ReusePolicy.EVA, tiny_video)
+        with pytest.raises(EvaError):
+            session.explain("CREATE UDF X IMPL='model:yolo_tiny';")
+
+    def test_reset_reuse_state(self, tiny_video):
+        session = _session(ReusePolicy.EVA, tiny_video)
+        session.execute(QUERY_SEQUENCE[0])
+        assert session.storage_footprint_bytes() > 0
+        session.reset_reuse_state()
+        assert session.storage_footprint_bytes() == 0
+        assert session.hit_percentage() == 0.0
+        # Re-execution works from the clean state.
+        session.execute(QUERY_SEQUENCE[0])
+        assert session.hit_percentage() == 0.0
+
+    def test_storage_footprint_tiny_relative_to_video(self, tiny_video):
+        """Materialized views are a vanishing fraction of the video
+        (section 5.2: ~0.09%)."""
+        session = _session(ReusePolicy.EVA, tiny_video)
+        for query in QUERY_SEQUENCE:
+            session.execute(query)
+        video_bytes = sum(f.nbytes() for f in tiny_video.frames())
+        assert session.storage_footprint_bytes() < 0.01 * video_bytes

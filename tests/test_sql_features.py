@@ -1,0 +1,174 @@
+"""Tests for the extended EVAQL surface: IN, DISTINCT, aggregates,
+SHOW/DROP UDF, and EXPLAIN."""
+
+import pytest
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.errors import CatalogError, ExecutorError, ParserError
+from repro.session import EvaSession
+
+
+@pytest.fixture
+def session(tiny_video):
+    session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.EVA))
+    session.register_video(tiny_video)
+    return session
+
+
+class TestInLists:
+    def test_in_desugars_and_executes(self, session):
+        result = session.execute(
+            "SELECT id, label FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 20 "
+            "AND label IN ('bus', 'truck');")
+        assert set(result.column("label")) <= {"bus", "truck"}
+
+    def test_not_in(self, session):
+        result = session.execute(
+            "SELECT id, label FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 20 "
+            "AND label NOT IN ('car');")
+        assert "car" not in set(result.column("label"))
+
+    def test_in_over_udf_term_uses_symbolic_sets(self, session):
+        """IN over a classifier output becomes one categorical constraint."""
+        from repro.parser.parser import parse
+        from repro.symbolic.dnf import dnf_from_expression
+
+        stmt = parse("SELECT id FROM tiny WHERE "
+                     "CarType(frame,bbox) IN ('Nissan', 'Toyota');")
+        dnf = dnf_from_expression(stmt.where)
+        # Disjunction of equalities over one dimension reduces to a single
+        # conjunctive with a two-value set.
+        from repro.symbolic.reduce import reduce_predicate
+
+        reduced = reduce_predicate(dnf)
+        assert len(reduced.conjunctives) == 1
+        assert reduced.atom_count() == 2
+
+    def test_id_in_list_becomes_point_scans(self, session):
+        from repro.optimizer.plans import PhysScan, walk_plan
+        from repro.parser.parser import parse
+
+        optimized = session.optimizer.optimize(parse(
+            "SELECT id FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id IN (5, 6, 42);"))
+        scan = next(n for n in walk_plan(optimized.plan)
+                    if isinstance(n, PhysScan))
+        assert scan.ranges == ((5, 7), (42, 43))
+
+
+class TestDistinct:
+    def test_distinct_labels(self, session):
+        result = session.execute(
+            "SELECT DISTINCT label FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 30;")
+        labels = result.column("label")
+        assert len(labels) == len(set(labels))
+        assert "car" in labels
+
+    def test_distinct_preserves_first_occurrence_order(self, session):
+        result = session.execute(
+            "SELECT DISTINCT id FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 10;")
+        ids = result.column("id")
+        assert ids == sorted(set(ids))
+
+
+class TestAggregates:
+    def test_global_aggregates(self, session):
+        result = session.execute(
+            "SELECT COUNT(*), AVG(score), MIN(area), MAX(area), SUM(area) "
+            "FROM tiny CROSS APPLY FastRCNNObjectDetector(frame) "
+            "WHERE id < 15 AND label = 'car';")
+        count, avg_score, min_area, max_area, sum_area = result.rows[0]
+        assert count > 0
+        assert 0.0 <= avg_score <= 1.0
+        assert 0.0 <= min_area <= max_area <= 1.0
+        assert sum_area == pytest.approx(
+            sum(_areas(session)), rel=1e-9)
+
+    def test_avg_matches_manual_computation(self, session):
+        areas = _areas(session)
+        result = session.execute(
+            "SELECT AVG(area) FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 15 "
+            "AND label = 'car';")
+        assert result.rows[0][0] == pytest.approx(
+            sum(areas) / len(areas))
+
+    def test_aggregate_over_empty_group_returns_none(self, session):
+        result = session.execute(
+            "SELECT SUM(area), MIN(area), COUNT(*) FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 0;")
+        # Global aggregate over zero rows yields zero groups.
+        assert len(result) == 0
+
+    def test_sum_of_strings_rejected(self, session):
+        with pytest.raises(ExecutorError):
+            session.execute(
+                "SELECT SUM(label) FROM tiny CROSS APPLY "
+                "FastRCNNObjectDetector(frame) WHERE id < 5;")
+
+    def test_sum_star_rejected_by_parser(self, session):
+        with pytest.raises(ParserError):
+            session.execute("SELECT SUM(*) FROM tiny;")
+
+    def test_min_max_on_strings(self, session):
+        result = session.execute(
+            "SELECT MIN(label), MAX(label) FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 10;")
+        lo, hi = result.rows[0]
+        assert lo <= hi
+
+
+def _areas(session):
+    raw = session.execute(
+        "SELECT area FROM tiny CROSS APPLY "
+        "FastRCNNObjectDetector(frame) WHERE id < 15 AND label = 'car';")
+    return raw.column("area")
+
+
+class TestCatalogStatements:
+    def test_show_udfs(self, session):
+        result = session.execute("SHOW UDFS;")
+        names = result.column("name")
+        assert "CarType" in names
+        assert "ObjectDetector" in names
+        kinds = dict(zip(names, result.column("kind")))
+        assert kinds["CarType"] == "patch_classifier"
+
+    def test_drop_udf(self, session):
+        session.execute("DROP UDF License;")
+        assert "License" not in session.catalog.udfs
+        with pytest.raises(CatalogError):
+            session.execute("DROP UDF License;")
+
+    def test_explain_statement(self, session):
+        result = session.execute(
+            "EXPLAIN SELECT id FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 10;")
+        text = "\n".join(row[0] for row in result.rows)
+        assert "DetectorApply" in text
+        assert "Scan" in text
+        # EXPLAIN does not execute anything.
+        assert session.metrics.udf_stats == {}
+
+
+class TestOrderByAggregate:
+    def test_order_by_count_star(self, session):
+        result = session.execute(
+            "SELECT id, COUNT(*) FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 25 AND label='car' "
+            "GROUP BY id ORDER BY COUNT(*) DESC LIMIT 3;")
+        counts = result.column("COUNT(*)")
+        assert counts == sorted(counts, reverse=True)
+        assert len(counts) <= 3
+
+    def test_order_by_avg(self, session):
+        result = session.execute(
+            "SELECT label, AVG(area) FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) WHERE id < 25 "
+            "GROUP BY label ORDER BY AVG(area);")
+        averages = result.column("AVG(area)")
+        assert averages == sorted(averages)

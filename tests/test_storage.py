@@ -1,0 +1,207 @@
+"""Tests for batches, the columnar format, views, and table scans."""
+
+import pytest
+
+from repro.catalog.schema import ColumnType, TableSchema
+from repro.errors import ExecutorError, StorageError
+from repro.storage.batch import Batch
+from repro.storage.columnar import read_table, write_table
+from repro.storage.engine import StorageEngine, VideoTable
+from repro.storage.view_store import MaterializedView, ViewStore
+from repro.types import BoundingBox
+
+
+class TestBatch:
+    def test_from_rows_roundtrip(self):
+        batch = Batch.from_rows(["a", "b"], [(1, "x"), (2, "y")])
+        assert batch.num_rows == 2
+        assert batch.to_tuples() == [(1, "x"), (2, "y")]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ExecutorError):
+            Batch({"a": [1, 2], "b": [1]})
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ExecutorError):
+            Batch.from_rows(["a", "b"], [(1,)])
+
+    def test_concat(self):
+        a = Batch({"x": [1, 2]})
+        b = Batch({"x": [3]})
+        assert Batch.concat([a, b]).column("x") == [1, 2, 3]
+
+    def test_concat_mismatched_columns_rejected(self):
+        with pytest.raises(ExecutorError):
+            Batch.concat([Batch({"x": [1]}), Batch({"y": [1]})])
+
+    def test_concat_empty(self):
+        assert Batch.concat([]).num_rows == 0
+
+    def test_project(self):
+        batch = Batch({"a": [1], "b": [2], "c": [3]})
+        assert batch.project(["c", "a"]).column_names == ["c", "a"]
+
+    def test_project_unknown_column(self):
+        with pytest.raises(ExecutorError):
+            Batch({"a": [1]}).project(["z"])
+
+    def test_filter(self):
+        batch = Batch({"a": [1, 2, 3]})
+        assert batch.filter([True, False, True]).column("a") == [1, 3]
+
+    def test_filter_wrong_mask_length(self):
+        with pytest.raises(ExecutorError):
+            Batch({"a": [1]}).filter([True, False])
+
+    def test_with_column_replaces(self):
+        batch = Batch({"a": [1, 2]}).with_column("a", [5, 6])
+        assert batch.column("a") == [5, 6]
+
+    def test_with_column_wrong_length(self):
+        with pytest.raises(ExecutorError):
+            Batch({"a": [1, 2]}).with_column("b", [1])
+
+    def test_take_and_slice(self):
+        batch = Batch({"a": [10, 20, 30]})
+        assert batch.take([2, 0]).column("a") == [30, 10]
+        assert batch.slice(1, 3).column("a") == [20, 30]
+
+    def test_sorted_by(self):
+        batch = Batch({"a": [3, 1, 2], "b": ["c", "a", "b"]})
+        assert batch.sorted_by("a").column("b") == ["a", "b", "c"]
+
+    def test_iter_rows(self):
+        rows = list(Batch({"a": [1], "b": [2]}).iter_rows())
+        assert rows == [{"a": 1, "b": 2}]
+
+    def test_rename(self):
+        batch = Batch({"a": [1]}).rename({"a": "z"})
+        assert batch.column_names == ["z"]
+
+
+class TestColumnarFormat:
+    SCHEMA = TableSchema.of(
+        ("id", ColumnType.INTEGER),
+        ("score", ColumnType.FLOAT),
+        ("label", ColumnType.STRING),
+        ("flag", ColumnType.BOOLEAN),
+        ("bbox", ColumnType.BBOX),
+    )
+
+    def _batch(self):
+        return Batch({
+            "id": [1, 2],
+            "score": [0.5, 0.75],
+            "label": ["car", "bus"],
+            "flag": [True, False],
+            "bbox": [BoundingBox(0, 0, 10, 10), BoundingBox(1, 2, 3, 4)],
+        })
+
+    def test_roundtrip(self, tmp_path):
+        nbytes = write_table(tmp_path / "t", self.SCHEMA, self._batch())
+        assert nbytes > 0
+        schema, batch = read_table(tmp_path / "t")
+        assert schema == self.SCHEMA
+        assert batch.to_tuples() == self._batch().to_tuples()
+
+    def test_read_missing_table(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_table(tmp_path / "nope")
+
+    def test_empty_table_roundtrip(self, tmp_path):
+        empty = Batch({c.name: [] for c in self.SCHEMA.columns})
+        write_table(tmp_path / "t", self.SCHEMA, empty)
+        _, batch = read_table(tmp_path / "t")
+        assert batch.num_rows == 0
+
+
+class TestMaterializedView:
+    def test_put_and_get(self):
+        view = MaterializedView("v", ["id"], ["label"])
+        view.put((1,), [{"label": "car"}, {"label": "bus"}])
+        assert (1,) in view
+        assert [r["label"] for r in view.get((1,))] == ["car", "bus"]
+
+    def test_empty_result_is_recorded(self):
+        """A key with zero rows still counts as computed (conditional
+        APPLY must not re-evaluate it)."""
+        view = MaterializedView("v", ["id"], ["label"])
+        view.put((7,), [])
+        assert (7,) in view
+        assert view.get((7,)) == ()
+
+    def test_put_is_idempotent(self):
+        view = MaterializedView("v", ["id"], ["label"])
+        view.put((1,), [{"label": "car"}])
+        view.put((1,), [{"label": "DIFFERENT"}])
+        assert view.get((1,))[0]["label"] == "car"
+
+    def test_put_many_counts_new_keys(self):
+        view = MaterializedView("v", ["id"], ["label"])
+        view.put((1,), [])
+        added = view.put_many([((1,), []), ((2,), [{"label": "x"}])])
+        assert added == 1
+        assert view.num_keys == 2
+
+    def test_requires_key_columns(self):
+        with pytest.raises(StorageError):
+            MaterializedView("v", [], ["x"])
+
+    def test_serialized_bytes_grows(self):
+        view = MaterializedView("v", ["id"], ["label", "bbox"])
+        empty_size = view.serialized_bytes()
+        for i in range(50):
+            view.put((i,), [{"label": "car",
+                             "bbox": BoundingBox(0, 0, i, i)}])
+        assert view.serialized_bytes() > empty_size
+
+
+class TestViewStore:
+    def test_create_or_get_returns_same_view(self):
+        store = ViewStore()
+        a = store.create_or_get("v", ["id"], ["x"])
+        b = store.create_or_get("v", ["id"], ["x"])
+        assert a is b
+
+    def test_layout_conflict_rejected(self):
+        store = ViewStore()
+        store.create_or_get("v", ["id"], ["x"])
+        with pytest.raises(StorageError):
+            store.create_or_get("v", ["id", "bbox"], ["x"])
+
+    def test_total_bytes_and_drop(self):
+        store = ViewStore()
+        view = store.create_or_get("v", ["id"], ["x"])
+        view.put((1,), [{"x": 1}])
+        assert store.total_serialized_bytes() > 0
+        store.drop_all()
+        assert store.names() == []
+
+
+class TestVideoTableScan:
+    def test_scan_covers_range(self, tiny_video):
+        table = VideoTable(tiny_video)
+        batches = list(table.scan(10, 30, batch_rows=8))
+        ids = [i for b in batches for i in b.column("id")]
+        assert ids == list(range(10, 30))
+        assert all(b.num_rows <= 8 for b in batches)
+
+    def test_scan_clamps_stop(self, tiny_video):
+        table = VideoTable(tiny_video)
+        ids = [i for b in table.scan(395, 500) for i in b.column("id")]
+        assert ids == [395, 396, 397, 398, 399]
+
+    def test_timestamps_follow_fps(self, tiny_video):
+        table = VideoTable(tiny_video)
+        batch = next(table.scan(100, 101))
+        assert batch.column("timestamp")[0] == pytest.approx(100 / 25.0)
+
+    def test_engine_registration(self, tiny_video):
+        engine = StorageEngine()
+        engine.register_video(tiny_video)
+        assert "tiny" in engine
+        assert engine.table("tiny").num_rows == 400
+        with pytest.raises(StorageError):
+            engine.register_video(tiny_video)
+        with pytest.raises(StorageError):
+            engine.table("nope")

@@ -1,0 +1,132 @@
+"""Tests for DNF conversion and the compiled membership fast path."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnsupportedPredicateError
+from repro.expressions.evaluator import ExpressionEvaluator
+from repro.expressions.expr import (
+    And,
+    ColumnRef,
+    CompOp,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+)
+from repro.parser.parser import parse
+from repro.symbolic.compiled import compile_dnf
+from repro.symbolic.dnf import DnfPredicate, dnf_from_expression
+
+
+def where(sql: str):
+    return parse(f"SELECT id FROM v WHERE {sql};").where
+
+
+# -- random predicate generator over dimensions x (numeric), y (numeric),
+#    label (categorical) ------------------------------------------------------
+
+def atoms():
+    numeric = st.builds(
+        Comparison,
+        st.sampled_from([ColumnRef("x"), ColumnRef("y")]),
+        st.sampled_from(list(CompOp)),
+        st.integers(-8, 8).map(Literal))
+    categorical = st.builds(
+        Comparison,
+        st.just(ColumnRef("label")),
+        st.sampled_from([CompOp.EQ, CompOp.NE]),
+        st.sampled_from(["car", "bus", "van"]).map(Literal))
+    return st.one_of(numeric, categorical)
+
+
+predicates = st.recursive(
+    atoms(),
+    lambda children: st.one_of(
+        st.builds(lambda a, b: And((a, b)), children, children),
+        st.builds(lambda a, b: Or((a, b)), children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=8)
+
+rows = st.fixed_dictionaries({
+    "x": st.integers(-10, 10),
+    "y": st.integers(-10, 10),
+    "label": st.sampled_from(["car", "bus", "van", "truck"]),
+})
+
+
+class TestDnfConversion:
+    def test_true_false(self):
+        assert dnf_from_expression(None).is_true()
+        assert dnf_from_expression(Literal(True)).is_true()
+        assert dnf_from_expression(Literal(False)).is_false()
+
+    def test_contradiction_collapses_to_false(self):
+        dnf = dnf_from_expression(where("x > 5 AND x < 3"))
+        assert dnf.is_false()
+
+    def test_flipped_comparison(self):
+        dnf = dnf_from_expression(where("5 > x"))
+        assert dnf.satisfied_by({"x": 4})
+        assert not dnf.satisfied_by({"x": 6})
+
+    def test_join_predicate_rejected(self):
+        """Column-to-column comparisons are the paper's stated limitation."""
+        with pytest.raises(UnsupportedPredicateError):
+            dnf_from_expression(where("a = b"))
+
+    def test_bare_udf_term_as_boolean(self):
+        dnf = dnf_from_expression(where("VehicleFilter(frame)"))
+        key = "udf:vehiclefilter(frame)"
+        assert dnf.satisfied_by({key: True})
+        assert not dnf.satisfied_by({key: False})
+
+    def test_negated_bare_term(self):
+        dnf = dnf_from_expression(where("NOT VehicleFilter(frame)"))
+        key = "udf:vehiclefilter(frame)"
+        assert dnf.satisfied_by({key: False})
+
+    def test_dimensions(self):
+        dnf = dnf_from_expression(
+            where("x > 1 AND CarType(frame,bbox) = 'Nissan'"))
+        assert dnf.dimensions() == {"x", "udf:cartype(frame,bbox)"}
+
+    def test_atom_count(self):
+        dnf = dnf_from_expression(where("x > 1 AND x < 5 AND label='car'"))
+        assert dnf.atom_count() == 3
+
+    def test_missing_dimension_fails_closed(self):
+        dnf = dnf_from_expression(where("x > 1"))
+        assert not dnf.satisfied_by({})
+
+    @settings(max_examples=200)
+    @given(predicates, rows)
+    def test_dnf_equivalent_to_evaluator(self, predicate, row):
+        """DNF semantics match direct AST evaluation on concrete rows."""
+        evaluator = ExpressionEvaluator()
+        expected = evaluator.evaluate_predicate(predicate, row)
+        dnf = dnf_from_expression(predicate)
+        assert dnf.satisfied_by(row) == expected
+
+    @settings(max_examples=200)
+    @given(predicates, rows)
+    def test_to_expression_roundtrip(self, predicate, row):
+        """Rendering a DNF back to an AST preserves semantics."""
+        evaluator = ExpressionEvaluator()
+        dnf = dnf_from_expression(predicate)
+        rendered = dnf.to_expression()
+        assert (evaluator.evaluate_predicate(rendered, row)
+                == dnf.satisfied_by(row))
+
+    @settings(max_examples=200)
+    @given(predicates, rows)
+    def test_compiled_matches_interpreted(self, predicate, row):
+        """The compiled fast path agrees with sympy-backed membership."""
+        dnf = dnf_from_expression(predicate)
+        check = compile_dnf(dnf)
+        assert check(row) == dnf.satisfied_by(row)
+
+    def test_compiled_true_false(self):
+        assert compile_dnf(DnfPredicate.true())({})
+        assert not compile_dnf(DnfPredicate.false())({})

@@ -1,0 +1,156 @@
+"""Tests for per-dimension constraint domains."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnsupportedPredicateError
+from repro.expressions.expr import ColumnRef, CompOp
+from repro.symbolic.domains import CategoricalConstraint, NumericConstraint
+
+# -- strategies -------------------------------------------------------------
+
+values = st.integers(-20, 20)
+ops = st.sampled_from(list(CompOp))
+numeric_constraints = st.builds(
+    NumericConstraint.from_comparison, ops, values)
+categories = st.sampled_from(["a", "b", "c", "d"])
+categorical_constraints = st.builds(
+    lambda vs, c: CategoricalConstraint(frozenset(vs), c),
+    st.sets(categories, max_size=3), st.booleans())
+
+probe_numbers = st.integers(-25, 25)
+probe_categories = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+class TestNumericConstraint:
+    def test_from_comparison_semantics(self):
+        lt = NumericConstraint.from_comparison(CompOp.LT, 5)
+        assert lt.contains(4) and not lt.contains(5)
+        le = NumericConstraint.from_comparison(CompOp.LE, 5)
+        assert le.contains(5) and not le.contains(6)
+        eq = NumericConstraint.from_comparison(CompOp.EQ, 5)
+        assert eq.contains(5) and not eq.contains(4)
+        ne = NumericConstraint.from_comparison(CompOp.NE, 5)
+        assert ne.contains(4) and not ne.contains(5)
+
+    def test_paper_monadic_union(self):
+        """UNION(5<x<15, 10<x<20) -> 5<x<20 (section 4.1 example)."""
+        a = (NumericConstraint.from_comparison(CompOp.GT, 5)
+             .intersect(NumericConstraint.from_comparison(CompOp.LT, 15)))
+        b = (NumericConstraint.from_comparison(CompOp.GT, 10)
+             .intersect(NumericConstraint.from_comparison(CompOp.LT, 20)))
+        union = a.union(b)
+        assert union == NumericConstraint.interval(5, 20, True, True)
+        assert union.atom_count() == 2
+
+    def test_universe_and_empty(self):
+        assert NumericConstraint.universe().is_universe()
+        assert NumericConstraint.empty().is_empty()
+        assert NumericConstraint.universe().atom_count() == 0
+
+    def test_atom_counts(self):
+        assert NumericConstraint.from_comparison(
+            CompOp.LT, 5).atom_count() == 1
+        assert NumericConstraint.interval(1, 2).atom_count() == 2
+        assert NumericConstraint.from_comparison(
+            CompOp.EQ, 5).atom_count() == 1
+        assert NumericConstraint.from_comparison(
+            CompOp.NE, 5).atom_count() == 1
+
+    def test_mixed_types_rejected(self):
+        numeric = NumericConstraint.universe()
+        categorical = CategoricalConstraint.universe()
+        with pytest.raises(UnsupportedPredicateError):
+            numeric.intersect(categorical)
+
+    @settings(deadline=None)
+    @given(numeric_constraints, numeric_constraints, probe_numbers)
+    def test_intersection_semantics(self, a, b, x):
+        assert a.intersect(b).contains(x) == (a.contains(x)
+                                              and b.contains(x))
+
+    @settings(deadline=None)
+    @given(numeric_constraints, numeric_constraints, probe_numbers)
+    def test_union_semantics(self, a, b, x):
+        assert a.union(b).contains(x) == (a.contains(x) or b.contains(x))
+
+    @settings(deadline=None)
+    @given(numeric_constraints, probe_numbers)
+    def test_complement_semantics(self, a, x):
+        assert a.complement().contains(x) == (not a.contains(x))
+
+    @settings(deadline=None)
+    @given(numeric_constraints, numeric_constraints)
+    def test_subset_consistent_with_membership(self, a, b):
+        if a.is_subset(b):
+            for x in range(-25, 26):
+                assert not a.contains(x) or b.contains(x)
+
+    @settings(deadline=None)
+    @given(numeric_constraints, numeric_constraints, probe_numbers)
+    def test_subtract_semantics(self, a, b, x):
+        assert a.subtract(b).contains(x) == (a.contains(x)
+                                             and not b.contains(x))
+
+    @settings(deadline=None)
+    @given(numeric_constraints)
+    def test_to_comparisons_roundtrip(self, a):
+        from repro.symbolic.dnf import dnf_from_expression
+
+        rendered = a.to_comparisons(ColumnRef("x"))
+        dnf = dnf_from_expression(rendered)
+        for x in range(-25, 26):
+            assert dnf.satisfied_by({"x": x}) == a.contains(x)
+
+
+class TestCategoricalConstraint:
+    def test_from_comparison(self):
+        eq = CategoricalConstraint.from_comparison(CompOp.EQ, "car")
+        assert eq.contains("car") and not eq.contains("bus")
+        ne = CategoricalConstraint.from_comparison(CompOp.NE, "car")
+        assert ne.contains("bus") and not ne.contains("car")
+
+    def test_range_comparison_rejected(self):
+        with pytest.raises(UnsupportedPredicateError):
+            CategoricalConstraint.from_comparison(CompOp.LT, "car")
+
+    def test_universe_and_empty(self):
+        assert CategoricalConstraint.universe().is_universe()
+        assert CategoricalConstraint.empty().is_empty()
+
+    @given(categorical_constraints, categorical_constraints,
+           probe_categories)
+    def test_intersection_semantics(self, a, b, x):
+        assert a.intersect(b).contains(x) == (a.contains(x)
+                                              and b.contains(x))
+
+    @given(categorical_constraints, categorical_constraints,
+           probe_categories)
+    def test_union_semantics(self, a, b, x):
+        assert a.union(b).contains(x) == (a.contains(x) or b.contains(x))
+
+    @given(categorical_constraints, probe_categories)
+    def test_complement_semantics(self, a, x):
+        assert a.complement().contains(x) == (not a.contains(x))
+
+    @given(categorical_constraints, categorical_constraints)
+    def test_subset_is_conservative(self, a, b):
+        """is_subset may say False when unsure, but never lies about True."""
+        if a.is_subset(b):
+            for x in ("a", "b", "c", "d", "e", "zzz"):
+                assert not a.contains(x) or b.contains(x)
+
+    def test_atom_count(self):
+        constraint = CategoricalConstraint(frozenset(["a", "b"]))
+        assert constraint.atom_count() == 2
+        assert CategoricalConstraint.universe().atom_count() == 0
+
+    @settings(deadline=None)
+    @given(categorical_constraints)
+    def test_to_comparisons_roundtrip(self, a):
+        from repro.symbolic.dnf import dnf_from_expression
+
+        rendered = a.to_comparisons(ColumnRef("label"))
+        dnf = dnf_from_expression(rendered)
+        for x in ("a", "b", "c", "d", "e"):
+            assert dnf.satisfied_by({"label": x}) == a.contains(x)

@@ -1,0 +1,117 @@
+"""Tests for the SymbolicEngine facade and remaining symbolic surfaces."""
+
+import pytest
+
+from repro.catalog.statistics import UniformIntStatistics
+from repro.errors import UnsupportedPredicateError
+from repro.parser.parser import parse
+from repro.symbolic.conjunctive import Conjunctive
+from repro.symbolic.dnf import DnfPredicate, dimension_of
+from repro.symbolic.domains import NumericConstraint
+from repro.symbolic.engine import SymbolicEngine
+from repro.expressions.expr import ColumnRef, CompOp, FunctionCall, Literal
+
+
+def where(sql: str):
+    return parse(f"SELECT id FROM v WHERE {sql};").where
+
+
+class TestEngineFacade:
+    def setup_method(self):
+        self.engine = SymbolicEngine()
+
+    def test_analyze_none_is_true(self):
+        assert self.engine.analyze(None).is_true()
+
+    def test_analyze_reduces(self):
+        dnf = self.engine.analyze(where("x > 5 OR x > 3"))
+        assert dnf.atom_count() == 1
+
+    def test_intersection_difference_union_roundtrip(self):
+        a = self.engine.analyze(where("x < 10"))
+        b = self.engine.analyze(where("x >= 5"))
+        inter = self.engine.intersection(a, b)
+        union = self.engine.union(a, b)
+        assert inter.satisfied_by({"x": 7})
+        assert not inter.satisfied_by({"x": 2})
+        assert union.is_true()
+
+    def test_negation(self):
+        negated = self.engine.negation(self.engine.analyze(where("x < 5")))
+        assert negated.satisfied_by({"x": 9})
+        assert not negated.satisfied_by({"x": 1})
+
+    def test_selectivity_helper(self):
+        stats = {"x": UniformIntStatistics(0, 100)}
+        selectivity = self.engine.selectivity(
+            self.engine.analyze(where("x < 50")), stats.get)
+        assert selectivity == pytest.approx(0.5)
+
+    def test_estimator_factory(self):
+        stats = {"x": UniformIntStatistics(0, 10)}
+        estimator = self.engine.estimator(stats.get)
+        assert estimator.selectivity(
+            self.engine.analyze(where("x = 3"))) == pytest.approx(0.1)
+
+    def test_reduce_exposed(self):
+        raw = DnfPredicate((
+            Conjunctive({"x": NumericConstraint.from_comparison(
+                CompOp.LT, 5)}),
+            Conjunctive({"x": NumericConstraint.from_comparison(
+                CompOp.LT, 9)}),
+        ))
+        reduced = self.engine.reduce(raw)
+        assert len(reduced.conjunctives) == 1
+
+
+class TestDimensionNaming:
+    def test_column_dimension(self):
+        assert dimension_of(ColumnRef("Area")) == "area"
+
+    def test_udf_dimension_includes_args(self):
+        call = FunctionCall("CarType", (ColumnRef("frame"),
+                                        ColumnRef("bbox")))
+        assert dimension_of(call) == "udf:cartype(frame,bbox)"
+
+    def test_literal_is_not_a_dimension(self):
+        with pytest.raises(UnsupportedPredicateError):
+            dimension_of(Literal(5))
+
+    def test_distinct_arg_shapes_are_distinct_dimensions(self):
+        a = FunctionCall("f", (ColumnRef("x"),))
+        b = FunctionCall("f", (ColumnRef("y"),))
+        assert dimension_of(a) != dimension_of(b)
+
+
+class TestMixedDimensionErrors:
+    def test_numeric_and_categorical_on_same_dimension(self):
+        with pytest.raises(UnsupportedPredicateError):
+            SymbolicEngine().analyze(where("x = 5 AND x = 'five'"))
+
+    def test_range_over_strings_rejected(self):
+        with pytest.raises(UnsupportedPredicateError):
+            SymbolicEngine().analyze(where("label > 'car'"))
+
+
+class TestTermPreservation:
+    def test_udf_terms_survive_roundtrip(self):
+        engine = SymbolicEngine()
+        dnf = engine.analyze(where("CarType(frame,bbox) = 'Nissan' "
+                                   "AND id < 5"))
+        rendered = dnf.to_expression().to_sql()
+        assert "cartype(frame, bbox)" in rendered
+        # Round-trip through the parser preserves semantics.
+        again = engine.analyze(where(rendered))
+        key = "udf:cartype(frame,bbox)"
+        for values in ({key: "Nissan", "id": 3},
+                       {key: "Ford", "id": 3},
+                       {key: "Nissan", "id": 7}):
+            assert dnf.satisfied_by(values) == again.satisfied_by(values)
+
+    def test_terms_merge_across_operations(self):
+        engine = SymbolicEngine()
+        a = engine.analyze(where("CarType(frame,bbox) = 'Nissan'"))
+        b = engine.analyze(where("ColorDet(frame,bbox) = 'Red'"))
+        union = engine.union(a, b)
+        rendered = union.to_expression().to_sql()
+        assert "cartype" in rendered and "colordet" in rendered

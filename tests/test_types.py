@@ -1,0 +1,78 @@
+"""Tests for core value types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.types import Accuracy, BoundingBox, QueryResult
+
+
+class TestBoundingBox:
+    def test_area(self):
+        assert BoundingBox(0, 0, 10, 5).area() == 50.0
+
+    def test_area_of_degenerate_box_is_zero(self):
+        assert BoundingBox(10, 10, 10, 10).area() == 0.0
+
+    def test_area_of_inverted_box_clamps_to_zero(self):
+        assert BoundingBox(10, 10, 5, 5).area() == 0.0
+
+    def test_relative_area(self):
+        bbox = BoundingBox(0, 0, 96, 54)
+        assert bbox.relative_area(960, 540) == pytest.approx(0.01)
+
+    def test_relative_area_of_empty_frame(self):
+        assert BoundingBox(0, 0, 10, 10).relative_area(0, 0) == 0.0
+
+    def test_iou_identical_boxes(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.iou(box) == pytest.approx(1.0)
+
+    def test_iou_disjoint_boxes(self):
+        assert BoundingBox(0, 0, 5, 5).iou(BoundingBox(6, 6, 10, 10)) == 0.0
+
+    def test_iou_half_overlap(self):
+        a = BoundingBox(0, 0, 10, 10)
+        b = BoundingBox(5, 0, 15, 10)
+        assert a.iou(b) == pytest.approx(50 / 150)
+
+    def test_iou_symmetric(self):
+        a = BoundingBox(0, 0, 10, 10)
+        b = BoundingBox(3, 2, 12, 9)
+        assert a.iou(b) == pytest.approx(b.iou(a))
+
+    def test_as_tuple(self):
+        assert BoundingBox(1, 2, 3, 4).as_tuple() == (1, 2, 3, 4)
+
+    @given(st.floats(0, 100), st.floats(0, 100),
+           st.floats(0, 100), st.floats(0, 100))
+    def test_iou_bounded(self, x1, y1, w, h):
+        box = BoundingBox(x1, y1, x1 + w, y1 + h)
+        other = BoundingBox(10, 10, 50, 50)
+        assert 0.0 <= box.iou(other) <= 1.0 + 1e-9
+
+
+class TestAccuracy:
+    def test_ordering(self):
+        assert Accuracy.LOW < Accuracy.MEDIUM < Accuracy.HIGH
+        assert Accuracy.HIGH >= Accuracy.HIGH
+        assert not Accuracy.LOW >= Accuracy.MEDIUM
+
+    def test_parse_case_insensitive(self):
+        assert Accuracy.parse("high") is Accuracy.HIGH
+        assert Accuracy.parse(" Low ") is Accuracy.LOW
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Accuracy.parse("ultra")
+
+
+class TestQueryResult:
+    def test_len_and_column(self):
+        result = QueryResult(columns=["a", "b"], rows=[(1, 2), (3, 4)])
+        assert len(result) == 2
+        assert result.column("b") == [2, 4]
+
+    def test_column_unknown_name(self):
+        result = QueryResult(columns=["a"], rows=[(1,)])
+        with pytest.raises(ValueError):
+            result.column("missing")

@@ -1,0 +1,108 @@
+"""Tests for the VBENCH benchmark machinery."""
+
+import pytest
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.types import VideoMetadata
+from repro.vbench.queries import (
+    LOGICAL_ACCURACIES,
+    vbench_high,
+    vbench_logical,
+    vbench_low,
+    vbench_permutation,
+)
+from repro.vbench.reporting import format_table
+from repro.vbench.workload import run_all_policies, run_workload
+from repro.video.synthetic import SyntheticVideo
+
+
+@pytest.fixture(scope="module")
+def bench_video():
+    metadata = VideoMetadata("bench", 700, 960, 540, 25.0, 8.3)
+    return SyntheticVideo(metadata, seed=7)
+
+
+class TestQueryGeneration:
+    def test_eight_queries_each(self):
+        assert len(vbench_high("t")) == 8
+        assert len(vbench_low("t")) == 8
+        assert len(vbench_logical("t")) == 8
+
+    def test_id_bounds_scale_with_video_length(self):
+        full = vbench_high("t", 14_000)
+        half = vbench_high("t", 7_000)
+        assert "id < 10000" in full[0]
+        assert "id < 5000" in half[0]
+
+    def test_low_set_ranges_mostly_disjoint(self):
+        queries = vbench_low("t", 14_000)
+        # Consecutive windows overlap by (1750 - 1670) / 1750 ~ 4.5%.
+        assert "id >= 0 AND id < 1750" in queries[0]
+        assert "id >= 1670 AND id < 3420" in queries[1]
+
+    def test_permutations_deterministic_and_distinct(self):
+        queries = vbench_high("t")
+        p1 = vbench_permutation(queries, 1)
+        assert p1 == vbench_permutation(queries, 1)
+        assert sorted(p1) == sorted(queries)
+        assert any(vbench_permutation(queries, i) != queries
+                   for i in range(1, 5))
+
+    def test_logical_variant_replaces_detector(self):
+        queries = vbench_logical("t")
+        for query, accuracy in zip(queries, LOGICAL_ACCURACIES):
+            assert "ObjectDetector(frame)" in query
+            assert f"ACCURACY '{accuracy}'" in query
+            assert "FastRCNNObjectDetector" not in query
+
+
+class TestWorkloadRunner:
+    def test_workload_runs_and_reports(self, bench_video):
+        queries = vbench_high("bench", 700)[:3]
+        result = run_workload(bench_video, queries,
+                              EvaConfig(reuse_policy=ReusePolicy.EVA))
+        assert len(result.query_metrics) == 3
+        assert result.total_time > 0
+        assert result.hit_percentage > 0
+        assert result.storage_bytes > 0
+        assert result.speedup_upper_bound >= 1.0
+
+    def test_policies_agree_on_row_counts(self, bench_video):
+        """All four systems must return identical answers."""
+        queries = vbench_high("bench", 700)[:3]
+        results = run_all_policies(bench_video, queries)
+        row_counts = {
+            policy: [m.rows_returned for m in result.query_metrics]
+            for policy, result in results.items()
+        }
+        reference = row_counts[ReusePolicy.NONE]
+        assert all(counts == reference for counts in row_counts.values())
+
+    def test_paper_shape_on_small_high_workload(self, bench_video):
+        """EVA beats the baselines, which beat no-reuse (Fig. 5 shape)."""
+        queries = vbench_high("bench", 700)
+        results = run_all_policies(bench_video, queries)
+        base = results[ReusePolicy.NONE].total_time
+        eva = results[ReusePolicy.EVA]
+        hashstash = results[ReusePolicy.HASHSTASH]
+        funcache = results[ReusePolicy.FUNCACHE]
+        assert base / eva.total_time > base / funcache.total_time
+        assert base / eva.total_time > base / hashstash.total_time
+        assert base / eva.total_time > 2.0
+        # EVA is near its Eq. 7 upper bound.
+        assert base / eva.total_time > 0.75 * eva.speedup_upper_bound
+        # Hit percentages: EVA ~ FunCache >> HashStash (Table 2 shape).
+        assert eva.hit_percentage > 3 * hashstash.hit_percentage
+        assert abs(eva.hit_percentage - funcache.hit_percentage) < 15
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.2345], ["bb", 1234.5]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert any("1.23" in line for line in lines)
+        assert any("1234" in line for line in lines)

@@ -1,0 +1,50 @@
+"""Tests for the library-level VBENCH dataset factories."""
+
+import pytest
+
+from repro.vbench.datasets import (
+    UA_DETRAC_DENSITIES,
+    jackson_scaled,
+    scaled_frames,
+    ua_detrac_scaled,
+)
+
+
+class TestScaledFrames:
+    def test_full_scale_matches_paper(self):
+        assert scaled_frames("short") == 7_500
+        assert scaled_frames("medium") == 14_000
+        assert scaled_frames("long") == 28_000
+
+    def test_scale_shrinks_proportionally(self):
+        assert scaled_frames("medium", 0.1) == 1_400
+
+    def test_minimum_floor(self):
+        assert scaled_frames("short", 0.0001) == 200
+
+    def test_unknown_size(self):
+        with pytest.raises(ValueError):
+            scaled_frames("gigantic")
+
+
+class TestFactories:
+    def test_ua_detrac_scaled(self):
+        video = ua_detrac_scaled("long", scale=0.05, name="mini_long")
+        assert video.name == "mini_long"
+        assert video.num_frames == 1_400
+        assert video.metadata.vehicles_per_frame == \
+            UA_DETRAC_DENSITIES["long"]
+
+    def test_jackson_scaled(self):
+        video = jackson_scaled(scale=0.05)
+        assert video.num_frames == 700
+        assert video.metadata.width == 600
+
+    def test_densities_increase_with_length(self):
+        assert UA_DETRAC_DENSITIES["short"] < \
+            UA_DETRAC_DENSITIES["medium"] < UA_DETRAC_DENSITIES["long"]
+
+    def test_deterministic(self):
+        a = ua_detrac_scaled("short", 0.05)
+        b = ua_detrac_scaled("short", 0.05)
+        assert a.ground_truth(10) == b.ground_truth(10)

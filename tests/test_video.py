@@ -1,0 +1,118 @@
+"""Tests for the synthetic video substrate."""
+
+import pytest
+
+from repro._rng import stable_rng, stable_seed
+from repro.types import VideoMetadata
+from repro.video.datasets import jackson, ua_detrac
+from repro.video.synthetic import SyntheticVideo
+
+
+class TestStableRng:
+    def test_same_parts_same_seed(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+
+    def test_different_parts_different_seed(self):
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+
+    def test_rng_reproducible(self):
+        assert stable_rng("x").random() == stable_rng("x").random()
+
+
+class TestSyntheticVideo:
+    def test_deterministic_ground_truth(self, tiny_video):
+        metadata = tiny_video.metadata
+        other = SyntheticVideo(metadata, seed=tiny_video.seed)
+        for frame_id in (0, 57, 399):
+            assert (tiny_video.ground_truth(frame_id)
+                    == other.ground_truth(frame_id))
+
+    def test_different_seeds_differ(self, tiny_video):
+        other = SyntheticVideo(tiny_video.metadata, seed=99)
+        same = sum(
+            tiny_video.ground_truth(f) == other.ground_truth(f)
+            for f in range(0, 400, 40))
+        assert same < 10
+
+    def test_vehicle_density_close_to_target(self, tiny_video):
+        density = tiny_video.mean_vehicles_per_frame(sample_every=10)
+        assert 5.0 < density < 12.0
+
+    def test_sparse_video_is_sparse(self, sparse_video):
+        density = sparse_video.mean_vehicles_per_frame(sample_every=5)
+        assert density < 1.5
+
+    def test_frame_handle(self, tiny_video):
+        frame = tiny_video.frame(10)
+        assert frame.frame_id == 10
+        assert frame.video_name == "tiny"
+        assert frame.nbytes() == 960 * 540 * 3
+        assert frame.cache_key() == ("tiny", 10)
+
+    def test_frame_out_of_range(self, tiny_video):
+        with pytest.raises(IndexError):
+            tiny_video.frame(400)
+        with pytest.raises(IndexError):
+            tiny_video.ground_truth(-1)
+
+    def test_bboxes_within_frame(self, tiny_video):
+        for frame_id in range(0, 400, 25):
+            for obj in tiny_video.ground_truth(frame_id).objects:
+                bbox = obj.bbox
+                assert 0 <= bbox.x1 <= bbox.x2 <= 960
+                assert 0 <= bbox.y1 <= bbox.y2 <= 540
+
+    def test_tracks_have_valid_spans(self, tiny_video):
+        for track in tiny_video.tracks:
+            assert 0 <= track.start_frame < track.end_frame <= 400
+
+    def test_index_matches_bruteforce(self, tiny_video):
+        """The bucketed index returns exactly the visible tracks."""
+        for frame_id in (0, 123, 399):
+            via_index = {o.object_id
+                         for o in tiny_video.ground_truth(frame_id).objects}
+            brute = {t.track_id for t in tiny_video.tracks
+                     if t.visible_at(frame_id)}
+            assert via_index == brute
+
+    def test_attributes_consistent_across_frames(self, tiny_video):
+        """A track keeps its attributes for its whole lifetime."""
+        track = max(tiny_video.tracks,
+                    key=lambda t: t.end_frame - t.start_frame)
+        seen = set()
+        for frame_id in range(track.start_frame, track.end_frame, 7):
+            for obj in tiny_video.ground_truth(frame_id).objects:
+                if obj.object_id == track.track_id:
+                    seen.add((obj.label, obj.color, obj.vehicle_type,
+                              obj.license_plate))
+        assert len(seen) == 1
+
+    def test_rejects_empty_video(self):
+        with pytest.raises(ValueError):
+            SyntheticVideo(VideoMetadata("bad", 0, 100, 100))
+
+    def test_frames_iterator(self, sparse_video):
+        frames = list(sparse_video.frames())
+        assert len(frames) == 300
+        assert frames[5].frame_id == 5
+
+
+class TestDatasetFactories:
+    def test_ua_detrac_sizes(self):
+        short = ua_detrac("short")
+        assert short.num_frames == 7_500
+        assert short.metadata.width == 960
+
+    def test_ua_detrac_rejects_unknown_size(self):
+        with pytest.raises(ValueError):
+            ua_detrac("huge")
+
+    def test_jackson_properties(self):
+        video = jackson()
+        assert video.num_frames == 14_000
+        assert video.metadata.vehicles_per_frame == pytest.approx(0.1)
+
+    def test_factories_are_deterministic(self):
+        a = ua_detrac("short")
+        b = ua_detrac("short")
+        assert a.ground_truth(100) == b.ground_truth(100)

@@ -1,0 +1,83 @@
+"""Tests for the parameterized exploratory-workload generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import EvaConfig, ReusePolicy
+from repro.parser.parser import parse
+from repro.vbench.generator import (
+    WorkloadSpec,
+    consecutive_overlap,
+    generate_workload,
+)
+from repro.vbench.workload import run_workload
+
+
+class TestSpecValidation:
+    def test_rejects_zero_queries(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_queries=0)
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(target_overlap=1.5)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(window_fraction=0.0)
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        spec = WorkloadSpec(seed=3)
+        a = generate_workload("t", 10_000, spec)
+        b = generate_workload("t", 10_000, spec)
+        assert a == b
+        c = generate_workload("t", 10_000, WorkloadSpec(seed=4))
+        assert a != c
+
+    def test_all_queries_parse(self):
+        for seed in range(5):
+            for query in generate_workload(
+                    "t", 10_000, WorkloadSpec(seed=seed, num_queries=10)):
+                statement = parse(query)
+                assert statement.table_name == "t"
+                assert statement.cross_applies
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.05, 0.95), st.integers(0, 100))
+    def test_shift_hits_target_overlap(self, target, seed):
+        """With shifts only, consecutive overlap tracks the target."""
+        spec = WorkloadSpec(num_queries=10, target_overlap=target,
+                            zoom_probability=0.0, seed=seed)
+        queries = generate_workload("t", 20_000, spec)
+        measured = consecutive_overlap(queries)
+        assert measured == pytest.approx(target, abs=0.12)
+
+    def test_zoom_heavy_workload_overlaps_fully(self):
+        spec = WorkloadSpec(num_queries=6, zoom_probability=1.0, seed=1)
+        queries = generate_workload("t", 10_000, spec)
+        assert consecutive_overlap(queries) == pytest.approx(1.0)
+
+    def test_windows_stay_in_bounds(self):
+        for seed in range(10):
+            spec = WorkloadSpec(num_queries=12, target_overlap=0.1,
+                                seed=seed)
+            for query in generate_workload("t", 5_000, spec):
+                start = int(query.split("id >= ")[1].split(" ")[0])
+                stop = int(query.split("id < ")[1].split(" ")[0])
+                assert 0 <= start < stop <= 5_000
+
+
+class TestGeneratedWorkloadReuse:
+    def test_higher_overlap_means_higher_hit_rate(self, tiny_video):
+        """The generator spans the reuse spectrum the benchmark needs."""
+        def hit_rate(target):
+            spec = WorkloadSpec(num_queries=5, target_overlap=target,
+                                window_fraction=0.3, seed=7)
+            queries = generate_workload("tiny", 400, spec)
+            result = run_workload(tiny_video, queries,
+                                  EvaConfig(reuse_policy=ReusePolicy.EVA))
+            return result.hit_percentage
+
+        assert hit_rate(0.9) > hit_rate(0.1) + 5.0
