@@ -9,6 +9,17 @@ Public API::
     session.register_video(repro.video.ua_detrac()) # synthetic UA-DETRAC
     result = session.execute("SELECT ... CROSS APPLY ... WHERE ...;")
 
+Multi-user serving (shared materialized views across concurrent
+clients) lives in :mod:`repro.server`::
+
+    from repro.server import EvaServer
+
+    server = EvaServer(max_workers=4)
+    server.register_video(repro.video.ua_detrac("short"))
+    with server.start():
+        client = server.connect("alice")
+        client.execute("SELECT ... CROSS APPLY ... WHERE ...;")
+
 See :mod:`repro.session` for the session API, :mod:`repro.config` for
 reuse-policy configuration, and :mod:`repro.vbench` for the VBENCH
 benchmark used throughout the paper's evaluation.
@@ -22,7 +33,7 @@ from repro.config import (
     ReusePolicy,
 )
 from repro.errors import EvaError
-from repro.session import EvaSession, connect
+from repro.session import EvaSession, SessionState, connect
 from repro.types import Accuracy, BoundingBox, Detection, QueryResult
 
 __version__ = "0.1.0"
@@ -30,6 +41,7 @@ __version__ = "0.1.0"
 __all__ = [
     "connect",
     "EvaSession",
+    "SessionState",
     "EvaConfig",
     "ReusePolicy",
     "RankingMode",

@@ -4,18 +4,49 @@
 process for strings — that would make synthetic content differ across runs.
 All seeding in this library goes through :func:`stable_seed`, which derives
 a 64-bit integer from SHA-256 over the parts' reprs.
+
+Two leak classes are guarded against:
+
+* ``hash()``-based seeding (the per-process ``PYTHONHASHSEED`` salt) —
+  avoided by construction, since only SHA-256 over reprs is used;
+* reprs that are themselves process-dependent — the default ``object``
+  repr embeds the id (``<Foo object at 0x7f...>``), which would smuggle
+  a different seed into every process.  :func:`stable_seed` rejects such
+  parts loudly instead of producing silently unstable content.
+
+``tests/test_cross_process_determinism.py`` verifies the end-to-end
+guarantee by diffing detector output across subprocesses with different
+hash seeds.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+import re
+
+#: Default object.__repr__ output: "<module.Class object at 0x7f...>".
+#: Memory addresses differ per process, so such reprs are not stable.
+_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+>")
 
 
 def stable_seed(*parts) -> int:
-    """Derive a deterministic 64-bit seed from arbitrary repr-able parts."""
-    text = "\x1f".join(repr(part) for part in parts)
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    """Derive a deterministic 64-bit seed from arbitrary repr-able parts.
+
+    Raises:
+        ValueError: a part's repr embeds a memory address and would make
+            the seed differ between processes.
+    """
+    reprs = []
+    for part in parts:
+        text = repr(part)
+        if _ADDRESS_REPR.search(text):
+            raise ValueError(
+                f"seed part {text} has a process-dependent repr (memory "
+                "address); pass stable identifiers (names, ints) instead")
+        reprs.append(text)
+    digest = hashlib.sha256(
+        "\x1f".join(reprs).encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
 
 

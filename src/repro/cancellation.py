@@ -1,0 +1,70 @@
+"""Cooperative query cancellation.
+
+Python threads cannot be killed, so long-running queries are cancelled
+*cooperatively*: the server hands each query a :class:`CancelToken`
+carrying an optional deadline, and the executor checks it at batch
+boundaries (the scan operator and the plan root).  A tripped token makes
+the next check raise :class:`~repro.errors.QueryTimeoutError` or
+:class:`~repro.errors.QueryCancelledError`, unwinding the operator tree.
+
+Tokens are thread-safe: the submitting thread (or the server's shutdown
+path) may cancel while a worker thread is mid-query.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import QueryCancelledError, QueryTimeoutError
+
+
+class CancelToken:
+    """A cancellation flag plus an optional wall-clock deadline."""
+
+    def __init__(self, deadline: float | None = None):
+        #: Absolute ``time.monotonic()`` deadline, or None for no timeout.
+        self.deadline = deadline
+        self._cancelled = threading.Event()
+        self._reason: str | None = None
+
+    @classmethod
+    def with_timeout(cls, seconds: float | None) -> "CancelToken":
+        """A token that trips ``seconds`` from now (None = never)."""
+        if seconds is None:
+            return cls()
+        return cls(deadline=time.monotonic() + seconds)
+
+    def cancel(self, reason: str | None = None) -> None:
+        """Trip the token; the next :meth:`check` raises."""
+        if reason is not None and self._reason is None:
+            self._reason = reason
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    @property
+    def timed_out(self) -> bool:
+        return (self.deadline is not None
+                and time.monotonic() >= self.deadline)
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (None if no deadline)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def check(self) -> None:
+        """Raise if the token is cancelled or past its deadline.
+
+        Raises:
+            QueryTimeoutError: the deadline has passed.
+            QueryCancelledError: :meth:`cancel` was called.
+        """
+        if self.timed_out:
+            raise QueryTimeoutError(
+                self._reason or "query exceeded its deadline")
+        if self._cancelled.is_set():
+            raise QueryCancelledError(self._reason or "query cancelled")

@@ -5,6 +5,7 @@ Usage::
     python -m repro shell  --dataset ua_detrac:short
     python -m repro run queries.sql --dataset jackson --policy none
     python -m repro bench --workload high --frames 2000
+    python -m repro serve-demo --clients 6 --workers 4
 
 The shell reads statements terminated by ``;`` (multi-line input is fine),
 prints result tables, and reports the virtual execution time and reuse hit
@@ -155,6 +156,84 @@ def run_bench(policy_name: str, workload: str, frames: int,
     return 0
 
 
+def demo_queries(table: str, frames: int) -> list[str]:
+    """A small overlapping exploratory workload (serve-demo clients)."""
+    half = frames // 2
+    quarter = frames // 4
+    return [
+        f"SELECT id, label FROM {table} CROSS APPLY "
+        f"FastRCNNObjectDetector(frame) "
+        f"WHERE id < {half} AND label = 'car';",
+        f"SELECT id, label FROM {table} CROSS APPLY "
+        f"FastRCNNObjectDetector(frame) "
+        f"WHERE id >= {quarter} AND id < {3 * quarter} "
+        f"AND label = 'car';",
+        f"SELECT id FROM {table} CROSS APPLY "
+        f"FastRCNNObjectDetector(frame) "
+        f"WHERE label = 'bus' AND id < {half};",
+        f"SELECT id, label FROM {table} CROSS APPLY "
+        f"FastRCNNObjectDetector(frame) "
+        f"WHERE id < {quarter} AND label = 'car' "
+        f"AND CarType(frame, bbox) = 'Nissan';",
+    ]
+
+
+def run_serve_demo(dataset: str, clients: int, workers: int,
+                   rounds: int, queue: int, stdout: IO[str]) -> int:
+    """Smoke the multi-client server: N clients, overlapping queries.
+
+    Each client runs the demo workload (rotated so clients start on
+    different queries) from its own thread; rejected submissions back
+    off by the server's suggested ``retry_after`` and retry.  Prints the
+    server stats snapshot, whose off-diagonal hit attribution is the
+    cross-client reuse the shared view store buys.
+    """
+    import threading
+    import time as _time
+
+    from repro.errors import ServerOverloadedError
+    from repro.server import EvaServer
+
+    video = make_video(dataset)
+    queries = demo_queries(video.name, video.num_frames)
+    server = EvaServer(max_workers=workers, max_queue=queue)
+    server.register_video(video)
+    errors: list[str] = []
+
+    def run_client(handle) -> None:
+        offset = int(handle.client_id.rsplit("-", 1)[-1])
+        for round_no in range(rounds):
+            for i in range(len(queries)):
+                sql = queries[(i + offset + round_no) % len(queries)]
+                while True:
+                    try:
+                        handle.execute(sql)
+                        break
+                    except ServerOverloadedError as error:
+                        _time.sleep(error.retry_after)
+                    except EvaError as error:  # pragma: no cover
+                        errors.append(f"{handle.client_id}: {error}")
+                        return
+
+    with server.start():
+        handles = [server.connect() for _ in range(clients)]
+        threads = [threading.Thread(target=run_client, args=(h,),
+                                    name=h.client_id)
+                   for h in handles]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = server.stats()
+    for line in errors:
+        print(f"error: {line}", file=stdout)
+    print(snapshot.format(), file=stdout)
+    aggregate = server.aggregate_metrics()
+    print(f"speedup upper bound (Eq. 7, all clients): "
+          f"{aggregate.speedup_upper_bound():.2f}x", file=stdout)
+    return 1 if errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -181,6 +260,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workload", default="high",
                        choices=["high", "low"])
     bench.add_argument("--frames", type=int, default=2000)
+    serve = sub.add_parser(
+        "serve-demo",
+        help="smoke the multi-client query server (shared reuse state)")
+    serve.add_argument("--dataset", default="synthetic:240",
+                       help="ua_detrac[:size] | jackson | "
+                            "synthetic:<frames>[:<density>]")
+    serve.add_argument("--clients", type=int, default=4)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--rounds", type=int, default=2,
+                       help="workload repetitions per client")
+    serve.add_argument("--queue", type=int, default=16,
+                       help="admission queue bound")
     return parser
 
 
@@ -191,6 +282,13 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
     args = build_parser().parse_args(argv)
     if args.command == "bench":
         return run_bench(args.policy, args.workload, args.frames, stdout)
+    if args.command == "serve-demo":
+        try:
+            return run_serve_demo(args.dataset, args.clients, args.workers,
+                                  args.rounds, args.queue, stdout)
+        except ValueError as error:
+            print(f"error: {error}", file=stdout)
+            return 2
     try:
         session = make_session(args.policy, args.dataset)
     except ValueError as error:

@@ -66,6 +66,10 @@ class EvaConfig:
     #: UdfManager's reuse state changes.  Exploratory analysts re-run
     #: queries; a repeat skips parsing-to-plan work entirely.
     enable_plan_cache: bool = True
+    #: Maximum entries in the per-session plan cache (LRU eviction).  An
+    #: unbounded cache keyed by raw SQL is a slow leak under ad-hoc
+    #: exploratory workloads where nearly every statement is distinct.
+    plan_cache_size: int = 128
     #: Fuzzy bounding-box reuse (the paper's section 6 future work): on an
     #: exact view miss, a patch classifier may reuse the stored result of a
     #: spatially close box in the same frame.  Results become approximate.

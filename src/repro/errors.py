@@ -55,3 +55,32 @@ class UnsupportedPredicateError(EvaError):
 
 class UdfError(EvaError):
     """A user-defined function failed or was mis-declared."""
+
+
+class ServerError(EvaError):
+    """Base class for errors raised by the multi-client query server."""
+
+
+class ServerClosedError(ServerError):
+    """The server is shut down (or shutting down) and rejects new work."""
+
+
+class ServerOverloadedError(ServerError):
+    """Admission control rejected a query because the queue is full.
+
+    Attributes:
+        retry_after: suggested client back-off in seconds, estimated from
+            the current queue depth and recent query latency.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.1):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QueryCancelledError(ServerError):
+    """The query was cancelled before or during execution."""
+
+
+class QueryTimeoutError(QueryCancelledError):
+    """The query exceeded its deadline and was cancelled cooperatively."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.baselines.hashstash import RecyclerGraph
+from repro.cancellation import CancelToken
 from repro.catalog.catalog import Catalog
 from repro.clock import SimulationClock
 from repro.config import EvaConfig, ReusePolicy
@@ -40,6 +41,9 @@ class ExecutionContext:
     config: EvaConfig
     function_cache: FunctionCache | None = None
     recycler: RecyclerGraph | None = None
+    #: Cooperative cancellation for the currently running query (set by the
+    #: server per query; None for plain library sessions).
+    cancel: CancelToken | None = None
     evaluator: ExpressionEvaluator = field(init=False)
 
     def __post_init__(self):
@@ -53,6 +57,12 @@ class ExecutionContext:
         if (self.config.reuse_policy is ReusePolicy.HASHSTASH
                 and self.recycler is None):
             self.recycler = RecyclerGraph()
+
+    def check_cancelled(self) -> None:
+        """Raise if this query's cancel token has tripped (no-op without
+        a token).  Operators call this at batch boundaries."""
+        if self.cancel is not None:
+            self.cancel.check()
 
     def video(self, table_name: str) -> SyntheticVideo:
         return self.storage.table(table_name).video

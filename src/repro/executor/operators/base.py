@@ -20,8 +20,15 @@ class Operator(abc.ABC):
         """Stream output batches."""
 
     def run_to_completion(self) -> Batch:
-        """Drain the operator into a single batch (for plan roots)."""
-        batches = list(self.execute())
+        """Drain the operator into a single batch (for plan roots).
+
+        Checks the context's cancel token between batches so a server
+        timeout unwinds the pipeline at the next batch boundary.
+        """
+        batches = []
+        for batch in self.execute():
+            self.context.check_cancelled()
+            batches.append(batch)
         if not batches:
             return Batch()
         return Batch.concat(batches)

@@ -30,6 +30,11 @@ class ScanOperator(Operator):
         for start, stop in self.node.ranges:
             for batch in table.scan(start, stop,
                                     self.context.config.batch_rows):
+                # Scans feed every pipeline, so this is the one place a
+                # cooperative cancel check covers all plan shapes — even
+                # when a blocking operator (ORDER BY, GROUP BY) sits
+                # between the root and the source.
+                self.context.check_cancelled()
                 self.context.clock.charge(
                     CostCategory.READ_VIDEO,
                     batch.num_rows * costs.read_video_per_frame)

@@ -90,10 +90,17 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.udf_stats: dict[str, UdfInvocationStats] = {}
         self.query_metrics: list[QueryMetrics] = []
+        #: Named event counters (e.g. ``plan_cache_evictions``); anything
+        #: worth counting that is not a UDF invocation lands here.
+        self.counters: dict[str, int] = defaultdict(int)
         self._open_query: QueryMetrics | None = None
         self._open_snapshot: ClockSnapshot | None = None
         self._open_udf_counts: dict[str, int] = defaultdict(int)
         self._open_reused_counts: dict[str, int] = defaultdict(int)
+
+    def increment(self, counter: str, by: int = 1) -> None:
+        """Bump a named event counter."""
+        self.counters[counter] += by
 
     # -- workload-level UDF accounting ------------------------------------
 

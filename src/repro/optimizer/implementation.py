@@ -52,7 +52,7 @@ from repro.optimizer.plans import (
     PhysicalPlan,
 )
 from repro.optimizer.udf_manager import UdfSignature
-from repro.symbolic.dnf import DnfPredicate, dnf_from_expression
+from repro.symbolic.dnf import DnfPredicate
 
 
 @dataclass

@@ -11,7 +11,7 @@ lookup), so each node holds its single child.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.expressions.expr import Expression, FunctionCall
 from repro.symbolic.dnf import DnfPredicate

@@ -1,0 +1,91 @@
+"""A writer-preferring reader-writer lock.
+
+View probes vastly outnumber view appends in a settled workload (the
+whole point of reuse is that most keys are already materialized), so the
+shared view store wants concurrent readers with exclusive writers rather
+than one big mutex.  Writer preference keeps a steady stream of readers
+from starving the occasional append.
+
+The lock is *not* reentrant: a thread holding the read lock must not
+acquire the write lock (classic upgrade deadlock).  Callers in this
+package never nest acquisitions.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Multiple concurrent readers XOR one exclusive writer."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- read side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers < 0:
+                raise RuntimeError("release_read without acquire_read")
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- write side ----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (tests) ----------------------------------------------
+
+    @property
+    def active_readers(self) -> int:
+        with self._cond:
+            return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        with self._cond:
+            return self._writer_active

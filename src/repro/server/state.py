@@ -1,0 +1,368 @@
+"""Shared reuse state: thread-safe facades over the single-user cores.
+
+One :class:`SharedReuseState` backs every client of an
+:class:`~repro.server.server.EvaServer`.  It shares exactly the
+components whose contents are *semantically global* — materialized
+results are pure functions of (model, video, input), so one client's
+work is every client's work:
+
+* :class:`SharedViewStore` — the view store plus one
+  :class:`~repro.server.locks.RWLock` per materialized view.  Clients
+  access it through per-client facades (:meth:`SharedViewStore.for_client`)
+  so every probe and append can be *attributed*: the store remembers
+  which client first materialized each key, and reports cross-client
+  hits (client B served by client A's work) to the server's stats.
+* :class:`LockedUdfManager` — the aggregated-predicate bookkeeping
+  (``p_u := UNION(p_u, q)``) behind one mutex.  Both the version counter
+  and the predicate merge must be atomic: two racing unions could
+  otherwise interleave read-modify-write and drop a guard, silently
+  shrinking what the optimizer believes is materialized (worse than a
+  crash: it would cause redundant recomputation *and* a stale plan
+  cache).
+* the model zoo, catalog, and storage engine — written only during
+  setup (video/UDF registration, guarded here), read-only while serving.
+
+Everything else (clock, metrics, plan cache, optimizer) is built fresh
+per client by :meth:`SharedReuseState.session_state`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.clock import SimulationClock
+from repro.config import EvaConfig
+from repro.metrics import MetricsCollector
+from repro.models.zoo import ModelZoo, default_zoo
+from repro.optimizer.udf_manager import UdfHistory, UdfManager, UdfSignature
+from repro.server.locks import RWLock
+from repro.session import SessionState
+from repro.storage.engine import StorageEngine
+from repro.storage.view_store import Key, MaterializedView, ViewStore
+from repro.symbolic.dnf import DnfPredicate
+from repro.symbolic.engine import SymbolicEngine
+from repro.video.synthetic import SyntheticVideo
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.stats import ServerStats
+
+
+class LockedUdfManager:
+    """A :class:`UdfManager` with every public operation mutex-guarded.
+
+    ``history()`` creates entries on first use, so even the "read"
+    operations (INTER/DIFF against history) can write and must hold the
+    lock.  The symbolic union inside :meth:`record_execution` runs under
+    the lock too — predicate merging is not commutative-safe to retry,
+    so correctness beats the (bounded, post-query) serialization cost.
+    """
+
+    def __init__(self, base: UdfManager):
+        self._base = base
+        self._lock = threading.RLock()
+
+    @property
+    def version(self) -> int:
+        """Monotone state version (plan caches key validity on it)."""
+        with self._lock:
+            return self._base.version
+
+    def history(self, signature: UdfSignature,
+                per_tuple_cost: float = 0.0) -> UdfHistory:
+        with self._lock:
+            return self._base.history(signature, per_tuple_cost)
+
+    def known(self, signature: UdfSignature) -> bool:
+        with self._lock:
+            return self._base.known(signature)
+
+    def histories(self) -> list[UdfHistory]:
+        with self._lock:
+            return self._base.histories()
+
+    def intersection_with_history(self, signature: UdfSignature,
+                                  guard: DnfPredicate) -> DnfPredicate:
+        with self._lock:
+            return self._base.intersection_with_history(signature, guard)
+
+    def difference_with_history(self, signature: UdfSignature,
+                                guard: DnfPredicate) -> DnfPredicate:
+        with self._lock:
+            return self._base.difference_with_history(signature, guard)
+
+    def record_execution(self, signature: UdfSignature,
+                         guard: DnfPredicate,
+                         per_tuple_cost: float = 0.0) -> None:
+        with self._lock:
+            self._base.record_execution(signature, guard, per_tuple_cost)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._base.reset()
+
+
+class ClientViewHandle:
+    """A per-client, lock-guarded proxy of one :class:`MaterializedView`.
+
+    Duck-types the view API the executor's operators use, adding (a) a
+    reader-writer lock shared by all clients of the same view and (b)
+    hit/materialization attribution against the owning client registry.
+    """
+
+    __slots__ = ("_view", "_lock", "_owners", "_client_id", "_stats")
+
+    def __init__(self, view: MaterializedView, lock: RWLock,
+                 owners: dict[Key, str], client_id: str,
+                 stats: "ServerStats | None"):
+        self._view = view
+        self._lock = lock
+        self._owners = owners
+        self._client_id = client_id
+        self._stats = stats
+
+    # -- pass-through metadata ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._view.name
+
+    @property
+    def key_columns(self) -> list[str]:
+        return self._view.key_columns
+
+    @property
+    def output_columns(self) -> list[str]:
+        return self._view.output_columns
+
+    @property
+    def num_keys(self) -> int:
+        with self._lock.read_locked():
+            return self._view.num_keys
+
+    @property
+    def num_output_rows(self) -> int:
+        with self._lock.read_locked():
+            return self._view.num_output_rows
+
+    # -- guarded reads --------------------------------------------------------
+
+    def __contains__(self, key: Key) -> bool:
+        with self._lock.read_locked():
+            return key in self._view
+
+    def get(self, key: Key) -> tuple[dict, ...] | None:
+        with self._lock.read_locked():
+            rows = self._view.get(key)
+            owner = self._owners.get(key) if rows is not None else None
+        if rows is not None and self._stats is not None:
+            self._stats.record_view_hit(self._view.name, self._client_id,
+                                        owner)
+        return rows
+
+    def keys(self) -> list[Key]:
+        with self._lock.read_locked():
+            return list(self._view.keys())
+
+    def keys_with_prefix(self, first_component: Hashable) -> list[Key]:
+        # Read lock suffices: the lazy index build inside the view is
+        # serialized by the view's own internal lock.
+        with self._lock.read_locked():
+            return self._view.keys_with_prefix(first_component)
+
+    def serialize(self) -> bytes:
+        with self._lock.read_locked():
+            return self._view.serialize()
+
+    def serialized_bytes(self) -> int:
+        return len(self.serialize())
+
+    # -- guarded writes -------------------------------------------------------
+
+    def put(self, key: Key, rows: Iterable[Mapping]) -> bool:
+        with self._lock.write_locked():
+            inserted = self._view.put(key, rows)
+            if inserted:
+                self._owners[key] = self._client_id
+        if inserted and self._stats is not None:
+            self._stats.record_materialization(self._client_id)
+        return inserted
+
+    def put_many(self, items: Iterable[tuple[Key, Iterable[Mapping]]]
+                 ) -> int:
+        return sum(1 for key, rows in items if self.put(key, rows))
+
+
+class SharedViewStore:
+    """A :class:`ViewStore` shared by all clients of one server.
+
+    Per-view reader-writer locks let overlapping queries from different
+    clients probe the same view concurrently while appends are
+    exclusive.  :meth:`for_client` mints the per-client facade that the
+    client's :class:`~repro.executor.context.ExecutionContext` carries;
+    all facades see (and contribute to) the same underlying views.
+    """
+
+    def __init__(self, base: ViewStore | None = None):
+        self._base = base or ViewStore()
+        self._registry_lock = threading.Lock()
+        self._locks: dict[str, RWLock] = {}
+        #: view name -> key -> client that first materialized the key.
+        self._owners: dict[str, dict[Key, str]] = {}
+        self._stats: "ServerStats | None" = None
+
+    def attach_stats(self, stats: "ServerStats") -> None:
+        """Start reporting hits/materializations to ``stats``."""
+        self._stats = stats
+
+    @property
+    def base(self) -> ViewStore:
+        """The underlying (unguarded) store — administrative use only."""
+        return self._base
+
+    def for_client(self, client_id: str) -> "ClientViewStore":
+        return ClientViewStore(self, client_id)
+
+    # -- registry ------------------------------------------------------------
+
+    def _view_lock(self, name: str) -> RWLock:
+        with self._registry_lock:
+            lock = self._locks.get(name)
+            if lock is None:
+                lock = RWLock()
+                self._locks[name] = lock
+            return lock
+
+    def _view_owners(self, name: str) -> dict[Key, str]:
+        with self._registry_lock:
+            owners = self._owners.get(name)
+            if owners is None:
+                owners = {}
+                self._owners[name] = owners
+            return owners
+
+    def _handle(self, view: MaterializedView | None, client_id: str
+                ) -> ClientViewHandle | None:
+        if view is None:
+            return None
+        return ClientViewHandle(view, self._view_lock(view.name),
+                                self._view_owners(view.name), client_id,
+                                self._stats)
+
+    # -- store-level operations ----------------------------------------------
+
+    def owner_of(self, view_name: str, key: Key) -> str | None:
+        """Which client first materialized ``key`` (None if unknown)."""
+        return self._view_owners(view_name).get(key)
+
+    def names(self) -> list[str]:
+        return self._base.names()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._base
+
+    def total_serialized_bytes(self) -> int:
+        return self._base.total_serialized_bytes()
+
+    def drop(self, name: str) -> bool:
+        lock = self._view_lock(name)
+        with lock.write_locked():
+            existed = self._base.drop(name)
+        with self._registry_lock:
+            self._owners.pop(name, None)
+            # The RWLock stays registered: a concurrent reader blocked on
+            # it must still be able to release cleanly.
+        return existed
+
+    def drop_all(self) -> None:
+        for name in self.names():
+            self.drop(name)
+
+    def save_to(self, directory) -> int:
+        return self._base.save_to(directory)
+
+
+class ClientViewStore:
+    """One client's window onto a :class:`SharedViewStore`.
+
+    Duck-types the :class:`ViewStore` API used by sessions and
+    operators, returning :class:`ClientViewHandle` proxies so every
+    access is lock-guarded and attributed to this client.
+    """
+
+    def __init__(self, shared: SharedViewStore, client_id: str):
+        self.shared = shared
+        self.client_id = client_id
+
+    def create_or_get(self, name: str, key_columns: list[str],
+                      output_columns: list[str]) -> ClientViewHandle:
+        view = self.shared.base.create_or_get(name, key_columns,
+                                              output_columns)
+        return self.shared._handle(view, self.client_id)
+
+    def get(self, name: str) -> ClientViewHandle | None:
+        return self.shared._handle(self.shared.base.get(name),
+                                   self.client_id)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.shared
+
+    def names(self) -> list[str]:
+        return self.shared.names()
+
+    def total_serialized_bytes(self) -> int:
+        return self.shared.total_serialized_bytes()
+
+    def drop(self, name: str) -> bool:
+        return self.shared.drop(name)
+
+    def drop_all(self) -> None:
+        self.shared.drop_all()
+
+    def save_to(self, directory) -> int:
+        return self.shared.save_to(directory)
+
+
+class SharedReuseState:
+    """Everything an :class:`EvaServer`'s clients have in common."""
+
+    def __init__(self, config: EvaConfig | None = None,
+                 zoo: ModelZoo | None = None):
+        self.config = config or EvaConfig()
+        self.zoo = zoo or default_zoo()
+        self.catalog = Catalog(self.zoo)
+        self.storage = StorageEngine()
+        self.symbolic = SymbolicEngine(self.config.symbolic_time_budget)
+        self.view_store = SharedViewStore()
+        self.udf_manager = LockedUdfManager(UdfManager(self.symbolic))
+        self._setup_lock = threading.Lock()
+
+    def attach_stats(self, stats: "ServerStats") -> None:
+        self.view_store.attach_stats(stats)
+
+    def register_video(self, video: SyntheticVideo) -> None:
+        """Register a video for all clients (guarded; setup-time only)."""
+        with self._setup_lock:
+            self.catalog.register_video(video)
+            self.storage.register_video(video)
+
+    def session_state(self, client_id: str) -> SessionState:
+        """A per-client :class:`SessionState` over the shared components.
+
+        Shared: catalog, storage, view store (through this client's
+        attributed facade), UDF manager, symbolic engine, config.
+        Private: virtual clock and metrics (and, inside the session, the
+        plan cache and optimizer instance).
+        """
+        return SessionState(
+            config=self.config,
+            catalog=self.catalog,
+            storage=self.storage,
+            view_store=self.view_store.for_client(client_id),
+            udf_manager=self.udf_manager,
+            symbolic=self.symbolic,
+            clock=SimulationClock(),
+            metrics=MetricsCollector(),
+            shared=True,
+        )

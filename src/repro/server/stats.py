@@ -1,0 +1,272 @@
+"""Server-level observability.
+
+Three layers of accounting:
+
+* **admission / lifecycle** — per-client and aggregate submitted,
+  completed, failed, rejected (backpressure), timed-out, and cancelled
+  query counts, queue depth (current and peak), and QPS over the
+  server's uptime;
+* **cross-client reuse attribution** — every view probe that returns
+  materialized rows is attributed ``(prober, owner)`` where *owner* is
+  the client that first materialized the key.  The off-diagonal of this
+  matrix is the server's value proposition: work one analyst paid for,
+  served to another;
+* **MetricsCollector-compatible aggregation** — :func:`merged_metrics`
+  folds the per-client :class:`~repro.metrics.MetricsCollector` objects
+  into one collector, so workload-level summaries (hit percentage,
+  speedup upper bound, Table-3-style UDF stats) work unchanged on the
+  whole server.
+
+All mutation is mutex-guarded; counters are touched from worker threads,
+client threads, and the admission path concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.metrics import MetricsCollector
+
+#: Attribution owner recorded when a key's materializing client is
+#: unknown (e.g. state loaded from disk before the server started).
+UNKNOWN_OWNER = "<unknown>"
+
+
+@dataclass(frozen=True)
+class ClientStatsSnapshot:
+    """Point-in-time accounting for one client."""
+
+    client_id: str
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    timed_out: int
+    cancelled: int
+    keys_materialized: int
+    #: View probes served to this client from materialized state.
+    hits_received: int
+    #: Of those, how many were served by *another* client's work.
+    hits_from_others: int
+    #: Probes by *other* clients served from this client's work.
+    hits_donated: int
+    qps: float
+
+
+@dataclass(frozen=True)
+class ServerStatsSnapshot:
+    """Point-in-time accounting for the whole server."""
+
+    uptime: float
+    workers: int
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    timed_out: int
+    cancelled: int
+    queue_depth: int
+    peak_queue_depth: int
+    aggregate_qps: float
+    #: Aggregate hit percentage across every client's UDF invocations.
+    hit_percentage: float
+    num_views: int
+    view_storage_bytes: int
+    clients: tuple[ClientStatsSnapshot, ...] = ()
+    #: (prober, owner) -> count of attributed view hits.
+    cross_client_hits: dict = field(default_factory=dict)
+
+    @property
+    def cross_client_hit_count(self) -> int:
+        """Hits where the prober and the owner are different clients."""
+        return sum(n for (prober, owner), n in self.cross_client_hits.items()
+                   if prober != owner and owner != UNKNOWN_OWNER)
+
+    def format(self) -> str:
+        """A human-readable multi-line report (used by the CLI)."""
+        from repro.vbench.reporting import format_table
+
+        lines = [
+            f"uptime {self.uptime:.2f}s, workers {self.workers}, "
+            f"queue {self.queue_depth} (peak {self.peak_queue_depth})",
+            f"queries: {self.completed} ok / {self.failed} failed / "
+            f"{self.rejected} rejected / {self.timed_out} timed out / "
+            f"{self.cancelled} cancelled "
+            f"({self.aggregate_qps:.1f} qps aggregate)",
+            f"reuse: {self.hit_percentage:.1f}% hit rate, "
+            f"{self.cross_client_hit_count} cross-client hits, "
+            f"{self.num_views} views "
+            f"({self.view_storage_bytes / 1024:.0f} KiB)",
+        ]
+        if self.clients:
+            rows = [[c.client_id, c.submitted, c.completed, c.rejected,
+                     c.keys_materialized, c.hits_received,
+                     c.hits_from_others, c.hits_donated,
+                     f"{c.qps:.1f}"]
+                    for c in self.clients]
+            lines.append(format_table(
+                ["client", "sub", "ok", "rej", "keys", "hits",
+                 "from others", "donated", "qps"], rows,
+                title="per-client"))
+        return "\n".join(lines)
+
+
+class _ClientCounters:
+    __slots__ = ("submitted", "completed", "failed", "rejected",
+                 "timed_out", "cancelled", "keys_materialized",
+                 "hits_received", "hits_from_others", "hits_donated")
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.timed_out = 0
+        self.cancelled = 0
+        self.keys_materialized = 0
+        self.hits_received = 0
+        self.hits_from_others = 0
+        self.hits_donated = 0
+
+
+class ServerStats:
+    """Thread-safe counter hub the server and the shared state report to."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._clients: dict[str, _ClientCounters] = {}
+        self._queue_depth = 0
+        self._peak_queue_depth = 0
+        self._cross_hits: dict[tuple[str, str], int] = defaultdict(int)
+
+    def _client(self, client_id: str) -> _ClientCounters:
+        counters = self._clients.get(client_id)
+        if counters is None:
+            counters = _ClientCounters()
+            self._clients[client_id] = counters
+        return counters
+
+    # -- lifecycle events ------------------------------------------------------
+
+    def record_submitted(self, client_id: str) -> None:
+        with self._lock:
+            self._client(client_id).submitted += 1
+
+    def record_completed(self, client_id: str) -> None:
+        with self._lock:
+            self._client(client_id).completed += 1
+
+    def record_failed(self, client_id: str) -> None:
+        with self._lock:
+            self._client(client_id).failed += 1
+
+    def record_rejected(self, client_id: str) -> None:
+        with self._lock:
+            self._client(client_id).rejected += 1
+
+    def record_timeout(self, client_id: str) -> None:
+        with self._lock:
+            self._client(client_id).timed_out += 1
+
+    def record_cancelled(self, client_id: str) -> None:
+        with self._lock:
+            self._client(client_id).cancelled += 1
+
+    def set_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depth = depth
+            self._peak_queue_depth = max(self._peak_queue_depth, depth)
+
+    # -- reuse attribution -----------------------------------------------------
+
+    def record_materialization(self, client_id: str, keys: int = 1) -> None:
+        with self._lock:
+            self._client(client_id).keys_materialized += keys
+
+    def record_view_hit(self, view_name: str, prober: str,
+                        owner: str | None) -> None:
+        owner = owner if owner is not None else UNKNOWN_OWNER
+        with self._lock:
+            self._cross_hits[(prober, owner)] += 1
+            counters = self._client(prober)
+            counters.hits_received += 1
+            if owner != prober:
+                if owner != UNKNOWN_OWNER:
+                    self._client(owner).hits_donated += 1
+                counters.hits_from_others += 1
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self, *, workers: int = 0, hit_percentage: float = 0.0,
+                 num_views: int = 0, view_storage_bytes: int = 0
+                 ) -> ServerStatsSnapshot:
+        with self._lock:
+            uptime = max(1e-9, time.monotonic() - self._started)
+            clients = []
+            for client_id in sorted(self._clients):
+                c = self._clients[client_id]
+                clients.append(ClientStatsSnapshot(
+                    client_id=client_id,
+                    submitted=c.submitted,
+                    completed=c.completed,
+                    failed=c.failed,
+                    rejected=c.rejected,
+                    timed_out=c.timed_out,
+                    cancelled=c.cancelled,
+                    keys_materialized=c.keys_materialized,
+                    hits_received=c.hits_received,
+                    hits_from_others=c.hits_from_others,
+                    hits_donated=c.hits_donated,
+                    qps=c.completed / uptime,
+                ))
+            total = _ClientCounters()
+            for c in self._clients.values():
+                total.submitted += c.submitted
+                total.completed += c.completed
+                total.failed += c.failed
+                total.rejected += c.rejected
+                total.timed_out += c.timed_out
+                total.cancelled += c.cancelled
+            return ServerStatsSnapshot(
+                uptime=uptime,
+                workers=workers,
+                submitted=total.submitted,
+                completed=total.completed,
+                failed=total.failed,
+                rejected=total.rejected,
+                timed_out=total.timed_out,
+                cancelled=total.cancelled,
+                queue_depth=self._queue_depth,
+                peak_queue_depth=self._peak_queue_depth,
+                aggregate_qps=total.completed / uptime,
+                hit_percentage=hit_percentage,
+                num_views=num_views,
+                view_storage_bytes=view_storage_bytes,
+                clients=tuple(clients),
+                cross_client_hits=dict(self._cross_hits),
+            )
+
+
+def merged_metrics(collectors) -> MetricsCollector:
+    """Fold per-client collectors into one aggregate collector.
+
+    The result supports the standard workload summaries
+    (``hit_percentage``, ``speedup_upper_bound``, per-UDF stats) over
+    the union of every client's invocations — "what did the whole server
+    do", in the same shape single-session tooling already consumes.
+    """
+    merged = MetricsCollector()
+    for collector in collectors:
+        for name, stats in collector.udf_stats.items():
+            target = merged.stats_for(name, stats.per_tuple_cost)
+            target.total_invocations += stats.total_invocations
+            target.reused_invocations += stats.reused_invocations
+            target._distinct_keys.update(stats._distinct_keys)
+        merged.query_metrics.extend(collector.query_metrics)
+        for counter, value in collector.counters.items():
+            merged.counters[counter] += value
+    return merged

@@ -14,13 +14,25 @@ statements end to end::
         "WHERE id < 100 AND label = 'car';")
 
 Reuse behavior is controlled by the session's :class:`~repro.config.EvaConfig`.
+
+The components a session runs on are bundled in a :class:`SessionState`.
+:meth:`SessionState.fresh` builds a fully isolated set (the classic
+single-user session above); the multi-client server
+(:mod:`repro.server`) instead constructs states whose *reuse* components
+(catalog, storage, view store, UDF manager, model zoo) are shared across
+clients while everything per-client (clock, metrics, plan cache) stays
+private.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.cancellation import CancelToken
 from repro.catalog.catalog import Catalog
 from repro.clock import CostCategory, SimulationClock
-from repro.config import EvaConfig, ReusePolicy
+from repro.config import EvaConfig
 from repro.errors import CatalogError, EvaError
 from repro.executor.context import ExecutionContext
 from repro.executor.engine import ExecutionEngine
@@ -60,20 +72,70 @@ def connect(config: EvaConfig | None = None,
     return EvaSession(config=config, zoo=zoo)
 
 
+@dataclass
+class SessionState:
+    """The component bundle a session executes over.
+
+    This is the seam between "library" and "service" deployments: every
+    field is duck-typed, so the server substitutes lock-guarded facades
+    (e.g. :class:`repro.server.state.SharedReuseState` view stores) for
+    the plain single-threaded implementations without the session — or
+    any operator below it — knowing the difference.
+    """
+
+    config: EvaConfig
+    catalog: Catalog
+    storage: StorageEngine
+    view_store: ViewStore
+    udf_manager: UdfManager
+    symbolic: SymbolicEngine
+    clock: SimulationClock = field(default_factory=SimulationClock)
+    metrics: MetricsCollector = field(default_factory=MetricsCollector)
+    #: True when the reuse components are shared with other sessions (a
+    #: server deployment).  Destructive whole-state operations
+    #: (:meth:`EvaSession.reset_reuse_state`, ``load_reuse_state``) are
+    #: refused on shared states — they would yank state from under every
+    #: other client.
+    shared: bool = False
+
+    @classmethod
+    def fresh(cls, config: EvaConfig | None = None,
+              zoo: ModelZoo | None = None) -> "SessionState":
+        """A fully isolated component set (single-user session)."""
+        config = config or EvaConfig()
+        symbolic = SymbolicEngine(config.symbolic_time_budget)
+        return cls(
+            config=config,
+            catalog=Catalog(zoo or default_zoo()),
+            storage=StorageEngine(),
+            view_store=ViewStore(),
+            udf_manager=UdfManager(symbolic),
+            symbolic=symbolic,
+        )
+
+
 class EvaSession:
     """One VDBMS instance: catalog + storage + optimizer + executor."""
 
     def __init__(self, config: EvaConfig | None = None,
                  zoo: ModelZoo | None = None,
-                 register_standard_udfs: bool = True):
-        self.config = config or EvaConfig()
-        self.catalog = Catalog(zoo or default_zoo())
-        self.storage = StorageEngine()
-        self.view_store = ViewStore()
-        self.clock = SimulationClock()
-        self.metrics = MetricsCollector()
-        self.symbolic = SymbolicEngine(self.config.symbolic_time_budget)
-        self.udf_manager = UdfManager(self.symbolic)
+                 register_standard_udfs: bool = True,
+                 state: SessionState | None = None):
+        if state is None:
+            state = SessionState.fresh(config, zoo)
+        elif config is not None and config is not state.config:
+            raise EvaError(
+                "pass configuration through SessionState when providing "
+                "an explicit state")
+        self.state = state
+        self.config = state.config
+        self.catalog = state.catalog
+        self.storage = state.storage
+        self.view_store = state.view_store
+        self.clock = state.clock
+        self.metrics = state.metrics
+        self.symbolic = state.symbolic
+        self.udf_manager = state.udf_manager
         self.optimizer = Optimizer(
             self.catalog, self.udf_manager, self.symbolic,
             OptimizerConfig.from_eva_config(self.config))
@@ -88,8 +150,10 @@ class EvaSession:
         self.engine = ExecutionEngine(self.context)
         #: The OptimizedQuery of the most recent SELECT (introspection).
         self.last_optimized = None
-        #: Plan cache: query text -> (UdfManager version, OptimizedQuery).
-        self._plan_cache: dict[str, tuple[int, object]] = {}
+        #: LRU plan cache: query text -> (UdfManager version,
+        #: OptimizedQuery); bounded by ``config.plan_cache_size``.
+        self._plan_cache: OrderedDict[str, tuple[int, object]] = \
+            OrderedDict()
         if register_standard_udfs:
             self.register_standard_udfs()
 
@@ -116,8 +180,25 @@ class EvaSession:
 
     # -- execution -----------------------------------------------------------
 
-    def execute(self, sql: str) -> QueryResult:
-        """Parse, optimize, and run one EVAQL statement."""
+    def execute(self, sql: str,
+                cancel: CancelToken | None = None) -> QueryResult:
+        """Parse, optimize, and run one EVAQL statement.
+
+        ``cancel`` installs a cooperative cancellation token for the
+        duration of the statement (used by the server for per-query
+        timeouts); batch-boundary checks raise
+        :class:`~repro.errors.QueryCancelledError` once it trips.
+        """
+        if cancel is None:
+            return self._execute(sql)
+        previous = self.context.cancel
+        self.context.cancel = cancel
+        try:
+            return self._execute(sql)
+        finally:
+            self.context.cancel = previous
+
+    def _execute(self, sql: str) -> QueryResult:
         statement = parse(sql)
         if isinstance(statement, CreateUdfStatement):
             return self._execute_create_udf(statement)
@@ -169,17 +250,11 @@ class EvaSession:
     def _execute_select(self, sql: str,
                         statement: SelectStatement) -> QueryResult:
         self.metrics.begin_query(sql, self.clock)
-        optimized = None
-        if self.config.enable_plan_cache:
-            cached = self._plan_cache.get(sql)
-            if cached is not None and cached[0] == self.udf_manager.version:
-                optimized = cached[1]
+        optimized = self._cached_plan(sql)
         if optimized is None:
             with self.clock.measure(CostCategory.OPTIMIZE):
                 optimized = self.optimizer.optimize(statement)
-            if self.config.enable_plan_cache:
-                self._plan_cache[sql] = (self.udf_manager.version,
-                                         optimized)
+            self._cache_plan(sql, optimized)
         self.last_optimized = optimized
         batch = self.engine.run(optimized.plan)
         # p_u := UNION(p_u, q) for every UDF whose results were stored.
@@ -193,6 +268,32 @@ class EvaSession:
             rows=batch.to_tuples(),
             metrics=query_metrics,
         )
+
+    # -- plan cache ----------------------------------------------------------
+
+    @property
+    def _plan_cache_enabled(self) -> bool:
+        return (self.config.enable_plan_cache
+                and self.config.plan_cache_size > 0)
+
+    def _cached_plan(self, sql: str):
+        """A still-valid cached plan for ``sql``, refreshing its LRU slot."""
+        if not self._plan_cache_enabled:
+            return None
+        cached = self._plan_cache.get(sql)
+        if cached is None or cached[0] != self.udf_manager.version:
+            return None
+        self._plan_cache.move_to_end(sql)
+        return cached[1]
+
+    def _cache_plan(self, sql: str, optimized) -> None:
+        if not self._plan_cache_enabled:
+            return
+        self._plan_cache[sql] = (self.udf_manager.version, optimized)
+        self._plan_cache.move_to_end(sql)
+        while len(self._plan_cache) > self.config.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+            self.metrics.increment("plan_cache_evictions")
 
     def _execute_create_udf(self, statement: CreateUdfStatement
                             ) -> QueryResult:
@@ -279,8 +380,10 @@ class EvaSession:
         from repro.parser.parser import parse_predicate
         from repro.storage.view_store import ViewStore
 
+        self._refuse_if_shared("load_reuse_state")
         directory = Path(directory)
         self.view_store = ViewStore.load_from(directory / "views")
+        self.state.view_store = self.view_store
         self.context.view_store = self.view_store
         self.udf_manager.reset()
         manifest = json.loads(
@@ -295,6 +398,7 @@ class EvaSession:
 
     def reset_reuse_state(self) -> None:
         """Drop all materialized state (views, caches, histories, metrics)."""
+        self._refuse_if_shared("reset_reuse_state")
         self.view_store.drop_all()
         self.udf_manager.reset()
         if self.context.function_cache is not None:
@@ -302,6 +406,14 @@ class EvaSession:
         if self.context.recycler is not None:
             self.context.recycler.reset()
         self.metrics = MetricsCollector()
+        self.state.metrics = self.metrics
         self.context.metrics = self.metrics
         self.clock.reset()
         self._plan_cache.clear()
+
+    def _refuse_if_shared(self, operation: str) -> None:
+        if self.state.shared:
+            raise EvaError(
+                f"{operation} is not allowed on a server-managed session: "
+                "its reuse state is shared with other clients (use the "
+                "server's administrative API instead)")

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 from typing import Hashable, Iterable, Mapping
 
 import numpy as np
@@ -40,32 +41,38 @@ class MaterializedView:
         #: Lazily-built secondary index: first key component -> keys.
         #: Used by fuzzy bounding-box reuse to enumerate a frame's boxes.
         self._prefix_index: dict[Hashable, list[Key]] | None = None
+        #: Guards the entries/prefix-index pair.  Without it, a lazy index
+        #: build racing a concurrent :meth:`put` could either miss the new
+        #: key (put saw ``_prefix_index is None`` mid-build) or record it
+        #: twice (build snapshot already contained it and put appended
+        #: again) — so *every* mutation and the build run under this lock.
+        #: Uncontended acquisition is tens of nanoseconds, irrelevant next
+        #: to the dict work it protects.
+        self._lock = threading.Lock()
 
     # -- writes ----------------------------------------------------------------
 
-    def put(self, key: Key, rows: Iterable[Mapping]) -> None:
+    def put(self, key: Key, rows: Iterable[Mapping]) -> bool:
         """Record that ``key`` was computed, producing ``rows``.
 
         Re-putting an existing key is a no-op (results are deterministic, so
         the stored rows are already correct); this makes concurrent appends
-        from overlapping queries idempotent.
+        from overlapping queries idempotent.  Returns True when the key was
+        newly added (callers use this for write attribution).
         """
-        if key in self._entries:
-            return
         stored = tuple(
             {col: row[col] for col in self.output_columns} for row in rows)
-        self._entries[key] = stored
-        if self._prefix_index is not None:
-            self._prefix_index.setdefault(key[0], []).append(key)
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._entries[key] = stored
+            if self._prefix_index is not None:
+                self._prefix_index.setdefault(key[0], []).append(key)
+        return True
 
     def put_many(self, items: Iterable[tuple[Key, Iterable[Mapping]]]) -> int:
         """Bulk :meth:`put`; returns how many keys were newly added."""
-        added = 0
-        for key, rows in items:
-            if key not in self._entries:
-                self.put(key, rows)
-                added += 1
-        return added
+        return sum(1 for key, rows in items if self.put(key, rows))
 
     # -- reads ------------------------------------------------------------------
 
@@ -83,14 +90,18 @@ class MaterializedView:
         """All keys whose first component equals ``first_component``.
 
         Backs fuzzy bounding-box reuse: enumerate the stored boxes of one
-        frame to find a spatial near-match.
+        frame to find a spatial near-match.  The index is built lazily on
+        first call and kept consistent by :meth:`put` afterwards; both run
+        under the view lock so keys added before and after the first build
+        are indexed exactly once.
         """
-        if self._prefix_index is None:
-            index: dict[Hashable, list[Key]] = {}
-            for key in self._entries:
-                index.setdefault(key[0], []).append(key)
-            self._prefix_index = index
-        return list(self._prefix_index.get(first_component, ()))
+        with self._lock:
+            if self._prefix_index is None:
+                index: dict[Hashable, list[Key]] = {}
+                for key in self._entries:
+                    index.setdefault(key[0], []).append(key)
+                self._prefix_index = index
+            return list(self._prefix_index.get(first_component, ()))
 
     @property
     def num_keys(self) -> int:
@@ -108,9 +119,11 @@ class MaterializedView:
 
     def serialize(self) -> bytes:
         """Serialize all entries (compressed npz + JSON payloads)."""
+        with self._lock:
+            entries = list(self._entries.items())
         keys_flat: list[list] = []
         rows_flat: list[tuple[int, dict]] = []
-        for idx, (key, rows) in enumerate(self._entries.items()):
+        for idx, (key, rows) in enumerate(entries):
             keys_flat.append([_jsonable(part) for part in key])
             for row in rows:
                 rows_flat.append((idx, row))
@@ -154,14 +167,19 @@ class ViewStore:
 
     def __init__(self) -> None:
         self._views: dict[str, MaterializedView] = {}
+        #: Guards the name -> view map.  Two threads racing to create the
+        #: same view must receive the *same* instance, or one thread's
+        #: entries would be silently lost when the other's map write wins.
+        self._lock = threading.Lock()
 
     def create_or_get(self, name: str, key_columns: list[str],
                       output_columns: list[str]) -> MaterializedView:
-        view = self._views.get(name)
-        if view is None:
-            view = MaterializedView(name, key_columns, output_columns)
-            self._views[name] = view
-            return view
+        with self._lock:
+            view = self._views.get(name)
+            if view is None:
+                view = MaterializedView(name, key_columns, output_columns)
+                self._views[name] = view
+                return view
         if (view.key_columns != list(key_columns)
                 or view.output_columns != list(output_columns)):
             raise StorageError(
@@ -175,13 +193,26 @@ class ViewStore:
         return name in self._views
 
     def names(self) -> list[str]:
-        return sorted(self._views)
+        with self._lock:
+            return sorted(self._views)
 
     def total_serialized_bytes(self) -> int:
-        return sum(v.serialized_bytes() for v in self._views.values())
+        with self._lock:
+            views = list(self._views.values())
+        return sum(v.serialized_bytes() for v in views)
+
+    def drop(self, name: str) -> bool:
+        """Evict one view; returns whether it existed.
+
+        Single-view eviction is the primitive the server's storage-budget
+        policies build on (drop the coldest view when over budget).
+        """
+        with self._lock:
+            return self._views.pop(name, None) is not None
 
     def drop_all(self) -> None:
-        self._views.clear()
+        with self._lock:
+            self._views.clear()
 
     # -- persistence -------------------------------------------------------------
 

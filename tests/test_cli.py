@@ -120,6 +120,26 @@ class TestBenchLowWorkload:
         assert "VBENCH-LOW" in stdout.getvalue()
 
 
+class TestServeDemo:
+    def test_serve_demo_end_to_end(self):
+        stdout = io.StringIO()
+        code = main(["serve-demo", "--dataset", "synthetic:60",
+                     "--clients", "3", "--workers", "2", "--rounds", "1"],
+                    stdout=stdout)
+        text = stdout.getvalue()
+        assert code == 0
+        assert "per-client" in text
+        assert "cross-client hits" in text
+        assert "speedup upper bound" in text
+
+    def test_serve_demo_bad_dataset(self):
+        stdout = io.StringIO()
+        code = main(["serve-demo", "--dataset", "synthetic"],
+                    stdout=stdout)
+        assert code == 2
+        assert "error:" in stdout.getvalue()
+
+
 class TestRenderEdgeCases:
     def test_render_no_columns(self):
         out = io.StringIO()

@@ -6,10 +6,21 @@ result) would differ between runs, silently breaking persisted reuse
 state.  ``repro._rng.stable_seed`` exists precisely to prevent that; this
 test verifies the end-to-end guarantee by comparing output across
 subprocesses with different hash seeds.
+
+The subprocess environment is deliberately scrubbed (only PATH/HOME plus
+an explicit PYTHONPATH pointing at this checkout), so nothing ambient —
+including the parent's own PYTHONHASHSEED — can mask a leak.
 """
 
+import os
 import subprocess
 import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro._rng import stable_seed
 
 SNIPPET = """
 from repro.types import VideoMetadata
@@ -27,13 +38,19 @@ for frame_id in (0, 17, 59):
 print(rows)
 """
 
+#: Wherever the ``repro`` package was imported from (works for both
+#: ``pip install -e .`` site-packages and a PYTHONPATH=src checkout) —
+#: the scrubbed subprocess env must still be able to import it.
+_IMPORT_ROOT = str(Path(repro.__file__).resolve().parents[1])
+
 
 def _run(hashseed: str) -> str:
     completed = subprocess.run(
         [sys.executable, "-c", SNIPPET],
         capture_output=True, text=True, timeout=120,
         env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin",
-             "HOME": "/root"},
+             "HOME": os.path.expanduser("~"),
+             "PYTHONPATH": _IMPORT_ROOT},
     )
     assert completed.returncode == 0, completed.stderr[-1000:]
     return completed.stdout
@@ -43,3 +60,20 @@ def test_detections_identical_across_hash_seeds():
     outputs = {_run(seed) for seed in ("0", "1", "12345")}
     assert len(outputs) == 1
     assert "(" in next(iter(outputs))  # produced actual detections
+
+
+def test_stable_seed_is_value_not_identity_based():
+    assert stable_seed("tracks", 7, "video") == \
+        stable_seed("tracks", 7, "video")
+    assert stable_seed("tracks", 7, "a") != stable_seed("tracks", 7, "b")
+
+
+def test_stable_seed_rejects_address_bearing_reprs():
+    """The default object repr embeds a memory address — a per-process
+    value that would silently desynchronize content across runs."""
+
+    class Opaque:
+        pass
+
+    with pytest.raises(ValueError, match="process-dependent repr"):
+        stable_seed("detect", Opaque())

@@ -4,7 +4,6 @@ import pytest
 
 from repro.clock import CostCategory
 from repro.config import EvaConfig, ReusePolicy
-from repro.errors import ExecutorError
 from repro.session import EvaSession
 
 

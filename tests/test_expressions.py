@@ -17,10 +17,8 @@ from repro.expressions.expr import (
     And,
     ColumnRef,
     CompOp,
-    Comparison,
     FunctionCall,
     Literal,
-    Not,
     Or,
     Star,
     TRUE,

@@ -1,6 +1,5 @@
 """Tests for specialized-filter integration (section 5.6)."""
 
-import pytest
 
 from repro.config import EvaConfig, ReusePolicy
 from repro.optimizer.plans import PhysClassifierApply, PhysDetectorApply, \

@@ -6,7 +6,6 @@ but not identical, so exact (frame, bbox) keys miss.  With
 box with IoU above a threshold — trading exactness for fewer evaluations.
 """
 
-import pytest
 
 from repro.config import EvaConfig, ReusePolicy
 from repro.session import EvaSession

@@ -1,6 +1,5 @@
 """Unit tests for the physical implementation layer (Rule II + costing)."""
 
-import pytest
 
 from repro.config import (
     EvaConfig,
@@ -17,9 +16,6 @@ from repro.optimizer.implementation import (
 )
 from repro.optimizer.opt_context import OptimizationContext
 from repro.optimizer.plans import (
-    LogicalApply,
-    LogicalFilter,
-    LogicalGet,
     PhysDetectorApply,
     walk_plan,
 )

@@ -7,7 +7,6 @@ parameterized generator, so hypothesis explores the zoom/shift space the
 paper's analysts inhabit.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import EvaConfig, PredicateOrdering, ReusePolicy

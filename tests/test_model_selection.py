@@ -67,7 +67,6 @@ class TestGreedyWeightedSetCover:
             for combo in itertools.combinations(range(len(sets)), r):
                 if set().union(*[sets[i][0] for i in combo]) == universe:
                     best = min(best, sum(sets[i][1] for i in combo))
-        import math
 
         harmonic = sum(1 / k for k in range(1, len(universe) + 1))
         assert greedy_weight <= best * harmonic + 1e-9

@@ -11,7 +11,6 @@ from repro.config import (
 from repro.errors import BindingError
 from repro.optimizer.plans import (
     PhysClassifierApply,
-    PhysDetectorApply,
     PhysFilter,
     PhysGroupBy,
     PhysProject,

@@ -12,7 +12,6 @@ synthetic video) and assert the reuse behaviors the introduction promises:
 
 import pytest
 
-from repro.clock import CostCategory
 from repro.config import EvaConfig, ReusePolicy
 from repro.session import EvaSession
 from repro.types import VideoMetadata

@@ -1,6 +1,5 @@
 """Tests for the version-keyed plan cache."""
 
-import pytest
 
 from repro.config import EvaConfig, ReusePolicy
 from repro.session import EvaSession
@@ -81,3 +80,54 @@ class TestPlanCache:
         first = session.execute(QUERY)
         second = session.execute(QUERY)  # cached plan
         assert first.rows == second.rows
+
+
+def _query(limit: int) -> str:
+    return (f"SELECT id FROM tiny CROSS APPLY "
+            f"FastRCNNObjectDetector(frame) WHERE id < {limit};")
+
+
+class TestPlanCacheBound:
+    """The cache is a bounded LRU (``EvaConfig.plan_cache_size``)."""
+
+    def test_cache_never_exceeds_bound(self, tiny_video):
+        session = _session(tiny_video, ReusePolicy.NONE, plan_cache_size=3)
+        for limit in range(1, 9):
+            session.execute(_query(limit))
+        assert len(session._plan_cache) == 3
+        assert session.metrics.counters["plan_cache_evictions"] == 5
+
+    def test_eviction_is_least_recently_used(self, tiny_video):
+        session = _session(tiny_video, ReusePolicy.NONE, plan_cache_size=2)
+        session.execute(_query(1))
+        plan_one = session.last_optimized
+        session.execute(_query(2))
+        # Touch query 1 so query 2 becomes the LRU entry...
+        session.execute(_query(1))
+        assert session.last_optimized is plan_one  # still cached
+        # ...then overflow: query 2 is evicted, query 1 survives.
+        session.execute(_query(3))
+        session.execute(_query(1))
+        assert session.last_optimized is plan_one
+        session.execute(_query(2))  # re-optimized from scratch
+        assert session.metrics.counters["plan_cache_evictions"] >= 2
+
+    def test_zero_size_disables_cache(self, tiny_video):
+        session = _session(tiny_video, ReusePolicy.NONE, plan_cache_size=0)
+        session.execute(QUERY)
+        first_plan = session.last_optimized
+        session.execute(QUERY)
+        assert session.last_optimized is not first_plan
+        assert len(session._plan_cache) == 0
+        assert session.metrics.counters["plan_cache_evictions"] == 0
+
+    def test_eviction_counter_absent_until_first_eviction(self, tiny_video):
+        session = _session(tiny_video, ReusePolicy.NONE)
+        session.execute(QUERY)
+        assert "plan_cache_evictions" not in session.metrics.counters
+
+    def test_default_bound_is_generous(self, tiny_video):
+        session = _session(tiny_video, ReusePolicy.NONE)
+        for limit in range(1, 21):
+            session.execute(_query(limit))
+        assert len(session._plan_cache) == 20  # nothing evicted at 128

@@ -1,6 +1,5 @@
 """Targeted tests for Algorithm 1's reduction branches."""
 
-import pytest
 
 from repro.parser.parser import parse
 from repro.symbolic.dnf import dnf_from_expression

@@ -26,9 +26,7 @@ from repro.optimizer.reuse_rules import UdfPredicateTransformationRule
 from repro.optimizer.rules import (
     AnnotateApplyGuardRule,
     CANONICAL_RULES,
-    MergeFilterIntoGetRule,
     PushFilterThroughApplyRule,
-    PushFrameFilterThroughApplyRule,
     RuleEngine,
     TransformationRule,
     guard_below,

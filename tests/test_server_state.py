@@ -1,0 +1,368 @@
+"""Unit-level concurrency tests for the shared reuse state layer.
+
+`tests/test_server.py` exercises the server end to end; this module
+hammers the individual primitives — the reader-writer lock, the shared
+view store's per-view locking + attribution, and the mutex-guarded UDF
+manager — with raw threads so a regression in any one of them fails
+here with a precise signal rather than as a flaky stress test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.config import EvaConfig
+from repro.optimizer.udf_manager import UdfManager, UdfSignature
+from repro.parser.parser import parse
+from repro.server.locks import RWLock
+from repro.server.state import (
+    LockedUdfManager,
+    SharedReuseState,
+    SharedViewStore,
+)
+from repro.server.stats import ServerStats
+from repro.symbolic.dnf import dnf_from_expression
+from repro.symbolic.engine import SymbolicEngine
+
+
+def guard(sql: str):
+    """A DNF guard from a WHERE-clause snippet."""
+    return dnf_from_expression(parse(f"SELECT id FROM v WHERE {sql};").where)
+
+
+def run_threads(targets) -> None:
+    """Start all targets at once (barrier) and join them, re-raising the
+    first exception from any worker."""
+    barrier = threading.Barrier(len(targets))
+    errors: list[BaseException] = []
+
+    def wrap(fn):
+        def body():
+            barrier.wait()
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                errors.append(exc)
+        return body
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+# -- RWLock ----------------------------------------------------------------------
+
+
+class TestRWLock:
+    def test_readers_are_concurrent(self):
+        lock = RWLock()
+        inside = threading.Barrier(4, timeout=10)
+
+        def reader():
+            with lock.read_locked():
+                # All four readers must be inside simultaneously;
+                # if the lock serialized them this barrier times out.
+                inside.wait()
+
+        run_threads([reader] * 4)
+        assert lock.active_readers == 0
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        counter = {"value": 0, "max_seen": 0}
+
+        def writer():
+            for _ in range(200):
+                with lock.write_locked():
+                    counter["value"] += 1
+                    counter["max_seen"] = max(counter["max_seen"],
+                                              1 if lock.writer_active else 0)
+                    assert lock.active_readers == 0
+
+        def reader():
+            for _ in range(200):
+                with lock.read_locked():
+                    assert not lock.writer_active
+
+        run_threads([writer, writer, reader, reader])
+        assert counter["value"] == 400
+        assert not lock.writer_active
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer_waiting = threading.Event()
+        writer_done = threading.Event()
+        late_reader_done = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            with lock.write_locked():
+                pass
+            writer_done.set()
+
+        def late_reader():
+            writer_waiting.wait(timeout=10)
+            time.sleep(0.05)  # let the writer reach its wait loop
+            with lock.read_locked():
+                # A writer is queued, so we only get here after it ran.
+                assert writer_done.is_set()
+            late_reader_done.set()
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=late_reader)
+        w.start()
+        r.start()
+        time.sleep(0.15)
+        assert not writer_done.is_set()  # blocked on the initial reader
+        lock.release_read()
+        w.join(timeout=10)
+        r.join(timeout=10)
+        assert writer_done.is_set() and late_reader_done.is_set()
+
+    def test_release_without_acquire_raises(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+# -- SharedViewStore -------------------------------------------------------------
+
+
+class TestSharedViewStore:
+    def make(self):
+        store = SharedViewStore()
+        stats = ServerStats()
+        store.attach_stats(stats)
+        return store, stats
+
+    def test_concurrent_puts_lose_nothing(self):
+        store, _ = self.make()
+        clients = [store.for_client(f"c{i}") for i in range(8)]
+        per_client = 150
+
+        def worker(facade, offset):
+            def body():
+                view = facade.create_or_get("mv::x", ["id"], ["label"])
+                for i in range(per_client):
+                    # Half the key space is contested by every client.
+                    key = (i,) if i % 2 == 0 else (offset * 1000 + i,)
+                    view.put(key, [{"label": "car"}])
+                    # Interleave reads + prefix probes with the writes.
+                    assert view.get(key) is not None
+                    view.keys_with_prefix(key[0])
+            return body
+
+        run_threads([worker(facade, i)
+                     for i, facade in enumerate(clients)])
+
+        view = store.base.get("mv::x")
+        contested = {(i,) for i in range(per_client) if i % 2 == 0}
+        private = {(offset * 1000 + i,)
+                   for offset in range(8)
+                   for i in range(per_client) if i % 2 == 1}
+        assert set(view.keys()) == contested | private
+        # The lazily-built prefix index agrees with the entries.
+        for key in contested:
+            assert key in set(view.keys_with_prefix(key[0]))
+
+    def test_each_key_has_exactly_one_owner(self):
+        store, stats = self.make()
+        clients = [store.for_client(f"c{i}") for i in range(6)]
+
+        def worker(facade):
+            def body():
+                view = facade.create_or_get("mv::own", ["id"], ["label"])
+                inserted = sum(view.put((i,), [{"label": "bus"}])
+                               for i in range(100))
+                facade_inserts[facade.client_id] = inserted
+            return body
+
+        facade_inserts: dict[str, int] = {}
+        run_threads([worker(facade) for facade in clients])
+
+        # Every key went in exactly once, and ownership matches the
+        # per-client insertion counts reported by put()'s return value.
+        assert store.base.get("mv::own").num_keys == 100
+        assert sum(facade_inserts.values()) == 100
+        owners = [store.owner_of("mv::own", (i,)) for i in range(100)]
+        assert all(owner is not None for owner in owners)
+        for client_id, inserted in facade_inserts.items():
+            assert owners.count(client_id) == inserted
+        snapshot = stats.snapshot(workers=1, hit_percentage=0.0,
+                                  num_views=1, view_storage_bytes=0)
+        by_client = {c.client_id: c for c in snapshot.clients}
+        for client_id, inserted in facade_inserts.items():
+            # Clients that lost every race have no stats entry at all.
+            materialized = (by_client[client_id].keys_materialized
+                            if client_id in by_client else 0)
+            assert materialized == inserted
+
+    def test_cross_client_hits_attributed_to_materializer(self):
+        store, stats = self.make()
+        alice = store.for_client("alice")
+        bob = store.for_client("bob")
+        view_a = alice.create_or_get("mv::attr", ["id"], ["label"])
+        for i in range(10):
+            view_a.put((i,), [{"label": "car"}])
+        view_b = bob.get("mv::attr")
+        for i in range(10):
+            assert view_b.get((i,)) is not None
+        snapshot = stats.snapshot(workers=1, hit_percentage=0.0,
+                                  num_views=1, view_storage_bytes=0)
+        assert snapshot.cross_client_hits == {("bob", "alice"): 10}
+        by_client = {c.client_id: c for c in snapshot.clients}
+        assert by_client["alice"].hits_donated == 10
+        assert by_client["bob"].hits_from_others == 10
+
+    def test_self_hits_are_not_cross_client(self):
+        store, stats = self.make()
+        alice = store.for_client("alice")
+        view = alice.create_or_get("mv::self", ["id"], ["label"])
+        view.put((1,), [{"label": "car"}])
+        assert view.get((1,)) is not None
+        snapshot = stats.snapshot(workers=1, hit_percentage=0.0,
+                                  num_views=1, view_storage_bytes=0)
+        assert snapshot.cross_client_hit_count == 0
+        by_client = {c.client_id: c for c in snapshot.clients}
+        assert by_client["alice"].hits_received == 1
+        assert by_client["alice"].hits_from_others == 0
+
+    def test_drop_under_concurrent_readers(self):
+        store, _ = self.make()
+        facade = store.for_client("a")
+        view = facade.create_or_get("mv::drop", ["id"], ["label"])
+        for i in range(50):
+            view.put((i,), [{"label": "car"}])
+
+        stop = threading.Event()
+
+        def reader():
+            handle = store.for_client("r").get("mv::drop")
+            while not stop.is_set():
+                if handle is None:
+                    return
+                handle.keys()  # must never see a half-dropped view
+
+        def dropper():
+            time.sleep(0.02)
+            assert store.drop("mv::drop") is True
+            stop.set()
+
+        run_threads([reader, reader, dropper])
+        assert "mv::drop" not in store
+        assert store.drop("mv::drop") is False  # idempotent
+        # The store stays usable after a drop.
+        recreated = facade.create_or_get("mv::drop", ["id"], ["label"])
+        assert recreated.put((1,), [{"label": "car"}]) is True
+
+
+# -- LockedUdfManager ------------------------------------------------------------
+
+
+class TestLockedUdfManager:
+    def make(self):
+        return LockedUdfManager(UdfManager(SymbolicEngine()))
+
+    def test_concurrent_record_execution_loses_no_guard(self):
+        manager = self.make()
+        signature = UdfSignature("detector", ("video",))
+        ranges = [(i * 10, i * 10 + 10) for i in range(16)]
+
+        def worker(lo, hi):
+            def body():
+                manager.record_execution(
+                    signature, guard(f"id >= {lo} AND id < {hi}"), 0.1)
+            return body
+
+        run_threads([worker(lo, hi) for lo, hi in ranges])
+
+        # Every recorded range must be covered: DIFF(range, history)
+        # is FALSE for each of them.  A lost update would leave a hole.
+        for lo, hi in ranges:
+            assert manager.difference_with_history(
+                signature, guard(f"id >= {lo} AND id < {hi}")).is_false()
+        # And the union covers the full span.
+        assert manager.difference_with_history(
+            signature, guard("id >= 0 AND id < 160")).is_false()
+
+    def test_version_is_monotone_under_concurrency(self):
+        """Disjoint guards: every record genuinely extends the aggregated
+        predicate, so each one must bump the version exactly once (the
+        version only moves when p_u changes — subsumed guards are no-ops).
+        """
+        manager = self.make()
+        signature = UdfSignature("detector", ("video",))
+        seen: list[int] = []
+        seen_lock = threading.Lock()
+
+        def worker(i):
+            lo, hi = i * 100, i * 100 + 10  # disjoint per worker
+            def body():
+                before = manager.version
+                manager.record_execution(
+                    signature, guard(f"id >= {lo} AND id < {hi}"), 0.1)
+                after = manager.version
+                with seen_lock:
+                    seen.append(after)
+                assert after > before
+            return body
+
+        run_threads([worker(i) for i in range(12)])
+        # 12 distinct predicate extensions -> exactly 12 bumps; a racy
+        # read-modify-write on the counter would lose some.
+        assert manager.version == 12
+        assert manager.version >= max(seen)
+
+    def test_reads_create_history_safely(self):
+        manager = self.make()
+
+        def worker(i):
+            def body():
+                sig = UdfSignature(f"udf{i % 3}", ("video",))
+                # history() creates on first use — racing creators must
+                # not clobber each other.
+                manager.history(sig, per_tuple_cost=0.5)
+                assert manager.known(sig)
+                manager.intersection_with_history(sig, guard("id < 5"))
+            return body
+
+        run_threads([worker(i) for i in range(9)])
+        assert len(manager.histories()) == 3
+
+
+# -- SharedReuseState ------------------------------------------------------------
+
+
+class TestSharedReuseState:
+    def test_session_states_share_reuse_but_not_clock_or_metrics(self):
+        state = SharedReuseState(EvaConfig())
+        a = state.session_state("a")
+        b = state.session_state("b")
+        assert a.shared and b.shared
+        assert a.catalog is b.catalog
+        assert a.storage is b.storage
+        assert a.udf_manager is b.udf_manager
+        assert a.clock is not b.clock
+        assert a.metrics is not b.metrics
+        # Facades differ (attribution) but wrap the same store.
+        assert a.view_store is not b.view_store
+        assert a.view_store.shared is b.view_store.shared
+
+    def test_facade_writes_visible_to_other_clients(self):
+        state = SharedReuseState(EvaConfig())
+        a = state.session_state("a").view_store
+        b = state.session_state("b").view_store
+        view = a.create_or_get("mv::vis", ["id"], ["label"])
+        view.put((7,), [{"label": "car"}])
+        assert (7,) in b.get("mv::vis")
+        assert b.get("mv::vis").get((7,)) is not None

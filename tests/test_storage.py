@@ -155,6 +155,56 @@ class TestMaterializedView:
                              "bbox": BoundingBox(0, 0, i, i)}])
         assert view.serialized_bytes() > empty_size
 
+    def test_put_returns_whether_key_was_new(self):
+        view = MaterializedView("v", ["id"], ["label"])
+        assert view.put((1,), [{"label": "car"}]) is True
+        assert view.put((1,), [{"label": "other"}]) is False
+        assert view.put((2,), []) is True
+
+
+class TestPrefixIndexConsistency:
+    """`put` and the lazily-built `_prefix_index` must agree: keys added
+    before the first prefix probe (index built from entries), after it
+    (index appended incrementally), and re-put keys (no duplicates)."""
+
+    def test_index_built_lazily_covers_prior_puts(self):
+        view = MaterializedView("v", ["id", "crop"], ["label"])
+        for i in range(5):
+            view.put((i % 2, i), [{"label": "car"}])
+        assert view._prefix_index is None  # not built yet
+        assert sorted(view.keys_with_prefix(0)) == [(0, 0), (0, 2), (0, 4)]
+        assert view._prefix_index is not None
+
+    def test_puts_after_build_are_indexed(self):
+        view = MaterializedView("v", ["id", "crop"], ["label"])
+        view.put((1, 0), [{"label": "car"}])
+        assert view.keys_with_prefix(1) == [(1, 0)]  # builds the index
+        view.put((1, 1), [{"label": "bus"}])
+        view.put((2, 0), [{"label": "van"}])
+        assert sorted(view.keys_with_prefix(1)) == [(1, 0), (1, 1)]
+        assert view.keys_with_prefix(2) == [(2, 0)]
+
+    def test_re_put_never_duplicates_index_entries(self):
+        view = MaterializedView("v", ["id", "crop"], ["label"])
+        view.put((1, 0), [{"label": "car"}])
+        view.keys_with_prefix(1)  # build
+        for _ in range(3):
+            view.put((1, 0), [{"label": "ignored"}])  # idempotent re-put
+        assert view.keys_with_prefix(1) == [(1, 0)]
+
+    def test_index_matches_keys_for_every_prefix(self):
+        view = MaterializedView("v", ["id", "crop"], ["label"])
+        keys = [(i % 4, i) for i in range(20)]
+        half = len(keys) // 2
+        for key in keys[:half]:
+            view.put(key, [])
+        view.keys_with_prefix(0)  # build mid-stream
+        for key in keys[half:]:
+            view.put(key, [])
+        for prefix in range(4):
+            expected = sorted(k for k in keys if k[0] == prefix)
+            assert sorted(view.keys_with_prefix(prefix)) == expected
+
 
 class TestViewStore:
     def test_create_or_get_returns_same_view(self):
@@ -176,6 +226,20 @@ class TestViewStore:
         assert store.total_serialized_bytes() > 0
         store.drop_all()
         assert store.names() == []
+
+    def test_drop_single_view(self):
+        store = ViewStore()
+        store.create_or_get("keep", ["id"], ["x"]).put((1,), [{"x": 1}])
+        store.create_or_get("gone", ["id"], ["x"]).put((2,), [{"x": 2}])
+        assert store.drop("gone") is True
+        assert store.names() == ["keep"]
+        assert "gone" not in store
+        assert store.get("gone") is None
+        assert store.drop("gone") is False  # already gone
+        assert store.drop("never-existed") is False
+        # Dropping frees the name for a fresh (empty) view.
+        fresh = store.create_or_get("gone", ["id"], ["y"])
+        assert fresh.num_keys == 0
 
 
 class TestVideoTableScan:
