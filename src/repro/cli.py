@@ -97,6 +97,27 @@ def execute_and_render(session: EvaSession, statement: str,
               file=out)
 
 
+def split_statements(sql: str) -> list[str]:
+    """Split ``;``-separated statements in one string (quote-aware)."""
+    statements: list[str] = []
+    buffer: list[str] = []
+    in_string = False
+    for char in sql:
+        if char == "'":
+            in_string = not in_string
+        if char == ";" and not in_string:
+            statement = "".join(buffer).strip()
+            if statement:
+                statements.append(statement + ";")
+            buffer = []
+        else:
+            buffer.append(char)
+    residual = "".join(buffer).strip()
+    if residual:
+        statements.append(residual + ";")
+    return statements
+
+
 def read_statements(stream: IO[str]):
     """Yield ';'-terminated statements from a character stream."""
     buffer: list[str] = []
@@ -132,7 +153,7 @@ def run_script(session: EvaSession, path: str, stdout: IO[str]) -> int:
 
 
 def run_bench(policy_name: str, workload: str, frames: int,
-              stdout: IO[str]) -> int:
+              stdout: IO[str], artifacts: str | None = None) -> int:
     from repro.vbench.queries import vbench_high, vbench_low
     from repro.vbench.workload import run_workload
 
@@ -143,7 +164,8 @@ def run_bench(policy_name: str, workload: str, frames: int,
     queries = (vbench_high if workload == "high" else vbench_low)(
         "bench", frames)
     result = run_workload(video, queries,
-                          EvaConfig(reuse_policy=ReusePolicy(policy_name)))
+                          EvaConfig(reuse_policy=ReusePolicy(policy_name)),
+                          artifacts_dir=artifacts)
     rows = [[f"Q{i + 1}", round(m.total_time, 1), m.rows_returned]
             for i, m in enumerate(result.query_metrics)]
     rows.append(["total", round(result.total_time, 1), ""])
@@ -153,6 +175,103 @@ def run_bench(policy_name: str, workload: str, frames: int,
           file=stdout)
     print(f"hit rate {result.hit_percentage:.1f}%, view storage "
           f"{result.storage_bytes / 1024:.0f} KiB", file=stdout)
+    if artifacts is not None:
+        print(f"artifacts: trace.jsonl, metrics.json, metrics.prom in "
+              f"{artifacts}", file=stdout)
+    return 0
+
+
+def run_trace(policy_name: str, dataset: str, sql: str,
+              jsonl: str | None, stdout: IO[str]) -> int:
+    """``repro trace``: run statements and print the span tree(s).
+
+    Multiple ``;``-separated statements run on one session, so the second
+    statement's trace shows the reuse the first one materialized; the
+    per-statement reuse-decision audit records are printed after each
+    tree, and the trace's virtual total is reconciled against the
+    simulation clock.
+    """
+    from repro.obs.sinks import CompositeSink, InMemorySink, JsonlFileSink
+
+    session = make_session(policy_name, dataset)
+    tracer = session.tracer
+    tracer.capture_operators = True
+    memory = InMemorySink()
+    sink = None
+    if jsonl is not None:
+        sink = JsonlFileSink(jsonl, truncate=True)
+        tracer.sink = CompositeSink([memory, sink])
+    else:
+        tracer.sink = memory
+    statements = split_statements(sql)
+    if not statements:
+        print("error: no statements to trace", file=stdout)
+        return 2
+    exit_code = 0
+    for statement in statements:
+        before = session.clock.snapshot()
+        try:
+            result = session.execute(statement)
+        except EvaError as error:
+            print(f"error: {error}", file=stdout)
+            exit_code = 1
+            continue
+        trace_id = tracer.last_trace_id
+        print(f"-- trace {trace_id}: {len(result)} rows", file=stdout)
+        print(tracer.render(trace_id), file=stdout)
+        _print_audit(memory, trace_id, stdout)
+        spans = tracer.spans(trace_id)
+        roots = [s for s in spans if s.parent_id is None]
+        span_virtual = sum(s.virtual_seconds for s in roots)
+        clock_virtual = sum(
+            session.clock.snapshot_delta(before).values())
+        print(f"-- virtual time: spans {span_virtual:.3f}s, "
+              f"clock {clock_virtual:.3f}s "
+              f"(delta {abs(span_virtual - clock_virtual):.6f}s)",
+              file=stdout)
+    if sink is not None:
+        sink.close()
+        print(f"-- {sink.events_written} events written to {jsonl}",
+              file=stdout)
+    return exit_code
+
+
+def _print_audit(memory, trace_id: str | None, out: IO[str]) -> None:
+    records = [e for e in memory.events("reuse_decision")
+               if e.get("trace_id") == trace_id]
+    for record in records:
+        reused = "reused" if record["reused"] else "no reuse"
+        line = (f"   audit[{record['kind']}] {record['signature']}: "
+                f"{reused}")
+        if record.get("missing_fraction") is not None:
+            line += f", missing={record['missing_fraction']:.2f}"
+        if record.get("difference"):
+            line += f", diff={record['difference']}"
+        print(line, file=out)
+
+
+def run_metrics_dump(dataset: str, clients: int, workers: int,
+                     stdout: IO[str]) -> int:
+    """``repro metrics-dump``: demo workload -> Prometheus exposition.
+
+    Spins up an :class:`~repro.server.EvaServer`, runs the overlapping
+    demo workload from ``clients`` clients, and prints the merged
+    Prometheus text exposition (per-UDF #TI/#DI/hit rates, virtual-time
+    categories, admission/backpressure counters).
+    """
+    from repro.server import EvaServer
+
+    video = make_video(dataset)
+    queries = demo_queries(video.name, video.num_frames)
+    server = EvaServer(max_workers=workers)
+    server.register_video(video)
+    with server.start():
+        handles = [server.connect() for _ in range(clients)]
+        for offset, handle in enumerate(handles):
+            for i in range(len(queries)):
+                handle.execute(queries[(i + offset) % len(queries)])
+        text = server.prometheus_text()
+    print(text, file=stdout, end="")
     return 0
 
 
@@ -260,6 +379,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workload", default="high",
                        choices=["high", "low"])
     bench.add_argument("--frames", type=int, default=2000)
+    bench.add_argument("--artifacts", default=None, metavar="DIR",
+                       help="write trace.jsonl / metrics.json / "
+                            "metrics.prom into DIR")
+    trace = sub.add_parser(
+        "trace",
+        help="run statement(s) and print the hierarchical span tree "
+             "with reuse-decision audit records")
+    common(trace)
+    trace.add_argument("query",
+                       help="';'-separated EVAQL statement(s); they "
+                            "share one session, so later statements "
+                            "show the reuse earlier ones materialized")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also export every event as JSON lines")
+    metrics = sub.add_parser(
+        "metrics-dump",
+        help="run the multi-client demo workload and print the "
+             "Prometheus text exposition")
+    metrics.add_argument("--dataset", default="synthetic:240",
+                         help="ua_detrac[:size] | jackson | "
+                              "synthetic:<frames>[:<density>]")
+    metrics.add_argument("--clients", type=int, default=2)
+    metrics.add_argument("--workers", type=int, default=2)
     serve = sub.add_parser(
         "serve-demo",
         help="smoke the multi-client query server (shared reuse state)")
@@ -281,11 +423,26 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
     stdout = stdout if stdout is not None else sys.stdout
     args = build_parser().parse_args(argv)
     if args.command == "bench":
-        return run_bench(args.policy, args.workload, args.frames, stdout)
+        return run_bench(args.policy, args.workload, args.frames, stdout,
+                         artifacts=args.artifacts)
     if args.command == "serve-demo":
         try:
             return run_serve_demo(args.dataset, args.clients, args.workers,
                                   args.rounds, args.queue, stdout)
+        except ValueError as error:
+            print(f"error: {error}", file=stdout)
+            return 2
+    if args.command == "trace":
+        try:
+            return run_trace(args.policy, args.dataset, args.query,
+                             args.jsonl, stdout)
+        except ValueError as error:
+            print(f"error: {error}", file=stdout)
+            return 2
+    if args.command == "metrics-dump":
+        try:
+            return run_metrics_dump(args.dataset, args.clients,
+                                    args.workers, stdout)
         except ValueError as error:
             print(f"error: {error}", file=stdout)
             return 2

@@ -13,6 +13,7 @@ Cost categories mirror the paper's time-breakdown figures (Fig. 6, Table 4).
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
@@ -40,11 +41,18 @@ class SimulationClock:
 
     The clock is hierarchical-friendly: callers snapshot it before a query
     and diff after to obtain a per-query breakdown.
+
+    Charging is **thread-safe**: under the multi-client server, worker
+    threads share sessions via :class:`~repro.session.SessionState` and
+    may charge one clock concurrently; an unguarded ``+=`` on the totals
+    dict would silently lose virtual time under interleaving.
     """
 
     _totals: dict[CostCategory, float] = field(
         default_factory=lambda: defaultdict(float)
     )
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def charge(self, category: CostCategory, seconds: float) -> None:
         """Add ``seconds`` of virtual time to ``category``.
@@ -54,7 +62,8 @@ class SimulationClock:
         """
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
-        self._totals[category] += seconds
+        with self._lock:
+            self._totals[category] += seconds
 
     @contextmanager
     def measure(self, category: CostCategory) -> Iterator[None]:
@@ -72,20 +81,34 @@ class SimulationClock:
 
     def total(self, category: CostCategory | None = None) -> float:
         """Total virtual seconds, overall or for one category."""
-        if category is not None:
-            return self._totals.get(category, 0.0)
-        return sum(self._totals.values())
+        with self._lock:
+            if category is not None:
+                return self._totals.get(category, 0.0)
+            return sum(self._totals.values())
 
     def snapshot(self) -> "ClockSnapshot":
         """Freeze the current totals for later diffing."""
-        return ClockSnapshot(dict(self._totals))
+        with self._lock:
+            return ClockSnapshot(dict(self._totals))
+
+    def snapshot_delta(self, since: "ClockSnapshot"
+                       ) -> dict[CostCategory, float]:
+        """Per-category virtual time charged since ``since``.
+
+        Convenience over ``since.delta(self)`` that reads naturally at
+        call sites (tracing, per-query accounting):
+        ``clock.snapshot_delta(before)``.
+        """
+        return since.delta(self)
 
     def breakdown(self) -> dict[CostCategory, float]:
         """A copy of the per-category totals."""
-        return dict(self._totals)
+        with self._lock:
+            return dict(self._totals)
 
     def reset(self) -> None:
-        self._totals.clear()
+        with self._lock:
+            self._totals.clear()
 
 
 @dataclass(frozen=True)

@@ -70,6 +70,10 @@ class EvaConfig:
     #: unbounded cache keyed by raw SQL is a slow leak under ad-hoc
     #: exploratory workloads where nearly every statement is distinct.
     plan_cache_size: int = 128
+    #: Slow-query log threshold in *virtual* seconds: queries whose
+    #: virtual time meets it land in the session's
+    #: :class:`~repro.obs.slowlog.SlowQueryLog`.  ``None`` disables.
+    slow_query_threshold: float | None = None
     #: Fuzzy bounding-box reuse (the paper's section 6 future work): on an
     #: exact view miss, a patch classifier may reuse the stored result of a
     #: spatially close box in the same frame.  Results become approximate.

@@ -44,6 +44,10 @@ class ExecutionContext:
     #: Cooperative cancellation for the currently running query (set by the
     #: server per query; None for plain library sessions).
     cancel: CancelToken | None = None
+    #: The session's tracer (:class:`repro.obs.trace.Tracer`), duck-typed
+    #: to avoid an executor->obs import; operators may attach events to
+    #: the active trace through it.  None disables.
+    tracer: object | None = None
     evaluator: ExpressionEvaluator = field(init=False)
 
     def __post_init__(self):

@@ -1,13 +1,22 @@
-"""Operator instrumentation for EXPLAIN ANALYZE.
+"""Operator instrumentation for EXPLAIN ANALYZE and span capture.
 
 Wraps every operator of a plan in a counting proxy that records output
-rows, batches, and real elapsed time, then renders the annotated plan tree
-the way ``EXPLAIN`` does — with actuals attached.
+rows, batches, real elapsed time, *and* virtual (simulation-clock) time,
+then renders the annotated plan tree the way ``EXPLAIN`` does — with
+actuals attached.
+
+Each wrapper's ``elapsed`` / ``virtual`` measure the whole subtree below
+it (the time spent inside ``next()`` on its pipeline, children
+included).  Per-operator **self time** is therefore derived by
+subtracting the children's subtree totals — reported as ``self=`` in
+EXPLAIN ANALYZE and as the per-operator span durations in ``repro
+trace`` — so a parent is no longer blamed for its children's work.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.executor.context import ExecutionContext
@@ -18,17 +27,23 @@ from repro.storage.batch import Batch
 
 
 class InstrumentedOperator(Operator):
-    """Counts rows/batches and wall time of a wrapped operator."""
+    """Counts rows/batches and subtree wall + virtual time."""
 
     def __init__(self, inner: Operator, context: ExecutionContext):
         super().__init__(context)
         self.inner = inner
         self.rows_out = 0
         self.batches_out = 0
+        #: Wall seconds spent inside this subtree (children included).
         self.elapsed = 0.0
+        #: Virtual seconds charged while inside this subtree (children
+        #: included).
+        self.virtual = 0.0
 
     def execute(self) -> Iterator[Batch]:
+        clock = self.context.clock
         start = time.perf_counter()
+        virtual_start = clock.total()
         iterator = self.inner.execute()
         while True:
             try:
@@ -39,10 +54,12 @@ class InstrumentedOperator(Operator):
                 # Attribute only the time spent *inside* this subtree; the
                 # consumer's time between pulls is not ours.
                 self.elapsed += time.perf_counter() - start
+                self.virtual += clock.total() - virtual_start
             self.rows_out += batch.num_rows
             self.batches_out += 1
             yield batch
             start = time.perf_counter()
+            virtual_start = clock.total()
 
 
 class InstrumentedEngine(ExecutionEngine):
@@ -58,6 +75,69 @@ class InstrumentedEngine(ExecutionEngine):
         self.instrumented[id(plan)] = wrapper
         return wrapper
 
+    def operator_stats(self, plan: PhysicalPlan
+                       ) -> "list[OperatorStats]":
+        """Per-node actuals for ``plan`` in pre-order, with self times."""
+        return collect_operator_stats(plan, self.instrumented)
+
+
+@dataclass(frozen=True)
+class OperatorStats:
+    """Actuals for one plan node, with parent/child attribution."""
+
+    node: PhysicalPlan
+    label: str
+    depth: int
+    rows_out: int
+    batches_out: int
+    #: Subtree totals (children included).
+    elapsed: float
+    virtual: float
+    #: This operator's own contribution (subtree minus children,
+    #: clamped at zero against scheduling noise).
+    self_elapsed: float
+    self_virtual: float
+
+
+def collect_operator_stats(plan: PhysicalPlan,
+                           instrumented: dict[int, InstrumentedOperator]
+                           ) -> list[OperatorStats]:
+    """Walk ``plan`` pre-order pairing nodes with their wrappers.
+
+    Self time is the node's subtree time minus its direct children's
+    subtree times: the wrappers measure whole pipelines (a parent's pull
+    blocks on its child's ``next()``), so without the subtraction every
+    ancestor double-counts the leaf work below it.
+    """
+    out: list[OperatorStats] = []
+
+    def visit(node: PhysicalPlan, depth: int) -> None:
+        stats = instrumented.get(id(node))
+        children = plan_children(node)
+        if stats is not None:
+            child_elapsed = sum(
+                instrumented[id(c)].elapsed for c in children
+                if id(c) in instrumented)
+            child_virtual = sum(
+                instrumented[id(c)].virtual for c in children
+                if id(c) in instrumented)
+            out.append(OperatorStats(
+                node=node,
+                label=type(node).__name__.removeprefix("Phys"),
+                depth=depth,
+                rows_out=stats.rows_out,
+                batches_out=stats.batches_out,
+                elapsed=stats.elapsed,
+                virtual=stats.virtual,
+                self_elapsed=max(0.0, stats.elapsed - child_elapsed),
+                self_virtual=max(0.0, stats.virtual - child_virtual),
+            ))
+        for child in children:
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return out
+
 
 def explain_analyze(plan: PhysicalPlan, context: ExecutionContext
                     ) -> tuple[Batch, str]:
@@ -67,16 +147,20 @@ def explain_analyze(plan: PhysicalPlan, context: ExecutionContext
     engine = InstrumentedEngine(context)
     result = engine.run(plan)
     base_lines = explain(plan).splitlines()
+    stats_by_node = {id(s.node): s
+                     for s in engine.operator_stats(plan)}
     annotated = []
     for line, node in zip(base_lines, _walk(plan)):
-        stats = engine.instrumented.get(id(node))
+        stats = stats_by_node.get(id(node))
         if stats is None:  # pragma: no cover - every node is wrapped
             annotated.append(line)
             continue
         annotated.append(
             f"{line}  "
             f"(rows={stats.rows_out} batches={stats.batches_out} "
-            f"time={stats.elapsed * 1000:.1f}ms)")
+            f"time={stats.elapsed * 1000:.1f}ms "
+            f"self={stats.self_elapsed * 1000:.1f}ms "
+            f"virtual={stats.self_virtual:.3f}s)")
     return result, "\n".join(annotated)
 
 

@@ -1,0 +1,185 @@
+"""Prometheus text-format exposition of the reproduction's metrics.
+
+Builds the classic ``# HELP`` / ``# TYPE`` exposition (text format
+0.0.4) from the structures the system already maintains:
+
+* :class:`~repro.metrics.MetricsCollector` — per-UDF #TI / #DI / reused
+  counts and hit ratios (section 5.2), named event counters, and a
+  histogram of per-query virtual seconds;
+* :class:`~repro.clock.SimulationClock` — per-category virtual-time
+  totals (the Fig. 6 / Table 4 buckets);
+* :class:`~repro.server.stats.ServerStatsSnapshot` — admission /
+  backpressure / lifecycle counters, queue depth, view storage, and
+  cross-client hit attribution.
+
+No client library is required; the output is a string suitable for an
+HTTP scrape endpoint or ``repro metrics-dump``.
+"""
+
+from __future__ import annotations
+
+#: Upper bounds (virtual seconds) of the query-latency histogram.
+QUERY_SECONDS_BUCKETS = (1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0)
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _labels(**labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape(str(value))}"'
+                     for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Exposition:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def header(self, name: str, help_text: str, type_: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {type_}")
+
+    def sample(self, name: str, value: float, **labels) -> None:
+        self.lines.append(f"{name}{_labels(**labels)} {_fmt(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _expose_udf_stats(exp: _Exposition, metrics) -> None:
+    exp.header("eva_udf_invocations_total",
+               "UDF invocations by disposition (total=#TI, "
+               "distinct=#DI, reused=served from materialized views, "
+               "executed=model actually ran)", "counter")
+    for name in sorted(metrics.udf_stats):
+        stats = metrics.udf_stats[name]
+        exp.sample("eva_udf_invocations_total", stats.total_invocations,
+                   udf=name, disposition="total")
+        exp.sample("eva_udf_invocations_total",
+                   stats.distinct_invocations,
+                   udf=name, disposition="distinct")
+        exp.sample("eva_udf_invocations_total", stats.reused_invocations,
+                   udf=name, disposition="reused")
+        exp.sample("eva_udf_invocations_total",
+                   stats.executed_invocations,
+                   udf=name, disposition="executed")
+    exp.header("eva_udf_hit_ratio",
+               "Fraction of a UDF's invocations served from "
+               "materialized views (section 5.2 hit percentage / 100)",
+               "gauge")
+    for name in sorted(metrics.udf_stats):
+        stats = metrics.udf_stats[name]
+        ratio = (stats.reused_invocations / stats.total_invocations
+                 if stats.total_invocations else 0.0)
+        exp.sample("eva_udf_hit_ratio", ratio, udf=name)
+    exp.header("eva_hit_ratio",
+               "Aggregate reuse hit ratio across all UDFs", "gauge")
+    exp.sample("eva_hit_ratio", metrics.hit_percentage() / 100.0)
+
+
+def _expose_counters(exp: _Exposition, metrics) -> None:
+    if not metrics.counters:
+        return
+    exp.header("eva_events_total",
+               "Named event counters (plan-cache evictions, ...)",
+               "counter")
+    for name in sorted(metrics.counters):
+        exp.sample("eva_events_total", metrics.counters[name], event=name)
+
+
+def _expose_query_histogram(exp: _Exposition, metrics) -> None:
+    exp.header("eva_query_virtual_seconds",
+               "Histogram of per-query virtual execution time",
+               "histogram")
+    times = [m.total_time for m in metrics.query_metrics]
+    cumulative = 0
+    for bound in QUERY_SECONDS_BUCKETS:
+        cumulative = sum(1 for t in times if t <= bound)
+        exp.sample("eva_query_virtual_seconds_bucket", cumulative,
+                   le=_fmt(bound))
+    exp.sample("eva_query_virtual_seconds_bucket", len(times), le="+Inf")
+    exp.sample("eva_query_virtual_seconds_sum", sum(times))
+    exp.sample("eva_query_virtual_seconds_count", len(times))
+
+
+def _expose_clock(exp: _Exposition, clock) -> None:
+    exp.header("eva_virtual_seconds_total",
+               "Virtual seconds charged per cost category "
+               "(Fig. 6 / Table 4 buckets)", "counter")
+    breakdown = clock.breakdown()
+    for category in sorted(breakdown, key=lambda c: c.value):
+        exp.sample("eva_virtual_seconds_total", breakdown[category],
+                   category=category.value)
+
+
+def _expose_server(exp: _Exposition, snapshot) -> None:
+    exp.header("eva_server_queries_total",
+               "Queries by admission/lifecycle outcome "
+               "(rejected = admission-control backpressure)", "counter")
+    for outcome in ("submitted", "completed", "failed", "rejected",
+                    "timed_out", "cancelled"):
+        exp.sample("eva_server_queries_total",
+                   getattr(snapshot, outcome), outcome=outcome)
+    exp.header("eva_server_queue_depth", "Admitted-but-waiting queries",
+               "gauge")
+    exp.sample("eva_server_queue_depth", snapshot.queue_depth)
+    exp.header("eva_server_queue_depth_peak",
+               "High-water mark of the admission queue", "gauge")
+    exp.sample("eva_server_queue_depth_peak", snapshot.peak_queue_depth)
+    exp.header("eva_server_uptime_seconds", "Server uptime", "gauge")
+    exp.sample("eva_server_uptime_seconds", snapshot.uptime)
+    exp.header("eva_server_views", "Materialized views currently stored",
+               "gauge")
+    exp.sample("eva_server_views", snapshot.num_views)
+    exp.header("eva_server_view_storage_bytes",
+               "Serialized size of all materialized views", "gauge")
+    exp.sample("eva_server_view_storage_bytes",
+               snapshot.view_storage_bytes)
+    exp.header("eva_server_cross_client_hits_total",
+               "View probes served from another client's materialized "
+               "work (prober/owner attribution)", "counter")
+    for (prober, owner), count in sorted(
+            snapshot.cross_client_hits.items()):
+        exp.sample("eva_server_cross_client_hits_total", count,
+                   prober=prober, owner=owner)
+    if snapshot.clients:
+        exp.header("eva_server_client_queries_total",
+                   "Per-client query outcomes", "counter")
+        for client in snapshot.clients:
+            for outcome in ("submitted", "completed", "rejected",
+                            "timed_out", "cancelled"):
+                exp.sample("eva_server_client_queries_total",
+                           getattr(client, outcome),
+                           client=client.client_id, outcome=outcome)
+
+
+def prometheus_text(metrics=None, clock=None, server=None) -> str:
+    """Render the exposition for any subset of metric sources.
+
+    Args:
+        metrics: a :class:`~repro.metrics.MetricsCollector` (per-UDF
+            stats, counters, query-latency histogram).
+        clock: a :class:`~repro.clock.SimulationClock` (category totals).
+        server: a :class:`~repro.server.stats.ServerStatsSnapshot`
+            (admission / backpressure / attribution counters).
+    """
+    exp = _Exposition()
+    if metrics is not None:
+        _expose_udf_stats(exp, metrics)
+        _expose_counters(exp, metrics)
+        _expose_query_histogram(exp, metrics)
+    if clock is not None:
+        _expose_clock(exp, clock)
+    if server is not None:
+        _expose_server(exp, server)
+    return exp.text()

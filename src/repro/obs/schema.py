@@ -1,0 +1,177 @@
+"""A dependency-free validator for the trace-event JSON schema.
+
+The container image deliberately carries no ``jsonschema`` package, so
+this module implements the small, well-defined subset of JSON Schema
+(draft-07 keywords) that ``tests/schemas/trace.schema.json`` uses:
+``type``, ``enum``, ``const``, ``properties``, ``required``,
+``additionalProperties``, ``items``, ``minimum``, ``minLength``,
+``pattern``, ``oneOf``, ``anyOf`` and ``allOf``.  CI runs it over the
+JSONL output of ``repro trace``::
+
+    python -m repro.obs.schema trace.jsonl tests/schemas/trace.schema.json
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; JSON Schema keeps them apart.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: (isinstance(v, (int, float))
+                         and not isinstance(v, bool)),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class SchemaError(ValueError):
+    """The instance does not conform to the schema."""
+
+    def __init__(self, path: str, message: str):
+        self.path = path or "$"
+        super().__init__(f"{self.path}: {message}")
+
+
+def _check_type(instance, expected, path: str) -> None:
+    types = expected if isinstance(expected, list) else [expected]
+    for name in types:
+        check = _TYPE_CHECKS.get(name)
+        if check is None:
+            raise SchemaError(path, f"unsupported schema type {name!r}")
+        if check(instance):
+            return
+    raise SchemaError(
+        path, f"expected type {expected}, got {type(instance).__name__}")
+
+
+def validate(instance, schema: dict, path: str = "$") -> None:
+    """Raise :class:`SchemaError` if ``instance`` violates ``schema``."""
+    if not isinstance(schema, dict):
+        raise SchemaError(path, f"schema must be an object, got {schema!r}")
+    if "const" in schema and instance != schema["const"]:
+        raise SchemaError(
+            path, f"expected const {schema['const']!r}, got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(
+            path, f"{instance!r} not in enum {schema['enum']!r}")
+    if "type" in schema:
+        _check_type(instance, schema["type"], path)
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            raise SchemaError(
+                path, f"{instance} < minimum {schema['minimum']}")
+    if isinstance(instance, str):
+        if len(instance) < schema.get("minLength", 0):
+            raise SchemaError(
+                path, f"length {len(instance)} < minLength "
+                f"{schema['minLength']}")
+        pattern = schema.get("pattern")
+        if pattern is not None and re.search(pattern, instance) is None:
+            raise SchemaError(
+                path, f"{instance!r} does not match pattern {pattern!r}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", []):
+            if name not in instance:
+                raise SchemaError(path, f"missing required key {name!r}")
+        properties = schema.get("properties", {})
+        for name, sub in properties.items():
+            if name in instance:
+                validate(instance[name], sub, f"{path}.{name}")
+        additional = schema.get("additionalProperties", True)
+        if additional is False:
+            extras = sorted(set(instance) - set(properties))
+            if extras:
+                raise SchemaError(
+                    path, f"unexpected additional keys {extras}")
+        elif isinstance(additional, dict):
+            for name in set(instance) - set(properties):
+                validate(instance[name], additional, f"{path}.{name}")
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            validate(item, schema["items"], f"{path}[{index}]")
+    for keyword in ("oneOf", "anyOf"):
+        alternatives = schema.get(keyword)
+        if alternatives:
+            errors = []
+            matches = 0
+            for index, sub in enumerate(alternatives):
+                try:
+                    validate(instance, sub, path)
+                    matches += 1
+                except SchemaError as error:
+                    errors.append(f"[{index}] {error}")
+            if matches == 0:
+                raise SchemaError(
+                    path, f"no {keyword} alternative matched: "
+                    + "; ".join(errors))
+            if keyword == "oneOf" and matches > 1:
+                raise SchemaError(
+                    path, f"{matches} oneOf alternatives matched "
+                    "(exactly one required)")
+    for sub in schema.get("allOf", []):
+        validate(instance, sub, path)
+
+
+def validate_event(event: dict, schema: dict) -> None:
+    """Alias with a name that reads well at call sites."""
+    validate(event, schema)
+
+
+def validate_jsonl(path, schema: dict) -> int:
+    """Validate every line of a JSONL file; returns the line count.
+
+    Raises:
+        SchemaError: the first invalid event, with its line number.
+    """
+    count = 0
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SchemaError(f"line {line_no}",
+                                  f"invalid JSON: {error}") from error
+            try:
+                validate(event, schema)
+            except SchemaError as error:
+                raise SchemaError(f"line {line_no} {error.path}",
+                                  str(error)) from error
+            count += 1
+    return count
+
+
+def load_schema(path) -> dict:
+    return json.loads(Path(path).read_text("utf-8"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    import sys
+
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 2:
+        print("usage: python -m repro.obs.schema <events.jsonl> "
+              "<schema.json>", file=sys.stderr)
+        return 2
+    events_path, schema_path = argv
+    try:
+        count = validate_jsonl(events_path, load_schema(schema_path))
+    except SchemaError as error:
+        print(f"INVALID {events_path}: {error}", file=sys.stderr)
+        return 1
+    print(f"OK {events_path}: {count} events valid against "
+          f"{schema_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Pluggable trace-event sinks.
+
+Every observability signal — finished spans, reuse-decision audit
+records, slow-query entries — is exported as one JSON-serializable
+``dict`` event through a :class:`TraceSink`.  Sinks are deliberately
+tiny: ``emit`` one event, ``close`` when done.  They must be
+thread-safe; the server's workers emit from many threads into one sink.
+
+Events always carry a ``"type"`` key (``"span"``, ``"reuse_decision"``,
+``"slow_query"``); the JSONL wire format is one event per line, which
+``tests/schemas/trace.schema.json`` describes and
+:mod:`repro.obs.schema` validates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable
+
+
+class TraceSink:
+    """Base class / no-behavior contract for event sinks."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (default: nothing to release)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Drops every event: the zero-overhead default."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class InMemorySink(TraceSink):
+    """Bounded ring buffer of events (newest win).
+
+    The default sink for sessions and servers: cheap, bounded, and
+    introspectable — ``repro trace`` and the tests read events back out
+    of it.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def emit(self, event: dict) -> None:
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+
+    def events(self, type: str | None = None) -> list[dict]:
+        """A snapshot of buffered events, optionally filtered by type."""
+        with self._lock:
+            snapshot = list(self._events)
+        if type is None:
+            return snapshot
+        return [e for e in snapshot if e.get("type") == type]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class JsonlFileSink(TraceSink):
+    """Appends one compact JSON object per line to a file.
+
+    The file is opened lazily on the first event and flushed per emit so
+    a crash mid-workload still leaves a readable prefix.  Values that
+    are not JSON-serializable are stringified (trace payloads favor
+    robustness over fidelity).  ``truncate=True`` starts a fresh file
+    instead of appending (what one-shot CLI exports want).
+    """
+
+    def __init__(self, path, truncate: bool = False):
+        self.path = Path(path)
+        self._mode = "w" if truncate else "a"
+        self._handle: IO[str] | None = None
+        self._lock = threading.Lock()
+        self.events_written = 0
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(event, separators=(",", ":"), sort_keys=True,
+                          default=str)
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open(self._mode, encoding="utf-8")
+                self._mode = "a"  # reopen after close() must not clobber
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.events_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class CompositeSink(TraceSink):
+    """Fans every event out to several sinks."""
+
+    def __init__(self, sinks: Iterable[TraceSink]):
+        self.sinks = list(sinks)
+
+    def emit(self, event: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -1,0 +1,336 @@
+"""A lightweight span API threading one trace through the query lifecycle.
+
+A :class:`Tracer` lives on a session (one per client under the server)
+and records :class:`Span` entries for each lifecycle stage — parse, bind,
+optimize (with per-rule spans), model selection, execute (with
+per-operator spans), and the post-execution view updates.  Every span
+carries *two* durations:
+
+* **wall seconds** — real elapsed time of the block
+  (``time.perf_counter``), the honest cost of work this reproduction
+  genuinely performs (symbolic analysis, plan folding);
+* **virtual seconds** — the per-category delta charged to the session's
+  :class:`~repro.clock.SimulationClock` while the span was open, the
+  calibrated stand-in for GPU model time (see DESIGN.md).
+
+Identifiers are **deterministic**: per-tracer monotone counters
+(``t000001`` / ``s000001``), never ``hash()`` or ``id()``, so traces are
+byte-stable across processes and under ``PYTHONHASHSEED=random`` (the
+same guarantee :mod:`repro._rng` gives synthetic content).
+
+Finished spans land in a bounded in-memory ring (for ``repro trace`` and
+tests) and are exported as events through the tracer's
+:class:`~repro.obs.sinks.TraceSink`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.clock import SimulationClock
+from repro.obs.sinks import NullSink, TraceSink
+
+#: Tag values exported verbatim; everything else is stringified.
+_JSON_SCALARS = (bool, int, float, str, type(None))
+
+
+@dataclass
+class Span:
+    """One traced stage of a query's lifecycle."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    client_id: str | None = None
+    tags: dict = field(default_factory=dict)
+    status: str = "ok"
+    wall_seconds: float = 0.0
+    virtual_seconds: float = 0.0
+    #: Per-category virtual time charged while the span was open
+    #: (category value -> seconds; only categories that moved).
+    virtual_breakdown: dict[str, float] = field(default_factory=dict)
+    #: Wall start marker (perf_counter) while the span is open.
+    _start_wall: float = field(default=0.0, repr=False)
+    _start_virtual: dict = field(default_factory=dict, repr=False)
+
+    def tag(self, **tags) -> "Span":
+        """Attach key/value annotations (chainable)."""
+        self.tags.update(tags)
+        return self
+
+    def to_event(self) -> dict:
+        """The JSON-serializable sink event for this span."""
+        tags = {key: (value if isinstance(value, _JSON_SCALARS)
+                      else str(value))
+                for key, value in self.tags.items()}
+        return {
+            "type": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "client_id": self.client_id,
+            "status": self.status,
+            "wall_ms": round(self.wall_seconds * 1000.0, 6),
+            "virtual_s": round(self.virtual_seconds, 9),
+            "virtual_breakdown": {k: round(v, 9) for k, v
+                                  in self.virtual_breakdown.items()},
+            "tags": tags,
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span handle for disabled tracers."""
+
+    __slots__ = ()
+
+    def tag(self, **tags) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one :class:`Span`."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def tag(self, **tags) -> "_SpanHandle":
+        self.span.tag(**tags)
+        return self
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.status = "error"
+            self.span.tags.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self.span)
+
+
+class Tracer:
+    """Per-session span recorder with deterministic ids.
+
+    Args:
+        clock: the session's simulation clock; when provided every span
+            also measures the virtual-time delta charged while open.
+        sink: export target for finished spans and emitted events
+            (default: :class:`~repro.obs.sinks.NullSink`).
+        enabled: ``False`` turns :meth:`span` into a shared no-op handle
+            — the documented zero-overhead mode.
+        client_id: stamped on every span (server deployments; the
+            cross-client attribution key).
+        capture_operators: sessions consult this to decide whether to
+            run queries through the instrumented engine and emit
+            per-operator spans (``repro trace`` turns it on).
+        keep: ring-buffer capacity for finished spans.
+    """
+
+    def __init__(self, clock: SimulationClock | None = None,
+                 sink: TraceSink | None = None, *,
+                 enabled: bool = True,
+                 client_id: str | None = None,
+                 capture_operators: bool = False,
+                 keep: int = 2048):
+        self.clock = clock
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = enabled
+        self.client_id = client_id
+        self.capture_operators = capture_operators
+        self._finished: deque[Span] = deque(maxlen=keep)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_trace = 1
+        self._next_span = 1
+        self.last_trace_id: str | None = None
+
+    # -- id allocation (deterministic, hash-free) ---------------------------
+
+    def _new_trace_id(self) -> str:
+        with self._lock:
+            trace_id = f"t{self._next_trace:06d}"
+            self._next_trace += 1
+        return trace_id
+
+    def _new_span_id(self) -> str:
+        with self._lock:
+            span_id = f"s{self._next_span:06d}"
+            self._next_span += 1
+        return span_id
+
+    # -- span lifecycle -----------------------------------------------------
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **tags):
+        """Open a span; use as a context manager.
+
+        The first span on a thread's stack starts a new trace; nested
+        spans inherit the trace and parent ids.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = self._stack
+        if stack:
+            parent = stack[-1]
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = self._new_trace_id(), None
+            self.last_trace_id = trace_id
+        span = Span(trace_id=trace_id, span_id=self._new_span_id(),
+                    parent_id=parent_id, name=name,
+                    client_id=self.client_id, tags=dict(tags))
+        return _SpanHandle(self, span)
+
+    def _push(self, span: Span) -> None:
+        span._start_wall = time.perf_counter()
+        if self.clock is not None:
+            span._start_virtual = self.clock.breakdown()
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.wall_seconds = time.perf_counter() - span._start_wall
+        if self.clock is not None:
+            delta: dict[str, float] = {}
+            for category, value in self.clock.breakdown().items():
+                diff = value - span._start_virtual.get(category, 0.0)
+                if diff > 0:
+                    delta[category.value] = diff
+            span.virtual_breakdown = delta
+            span.virtual_seconds = sum(delta.values())
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._record(span)
+
+    def add_span(self, name: str, *, trace_id: str,
+                 parent_id: str | None = None,
+                 wall_seconds: float = 0.0,
+                 virtual_seconds: float = 0.0,
+                 virtual_breakdown: dict | None = None,
+                 status: str = "ok", **tags) -> Span | None:
+        """Record a pre-measured span (e.g. per-operator actuals that
+        were collected by the instrumented engine during execution)."""
+        if not self.enabled:
+            return None
+        span = Span(trace_id=trace_id, span_id=self._new_span_id(),
+                    parent_id=parent_id, name=name,
+                    client_id=self.client_id, tags=dict(tags),
+                    status=status, wall_seconds=wall_seconds,
+                    virtual_seconds=virtual_seconds,
+                    virtual_breakdown=dict(virtual_breakdown or {}))
+        self._record(span)
+        return span
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+        self.sink.emit(span.to_event())
+
+    # -- non-span events ----------------------------------------------------
+
+    def emit_event(self, event: dict) -> None:
+        """Export a non-span event (audit records, slow queries)."""
+        if self.enabled:
+            self.sink.emit(event)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def current_trace_id(self) -> str | None:
+        """The trace id of the innermost open span on this thread."""
+        stack = self._stack
+        return stack[-1].trace_id if stack else None
+
+    @property
+    def current_span_id(self) -> str | None:
+        """The span id of the innermost open span on this thread."""
+        stack = self._stack
+        return stack[-1].span_id if stack else None
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Finished spans, oldest first (optionally one trace only)."""
+        with self._lock:
+            snapshot = list(self._finished)
+        if trace_id is None:
+            return snapshot
+        return [s for s in snapshot if s.trace_id == trace_id]
+
+    def render(self, trace_id: str | None = None) -> str:
+        """The hierarchical text rendering of one trace (default:
+        the most recently started)."""
+        trace_id = trace_id or self.last_trace_id
+        if trace_id is None:
+            return "(no traces recorded)"
+        return render_spans(self.spans(trace_id))
+
+
+def _span_sort_key(span: Span) -> int:
+    return int(span.span_id[1:])
+
+
+def render_spans(spans: list[Span]) -> str:
+    """Render spans as an indented tree with wall + virtual actuals.
+
+    Spans whose parent is missing from ``spans`` (ring-buffer eviction)
+    are promoted to roots, so partial traces still render.
+    """
+    if not spans:
+        return "(no spans)"
+    by_id = {span.span_id: span for span in spans}
+    children: dict[str | None, list[Span]] = {}
+    roots: list[Span] = []
+    for span in sorted(spans, key=_span_sort_key):
+        if span.parent_id in by_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        lines.append("  " * depth + _format_span(span))
+        for child in children.get(span.span_id, []):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def _format_span(span: Span) -> str:
+    parts = [span.name]
+    if span.virtual_seconds:
+        parts.append(f"virtual={span.virtual_seconds:.3f}s")
+    parts.append(f"wall={span.wall_seconds * 1000:.2f}ms")
+    if span.status != "ok":
+        parts.append(f"status={span.status}")
+    for key in sorted(span.tags):
+        value = span.tags[key]
+        text = str(value)
+        if len(text) > 48:
+            text = text[:45] + "..."
+        parts.append(f"{key}={text}")
+    return f"{parts[0]}  [{span.span_id}] " + " ".join(parts[1:])

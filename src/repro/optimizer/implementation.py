@@ -23,6 +23,13 @@ from repro.catalog.udf_registry import UdfDefinition
 from repro.config import ModelSelectionMode, ReusePolicy
 from repro.errors import OptimizerError, UnsupportedPredicateError
 from repro.expressions.expr import FunctionCall
+from repro.obs.audit import (
+    KIND_CLASSIFIER,
+    KIND_DETECTOR,
+    KIND_MODEL_SELECTION,
+    ReuseDecisionRecord,
+    predicate_sql,
+)
 from repro.optimizer.model_selection import (
     ModelCandidate,
     select_physical_udfs,
@@ -128,13 +135,20 @@ class PhysicalImplementer:
         alternatives = self._detector_alternatives(
             node.call, definition, guard)
         best_sources, best_cost = None, math.inf
+        alternative_costs: dict[str, float] = {}
         for sources in alternatives:
             cost = self._detector_cost(sources, guard, child.rows)
+            label = ("reuse" if any(s.use_view for s in sources)
+                     else "no-reuse")
+            alternative_costs[label] = min(
+                cost, alternative_costs.get(label, math.inf))
             if cost < best_cost:
                 best_cost = cost
                 best_sources = sources
         assert best_sources is not None
         self.ctx.detector_sources = tuple(best_sources)
+        self._audit_detector(node, definition, guard, best_sources,
+                             alternative_costs)
         plan = PhysDetectorApply(
             child=child.plan,
             signature=f"{node.call.name}@{self.ctx.bound.table_name}",
@@ -158,6 +172,7 @@ class PhysicalImplementer:
                                guard: DnfPredicate
                                ) -> list[list[DetectorSource]]:
         ctx = self.ctx
+        self._detector_reuse_info = None
         if definition.is_logical:
             return [self._logical_detector_sources(call, definition, guard)]
         model = ctx.catalog.zoo.get(definition.model_name)
@@ -167,11 +182,63 @@ class PhysicalImplementer:
             return [no_reuse]
         inter = ctx.udf_manager.intersection_with_history(signature, guard)
         diff = ctx.udf_manager.difference_with_history(signature, guard)
+        self._detector_reuse_info = {
+            "signature": signature.key(),
+            "history": predicate_sql(
+                ctx.udf_manager.history(signature).aggregated_predicate),
+            "intersection": predicate_sql(inter),
+            "difference": predicate_sql(diff),
+            "inter_selectivity": ctx.estimator.selectivity(inter),
+            "diff_selectivity": ctx.estimator.selectivity(diff),
+        }
         if inter.is_false():
             return [no_reuse]
         reuse = [DetectorSource(model.name, True, inter),
                  DetectorSource(model.name, False, diff)]
         return [no_reuse, reuse]
+
+    def _audit_detector(self, node: LogicalApply,
+                        definition: UdfDefinition, guard: DnfPredicate,
+                        chosen: list[DetectorSource],
+                        alternative_costs: dict[str, float]) -> None:
+        """Emit the Rule II detector decision (Eq. 3 inputs + winner)."""
+        ctx = self.ctx
+        info = self._detector_reuse_info or {}
+        guard_selectivity = max(ctx.estimator.selectivity(guard), 1e-9)
+        inter_selectivity = info.get("inter_selectivity")
+        # No history at all => every guarded tuple is missing (f_miss=1).
+        missing = 1.0
+        if inter_selectivity is not None:
+            missing = min(1.0, info["diff_selectivity"]
+                          / guard_selectivity)
+        selectivities = {"guard": guard_selectivity}
+        if inter_selectivity is not None:
+            selectivities["intersection"] = inter_selectivity
+            selectivities["difference"] = info["diff_selectivity"]
+        ctx.audit.record(ReuseDecisionRecord(
+            kind=KIND_DETECTOR,
+            signature=info.get("signature", "{}@{}".format(
+                definition.model_name or node.call.name,
+                ctx.bound.table_name)),
+            query_predicate=predicate_sql(guard),
+            history_predicate=info.get("history"),
+            intersection=info.get("intersection"),
+            difference=info.get("difference"),
+            missing_fraction=missing,
+            selectivities=selectivities,
+            costs=dict(alternative_costs),
+            candidates=[
+                {"model": source.model_name, "use_view": source.use_view,
+                 "predicate": predicate_sql(source.predicate)}
+                for source in chosen
+            ],
+            chosen=[
+                {"model": source.model_name, "use_view": source.use_view,
+                 "predicate": predicate_sql(source.predicate)}
+                for source in chosen
+            ],
+            reused=any(source.use_view for source in chosen),
+        ))
 
     def _logical_detector_sources(self, call: FunctionCall,
                                   definition: UdfDefinition,
@@ -191,10 +258,15 @@ class PhysicalImplementer:
                 ModelCandidate(m, ctx.model_signature(m.name))
                 for m in models
             ]
-            return select_physical_udfs(
+            iterations: list[dict] = []
+            sources = select_physical_udfs(
                 candidates, guard, ctx.udf_manager, ctx.engine,
                 ctx.estimator, ctx.bound.metadata.num_frames,
-                ctx.cost_model.constants.view_read_per_key)
+                ctx.cost_model.constants.view_read_per_key,
+                audit=iterations)
+            self._audit_model_selection(
+                call, logical_type, guard, candidates, iterations, sources)
+            return sources
         cheapest = min(models, key=lambda m: m.per_tuple_cost)
         signature = ctx.model_signature(cheapest.name)
         if reuse and ctx.udf_manager.known(signature):
@@ -207,6 +279,44 @@ class PhysicalImplementer:
             sources.append(DetectorSource(cheapest.name, False, diff))
             return sources
         return [DetectorSource(cheapest.name, False, guard)]
+
+    def _audit_model_selection(self, call: FunctionCall, logical_type: str,
+                               guard: DnfPredicate,
+                               candidates: list[ModelCandidate],
+                               iterations: list[dict],
+                               sources: list[DetectorSource]) -> None:
+        """Emit the Algorithm 2 greedy set-cover trace as an audit record."""
+        ctx = self.ctx
+        known = [c for c in candidates
+                 if ctx.udf_manager.known(c.signature)]
+        history = None
+        if known:
+            history = " OR ".join(
+                predicate_sql(ctx.udf_manager
+                              .history(c.signature).aggregated_predicate)
+                for c in known)
+        ctx.audit.record(ReuseDecisionRecord(
+            kind=KIND_MODEL_SELECTION,
+            signature=f"{logical_type}@{ctx.bound.table_name}",
+            query_predicate=predicate_sql(guard),
+            history_predicate=history,
+            selectivities={"guard": ctx.estimator.selectivity(guard)},
+            costs={f"model:{c.model.name}": c.model.per_tuple_cost
+                   for c in candidates},
+            candidates=[
+                {"model": c.model.name,
+                 "accuracy": c.model.accuracy.value,
+                 "per_tuple_cost": c.model.per_tuple_cost,
+                 "known": ctx.udf_manager.known(c.signature)}
+                for c in candidates
+            ] + iterations,
+            chosen=[
+                {"model": source.model_name, "use_view": source.use_view,
+                 "predicate": predicate_sql(source.predicate)}
+                for source in sources
+            ],
+            reused=any(source.use_view for source in sources),
+        ))
 
     def _detector_cost(self, sources: list[DetectorSource],
                        guard: DnfPredicate, input_rows: float) -> float:
@@ -241,13 +351,42 @@ class PhysicalImplementer:
         use_view = ctx.reuse_policy is ReusePolicy.EVA
         store = use_view
         missing = 1.0
+        history = inter = diff = None
+        guard_selectivity = max(ctx.estimator.selectivity(guard), 1e-9)
         if use_view and ctx.udf_manager.known(signature):
-            guard_selectivity = max(ctx.estimator.selectivity(guard), 1e-9)
+            history = ctx.udf_manager.history(signature).aggregated_predicate
+            inter = ctx.udf_manager.intersection_with_history(
+                signature, guard)
             diff = ctx.udf_manager.difference_with_history(signature, guard)
             missing = min(1.0, ctx.estimator.selectivity(diff)
                           / guard_selectivity)
         cost = ctx.cost_model.udf_predicate_cost(
             child.rows, definition.per_tuple_cost, missing)
+        no_reuse_cost = ctx.cost_model.udf_predicate_cost(
+            child.rows, definition.per_tuple_cost, 1.0)
+        selectivities = {"guard": guard_selectivity}
+        if inter is not None:
+            selectivities["intersection"] = ctx.estimator.selectivity(inter)
+            selectivities["difference"] = ctx.estimator.selectivity(diff)
+        ctx.audit.record(ReuseDecisionRecord(
+            kind=KIND_CLASSIFIER,
+            signature=signature.key(),
+            query_predicate=predicate_sql(guard),
+            history_predicate=(predicate_sql(history)
+                               if history is not None else None),
+            intersection=(predicate_sql(inter)
+                          if inter is not None else None),
+            difference=(predicate_sql(diff) if diff is not None else None),
+            missing_fraction=missing,
+            selectivities=selectivities,
+            costs={"reuse": cost, "no-reuse": no_reuse_cost},
+            candidates=[{"model": definition.model_name,
+                         "per_tuple_cost": definition.per_tuple_cost}],
+            chosen=[{"model": definition.model_name,
+                     "use_view": use_view, "store": store,
+                     "predicate": predicate_sql(guard)}],
+            reused=use_view and missing < 1.0,
+        ))
         plan = PhysClassifierApply(
             child=child.plan,
             signature=signature.key(),

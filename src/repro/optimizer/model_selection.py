@@ -17,6 +17,7 @@ from typing import Hashable, Sequence
 
 from repro.errors import OptimizerError
 from repro.models.base import ObjectDetectorModel
+from repro.obs.audit import predicate_sql
 from repro.optimizer.plans import DetectorSource
 from repro.optimizer.udf_manager import UdfManager, UdfSignature
 from repro.symbolic.dnf import DnfPredicate
@@ -93,6 +94,7 @@ def select_physical_udfs(candidates: Sequence[ModelCandidate],
                          input_rows: int,
                          view_read_cost_per_tuple: float,
                          use_views: bool = True,
+                         audit: list[dict] | None = None,
                          ) -> list[DetectorSource]:
     """Algorithm 2: the optimal ordered set of physical UDFs.
 
@@ -105,6 +107,10 @@ def select_physical_udfs(candidates: Sequence[ModelCandidate],
         input_rows: |R| of the input table (for set cardinalities).
         view_read_cost_per_tuple: cost of reading one tuple from a view.
         use_views: False reproduces the MIN-COST baselines (no view reuse).
+        audit: optional list that receives one dict per greedy iteration
+            (candidate weights W(x, q), the pick, the remaining predicate)
+            plus a final entry for the fallback model — the raw material of
+            the ``model-selection`` reuse-decision audit record.
 
     Returns:
         Ordered :class:`DetectorSource` entries; executors consult them
@@ -119,16 +125,24 @@ def select_physical_udfs(candidates: Sequence[ModelCandidate],
     remaining = query_predicate
     if use_views:
         usable = list(candidates)
+        iteration = 0
         while not remaining.is_false() and usable:
             best: ModelCandidate | None = None
             best_sources: DnfPredicate | None = None
             best_cost_per_tuple = float("inf")
+            weights: list[dict] = []
             for candidate in usable:
                 covered = udf_manager.intersection_with_history(
                     candidate.signature, remaining)
                 covered_fraction = estimator.selectivity(covered)
                 covered_tuples = covered_fraction * input_rows
                 if covered_tuples <= 0:
+                    if audit is not None:
+                        weights.append({
+                            "model": candidate.model.name,
+                            "covered_fraction": covered_fraction,
+                            "weight": None,
+                        })
                     continue
                 history = udf_manager.history(candidate.signature)
                 view_fraction = estimator.selectivity(
@@ -137,6 +151,13 @@ def select_physical_udfs(candidates: Sequence[ModelCandidate],
                     * view_read_cost_per_tuple
                 # Line 6: W(x, q) = C(m_x) / (s_{p∩} * |m_x|).
                 cost_per_tuple = view_cost / covered_tuples
+                if audit is not None:
+                    weights.append({
+                        "model": candidate.model.name,
+                        "covered_fraction": covered_fraction,
+                        "view_cost": view_cost,
+                        "weight": cost_per_tuple,
+                    })
                 if cost_per_tuple < best_cost_per_tuple:
                     best_cost_per_tuple = cost_per_tuple
                     best = candidate
@@ -144,6 +165,14 @@ def select_physical_udfs(candidates: Sequence[ModelCandidate],
             # Line 8: is the best view cheaper than just running the model?
             if best is None or best_cost_per_tuple >= \
                     cheapest.model.per_tuple_cost:
+                if audit is not None:
+                    audit.append({
+                        "iteration": iteration,
+                        "weights": weights,
+                        "picked": None,
+                        "stop": ("no coverage" if best is None
+                                 else "view dearer than cheapest model"),
+                    })
                 break
             assert best_sources is not None
             selected.append(DetectorSource(
@@ -156,6 +185,15 @@ def select_physical_udfs(candidates: Sequence[ModelCandidate],
                 udf_manager.history(best.signature).aggregated_predicate,
                 remaining)
             usable.remove(best)
+            if audit is not None:
+                audit.append({
+                    "iteration": iteration,
+                    "weights": weights,
+                    "picked": best.model.name,
+                    "weight": best_cost_per_tuple,
+                    "remaining": predicate_sql(remaining),
+                })
+            iteration += 1
     # Lines 11-13: the cheapest UDF covers whatever is left.
     if not remaining.is_false() or not selected:
         selected.append(DetectorSource(
@@ -163,4 +201,10 @@ def select_physical_udfs(candidates: Sequence[ModelCandidate],
             use_view=False,
             predicate=remaining,
         ))
+        if audit is not None:
+            audit.append({
+                "fallback": cheapest.model.name,
+                "per_tuple_cost": cheapest.model.per_tuple_cost,
+                "remaining": predicate_sql(remaining),
+            })
     return selected

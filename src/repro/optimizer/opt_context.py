@@ -20,6 +20,7 @@ from repro.config import (
 )
 from repro.costs import CostModel
 from repro.expressions.analysis import collect_function_calls
+from repro.obs.audit import ReuseAuditTrail
 from repro.expressions.expr import Expression, FunctionCall
 from repro.optimizer.binder import BoundQuery
 from repro.optimizer.plans import DetectorSource
@@ -46,6 +47,9 @@ class OptimizationContext:
     # -- outputs the driver reports on OptimizedQuery -----------------------
     predicate_order: list[str] = field(default_factory=list)
     detector_sources: tuple[DetectorSource, ...] = ()
+    #: Reuse-decision audit records accumulated during this pass
+    #: (ranking, Rule II implementations, Algorithm 2 selections).
+    audit: ReuseAuditTrail = field(default_factory=ReuseAuditTrail)
 
     def __post_init__(self):
         stats = self.catalog.table_statistics(self.bound.table_name)

@@ -31,6 +31,8 @@ from repro.config import (
     ReusePolicy,
 )
 from repro.costs import CostModel
+from repro.obs.audit import ReuseDecisionRecord
+from repro.obs.trace import NOOP_SPAN
 from repro.optimizer.binder import bind
 from repro.optimizer.builder import build_logical_plan
 from repro.optimizer.implementation import PhysicalImplementer, PlanUpdate
@@ -61,6 +63,10 @@ class OptimizedQuery:
     predicate_order: list[str] = field(default_factory=list)
     #: Detector sources chosen (for the Fig. 10 experiment).
     detector_sources: tuple[DetectorSource, ...] = ()
+    #: Reuse-decision audit records accumulated while optimizing (the
+    #: "why did EVA (not) reuse?" evidence); the session stamps trace
+    #: ids on them and exports each through the tracer's sink.
+    audit: list[ReuseDecisionRecord] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -97,8 +103,16 @@ class Optimizer:
         self.cost_model = cost_model or CostModel()
         self._rule_engine = RuleEngine()
 
-    def optimize(self, statement: SelectStatement) -> OptimizedQuery:
-        bound = bind(statement, self.catalog)
+    def optimize(self, statement: SelectStatement,
+                 tracer=None) -> OptimizedQuery:
+        """Optimize ``statement``.
+
+        ``tracer`` (a :class:`repro.obs.trace.Tracer`, optional) receives
+        one span per phase — bind, build, canonical-rules, reuse-rules,
+        implement — plus per-rule spans for every successful rewrite.
+        """
+        with _span(tracer, "optimize:bind"):
+            bound = bind(statement, self.catalog)
         ctx = OptimizationContext(
             bound=bound,
             catalog=self.catalog,
@@ -110,15 +124,31 @@ class Optimizer:
             model_selection=self.config.model_selection,
             predicate_ordering=self.config.predicate_ordering,
         )
-        plan = build_logical_plan(bound, ctx)
-        plan = self._rule_engine.rewrite(plan, CANONICAL_RULES, ctx)
-        plan = self._rule_engine.rewrite(plan, REUSE_RULES, ctx)
-        plan = self._rule_engine.rewrite(plan, [AnnotateApplyGuardRule()],
-                                         ctx)
-        implemented = PhysicalImplementer(ctx).implement(plan)
+        with _span(tracer, "optimize:build"):
+            plan = build_logical_plan(bound, ctx)
+        with _span(tracer, "optimize:canonical-rules"):
+            plan = self._rule_engine.rewrite(plan, CANONICAL_RULES, ctx,
+                                             tracer)
+        with _span(tracer, "optimize:reuse-rules"):
+            plan = self._rule_engine.rewrite(plan, REUSE_RULES, ctx,
+                                             tracer)
+            plan = self._rule_engine.rewrite(
+                plan, [AnnotateApplyGuardRule()], ctx, tracer)
+        with _span(tracer, "optimize:implement") as span:
+            implemented = PhysicalImplementer(ctx).implement(plan)
+            span.tag(estimated_cost=round(implemented.cost, 6),
+                     estimated_rows=round(implemented.rows, 3))
         return OptimizedQuery(
             plan=implemented.plan,
             updates=list(implemented.updates),
             predicate_order=list(ctx.predicate_order),
             detector_sources=ctx.detector_sources,
+            audit=list(ctx.audit),
         )
+
+
+def _span(tracer, name: str, **tags):
+    """A tracer span when tracing, the shared no-op handle otherwise."""
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **tags)

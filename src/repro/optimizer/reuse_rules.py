@@ -25,6 +25,11 @@ from repro.expressions.analysis import (
     term_key,
 )
 from repro.expressions.expr import Expression, FunctionCall
+from repro.obs.audit import (
+    KIND_RANKING,
+    ReuseDecisionRecord,
+    predicate_sql,
+)
 from repro.optimizer.opt_context import OptimizationContext
 from repro.optimizer.plans import (
     LogicalClassifierApply,
@@ -142,11 +147,50 @@ class UdfPredicateTransformationRule(TransformationRule):
             ranked.append(item)
             lookup[predicate.to_sql()] = (predicate, call)
         if ctx.predicate_ordering is PredicateOrdering.EXHAUSTIVE:
-            return self._search_order(ranked, lookup, guard, ctx)
+            chosen = self._search_order(ranked, lookup, guard, ctx)
+            self._audit_ranking(ranked, chosen, guard, ctx,
+                                strategy="exhaustive-memo")
+            return chosen
         materialization_aware = (
             ctx.ranking is RankingMode.MATERIALIZATION_AWARE)
         ordered = order_udf_predicates(ranked, materialization_aware)
-        return [lookup[item.predicate.to_sql()] for item in ordered]
+        chosen = [lookup[item.predicate.to_sql()] for item in ordered]
+        self._audit_ranking(
+            ranked, chosen, guard, ctx,
+            strategy=("rank-eq4" if materialization_aware
+                      else "rank-eq2"))
+        return chosen
+
+    @staticmethod
+    def _audit_ranking(ranked: list[RankedPredicate],
+                       chosen: list[tuple[Expression, FunctionCall]],
+                       guard, ctx: OptimizationContext,
+                       strategy: str) -> None:
+        """Emit the predicate-ordering decision as an audit record."""
+        materialization_aware = (
+            ctx.ranking is RankingMode.MATERIALIZATION_AWARE)
+        ctx.audit.record(ReuseDecisionRecord(
+            kind=KIND_RANKING,
+            signature=ctx.bound.table_name,
+            query_predicate=predicate_sql(guard),
+            selectivities={"guard": ctx.estimator.selectivity(guard)},
+            costs={"strategy": strategy},
+            candidates=[
+                {
+                    "predicate": item.predicate.to_sql(),
+                    "selectivity": item.selectivity,
+                    "udf_cost": item.udf_cost,
+                    "missing_fraction": item.missing_fraction,
+                    "read_cost": item.read_cost,
+                    "rank": item.rank(materialization_aware),
+                }
+                for item in ranked
+            ],
+            chosen=[{"order": index, "term": term_key(call),
+                     "predicate": predicate.to_sql()}
+                    for index, (predicate, call) in enumerate(chosen)],
+            reused=any(item.missing_fraction < 1.0 for item in ranked),
+        ))
 
     @staticmethod
     def _search_order(ranked: list[RankedPredicate],

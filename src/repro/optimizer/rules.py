@@ -14,6 +14,7 @@ live in :mod:`repro.optimizer.reuse_rules`.
 from __future__ import annotations
 
 import abc
+import time
 
 from repro.catalog.udf_registry import UdfKind
 from repro.errors import UnsupportedPredicateError
@@ -64,9 +65,15 @@ class RuleEngine:
     MAX_ITERATIONS = 200
 
     def rewrite(self, plan: LogicalNode, rules: list[TransformationRule],
-                ctx: OptimizationContext) -> LogicalNode:
+                ctx: OptimizationContext, tracer=None) -> LogicalNode:
+        """Apply ``rules`` to a fixpoint.
+
+        ``tracer`` (a :class:`repro.obs.trace.Tracer`, optional) receives
+        one ``rule:<name>`` span per *successful* rewrite, parented under
+        the caller's open phase span.
+        """
         for _ in range(self.MAX_ITERATIONS):
-            rewritten = self._rewrite_once(plan, rules, ctx)
+            rewritten = self._rewrite_once(plan, rules, ctx, tracer)
             if rewritten is None:
                 return plan
             plan = rewritten
@@ -76,16 +83,36 @@ class RuleEngine:
 
     def _rewrite_once(self, node: LogicalNode,
                       rules: list[TransformationRule],
-                      ctx: OptimizationContext) -> LogicalNode | None:
+                      ctx: OptimizationContext,
+                      tracer=None) -> LogicalNode | None:
         for rule in rules:
+            start = time.perf_counter()
             replacement = rule.apply(node, ctx)
             if replacement is not None and replacement != node:
+                self._trace_rule(tracer, rule, node,
+                                 time.perf_counter() - start)
                 return replacement
         for child in plan_children(node):
-            new_child = self._rewrite_once(child, rules, ctx)
+            new_child = self._rewrite_once(child, rules, ctx, tracer)
             if new_child is not None:
                 return replace_child(node, new_child)
         return None
+
+    @staticmethod
+    def _trace_rule(tracer, rule: TransformationRule,
+                    node: LogicalNode, wall_seconds: float) -> None:
+        if tracer is None or not tracer.enabled:
+            return
+        trace_id = tracer.current_trace_id
+        if trace_id is None:  # no open trace: nothing to attach to
+            return
+        tracer.add_span(
+            f"rule:{rule.name}",
+            trace_id=trace_id,
+            parent_id=tracer.current_span_id,
+            wall_seconds=wall_seconds,
+            node=type(node).__name__,
+        )
 
 
 def guard_below(node: LogicalNode, ctx: OptimizationContext

@@ -43,6 +43,7 @@ from repro.errors import (
     ServerOverloadedError,
 )
 from repro.models.zoo import ModelZoo
+from repro.obs.sinks import InMemorySink, TraceSink
 from repro.server.client import ClientHandle
 from repro.server.state import SharedReuseState
 from repro.server.stats import ServerStats, ServerStatsSnapshot, \
@@ -75,7 +76,8 @@ class EvaServer:
                  zoo: ModelZoo | None = None, *,
                  max_workers: int = 4,
                  max_queue: int = 16,
-                 default_timeout: float | None = None):
+                 default_timeout: float | None = None,
+                 trace_sink: TraceSink | None = None):
         if max_workers < 1:
             raise ServerError("max_workers must be >= 1")
         if max_queue < 0:
@@ -83,6 +85,10 @@ class EvaServer:
         self.max_workers = max_workers
         self.max_queue = max_queue
         self.default_timeout = default_timeout
+        #: Shared export sink for every client's tracer (spans, audit
+        #: records, slow queries — all stamped with the client id).
+        self.trace_sink: TraceSink = (trace_sink if trace_sink is not None
+                                      else InMemorySink())
         self.state = SharedReuseState(config, zoo)
         self.stats_hub = ServerStats()
         self.state.attach_stats(self.stats_hub)
@@ -174,7 +180,8 @@ class EvaServer:
             # shared catalog (idempotent, but not concurrency-safe), so
             # it happens under the server lock.
             session = EvaSession(
-                state=self.state.session_state(client_id))
+                state=self.state.session_state(
+                    client_id, trace_sink=self.trace_sink))
             client = _Client(client_id=client_id, session=session)
             self._clients[client_id] = client
         return ClientHandle(self, client)
@@ -305,4 +312,40 @@ class EvaServer:
             hit_percentage=self.hit_percentage(),
             num_views=len(store.names()),
             view_storage_bytes=store.total_serialized_bytes(),
+        )
+
+    def trace_events(self, type: str | None = None) -> list[dict]:
+        """Events captured by the server's trace sink (when it buffers).
+
+        Works with the default :class:`~repro.obs.sinks.InMemorySink`;
+        returns ``[]`` for write-only sinks (e.g. JSONL files).
+        """
+        events = getattr(self.trace_sink, "events", None)
+        if events is None:
+            return []
+        return events(type)
+
+    def aggregate_clock(self):
+        """One clock totalling virtual time across every client."""
+        from repro.clock import SimulationClock
+
+        with self._lock:
+            clocks = [c.session.clock for c in self._clients.values()]
+        total = SimulationClock()
+        for clock in clocks:
+            for category, seconds in clock.breakdown().items():
+                if seconds > 0:
+                    total.charge(category, seconds)
+        return total
+
+    def prometheus_text(self) -> str:
+        """The Prometheus exposition for the whole server: merged
+        per-UDF #TI/#DI/hit-rate metrics, summed per-client virtual-time
+        categories, and the admission/backpressure counters."""
+        from repro.obs.prometheus import prometheus_text
+
+        return prometheus_text(
+            metrics=self.aggregate_metrics(),
+            clock=self.aggregate_clock(),
+            server=self.stats(),
         )

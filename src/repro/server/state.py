@@ -36,6 +36,8 @@ from repro.clock import SimulationClock
 from repro.config import EvaConfig
 from repro.metrics import MetricsCollector
 from repro.models.zoo import ModelZoo, default_zoo
+from repro.obs.sinks import TraceSink
+from repro.obs.trace import Tracer
 from repro.optimizer.udf_manager import UdfHistory, UdfManager, UdfSignature
 from repro.server.locks import RWLock
 from repro.session import SessionState
@@ -347,14 +349,19 @@ class SharedReuseState:
             self.catalog.register_video(video)
             self.storage.register_video(video)
 
-    def session_state(self, client_id: str) -> SessionState:
+    def session_state(self, client_id: str,
+                      trace_sink: TraceSink | None = None) -> SessionState:
         """A per-client :class:`SessionState` over the shared components.
 
         Shared: catalog, storage, view store (through this client's
         attributed facade), UDF manager, symbolic engine, config.
-        Private: virtual clock and metrics (and, inside the session, the
-        plan cache and optimizer instance).
+        Private: virtual clock, metrics, and tracer (and, inside the
+        session, the plan cache and optimizer instance).  ``trace_sink``
+        is the server's shared export sink: per-client tracers stamp
+        their ``client_id`` on every span, so one sink carries an
+        attributed, interleaved event stream for the whole server.
         """
+        clock = SimulationClock()
         return SessionState(
             config=self.config,
             catalog=self.catalog,
@@ -362,7 +369,9 @@ class SharedReuseState:
             view_store=self.view_store.for_client(client_id),
             udf_manager=self.udf_manager,
             symbolic=self.symbolic,
-            clock=SimulationClock(),
+            clock=clock,
             metrics=MetricsCollector(),
+            tracer=Tracer(clock=clock, sink=trace_sink,
+                          client_id=client_id),
             shared=True,
         )

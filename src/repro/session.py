@@ -38,6 +38,8 @@ from repro.executor.context import ExecutionContext
 from repro.executor.engine import ExecutionEngine
 from repro.metrics import MetricsCollector, QueryMetrics
 from repro.models.zoo import ModelZoo, default_zoo
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Tracer
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
 from repro.optimizer.udf_manager import UdfManager
 from repro.parser.ast_nodes import (
@@ -91,12 +93,21 @@ class SessionState:
     symbolic: SymbolicEngine
     clock: SimulationClock = field(default_factory=SimulationClock)
     metrics: MetricsCollector = field(default_factory=MetricsCollector)
+    #: Span recorder for the query lifecycle; defaults to an enabled
+    #: tracer over this state's clock with a null sink (negligible
+    #: overhead).  The server substitutes per-client tracers that share
+    #: one export sink.
+    tracer: Tracer | None = None
     #: True when the reuse components are shared with other sessions (a
     #: server deployment).  Destructive whole-state operations
     #: (:meth:`EvaSession.reset_reuse_state`, ``load_reuse_state``) are
     #: refused on shared states — they would yank state from under every
     #: other client.
     shared: bool = False
+
+    def __post_init__(self):
+        if self.tracer is None:
+            self.tracer = Tracer(clock=self.clock)
 
     @classmethod
     def fresh(cls, config: EvaConfig | None = None,
@@ -136,6 +147,8 @@ class EvaSession:
         self.metrics = state.metrics
         self.symbolic = state.symbolic
         self.udf_manager = state.udf_manager
+        self.tracer = state.tracer
+        self.slow_log = SlowQueryLog(self.config.slow_query_threshold)
         self.optimizer = Optimizer(
             self.catalog, self.udf_manager, self.symbolic,
             OptimizerConfig.from_eva_config(self.config))
@@ -146,6 +159,7 @@ class EvaSession:
             clock=self.clock,
             metrics=self.metrics,
             config=self.config,
+            tracer=state.tracer,
         )
         self.engine = ExecutionEngine(self.context)
         #: The OptimizedQuery of the most recent SELECT (introspection).
@@ -249,25 +263,107 @@ class EvaSession:
 
     def _execute_select(self, sql: str,
                         statement: SelectStatement) -> QueryResult:
-        self.metrics.begin_query(sql, self.clock)
-        optimized = self._cached_plan(sql)
-        if optimized is None:
-            with self.clock.measure(CostCategory.OPTIMIZE):
-                optimized = self.optimizer.optimize(statement)
-            self._cache_plan(sql, optimized)
-        self.last_optimized = optimized
-        batch = self.engine.run(optimized.plan)
-        # p_u := UNION(p_u, q) for every UDF whose results were stored.
-        with self.clock.measure(CostCategory.OPTIMIZE):
-            for update in optimized.updates:
-                self.udf_manager.record_execution(
-                    update.signature, update.guard, update.per_tuple_cost)
-        query_metrics = self.metrics.end_query(self.clock, batch.num_rows)
+        tracer = self.tracer
+        with tracer.span("query", sql=sql) as root:
+            self.metrics.begin_query(sql, self.clock)
+            before = self.clock.snapshot()
+            optimized = self._cached_plan(sql)
+            cache_hit = optimized is not None
+            if optimized is None:
+                with tracer.span("optimize"):
+                    with self.clock.measure(CostCategory.OPTIMIZE):
+                        optimized = self.optimizer.optimize(
+                            statement, tracer=tracer)
+                self._cache_plan(sql, optimized)
+            self.last_optimized = optimized
+            self._emit_audit(optimized)
+            with tracer.span("execute"):
+                batch = self._run_plan(optimized.plan)
+            # p_u := UNION(p_u, q) for every UDF whose results were stored.
+            with tracer.span("record-updates",
+                             updates=len(optimized.updates)):
+                with self.clock.measure(CostCategory.OPTIMIZE):
+                    for update in optimized.updates:
+                        self.udf_manager.record_execution(
+                            update.signature, update.guard,
+                            update.per_tuple_cost)
+            query_metrics = self.metrics.end_query(self.clock,
+                                                   batch.num_rows)
+            root.tag(rows=batch.num_rows, cache_hit=cache_hit,
+                     reused=any(r.reused for r in optimized.audit))
+            self._observe_slow(sql, query_metrics, before, batch.num_rows)
         return QueryResult(
             columns=batch.column_names,
             rows=batch.to_tuples(),
             metrics=query_metrics,
         )
+
+    def _run_plan(self, plan):
+        """Run ``plan``, capturing per-operator spans when asked to.
+
+        With ``tracer.capture_operators`` set (``repro trace``), the plan
+        runs under the instrumented engine and each operator's *self*
+        actuals (subtree minus children — see
+        :mod:`repro.executor.instrument`) become spans nested to match
+        the plan tree.
+        """
+        tracer = self.tracer
+        if not (tracer.enabled and tracer.capture_operators):
+            return self.engine.run(plan)
+        from repro.executor.instrument import InstrumentedEngine
+
+        engine = InstrumentedEngine(self.context)
+        batch = engine.run(plan)
+        trace_id = tracer.current_trace_id
+        if trace_id is not None:
+            parents: dict[int, str | None] = {
+                0: tracer.current_span_id}
+            for stats in engine.operator_stats(plan):
+                span = tracer.add_span(
+                    f"op:{stats.label}",
+                    trace_id=trace_id,
+                    parent_id=parents.get(stats.depth),
+                    wall_seconds=stats.self_elapsed,
+                    virtual_seconds=stats.self_virtual,
+                    rows=stats.rows_out,
+                    batches=stats.batches_out,
+                )
+                if span is not None:
+                    parents[stats.depth + 1] = span.span_id
+        return batch
+
+    def _emit_audit(self, optimized) -> None:
+        """Stamp and export fresh reuse-decision audit records.
+
+        Records carry ``trace_id=None`` until their first export; a plan
+        served from the cache keeps its original stamps and is not
+        re-emitted (the decisions were made when the plan was built).
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        trace_id = tracer.current_trace_id
+        for record in optimized.audit:
+            if record.trace_id is not None:
+                continue
+            record.trace_id = trace_id
+            record.client_id = tracer.client_id
+            tracer.emit_event(record.to_event())
+
+    def _observe_slow(self, sql: str, query_metrics: QueryMetrics,
+                      before, rows_returned: int) -> None:
+        entry = self.slow_log.observe(
+            sql,
+            query_metrics.total_time,
+            breakdown={category.value: seconds
+                       for category, seconds
+                       in self.clock.snapshot_delta(before).items()},
+            trace_id=self.tracer.current_trace_id,
+            client_id=self.tracer.client_id,
+            rows_returned=rows_returned,
+        )
+        if entry is not None:
+            self.tracer.emit_event(entry.to_event())
 
     # -- plan cache ----------------------------------------------------------
 

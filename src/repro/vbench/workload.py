@@ -49,12 +49,33 @@ def workload_session(video: SyntheticVideo,
 
 def run_workload(video: SyntheticVideo, queries: list[str],
                  config: EvaConfig | None = None,
-                 session: EvaSession | None = None) -> WorkloadResult:
-    """Run ``queries`` in order on a clean session and collect metrics."""
+                 session: EvaSession | None = None,
+                 artifacts_dir=None) -> WorkloadResult:
+    """Run ``queries`` in order on a clean session and collect metrics.
+
+    ``artifacts_dir`` (a path, optional) turns on observability export:
+    the session's tracer writes every span / reuse-decision / slow-query
+    event to ``trace.jsonl`` (one trace per query), per-query breakdowns
+    land in ``metrics.json``, and the Prometheus exposition in
+    ``metrics.prom``.
+    """
     if session is None:
         session = workload_session(video, config)
+    sink = None
+    if artifacts_dir is not None:
+        from pathlib import Path
+
+        from repro.obs.sinks import JsonlFileSink
+
+        directory = Path(artifacts_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        sink = JsonlFileSink(directory / "trace.jsonl", truncate=True)
+        session.tracer.sink = sink
     for query in queries:
         session.execute(query)
+    if sink is not None:
+        sink.close()
+        _write_metrics_artifacts(directory, session)
     return WorkloadResult(
         config=session.config,
         query_metrics=list(session.metrics.query_metrics),
@@ -63,6 +84,38 @@ def run_workload(video: SyntheticVideo, queries: list[str],
         storage_bytes=session.storage_footprint_bytes(),
         speedup_upper_bound=session.metrics.speedup_upper_bound(),
     )
+
+
+def _write_metrics_artifacts(directory, session: EvaSession) -> None:
+    """``metrics.json`` (per-query actuals) + ``metrics.prom``."""
+    import json
+
+    from repro.obs.prometheus import prometheus_text
+
+    payload = {
+        "hit_percentage": session.hit_percentage(),
+        "storage_bytes": session.storage_footprint_bytes(),
+        "clock": {category.value: seconds for category, seconds
+                  in session.clock.breakdown().items()},
+        "queries": [
+            {
+                "query": m.query_text,
+                "virtual_seconds": m.total_time,
+                "rows_returned": m.rows_returned,
+                "breakdown": {category.value: seconds
+                              for category, seconds
+                              in m.time_breakdown.items()},
+                "udf_counts": m.udf_counts,
+                "reused_counts": m.reused_counts,
+            }
+            for m in session.metrics.query_metrics
+        ],
+    }
+    (directory / "metrics.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    (directory / "metrics.prom").write_text(
+        prometheus_text(metrics=session.metrics, clock=session.clock),
+        encoding="utf-8")
 
 
 def run_all_policies(video: SyntheticVideo, queries: list[str],

@@ -150,3 +150,89 @@ class TestRenderEdgeCases:
         out = io.StringIO()
         render_result(QueryResult(columns=["v"], rows=[("x" * 100,)]), out)
         assert "..." in out.getvalue()
+
+
+class TestSplitStatements:
+    def test_single_line_multi_statement(self):
+        from repro.cli import split_statements
+
+        parts = split_statements("SELECT 1; SELECT 2;")
+        assert parts == ["SELECT 1;", "SELECT 2;"]
+
+    def test_semicolons_inside_quotes_preserved(self):
+        from repro.cli import split_statements
+
+        parts = split_statements("SELECT 'a;b' FROM t; SELECT 2;")
+        assert parts == ["SELECT 'a;b' FROM t;", "SELECT 2;"]
+
+    def test_trailing_without_semicolon_is_terminated(self):
+        from repro.cli import split_statements
+
+        assert split_statements("SELECT 1") == ["SELECT 1;"]
+
+
+class TestTraceCommand:
+    SQL = ("SELECT id FROM synthetic CROSS APPLY "
+           "FastRCNNObjectDetector(frame) WHERE id < 20; "
+           "SELECT id FROM synthetic CROSS APPLY "
+           "FastRCNNObjectDetector(frame) WHERE id < 30;")
+
+    def test_trace_renders_span_tree_and_reconciles(self):
+        stdout = io.StringIO()
+        code = main(["trace", self.SQL, "--dataset", "synthetic:50"],
+                    stdout=stdout)
+        text = stdout.getvalue()
+        assert code == 0
+        assert "query" in text and "op:Scan" in text
+        assert "audit[detector-apply]" in text
+        assert "delta 0.000000s" in text  # spans reconcile with clock
+
+    def test_trace_jsonl_export_validates(self, tmp_path):
+        from repro.obs.schema import load_schema, validate_jsonl
+
+        jsonl = tmp_path / "trace.jsonl"
+        stdout = io.StringIO()
+        code = main(["trace", self.SQL, "--dataset", "synthetic:50",
+                     "--jsonl", str(jsonl)], stdout=stdout)
+        assert code == 0
+        schema = load_schema("tests/schemas/trace.schema.json")
+        assert validate_jsonl(jsonl, schema) > 0
+
+    def test_trace_bad_query_is_reported(self):
+        stdout = io.StringIO()
+        code = main(["trace", "SELECT FROM nothing;",
+                     "--dataset", "synthetic:50"], stdout=stdout)
+        assert code == 1
+        assert "error:" in stdout.getvalue()
+
+
+class TestMetricsDumpCommand:
+    def test_metrics_dump_prints_exposition(self):
+        stdout = io.StringIO()
+        code = main(["metrics-dump", "--dataset", "synthetic:60",
+                     "--clients", "2", "--workers", "2"], stdout=stdout)
+        text = stdout.getvalue()
+        assert code == 0
+        assert "eva_udf_invocations_total" in text
+        assert "eva_server_queries_total" in text
+        assert "eva_virtual_seconds_total" in text
+
+
+class TestBenchArtifacts:
+    def test_bench_writes_trace_and_metrics(self, tmp_path):
+        import json
+
+        from repro.obs.schema import load_schema, validate_jsonl
+
+        artifacts = tmp_path / "bench-artifacts"
+        stdout = io.StringIO()
+        code = main(["bench", "--frames", "400", "--workload", "high",
+                     "--artifacts", str(artifacts)], stdout=stdout)
+        assert code == 0
+        schema = load_schema("tests/schemas/trace.schema.json")
+        assert validate_jsonl(artifacts / "trace.jsonl", schema) > 0
+        metrics = json.loads((artifacts / "metrics.json").read_text())
+        assert metrics["queries"], "per-query actuals missing"
+        assert "virtual_seconds" in metrics["queries"][0]
+        prom = (artifacts / "metrics.prom").read_text()
+        assert "eva_udf_invocations_total" in prom

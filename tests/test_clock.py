@@ -1,5 +1,7 @@
 """Tests for the virtual clock."""
 
+import threading
+
 import pytest
 
 from repro.clock import CostCategory, SimulationClock
@@ -58,6 +60,55 @@ class TestSimulationClock:
         clock.charge(CostCategory.UDF, 1.0)
         clock.reset()
         assert clock.total() == 0.0
+
+    def test_snapshot_delta_method(self):
+        clock = SimulationClock()
+        before = clock.snapshot()
+        clock.charge(CostCategory.UDF, 1.25)
+        delta = clock.snapshot_delta(before)
+        assert delta == {CostCategory.UDF: pytest.approx(1.25)}
+
+    def test_concurrent_charging_loses_nothing(self):
+        """Regression: charge() must be atomic under threads (shared
+        sessions on the server charge one clock from many workers)."""
+        clock = SimulationClock()
+        threads_n, per_thread, amount = 8, 2500, 0.001
+
+        def worker():
+            for _ in range(per_thread):
+                clock.charge(CostCategory.UDF, amount)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = threads_n * per_thread * amount
+        assert clock.total(CostCategory.UDF) == pytest.approx(expected)
+
+    def test_concurrent_snapshots_are_consistent(self):
+        clock = SimulationClock()
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                clock.charge(CostCategory.UDF, 0.001)
+                clock.charge(CostCategory.JOIN, 0.001)
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for _ in range(200):
+                snapshot = clock.breakdown()
+                # Both categories are charged in lockstep; a torn read
+                # would show them drifting apart by more than one step.
+                udf = snapshot.get(CostCategory.UDF, 0.0)
+                join = snapshot.get(CostCategory.JOIN, 0.0)
+                assert abs(udf - join) <= 0.001 + 1e-9
+        finally:
+            stop.set()
+            thread.join()
 
     def test_breakdown_is_a_copy(self):
         clock = SimulationClock()

@@ -100,3 +100,52 @@ class TestInstrumentedEngineInternals:
         engine.run(optimized.plan)
         root_stats = engine.instrumented[id(optimized.plan)]
         assert root_stats.elapsed > 0.0
+
+
+class TestSelfTimeAttribution:
+    """Self time = subtree minus direct children: no double counting."""
+
+    def run_stats(self, session):
+        from repro.executor.instrument import InstrumentedEngine
+        from repro.parser.parser import parse
+
+        optimized = session.optimizer.optimize(parse(QUERY))
+        engine = InstrumentedEngine(session.context)
+        engine.run(optimized.plan)
+        return engine.operator_stats(optimized.plan)
+
+    def test_self_time_never_exceeds_subtree_time(self, session):
+        for stats in self.run_stats(session):
+            assert 0.0 <= stats.self_elapsed <= stats.elapsed + 1e-12
+            assert 0.0 <= stats.self_virtual <= stats.virtual + 1e-12
+
+    def test_self_times_sum_to_root_subtree(self, session):
+        """The fix for the old double counting: per-operator self times
+        partition the root's subtree total (+- clamping slack)."""
+        all_stats = self.run_stats(session)
+        root = all_stats[0]
+        assert root.depth == 0
+        total_self_virtual = sum(s.self_virtual for s in all_stats)
+        assert total_self_virtual == pytest.approx(root.virtual,
+                                                   abs=1e-9)
+        total_self_elapsed = sum(s.self_elapsed for s in all_stats)
+        # Wall clocks are noisy; clamping can only shrink the sum.
+        assert total_self_elapsed <= root.elapsed * 1.05 + 1e-6
+
+    def test_udf_virtual_time_lands_on_the_apply_operators(self, session):
+        """The detector/classifier operators own the model time — the
+        Project/Filter parents above them must not be charged for it."""
+        all_stats = self.run_stats(session)
+        by_label = {s.label: s for s in all_stats}
+        heavy = (by_label["DetectorApply"].self_virtual
+                 + by_label.get(
+                     "ClassifierApply",
+                     by_label["DetectorApply"]).self_virtual)
+        assert heavy > 0.0
+        project = by_label["Project"]
+        assert project.self_virtual < 0.01 * project.virtual + 1e-9
+
+    def test_explain_analyze_reports_self_column(self, session):
+        result = session.execute(f"EXPLAIN ANALYZE {QUERY}")
+        lines = [row[0] for row in result.rows]
+        assert all("self=" in line for line in lines)

@@ -1,0 +1,127 @@
+"""Unit tests for the dependency-free JSON-schema subset validator."""
+
+import pytest
+
+from repro.obs.schema import SchemaError, main, validate, validate_jsonl
+
+
+class TestTypes:
+    @pytest.mark.parametrize("value,name", [
+        ({}, "object"), ([], "array"), ("x", "string"), (3, "integer"),
+        (3.5, "number"), (True, "boolean"), (None, "null"),
+    ])
+    def test_accepts_matching_type(self, value, name):
+        validate(value, {"type": name})
+
+    def test_bool_is_not_integer(self):
+        with pytest.raises(SchemaError):
+            validate(True, {"type": "integer"})
+        with pytest.raises(SchemaError):
+            validate(True, {"type": "number"})
+
+    def test_integer_is_a_number(self):
+        validate(3, {"type": "number"})
+
+    def test_type_union(self):
+        validate(None, {"type": ["string", "null"]})
+        with pytest.raises(SchemaError):
+            validate(3, {"type": ["string", "null"]})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SchemaError):
+            validate("x", {"type": "uuid"})
+
+
+class TestKeywords:
+    def test_const_and_enum(self):
+        validate("a", {"const": "a"})
+        validate("b", {"enum": ["a", "b"]})
+        with pytest.raises(SchemaError):
+            validate("c", {"enum": ["a", "b"]})
+
+    def test_minimum(self):
+        validate(5, {"minimum": 5})
+        with pytest.raises(SchemaError):
+            validate(4.9, {"minimum": 5})
+
+    def test_min_length(self):
+        validate("ab", {"minLength": 2})
+        with pytest.raises(SchemaError):
+            validate("", {"minLength": 1})
+
+    def test_pattern(self):
+        validate("t000123", {"pattern": "^t[0-9]{6}$"})
+        with pytest.raises(SchemaError):
+            validate("x000123", {"pattern": "^t[0-9]{6}$"})
+
+    def test_pattern_ignored_for_non_strings(self):
+        validate(None, {"pattern": "^t$", "type": ["string", "null"]})
+
+    def test_required_and_additional_properties(self):
+        schema = {"required": ["a"], "properties": {"a": {}},
+                  "additionalProperties": False}
+        validate({"a": 1}, schema)
+        with pytest.raises(SchemaError):
+            validate({}, schema)
+        with pytest.raises(SchemaError):
+            validate({"a": 1, "b": 2}, schema)
+
+    def test_additional_properties_schema(self):
+        schema = {"additionalProperties": {"type": "number"}}
+        validate({"x": 1.5}, schema)
+        with pytest.raises(SchemaError):
+            validate({"x": "nope"}, schema)
+
+    def test_items(self):
+        validate([1, 2], {"items": {"type": "integer"}})
+        with pytest.raises(SchemaError):
+            validate([1, "x"], {"items": {"type": "integer"}})
+
+    def test_one_of_requires_exactly_one(self):
+        alternatives = {"oneOf": [{"const": 1}, {"type": "integer"}]}
+        with pytest.raises(SchemaError):
+            validate(1, alternatives)  # both match
+        validate(2, alternatives)  # only the type alternative
+        with pytest.raises(SchemaError):
+            validate("x", alternatives)  # none
+
+    def test_any_of(self):
+        validate(1, {"anyOf": [{"const": 1}, {"type": "integer"}]})
+
+    def test_all_of(self):
+        schema = {"allOf": [{"type": "integer"}, {"minimum": 3}]}
+        validate(3, schema)
+        with pytest.raises(SchemaError):
+            validate(2, schema)
+
+    def test_error_reports_path(self):
+        schema = {"properties": {"a": {"properties": {
+            "b": {"type": "integer"}}}}}
+        with pytest.raises(SchemaError) as excinfo:
+            validate({"a": {"b": "x"}}, schema)
+        assert "$.a.b" in str(excinfo.value)
+
+
+class TestJsonlAndCli:
+    def test_validate_jsonl_counts_lines(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"n": 1}\n\n{"n": 2}\n')
+        assert validate_jsonl(path, {"type": "object"}) == 2
+
+    def test_validate_jsonl_reports_line_number(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"n": 1}\nnot json\n')
+        with pytest.raises(SchemaError) as excinfo:
+            validate_jsonl(path, {"type": "object"})
+        assert "line 2" in str(excinfo.value)
+
+    def test_main_ok_and_invalid(self, tmp_path, capsys):
+        events = tmp_path / "e.jsonl"
+        schema = tmp_path / "s.json"
+        events.write_text('{"type": "span"}\n')
+        schema.write_text('{"type": "object", "required": ["type"]}')
+        assert main([str(events), str(schema)]) == 0
+        assert "OK" in capsys.readouterr().out
+        schema.write_text('{"type": "object", "required": ["nope"]}')
+        assert main([str(events), str(schema)]) == 1
+        assert main([]) == 2
