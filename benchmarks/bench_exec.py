@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Microbenchmark: row vs vectorized execution on the hot query paths.
+
+Runs the same workloads under ``execution_mode="row"`` and
+``"vectorized"`` and reports real-seconds speedups plus virtual-cost
+parity.  Three scenarios bracket the design space:
+
+* ``filter_only``   — scan + compiled-kernel predicates, no UDFs: pure
+  expression-kernel speedup.
+* ``apply_hit_heavy`` — EVA policy with warm materialized views: the
+  filter + APPLY hot path of exploratory analytics, dominated by bulk
+  view probes (``get_many``) and kernel filters.
+* ``apply_miss_heavy`` — no-reuse policy, cold models: dominated by
+  model evaluation (``predict_batch``), the regime where batching helps
+  least.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_exec.py            # full size
+    PYTHONPATH=src python benchmarks/bench_exec.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_exec.py -o out.json
+
+Writes ``BENCH_vectorized.json`` (repo root by default).  Virtual totals
+must match between modes (the differential suite proves the general
+claim; the benchmark re-checks it on its own workloads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.clock import CostCategory
+from repro.config import EvaConfig, ReusePolicy
+from repro.session import EvaSession
+from repro.types import VideoMetadata
+from repro.video.synthetic import SyntheticVideo
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_video(frames: int) -> SyntheticVideo:
+    metadata = VideoMetadata(
+        name="bench", num_frames=frames, width=960, height=540,
+        fps=25.0, vehicles_per_frame=8.3)
+    return SyntheticVideo(metadata, seed=7)
+
+
+def build_scenarios(frames: int, repetitions: int) -> dict:
+    detector = "FastRCNNObjectDetector(frame)"
+    apply_query = (
+        f"SELECT id, bbox FROM bench CROSS APPLY {detector} "
+        f"WHERE id < {round(frames * 0.8)} AND label = 'car' "
+        "AND area > 0.1 AND CarType(frame, bbox) = 'Nissan';")
+    filter_query = (
+        "SELECT id, timestamp FROM bench "
+        f"WHERE id * 3 + 1 < {frames * 2} AND timestamp > 0.5;")
+    return {
+        "filter_only": {
+            "policy": ReusePolicy.NONE,
+            "warmup": [],
+            "queries": [filter_query] * (repetitions * 4),
+        },
+        "apply_hit_heavy": {
+            "policy": ReusePolicy.EVA,
+            "warmup": [apply_query],
+            "queries": [apply_query] * repetitions,
+        },
+        "apply_miss_heavy": {
+            "policy": ReusePolicy.NONE,
+            "warmup": [],
+            "queries": [apply_query],
+        },
+    }
+
+
+def run_mode(video: SyntheticVideo, policy: ReusePolicy, mode: str,
+             warmup: list[str], queries: list[str]) -> dict:
+    session = EvaSession(config=EvaConfig(reuse_policy=policy,
+                                          execution_mode=mode))
+    session.register_video(video)
+    for sql in warmup:
+        session.execute(sql)
+    before = session.clock.snapshot()
+    start = time.perf_counter()
+    rows = 0
+    for sql in queries:
+        rows += len(session.execute(sql).rows)
+    wall = time.perf_counter() - start
+    breakdown = session.clock.snapshot_delta(before)
+    virtual = sum(seconds for category, seconds in breakdown.items()
+                  if category is not CostCategory.OPTIMIZE)
+    return {"wall_seconds": round(wall, 6), "rows": rows,
+            "virtual_seconds": virtual, "queries": len(queries)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced size for CI smoke runs")
+    parser.add_argument("--frames", type=int, default=None,
+                        help="override the benchmark video length")
+    parser.add_argument("-o", "--output", type=Path,
+                        default=REPO_ROOT / "BENCH_vectorized.json")
+    args = parser.parse_args(argv)
+
+    frames = args.frames or (300 if args.quick else 2000)
+    repetitions = 2 if args.quick else 5
+    video = make_video(frames)
+    scenarios = build_scenarios(frames, repetitions)
+
+    report: dict = {
+        "benchmark": "row vs vectorized execution",
+        "quick": args.quick,
+        "frames": frames,
+        "repetitions": repetitions,
+        "scenarios": {},
+    }
+    ok = True
+    for name, spec in scenarios.items():
+        row = run_mode(video, spec["policy"], "row",
+                       spec["warmup"], spec["queries"])
+        vec = run_mode(video, spec["policy"], "vectorized",
+                       spec["warmup"], spec["queries"])
+        speedup = (row["wall_seconds"] / vec["wall_seconds"]
+                   if vec["wall_seconds"] else float("inf"))
+        virtual_match = abs(row["virtual_seconds"] - vec["virtual_seconds"]) \
+            <= 1e-6 * max(1.0, abs(row["virtual_seconds"]))
+        rows_match = row["rows"] == vec["rows"]
+        ok = ok and virtual_match and rows_match
+        report["scenarios"][name] = {
+            "row": row,
+            "vectorized": vec,
+            "real_speedup": round(speedup, 2),
+            "rows_match": rows_match,
+            "virtual_match": virtual_match,
+        }
+        print(f"{name:18s} row={row['wall_seconds']:.3f}s "
+              f"vectorized={vec['wall_seconds']:.3f}s "
+              f"speedup={speedup:.2f}x rows={vec['rows']} "
+              f"virtual_match={virtual_match}")
+    hot = report["scenarios"]["apply_hit_heavy"]["real_speedup"]
+    report["hot_path_speedup"] = hot
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not ok:
+        print("ERROR: result or virtual-cost mismatch between modes",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,9 +57,11 @@ def make_video(spec: str) -> SyntheticVideo:
     raise ValueError(f"unknown dataset spec {spec!r}")
 
 
-def make_session(policy_name: str, dataset: str) -> EvaSession:
+def make_session(policy_name: str, dataset: str,
+                 execution_mode: str = "vectorized") -> EvaSession:
     policy = ReusePolicy(policy_name.lower())
-    session = EvaSession(config=EvaConfig(reuse_policy=policy))
+    session = EvaSession(config=EvaConfig(reuse_policy=policy,
+                                          execution_mode=execution_mode))
     session.register_video(make_video(dataset))
     return session
 
@@ -153,7 +155,8 @@ def run_script(session: EvaSession, path: str, stdout: IO[str]) -> int:
 
 
 def run_bench(policy_name: str, workload: str, frames: int,
-              stdout: IO[str], artifacts: str | None = None) -> int:
+              stdout: IO[str], artifacts: str | None = None,
+              execution_mode: str = "vectorized") -> int:
     from repro.vbench.queries import vbench_high, vbench_low
     from repro.vbench.workload import run_workload
 
@@ -164,7 +167,8 @@ def run_bench(policy_name: str, workload: str, frames: int,
     queries = (vbench_high if workload == "high" else vbench_low)(
         "bench", frames)
     result = run_workload(video, queries,
-                          EvaConfig(reuse_policy=ReusePolicy(policy_name)),
+                          EvaConfig(reuse_policy=ReusePolicy(policy_name),
+                                    execution_mode=execution_mode),
                           artifacts_dir=artifacts)
     rows = [[f"Q{i + 1}", round(m.total_time, 1), m.rows_returned]
             for i, m in enumerate(result.query_metrics)]
@@ -182,7 +186,8 @@ def run_bench(policy_name: str, workload: str, frames: int,
 
 
 def run_trace(policy_name: str, dataset: str, sql: str,
-              jsonl: str | None, stdout: IO[str]) -> int:
+              jsonl: str | None, stdout: IO[str],
+              execution_mode: str = "vectorized") -> int:
     """``repro trace``: run statements and print the span tree(s).
 
     Multiple ``;``-separated statements run on one session, so the second
@@ -193,7 +198,8 @@ def run_trace(policy_name: str, dataset: str, sql: str,
     """
     from repro.obs.sinks import CompositeSink, InMemorySink, JsonlFileSink
 
-    session = make_session(policy_name, dataset)
+    session = make_session(policy_name, dataset,
+                           execution_mode=execution_mode)
     tracer = session.tracer
     tracer.capture_operators = True
     memory = InMemorySink()
@@ -367,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dataset", default="ua_detrac:short",
                        help="ua_detrac[:size] | jackson | "
                             "synthetic:<frames>[:<density>]")
+        p.add_argument("--execution-mode", default="vectorized",
+                       choices=["vectorized", "row"],
+                       help="column-at-a-time kernels (default) or the "
+                            "row-at-a-time interpreter")
 
     shell = sub.add_parser("shell", help="interactive EVAQL shell")
     common(shell)
@@ -382,6 +392,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--artifacts", default=None, metavar="DIR",
                        help="write trace.jsonl / metrics.json / "
                             "metrics.prom into DIR")
+    bench.add_argument("--execution-mode", default="vectorized",
+                       choices=["vectorized", "row"],
+                       help="column-at-a-time kernels (default) or the "
+                            "row-at-a-time interpreter")
     trace = sub.add_parser(
         "trace",
         help="run statement(s) and print the hierarchical span tree "
@@ -424,7 +438,8 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
     args = build_parser().parse_args(argv)
     if args.command == "bench":
         return run_bench(args.policy, args.workload, args.frames, stdout,
-                         artifacts=args.artifacts)
+                         artifacts=args.artifacts,
+                         execution_mode=args.execution_mode)
     if args.command == "serve-demo":
         try:
             return run_serve_demo(args.dataset, args.clients, args.workers,
@@ -435,7 +450,8 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
     if args.command == "trace":
         try:
             return run_trace(args.policy, args.dataset, args.query,
-                             args.jsonl, stdout)
+                             args.jsonl, stdout,
+                             execution_mode=args.execution_mode)
         except ValueError as error:
             print(f"error: {error}", file=stdout)
             return 2
@@ -447,7 +463,8 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
             print(f"error: {error}", file=stdout)
             return 2
     try:
-        session = make_session(args.policy, args.dataset)
+        session = make_session(args.policy, args.dataset,
+                               execution_mode=args.execution_mode)
     except ValueError as error:
         print(f"error: {error}", file=stdout)
         return 2

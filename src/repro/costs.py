@@ -12,6 +12,14 @@ difference predicate — the fraction of input tuples missing from the view.
 The constants also calibrate the execution engine's virtual clock; they are
 chosen so the component times match the paper's Table 4 decomposition
 (e.g. ~2.2 ms/frame video reads).
+
+Every constant is strictly *per tuple* (or per key/row/operator), which is
+what makes the vectorized executor cost-transparent: charging
+``len(batch) * per_tuple_cost`` once per batch is arithmetically the sum
+of the per-row charges, so row and column-at-a-time execution produce
+identical virtual totals by construction (``docs/execution.md``; enforced
+by ``tests/test_vectorized_differential.py``).  Nothing here depends on
+batch size — batching changes real seconds only.
 """
 
 from __future__ import annotations

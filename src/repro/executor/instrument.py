@@ -97,6 +97,11 @@ class OperatorStats:
     #: clamped at zero against scheduling noise).
     self_elapsed: float
     self_virtual: float
+    #: Kernel mode the operator ran with (``"vectorized"``,
+    #: ``"row-fallback"``, ``"row"``) or None when not applicable.
+    kernel_mode: str | None = None
+    #: Batches re-run through the row interpreter (runtime fallback).
+    kernel_fallbacks: int = 0
 
 
 def collect_operator_stats(plan: PhysicalPlan,
@@ -131,6 +136,8 @@ def collect_operator_stats(plan: PhysicalPlan,
                 virtual=stats.virtual,
                 self_elapsed=max(0.0, stats.elapsed - child_elapsed),
                 self_virtual=max(0.0, stats.virtual - child_virtual),
+                kernel_mode=stats.inner.kernel_mode,
+                kernel_fallbacks=stats.inner.kernel_fallback_batches,
             ))
         for child in children:
             visit(child, depth + 1)
@@ -155,12 +162,17 @@ def explain_analyze(plan: PhysicalPlan, context: ExecutionContext
         if stats is None:  # pragma: no cover - every node is wrapped
             annotated.append(line)
             continue
+        kernel = ""
+        if stats.kernel_mode is not None:
+            kernel = f" kernel={stats.kernel_mode}"
+            if stats.kernel_fallbacks:
+                kernel += f" fallbacks={stats.kernel_fallbacks}"
         annotated.append(
             f"{line}  "
             f"(rows={stats.rows_out} batches={stats.batches_out} "
             f"time={stats.elapsed * 1000:.1f}ms "
             f"self={stats.self_elapsed * 1000:.1f}ms "
-            f"virtual={stats.self_virtual:.3f}s)")
+            f"virtual={stats.self_virtual:.3f}s{kernel})")
     return result, "\n".join(annotated)
 
 

@@ -14,6 +14,16 @@ class Operator(abc.ABC):
 
     def __init__(self, context: ExecutionContext):
         self.context = context
+        #: How this operator evaluates batches: ``"vectorized"`` (compiled
+        #: batch kernels / bulk probes), ``"row-fallback"`` (vectorization
+        #: requested but compiled away to the row interpreter), ``"row"``
+        #: (legacy row-at-a-time path), or ``None`` when the distinction
+        #: does not apply (scans without residuals, LIMIT, ...).  EXPLAIN
+        #: ANALYZE and the obs layer report it per operator.
+        self.kernel_mode: str | None = None
+        #: Batches that started on the vectorized path but re-ran through
+        #: the row interpreter (runtime fallback).  Always 0 in row mode.
+        self.kernel_fallback_batches: int = 0
 
     @abc.abstractmethod
     def execute(self) -> Iterator[Batch]:

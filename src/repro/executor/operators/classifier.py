@@ -50,15 +50,163 @@ class ClassifierApplyOperator(Operator):
         self.column = udf_column_name(term_key(node.call))
         self._view_name = f"mv::{node.signature}"
         self._join_charged = False
+        config = context.config
+        policy = config.reuse_policy
+        # Fuzzy bbox reuse walks per-row spatial candidates; it stays on
+        # the (exact-per-row) legacy path.  FunCache charges hashing costs
+        # per lookup, interleaved with stores — also row-at-a-time.
+        fuzzy = (policy is ReusePolicy.EVA and node.use_view
+                 and config.fuzzy_reuse
+                 and self.kind is UdfKind.PATCH_CLASSIFIER)
+        self._vectorized = (config.execution_mode == "vectorized"
+                            and policy is not ReusePolicy.FUNCACHE
+                            and not fuzzy)
+        self.kernel_mode = "vectorized" if self._vectorized else "row"
 
     def execute(self) -> Iterator[Batch]:
         policy = self.context.config.reuse_policy
+        vectorized = self._vectorized
         for batch in self.child.execute():
             self.context.clock.charge(
                 CostCategory.APPLY, self.context.costs.apply_per_batch)
-            values = [self._resolve(row, policy)
-                      for row in batch.iter_rows()]
+            values = self._resolve_batch(batch, policy) if vectorized \
+                else None
+            if values is None:
+                if vectorized:
+                    self.kernel_fallback_batches += 1
+                values = [self._resolve(row, policy)
+                          for row in batch.iter_rows()]
             yield batch.with_column(self.column, values)
+
+    # -- batch resolution (vectorized path) --------------------------------------
+
+    def _resolve_batch(self, batch: Batch,
+                       policy: ReusePolicy) -> list | None:
+        """Resolve the UDF column for a whole batch at once.
+
+        Probes the materialized view with one bulk ``get_many``, invokes
+        the model **once** on the miss sub-batch, and appends fresh results
+        with one bulk ``put_many``.  Charges the exact virtual costs the
+        row path charges (the clock is additive, so per-row interleaving
+        order does not matter).  Returns None to request row-at-a-time
+        fallback for this batch — taken when the batch would exercise
+        behavior that depends on per-row interleaving (duplicate keys
+        being stored then re-probed within one batch) or when key
+        computation fails (the row path must surface its exact error
+        after its partial charges).
+        """
+        n = batch.num_rows
+        if n == 0:
+            return []
+        if not batch.has_column("frame"):
+            return None  # row path raises its KeyError
+        frames: list[Frame] = batch.column("frame")
+        if self.kind is UdfKind.FRAME_FILTER:
+            keys = [(frame.frame_id,) for frame in frames]
+            bboxes = None
+        else:
+            if not batch.has_column("bbox"):
+                return None  # row path raises its "needs a bbox" error
+            bboxes = batch.column("bbox")
+            if any(not isinstance(b, BoundingBox) for b in bboxes):
+                return None
+            keys = [(frame.frame_id, bbox_view_key(bbox))
+                    for frame, bbox in zip(frames, bboxes)]
+        use_view = policy is ReusePolicy.EVA and self.node.use_view
+        if not use_view:
+            # NONE / HASHSTASH / EVA-without-view: evaluate everything.
+            values: list = [None] * n
+            self._evaluate_batch(batch, frames, keys, range(n), values)
+            return values
+        if self.node.store and len(set(keys)) != len(keys):
+            # A duplicate key stored by an earlier row becomes a view hit
+            # for a later row *within the same batch* — per-row semantics
+            # the bulk probe cannot reproduce.
+            return None
+        values = [None] * n
+        pending = list(range(n))
+        view = self.context.view_store.get(self._view_name)
+        if view is None and self.node.store:
+            # Legacy semantics: the first row evaluates + stores, which
+            # *creates* the view; the remaining rows then probe it.
+            first = pending[0]
+            values[first] = self._resolve(batch.row(first), policy)
+            pending = pending[1:]
+            view = self.context.view_store.get(self._view_name)
+        if view is not None and pending:
+            costs = self.context.costs
+            if not self._join_charged:
+                self.context.clock.charge(CostCategory.JOIN,
+                                          costs.join_setup)
+                self._join_charged = True
+            self.context.clock.charge(
+                CostCategory.READ_VIEW,
+                len(pending) * costs.view_read_per_key)
+            stored = view.get_many([keys[i] for i in pending])
+            hit_keys = []
+            misses = []
+            for i, rows in zip(pending, stored):
+                if rows:
+                    values[i] = rows[0]["value"]
+                    hit_keys.append((frames[i].video_name,) + keys[i])
+                else:
+                    misses.append(i)
+            if hit_keys:
+                self.context.clock.charge(
+                    CostCategory.READ_VIEW,
+                    len(hit_keys) * costs.view_read_per_row)
+                self.context.metrics.record_invocations(
+                    self.model.name, hit_keys, True,
+                    per_tuple_cost=self.model.per_tuple_cost)
+            pending = misses
+        if pending:
+            self._evaluate_batch(batch, frames, keys, pending, values)
+            if self.node.store:
+                self._store_batch(keys, values, pending)
+        return values
+
+    def _evaluate_batch(self, batch: Batch, frames: list[Frame],
+                        keys: list[tuple], indices, values: list) -> None:
+        """Model-evaluate ``indices`` with one invocation per sub-batch.
+
+        Groups by video (a model instance is invoked against one video),
+        charges ``len(group) * per_tuple_cost`` — the same total the
+        per-row path accumulates — and records the invocations in bulk.
+        """
+        by_video: dict[str, list[int]] = {}
+        for i in indices:
+            by_video.setdefault(frames[i].video_name, []).append(i)
+        bboxes = (batch.column("bbox")
+                  if self.kind is not UdfKind.FRAME_FILTER else None)
+        for video_name, group in by_video.items():
+            video = self.context.video(video_name)
+            self.context.clock.charge(
+                CostCategory.UDF,
+                len(group) * self.model.per_tuple_cost)
+            if self.kind is UdfKind.FRAME_FILTER:
+                inputs = [frames[i].frame_id for i in group]
+            else:
+                inputs = [(frames[i].frame_id, bboxes[i]) for i in group]
+            outputs = self.model.predict_batch(video, inputs)
+            for i, value in zip(group, outputs):
+                values[i] = value
+            self.context.metrics.record_invocations(
+                self.model.name,
+                [(video_name,) + keys[i] for i in group], False,
+                per_tuple_cost=self.model.per_tuple_cost)
+
+    def _store_batch(self, keys: list[tuple], values: list,
+                     indices: list[int]) -> None:
+        """Bulk STORE: one ``put_many`` and one materialize charge."""
+        view = self.context.view_store.create_or_get(
+            self._view_name, ["id", "bbox_key"], ["value"])
+        inserted = view.put_many(
+            [(keys[i], [{"value": values[i]}]) for i in indices])
+        added = sum(inserted)
+        if added:
+            self.context.clock.charge(
+                CostCategory.MATERIALIZE,
+                added * self.context.costs.materialize_per_row)
 
     # -- per-row resolution ------------------------------------------------------
 

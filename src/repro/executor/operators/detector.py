@@ -54,6 +54,13 @@ class DetectorApplyOperator(Operator):
         ]
         self._fallback_model = self._pick_fallback()
         self._join_charged = False
+        # HashStash reads its recycler union up front and FunCache charges
+        # per-lookup hashing — both resolve row-at-a-time.
+        self._vectorized = (
+            context.config.execution_mode == "vectorized"
+            and context.config.reuse_policy in (ReusePolicy.EVA,
+                                                ReusePolicy.NONE))
+        self.kernel_mode = "vectorized" if self._vectorized else "row"
         # HashStash state: combined recycler results and this query's
         # fresh output (a new recycler entry).
         self._hashstash_combined: dict | None = None
@@ -78,13 +85,19 @@ class DetectorApplyOperator(Operator):
 
     def execute(self) -> Iterator[Batch]:
         policy = self.context.config.reuse_policy
+        vectorized = self._vectorized
         if policy is ReusePolicy.HASHSTASH:
             self._prepare_hashstash()
         try:
             for batch in self.child.execute():
                 self.context.clock.charge(
                     CostCategory.APPLY, self.context.costs.apply_per_batch)
-                out = self._apply_batch(batch, policy)
+                out = (self._apply_batch_vectorized(batch)
+                       if vectorized else None)
+                if out is None:
+                    if vectorized:
+                        self.kernel_fallback_batches += 1
+                    out = self._apply_batch_rows(batch, policy)
                 if out.num_rows:
                     yield out
         finally:
@@ -93,7 +106,7 @@ class DetectorApplyOperator(Operator):
                     self._recycler_signature,
                     dict(self._hashstash_output)))
 
-    def _apply_batch(self, batch: Batch, policy: ReusePolicy) -> Batch:
+    def _apply_batch_rows(self, batch: Batch, policy: ReusePolicy) -> Batch:
         out_rows: list[dict] = []
         for row in batch.iter_rows():
             frame: Frame = row["frame"]
@@ -111,6 +124,196 @@ class DetectorApplyOperator(Operator):
         columns = list(batch.column_names) + list(DETECTOR_COLUMNS)
         return Batch({name: [r[name] for r in out_rows]
                       for name in columns})
+
+    # -- batch resolution (vectorized path) ---------------------------------------
+
+    def _apply_batch_vectorized(self, batch: Batch) -> Batch | None:
+        """Resolve a whole batch of frames against the source list at once.
+
+        Walks the sources in plan order over a shrinking *pending* set:
+        each view source bulk-probes its materialized view (one
+        ``get_many``), each model source batch-evaluates the rows its
+        predicate matches (one ``predict_batch``), and leftovers go to the
+        fallback model.  Virtual charges mirror the row path exactly; the
+        clock is additive so interleaving order is irrelevant.
+
+        Returns None to request row fallback when per-row interleaving
+        could change results: duplicate frame keys within the batch
+        (an early STORE turns a later probe into a hit), or STORE mode
+        while a view source's view does not exist yet (the first stored
+        row would create it mid-batch).
+        """
+        n = batch.num_rows
+        if n == 0:
+            return Batch()
+        if not (batch.has_column("frame") and batch.has_column("id")):
+            return None  # row path raises its KeyError
+        frames: list[Frame] = batch.column("frame")
+        seen: set[tuple[str, int]] = set()
+        for frame in frames:
+            key = (frame.video_name, frame.frame_id)
+            if key in seen:
+                return None
+            seen.add(key)
+        videos = {frame.video_name for frame in frames}
+        view_store = self.context.view_store
+        if self.node.store:
+            for source, _, model in self._sources:
+                if not source.use_view:
+                    continue
+                for video_name in videos:
+                    if view_store.get(
+                            self._view_name(model.name, video_name)) is None:
+                        return None
+        has_model_source = any(not source.use_view
+                               for source, _, _ in self._sources)
+        values_list = (self._predicate_values(batch)
+                       if has_model_source else None)
+        results: list[tuple[Detection, ...] | None] = [None] * n
+        pending: list[int] = list(range(n))
+        for source, predicate, model in self._sources:
+            if not pending:
+                break
+            if source.use_view:
+                pending = self._probe_view_batch(
+                    model, frames, pending, results)
+                continue
+            matched = [i for i in pending if predicate(values_list[i])]
+            if matched:
+                self._evaluate_many(model, frames, matched, results,
+                                    store=self.node.store)
+                matched_set = set(matched)
+                pending = [i for i in pending if i not in matched_set]
+        if pending:
+            self._evaluate_many(self._fallback_model, frames, pending,
+                                results, store=self.node.store)
+        return self._assemble(batch, frames, results)
+
+    def _predicate_values(self, batch: Batch) -> list[dict]:
+        """Per-row value dicts for source predicates (columnar build)."""
+        n = batch.num_rows
+        ids = batch.column("id")
+        timestamps = (batch.column("timestamp")
+                      if batch.has_column("timestamp") else None)
+        udf_columns = [
+            ("udf:" + name[len("__udf::"):], batch.column(name))
+            for name in batch.column_names if name.startswith("__udf::")
+        ]
+        values_list = []
+        for i in range(n):
+            values: dict = {}
+            if ids[i] is not None:
+                values["id"] = ids[i]
+            if timestamps is not None and timestamps[i] is not None:
+                values["timestamp"] = timestamps[i]
+            for key, column in udf_columns:
+                values[key] = column[i]
+            values_list.append(values)
+        return values_list
+
+    def _probe_view_batch(self, model: ObjectDetectorModel,
+                          frames: list[Frame], pending: list[int],
+                          results: list) -> list[int]:
+        """Bulk LEFT OUTER JOIN against one model's views; returns misses."""
+        by_video: dict[str, list[int]] = {}
+        for i in pending:
+            by_video.setdefault(frames[i].video_name, []).append(i)
+        still: list[int] = []
+        costs = self.context.costs
+        for video_name, group in by_video.items():
+            view = self.context.view_store.get(
+                self._view_name(model.name, video_name))
+            if view is None:
+                still.extend(group)
+                continue
+            if not self._join_charged:
+                self.context.clock.charge(CostCategory.JOIN,
+                                          costs.join_setup)
+                self._join_charged = True
+            self.context.clock.charge(
+                CostCategory.READ_VIEW,
+                len(group) * costs.view_read_per_key)
+            stored = view.get_many([(frames[i].frame_id,) for i in group])
+            hit_keys = []
+            rows_read = 0
+            for i, rows in zip(group, stored):
+                if rows is None:
+                    still.append(i)
+                    continue
+                rows_read += len(rows)
+                results[i] = tuple(
+                    Detection(r["label"], r["bbox"], r["score"])
+                    for r in rows)
+                hit_keys.append(frames[i].cache_key())
+            if rows_read:
+                self.context.clock.charge(
+                    CostCategory.READ_VIEW,
+                    rows_read * costs.view_read_per_row)
+            if hit_keys:
+                self.context.metrics.record_invocations(
+                    model.name, hit_keys, True,
+                    per_tuple_cost=model.per_tuple_cost)
+        still.sort()
+        return still
+
+    def _evaluate_many(self, model: ObjectDetectorModel,
+                       frames: list[Frame], indices: list[int],
+                       results: list, store: bool) -> None:
+        """One ``predict_batch`` per (model, video) sub-batch + bulk STORE."""
+        by_video: dict[str, list[int]] = {}
+        for i in indices:
+            by_video.setdefault(frames[i].video_name, []).append(i)
+        for video_name, group in by_video.items():
+            video = self.context.video(video_name)
+            self.context.clock.charge(
+                CostCategory.UDF, len(group) * model.per_tuple_cost)
+            outputs = model.predict_batch(
+                video, [frames[i].frame_id for i in group])
+            for i, detections in zip(group, outputs):
+                results[i] = tuple(detections)
+            self.context.metrics.record_invocations(
+                model.name, [frames[i].cache_key() for i in group], False,
+                per_tuple_cost=model.per_tuple_cost)
+            if store:
+                view = self.context.view_store.create_or_get(
+                    self._view_name(model.name, video_name), ["id"],
+                    VIEW_OUTPUT_COLUMNS)
+                inserted = view.put_many(
+                    [((frames[i].frame_id,),
+                      [{"label": d.label, "bbox": d.bbox, "score": d.score}
+                       for d in results[i]])
+                     for i in group])
+                stored_rows = sum(
+                    max(1, len(results[i]))
+                    for i, was_new in zip(group, inserted) if was_new)
+                if stored_rows:
+                    self.context.clock.charge(
+                        CostCategory.MATERIALIZE,
+                        stored_rows * self.context.costs.materialize_per_row)
+
+    def _assemble(self, batch: Batch, frames: list[Frame],
+                  results: list) -> Batch:
+        """Expand input rows by their detections, column-at-a-time."""
+        indices = [i for i, detections in enumerate(results)
+                   for _ in detections]
+        if not indices:
+            return Batch()
+        labels: list = []
+        bboxes: list = []
+        scores: list = []
+        areas: list = []
+        for i, detections in enumerate(results):
+            frame = frames[i]
+            for detection in detections:
+                labels.append(detection.label)
+                bboxes.append(detection.bbox)
+                scores.append(detection.score)
+                areas.append(detection.bbox.relative_area(
+                    frame.width, frame.height))
+        return batch.take(indices).with_columns({
+            "label": labels, "bbox": bboxes,
+            "score": scores, "area": areas,
+        })
 
     # -- per-frame resolution ----------------------------------------------------
 
@@ -147,8 +350,8 @@ class DetectorApplyOperator(Operator):
 
     def _probe_view(self, model_name: str, frame: Frame
                     ) -> tuple[Detection, ...] | None:
-        view = self.context.view_store.get(self._view_name(model_name,
-                                                           frame))
+        view = self.context.view_store.get(
+            self._view_name(model_name, frame.video_name))
         if view is None:
             return None
         if not self._join_charged:
@@ -184,7 +387,7 @@ class DetectorApplyOperator(Operator):
     def _store(self, model_name: str, frame: Frame,
                detections: tuple[Detection, ...]) -> None:
         view = self.context.view_store.create_or_get(
-            self._view_name(model_name, frame), ["id"],
+            self._view_name(model_name, frame.video_name), ["id"],
             VIEW_OUTPUT_COLUMNS)
         key = (frame.frame_id,)
         if key in view:
@@ -258,6 +461,6 @@ class DetectorApplyOperator(Operator):
             per_tuple_cost=model.per_tuple_cost)
 
     @staticmethod
-    def _view_name(model_name: str, frame: Frame) -> str:
-        signature = UdfSignature(model_name, (frame.video_name,))
+    def _view_name(model_name: str, video_name: str) -> str:
+        signature = UdfSignature(model_name, (video_name,))
         return f"mv::{signature.key()}"

@@ -1,4 +1,12 @@
-"""Filter, project, group-by, order-by, and limit operators."""
+"""Filter, project, group-by, order-by, and limit operators.
+
+Under ``execution_mode="vectorized"`` (the default) the expression-heavy
+operators compile their expressions once into batch kernels
+(:mod:`repro.expressions.compiler`) and evaluate them column-at-a-time;
+``execution_mode="row"`` keeps the legacy row interpreter.  Results are
+identical in both modes — the kernels fall back to the row interpreter
+for any construct (or runtime error) they cannot reproduce exactly.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,7 @@ from typing import Iterator
 from repro.errors import ExecutorError
 from repro.executor.context import ExecutionContext
 from repro.executor.operators.base import Operator
+from repro.expressions.compiler import CompiledKernel, compile_expression
 from repro.expressions.expr import AggregateCall, Expression, Star
 from repro.optimizer.plans import (
     PhysFilter,
@@ -18,6 +27,13 @@ from repro.optimizer.plans import (
 from repro.storage.batch import Batch
 
 
+def _combined_mode(kernels: list[CompiledKernel]) -> str:
+    """Operator-level kernel mode: vectorized only if *every* kernel is."""
+    if all(k.vectorized for k in kernels):
+        return "vectorized"
+    return "row-fallback"
+
+
 class FilterOperator(Operator):
     """Row filter over an arbitrary predicate expression."""
 
@@ -26,8 +42,24 @@ class FilterOperator(Operator):
         super().__init__(context)
         self.child = child
         self.node = node
+        self._kernel: CompiledKernel | None = None
+        if context.config.execution_mode == "vectorized":
+            self._kernel = compile_expression(node.predicate,
+                                              context.evaluator)
+            self.kernel_mode = self._kernel.mode
+        else:
+            self.kernel_mode = "row"
 
     def execute(self) -> Iterator[Batch]:
+        kernel = self._kernel
+        if kernel is not None:
+            for batch in self.child.execute():
+                mask = kernel.evaluate_mask(batch)
+                self.kernel_fallback_batches = kernel.fallback_batches
+                filtered = batch.filter_mask(mask)
+                if filtered.num_rows:
+                    yield filtered
+            return
         evaluator = self.context.evaluator
         predicate = self.node.predicate
         for batch in self.child.execute():
@@ -46,21 +78,40 @@ class ProjectOperator(Operator):
         super().__init__(context)
         self.child = child
         self.node = node
+        self._kernels: dict[int, CompiledKernel] | None = None
+        if context.config.execution_mode == "vectorized":
+            self._kernels = {
+                index: compile_expression(expr, context.evaluator)
+                for index, (expr, _) in enumerate(node.items)
+                if not isinstance(expr, Star)
+            }
+            self.kernel_mode = _combined_mode(list(self._kernels.values())) \
+                if self._kernels else "vectorized"
+        else:
+            self.kernel_mode = "row"
 
     def execute(self) -> Iterator[Batch]:
         evaluator = self.context.evaluator
+        kernels = self._kernels
         produced = False
         for batch in self.child.execute():
             produced = True
             columns: dict[str, list] = {}
-            for expr, name in self.node.items:
+            for index, (expr, name) in enumerate(self.node.items):
                 if isinstance(expr, Star):
                     for column in batch.column_names:
                         if not column.startswith("__udf::"):
                             columns[column] = batch.column(column)
                     continue
-                columns[name] = [evaluator.evaluate(expr, row)
-                                 for row in batch.iter_rows()]
+                if kernels is not None:
+                    kernel = kernels[index]
+                    columns[name] = kernel.evaluate(batch)
+                else:
+                    columns[name] = [evaluator.evaluate(expr, row)
+                                     for row in batch.iter_rows()]
+            if kernels is not None:
+                self.kernel_fallback_batches = sum(
+                    k.fallback_batches for k in kernels.values())
             yield Batch(columns)
         if not produced:
             # Empty result: still emit the output schema (star columns
@@ -70,33 +121,52 @@ class ProjectOperator(Operator):
 
 
 class GroupByOperator(Operator):
-    """Hash aggregation: COUNT(*)/COUNT(expr), SUM, AVG, MIN, MAX."""
+    """Hash aggregation: COUNT(*)/COUNT(expr), SUM, AVG, MIN, MAX.
+
+    The vectorized path evaluates group keys and aggregate arguments as
+    whole columns per batch, then folds them into the per-group
+    accumulators; the row path interprets each expression per row.  Both
+    share :meth:`_accumulate_value`, so accumulation semantics (NULL
+    skipping, numeric checks, min/max ordering) are identical.
+    """
 
     def __init__(self, child: Operator, node: PhysGroupBy,
                  context: ExecutionContext):
         super().__init__(context)
         self.child = child
         self.node = node
+        self._vectorized = context.config.execution_mode == "vectorized"
+        self._key_kernels: list[CompiledKernel] = []
+        self._agg_kernels: list[tuple[AggregateCall | None,
+                                      CompiledKernel | None]] = []
+        if self._vectorized:
+            self._key_kernels = [compile_expression(k, context.evaluator)
+                                 for k in node.keys]
+            for expr, _ in node.items:
+                aggregate = _find_aggregate(expr)
+                if aggregate is None or isinstance(aggregate.arg, Star):
+                    self._agg_kernels.append((aggregate, None))
+                else:
+                    self._agg_kernels.append(
+                        (aggregate,
+                         compile_expression(aggregate.arg,
+                                            context.evaluator)))
+            kernels = self._key_kernels + [
+                k for _, k in self._agg_kernels if k is not None]
+            self.kernel_mode = _combined_mode(kernels) if kernels \
+                else "vectorized"
+        else:
+            self.kernel_mode = "row"
 
     def execute(self) -> Iterator[Batch]:
         evaluator = self.context.evaluator
         groups: dict[tuple, dict] = {}
         order: list[tuple] = []
         for batch in self.child.execute():
-            for row in batch.iter_rows():
-                key = tuple(evaluator.evaluate(k, row)
-                            for k in self.node.keys)
-                state = groups.get(key)
-                if state is None:
-                    state = {"first_row": row, "count": 0,
-                             "agg": [{"count": 0, "sum": 0.0,
-                                      "min": None, "max": None}
-                                     for _ in self.node.items]}
-                    groups[key] = state
-                    order.append(key)
-                state["count"] += 1
-                for index, (expr, _) in enumerate(self.node.items):
-                    self._accumulate(state, index, expr, row, evaluator)
+            if self._vectorized:
+                self._consume_batch_vectorized(batch, groups, order)
+            else:
+                self._consume_batch_rows(batch, groups, order, evaluator)
         rows = []
         for key in order:
             state = groups[key]
@@ -106,6 +176,61 @@ class GroupByOperator(Operator):
             rows.append(out_row)
         names = [name for _, name in self.node.items]
         yield Batch.from_rows(names, rows)
+
+    # -- batch consumption -------------------------------------------------------
+
+    def _consume_batch_rows(self, batch: Batch, groups: dict,
+                            order: list, evaluator) -> None:
+        for row in batch.iter_rows():
+            key = tuple(evaluator.evaluate(k, row)
+                        for k in self.node.keys)
+            state = groups.get(key)
+            if state is None:
+                state = self._new_state(row)
+                groups[key] = state
+                order.append(key)
+            state["count"] += 1
+            for index, (expr, _) in enumerate(self.node.items):
+                self._accumulate(state, index, expr, row, evaluator)
+
+    def _consume_batch_vectorized(self, batch: Batch, groups: dict,
+                                  order: list) -> None:
+        n = batch.num_rows
+        if not n:
+            return
+        for aggregate, _ in self._agg_kernels:
+            if (aggregate is not None
+                    and aggregate.func not in self.SUPPORTED_AGGREGATES):
+                raise ExecutorError(
+                    f"unsupported aggregate {aggregate.func.upper()}")
+        key_columns = [k.evaluate(batch) for k in self._key_kernels]
+        arg_columns = [k.evaluate(batch) if k is not None else None
+                       for _, k in self._agg_kernels]
+        self.kernel_fallback_batches = sum(
+            k.fallback_batches for k in self._key_kernels
+            + [k for _, k in self._agg_kernels if k is not None])
+        for i in range(n):
+            key = tuple(column[i] for column in key_columns)
+            state = groups.get(key)
+            if state is None:
+                state = self._new_state(batch.row(i))
+                groups[key] = state
+                order.append(key)
+            state["count"] += 1
+            for index, (aggregate, _) in enumerate(self._agg_kernels):
+                if aggregate is None:
+                    continue
+                acc = state["agg"][index]
+                if isinstance(aggregate.arg, Star):
+                    acc["count"] += 1
+                    continue
+                self._accumulate_value(acc, aggregate.func,
+                                       arg_columns[index][i])
+
+    def _new_state(self, first_row: dict) -> dict:
+        return {"first_row": first_row, "count": 0,
+                "agg": [{"count": 0, "sum": 0.0, "min": None, "max": None}
+                        for _ in self.node.items]}
 
     SUPPORTED_AGGREGATES = ("count", "sum", "avg", "min", "max")
 
@@ -123,14 +248,19 @@ class GroupByOperator(Operator):
             acc["count"] += 1
             return
         value = evaluator.evaluate(aggregate.arg, row)
+        cls._accumulate_value(acc, aggregate.func, value)
+
+    @classmethod
+    def _accumulate_value(cls, acc: dict, func: str, value) -> None:
+        """Fold one argument value into an accumulator (both paths)."""
         if value is None:
             return
         acc["count"] += 1
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             acc["sum"] += value
-        elif aggregate.func in ("sum", "avg"):
+        elif func in ("sum", "avg"):
             raise ExecutorError(
-                f"{aggregate.func.upper()} needs numeric input, got "
+                f"{func.upper()} needs numeric input, got "
                 f"{type(value).__name__}")
         if acc["min"] is None or value < acc["min"]:
             acc["min"] = value
@@ -186,6 +316,14 @@ class OrderByOperator(Operator):
         super().__init__(context)
         self.child = child
         self.node = node
+        self._kernels: list[CompiledKernel] | None = None
+        if context.config.execution_mode == "vectorized":
+            self._kernels = [compile_expression(expr, context.evaluator)
+                             for expr, _ in node.keys]
+            self.kernel_mode = _combined_mode(self._kernels) \
+                if self._kernels else "vectorized"
+        else:
+            self.kernel_mode = "row"
 
     def execute(self) -> Iterator[Batch]:
         batch = self.child.run_to_completion()
@@ -195,8 +333,16 @@ class OrderByOperator(Operator):
         evaluator = self.context.evaluator
         indices = list(range(batch.num_rows))
         # Sort by keys right-to-left for stable multi-key ordering.
-        for expr, ascending in reversed(self.node.keys):
-            keys = [evaluator.evaluate(expr, batch.row(i)) for i in indices]
+        for position in reversed(range(len(self.node.keys))):
+            expr, ascending = self.node.keys[position]
+            if self._kernels is not None:
+                column = self._kernels[position].evaluate(batch)
+                self.kernel_fallback_batches = sum(
+                    k.fallback_batches for k in self._kernels)
+                keys = [column[i] for i in indices]
+            else:
+                keys = [evaluator.evaluate(expr, batch.row(i))
+                        for i in indices]
             decorated = sorted(zip(keys, indices), key=lambda p: p[0],
                                reverse=not ascending)
             indices = [i for _, i in decorated]

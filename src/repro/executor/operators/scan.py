@@ -7,6 +7,7 @@ from typing import Iterator
 from repro.clock import CostCategory
 from repro.executor.context import ExecutionContext
 from repro.executor.operators.base import Operator
+from repro.expressions.compiler import CompiledKernel, compile_expression
 from repro.optimizer.plans import PhysScan
 from repro.storage.batch import Batch
 
@@ -16,17 +17,29 @@ class ScanOperator(Operator):
 
     Charges the per-frame read cost (decode + transfer) to the virtual
     clock; both the paper's No-Reuse and EVA configurations pay this cost
-    (Table 4's "Read Video" row).
+    (Table 4's "Read Video" row).  The read charge is already batched
+    (one multiply per batch); under vectorized execution the residual
+    predicate is also evaluated column-at-a-time through a compiled
+    kernel, so the scan never materializes per-row dicts.
     """
 
     def __init__(self, node: PhysScan, context: ExecutionContext):
         super().__init__(context)
         self.node = node
+        self._kernel: CompiledKernel | None = None
+        if node.residual is not None:
+            if context.config.execution_mode == "vectorized":
+                self._kernel = compile_expression(node.residual,
+                                                  context.evaluator)
+                self.kernel_mode = self._kernel.mode
+            else:
+                self.kernel_mode = "row"
 
     def execute(self) -> Iterator[Batch]:
         table = self.context.storage.table(self.node.table_name)
         costs = self.context.costs
         evaluator = self.context.evaluator
+        kernel = self._kernel
         for start, stop in self.node.ranges:
             for batch in table.scan(start, stop,
                                     self.context.config.batch_rows):
@@ -38,7 +51,11 @@ class ScanOperator(Operator):
                 self.context.clock.charge(
                     CostCategory.READ_VIDEO,
                     batch.num_rows * costs.read_video_per_frame)
-                if self.node.residual is not None:
+                if kernel is not None:
+                    mask = kernel.evaluate_mask(batch)
+                    self.kernel_fallback_batches = kernel.fallback_batches
+                    batch = batch.filter_mask(mask)
+                elif self.node.residual is not None:
                     mask = [evaluator.evaluate_predicate(
                         self.node.residual, row)
                         for row in batch.iter_rows()]

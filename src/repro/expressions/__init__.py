@@ -25,6 +25,11 @@ from repro.expressions.analysis import (
     term_key,
 )
 from repro.expressions.evaluator import ExpressionEvaluator
+from repro.expressions.compiler import (
+    CompiledKernel,
+    compile_expression,
+    supports_vectorized,
+)
 
 __all__ = [
     "Expression",
@@ -48,4 +53,7 @@ __all__ = [
     "substitute",
     "term_key",
     "ExpressionEvaluator",
+    "CompiledKernel",
+    "compile_expression",
+    "supports_vectorized",
 ]

@@ -102,6 +102,16 @@ class ExpressionEvaluator:
                            row: Mapping[str, object]) -> bool:
         return bool(self.evaluate(expr, row))
 
+    def builtin_impl(self, name: str) -> Callable | None:
+        """The builtin implementation registered for ``name`` (or None).
+
+        Exposed for the batch-kernel compiler
+        (:mod:`repro.expressions.compiler`), which resolves UDF calls the
+        same way the row path does: pre-computed column first, builtin
+        second.
+        """
+        return self._builtins.get(name.lower())
+
     def _evaluate_call(self, call: FunctionCall, row: Mapping[str, object]):
         # A pre-computed UDF column takes precedence: the plan has already
         # applied the (possibly reused) model for this term.

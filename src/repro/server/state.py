@@ -163,6 +163,26 @@ class ClientViewHandle:
                                         owner)
         return rows
 
+    def get_many(self, keys: list[Key]) -> list[tuple[dict, ...] | None]:
+        """Bulk :meth:`get` under one read-lock acquisition.
+
+        Hit attribution is preserved: every present key is reported to the
+        server stats with the client that first materialized it, exactly
+        as the per-key path does — just without re-acquiring the RW lock
+        per row.
+        """
+        with self._lock.read_locked():
+            results = self._view.get_many(keys)
+            owners = [self._owners.get(key) if rows is not None else None
+                      for key, rows in zip(keys, results)]
+        if self._stats is not None:
+            name = self._view.name
+            for rows, owner in zip(results, owners):
+                if rows is not None:
+                    self._stats.record_view_hit(name, self._client_id,
+                                                owner)
+        return results
+
     def keys(self) -> list[Key]:
         with self._lock.read_locked():
             return list(self._view.keys())
@@ -192,8 +212,24 @@ class ClientViewHandle:
         return inserted
 
     def put_many(self, items: Iterable[tuple[Key, Iterable[Mapping]]]
-                 ) -> int:
-        return sum(1 for key, rows in items if self.put(key, rows))
+                 ) -> list[bool]:
+        """Bulk :meth:`put` under one write-lock acquisition.
+
+        Returns per-item inserted flags (mirroring
+        :meth:`MaterializedView.put_many`) and attributes every newly
+        materialized key to this client.
+        """
+        items = list(items)
+        with self._lock.write_locked():
+            inserted = self._view.put_many(items)
+            for (key, _), was_new in zip(items, inserted):
+                if was_new:
+                    self._owners[key] = self._client_id
+        if self._stats is not None:
+            for was_new in inserted:
+                if was_new:
+                    self._stats.record_materialization(self._client_id)
+        return inserted
 
 
 class SharedViewStore:

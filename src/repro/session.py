@@ -319,6 +319,11 @@ class EvaSession:
             parents: dict[int, str | None] = {
                 0: tracer.current_span_id}
             for stats in engine.operator_stats(plan):
+                tags: dict = {}
+                if stats.kernel_mode is not None:
+                    tags["kernel"] = stats.kernel_mode
+                    if stats.kernel_fallbacks:
+                        tags["kernel_fallbacks"] = stats.kernel_fallbacks
                 span = tracer.add_span(
                     f"op:{stats.label}",
                     trace_id=trace_id,
@@ -327,6 +332,7 @@ class EvaSession:
                     virtual_seconds=stats.self_virtual,
                     rows=stats.rows_out,
                     batches=stats.batches_out,
+                    **tags,
                 )
                 if span is not None:
                     parents[stats.depth + 1] = span.span_id

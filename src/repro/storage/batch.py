@@ -47,12 +47,21 @@ class Batch:
 
     @classmethod
     def concat(cls, batches: Iterable["Batch"]) -> "Batch":
+        """Concatenate batches holding the same column *set*.
+
+        Column order is allowed to differ between inputs (operators that
+        assemble columns from dicts do not guarantee one order); the
+        result uses the first batch's order.  Differing column *sets*
+        still raise.
+        """
         batches = [b for b in batches if b.num_rows or b.column_names]
         if not batches:
             return cls()
         names = batches[0].column_names
+        name_set = set(names)
         for batch in batches[1:]:
-            if batch.column_names != names:
+            if batch.column_names != names \
+                    and set(batch.column_names) != name_set:
                 raise ExecutorError(
                     "cannot concat batches with differing columns: "
                     f"{names} vs {batch.column_names}")
@@ -125,7 +134,21 @@ class Batch:
         columns[name] = list(values)
         return Batch(columns)
 
-    def filter(self, mask: list[bool]) -> "Batch":
+    def with_columns(self, new_columns: Mapping[str, list]) -> "Batch":
+        """A new batch with every column of ``new_columns`` added (or
+        replaced) in one pass — the bulk form of :meth:`with_column` used
+        by the vectorized operators (one copy of the column dict instead
+        of one per added column)."""
+        columns = dict(self._columns)
+        for name, values in new_columns.items():
+            if self._names and len(values) != self.num_rows:
+                raise ExecutorError(
+                    f"column {name!r} has {len(values)} values, "
+                    f"batch has {self.num_rows} rows")
+            columns[name] = list(values)
+        return Batch(columns)
+
+    def filter(self, mask) -> "Batch":
         if len(mask) != self.num_rows:
             raise ExecutorError(
                 f"mask length {len(mask)} != {self.num_rows} rows")
@@ -134,7 +157,29 @@ class Batch:
             for name, values in self._columns.items()
         })
 
-    def take(self, indices: list[int]) -> "Batch":
+    def filter_mask(self, mask) -> "Batch":
+        """Like :meth:`filter`, but tuned for the vectorized path.
+
+        Accepts any boolean sequence (including numpy bool arrays) and
+        short-circuits the all-true / all-false cases: an all-true mask
+        returns ``self`` unchanged (columns are immutable by convention,
+        so sharing them is safe), an all-false mask skips per-column work.
+        """
+        if len(mask) != self.num_rows:
+            raise ExecutorError(
+                f"mask length {len(mask)} != {self.num_rows} rows")
+        keep = [i for i, flag in enumerate(mask) if flag]
+        if len(keep) == self.num_rows:
+            return self
+        if not keep:
+            return Batch({name: [] for name in self._names})
+        return Batch({
+            name: [values[i] for i in keep]
+            for name, values in self._columns.items()
+        })
+
+    def take(self, indices) -> "Batch":
+        """Rows at ``indices`` (any integer sequence, numpy included)."""
         return Batch({
             name: [values[i] for i in indices]
             for name, values in self._columns.items()

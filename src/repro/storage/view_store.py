@@ -70,9 +70,34 @@ class MaterializedView:
                 self._prefix_index.setdefault(key[0], []).append(key)
         return True
 
-    def put_many(self, items: Iterable[tuple[Key, Iterable[Mapping]]]) -> int:
-        """Bulk :meth:`put`; returns how many keys were newly added."""
-        return sum(1 for key, rows in items if self.put(key, rows))
+    def put_many(self, items: Iterable[tuple[Key, Iterable[Mapping]]]
+                 ) -> list[bool]:
+        """Bulk :meth:`put` under **one** lock acquisition.
+
+        Returns one inserted-flag per item (in input order): True when the
+        key was newly added, False when it already existed (including keys
+        duplicated earlier in ``items`` — the first occurrence wins, the
+        way sequential :meth:`put` calls behave).  Callers use the flags
+        for write attribution and for charging materialization costs
+        per-key.
+        """
+        prepared = [
+            (key,
+             tuple({col: row[col] for col in self.output_columns}
+                   for row in rows))
+            for key, rows in items
+        ]
+        inserted: list[bool] = []
+        with self._lock:
+            for key, stored in prepared:
+                if key in self._entries:
+                    inserted.append(False)
+                    continue
+                self._entries[key] = stored
+                if self._prefix_index is not None:
+                    self._prefix_index.setdefault(key[0], []).append(key)
+                inserted.append(True)
+        return inserted
 
     # -- reads ------------------------------------------------------------------
 
@@ -82,6 +107,18 @@ class MaterializedView:
     def get(self, key: Key) -> tuple[dict, ...] | None:
         """Stored output rows for ``key``, or None if never computed."""
         return self._entries.get(key)
+
+    def get_many(self, keys: Iterable[Key]
+                 ) -> list[tuple[dict, ...] | None]:
+        """Bulk :meth:`get`: one result slot per key, in input order.
+
+        The whole probe runs under one lock acquisition — this is what
+        lets the vectorized APPLY operators resolve a batch's hits and
+        misses without taking the view lock once per row.
+        """
+        entries = self._entries
+        with self._lock:
+            return [entries.get(key) for key in keys]
 
     def keys(self) -> Iterable[Key]:
         return self._entries.keys()

@@ -1,0 +1,180 @@
+"""Unit tests for the batch-kernel expression compiler."""
+
+import pytest
+
+from repro.expressions.compiler import (
+    CompiledKernel,
+    compile_expression,
+    supports_vectorized,
+)
+from repro.expressions.evaluator import ExpressionEvaluator
+from repro.expressions.expr import (
+    AggregateCall,
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    CompOp,
+    FunctionCall,
+    Literal,
+    Not,
+    Or,
+    Star,
+)
+from repro.storage.batch import Batch
+
+
+@pytest.fixture
+def evaluator():
+    return ExpressionEvaluator(builtins={"double": lambda v: v * 2})
+
+
+def _rows_reference(expr, evaluator, batch):
+    return [evaluator.evaluate(expr, row) for row in batch.iter_rows()]
+
+
+def _mask_reference(expr, evaluator, batch):
+    return [evaluator.evaluate_predicate(expr, row)
+            for row in batch.iter_rows()]
+
+
+class TestSupportsVectorized:
+    def test_plain_tree_supported(self):
+        expr = And((Comparison(ColumnRef("id"), CompOp.LT, Literal(5)),
+                    Not(Comparison(ColumnRef("label"), CompOp.EQ,
+                                   Literal("car")))))
+        assert supports_vectorized(expr)
+
+    def test_star_rejected(self):
+        assert not supports_vectorized(Star())
+        assert not supports_vectorized(
+            Comparison(Star(), CompOp.EQ, Literal(1)))
+
+    def test_unsupported_node_falls_back_to_row_kernel(self, evaluator):
+        kernel = compile_expression(Star(), evaluator)
+        assert not kernel.vectorized
+        assert kernel.mode == "row-fallback"
+
+
+class TestKernelsMatchInterpreter:
+    """Every kernel must agree with the row interpreter bit-for-bit."""
+
+    BATCH = Batch({
+        "id": [0, 1, 2, 3, 4],
+        "score": [0.1, 0.9, 0.5, None, 0.7],
+        "label": ["car", "bus", "car", "van", None],
+    })
+
+    CASES = [
+        Comparison(ColumnRef("id"), CompOp.LT, Literal(3)),
+        Comparison(ColumnRef("id"), CompOp.GE, Literal(2)),
+        Comparison(ColumnRef("score"), CompOp.GT, Literal(0.4)),
+        Comparison(ColumnRef("label"), CompOp.EQ, Literal("car")),
+        Comparison(ColumnRef("label"), CompOp.NE, Literal("car")),
+        Comparison(ColumnRef("missing"), CompOp.EQ, Literal(1)),
+        And((Comparison(ColumnRef("id"), CompOp.LT, Literal(4)),
+             Comparison(ColumnRef("label"), CompOp.EQ, Literal("car")))),
+        Or((Comparison(ColumnRef("id"), CompOp.EQ, Literal(0)),
+            Comparison(ColumnRef("score"), CompOp.GT, Literal(0.8)))),
+        Not(Comparison(ColumnRef("id"), CompOp.LT, Literal(2))),
+        Arithmetic(ColumnRef("id"), "+", Literal(10)),
+        Arithmetic(ColumnRef("id"), "*", ColumnRef("id")),
+        Arithmetic(ColumnRef("score"), "-", Literal(0.5)),
+        Arithmetic(Literal(10), "/", ColumnRef("id")),  # div-by-zero row
+        Arithmetic(ColumnRef("score"), "+", Literal(1)),  # None in column
+        Literal(42),
+        ColumnRef("label"),
+        FunctionCall("double", (ColumnRef("id"),)),
+    ]
+
+    @pytest.mark.parametrize("expr", CASES, ids=lambda e: e.to_sql())
+    def test_evaluate_matches(self, evaluator, expr):
+        kernel = compile_expression(expr, evaluator)
+        assert kernel.vectorized
+        assert kernel.evaluate(self.BATCH) == \
+            _rows_reference(expr, evaluator, self.BATCH)
+        assert kernel.fallback_batches == 0
+
+    @pytest.mark.parametrize("expr", CASES, ids=lambda e: e.to_sql())
+    def test_evaluate_mask_matches(self, evaluator, expr):
+        kernel = compile_expression(expr, evaluator)
+        assert kernel.evaluate_mask(self.BATCH) == \
+            _mask_reference(expr, evaluator, self.BATCH)
+
+    def test_python_int_semantics_preserved(self, evaluator):
+        """numpy must not leak: results are Python ints, not np.int64."""
+        kernel = compile_expression(
+            Arithmetic(ColumnRef("id"), "+", Literal(1)), evaluator)
+        out = kernel.evaluate(Batch({"id": [1, 2]}))
+        assert out == [2, 3]
+        assert all(type(v) is int for v in out)
+
+    def test_bool_arithmetic_matches_python(self, evaluator):
+        """True + True is 2 in Python; numpy's bool add must not apply."""
+        batch = Batch({"flag": [True, False, True]})
+        expr = Arithmetic(ColumnRef("flag"), "+", ColumnRef("flag"))
+        kernel = compile_expression(expr, evaluator)
+        assert kernel.evaluate(batch) == \
+            _rows_reference(expr, evaluator, batch)
+
+    def test_mixed_type_column_uses_elementwise_path(self, evaluator):
+        batch = Batch({"v": [1, 2.5, 7]})
+        expr = Comparison(ColumnRef("v"), CompOp.GT, Literal(2))
+        kernel = compile_expression(expr, evaluator)
+        assert kernel.evaluate(batch) == \
+            _rows_reference(expr, evaluator, batch)
+
+    def test_aggregate_column_lookup(self, evaluator):
+        expr = AggregateCall("count", Star())
+        batch = Batch({expr.to_sql(): [3, 4]})
+        kernel = compile_expression(expr, evaluator)
+        assert kernel.evaluate(batch) == [3, 4]
+
+
+class TestRuntimeFallback:
+    def test_type_error_falls_back_to_row_interpreter(self, evaluator):
+        """A vectorized kernel that raises re-runs the batch row-wise.
+
+        ``id < 'x'`` raises in both paths *unless* short-circuiting hides
+        the bad row — which is exactly when the row interpreter must take
+        over.  Here OR short-circuits on every row, so the row path
+        succeeds while the columnar path (which evaluates both operands
+        eagerly) raises internally.
+        """
+        expr = Or((Comparison(ColumnRef("id"), CompOp.GE, Literal(0)),
+                   Comparison(ColumnRef("id"), CompOp.LT, Literal("x"))))
+        batch = Batch({"id": [1, 2]})
+        kernel = compile_expression(expr, evaluator)
+        assert kernel.vectorized
+        assert kernel.evaluate_mask(batch) == \
+            _mask_reference(expr, evaluator, batch)
+        assert kernel.fallback_batches == 1
+        assert kernel.batches == 1
+
+    def test_fallback_counts_accumulate(self, evaluator):
+        expr = Or((Comparison(ColumnRef("id"), CompOp.GE, Literal(0)),
+                   Comparison(ColumnRef("id"), CompOp.LT, Literal("x"))))
+        kernel = compile_expression(expr, evaluator)
+        batch = Batch({"id": [1]})
+        kernel.evaluate_mask(batch)
+        kernel.evaluate_mask(batch)
+        assert kernel.fallback_batches == 2
+        assert kernel.batches == 2
+
+    def test_row_fallback_kernel_counts_batches(self, evaluator):
+        kernel = CompiledKernel(Literal(1), evaluator, None)
+        assert kernel.evaluate(Batch({"id": [1, 2]})) == [1, 1]
+        assert kernel.batches == 1
+        assert kernel.fallback_batches == 0
+
+
+class TestScalarShortcuts:
+    def test_constant_subtree_stays_scalar(self, evaluator):
+        expr = Comparison(Arithmetic(Literal(2), "*", Literal(3)),
+                          CompOp.EQ, Literal(6))
+        kernel = compile_expression(expr, evaluator)
+        assert kernel.evaluate_mask(Batch({"id": [1, 2, 3]})) == [True] * 3
+
+    def test_missing_column_broadcasts_none(self, evaluator):
+        kernel = compile_expression(ColumnRef("nope"), evaluator)
+        assert kernel.evaluate(Batch({"id": [1, 2]})) == [None, None]

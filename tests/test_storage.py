@@ -140,8 +140,26 @@ class TestMaterializedView:
         view = MaterializedView("v", ["id"], ["label"])
         view.put((1,), [])
         added = view.put_many([((1,), []), ((2,), [{"label": "x"}])])
-        assert added == 1
+        assert added == [False, True]
         assert view.num_keys == 2
+
+    def test_put_many_first_duplicate_wins(self):
+        view = MaterializedView("v", ["id"], ["label"])
+        added = view.put_many([
+            ((1,), [{"label": "car"}]),
+            ((1,), [{"label": "DIFFERENT"}]),
+        ])
+        assert added == [True, False]
+        assert view.get((1,))[0]["label"] == "car"
+
+    def test_get_many_preserves_order_and_misses(self):
+        view = MaterializedView("v", ["id"], ["label"])
+        view.put((1,), [{"label": "car"}])
+        view.put((3,), [])
+        results = view.get_many([(3,), (2,), (1,)])
+        assert results[0] == ()
+        assert results[1] is None
+        assert results[2][0]["label"] == "car"
 
     def test_requires_key_columns(self):
         with pytest.raises(StorageError):

@@ -1,0 +1,176 @@
+"""Differential suite: row vs vectorized execution must be equivalent.
+
+Runs every VBENCH query (plus randomized predicate queries and
+aggregate/sort shapes) twice — once under ``execution_mode="row"`` (the
+legacy interpreter) and once under ``"vectorized"`` (compiled kernels,
+bulk view probes, batched model invocation) — and asserts that
+
+* every query returns the identical result batch (columns and rows),
+* the materialized-view stores end up with identical contents, and
+* the virtual clock's per-category totals match (``pytest.approx``:
+  batching changes float *summation order*, never the charged amounts).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock import CostCategory
+from repro.config import EvaConfig, ReusePolicy
+from repro.session import EvaSession
+from repro.vbench.queries import vbench_high, vbench_low
+
+FRAMES = 400  # tiny_video's length; id bounds scale to it
+
+
+def _run(queries, video, policy: ReusePolicy, mode: str):
+    session = EvaSession(config=EvaConfig(reuse_policy=policy,
+                                          execution_mode=mode))
+    session.register_video(video)
+    outcomes = []
+    for sql in queries:
+        result = session.execute(sql)
+        outcomes.append((tuple(result.columns), tuple(result.rows)))
+    return session, outcomes
+
+
+def _view_contents(session: EvaSession) -> dict:
+    snapshot = {}
+    for name in session.view_store.names():
+        view = session.view_store.get(name)
+        snapshot[name] = {key: view.get(key) for key in view.keys()}
+    return snapshot
+
+
+def _clock_totals(session: EvaSession) -> dict:
+    # OPTIMIZE is measured in *real* seconds (symbolic reduction work) and
+    # legitimately differs between two runs of anything; every other
+    # category is charged from profiled constants and must match.
+    return {category: seconds
+            for category, seconds in session.clock.breakdown().items()
+            if category is not CostCategory.OPTIMIZE}
+
+
+def assert_modes_equivalent(queries, video,
+                            policy: ReusePolicy = ReusePolicy.EVA):
+    row_session, row_out = _run(queries, video, policy, "row")
+    vec_session, vec_out = _run(queries, video, policy, "vectorized")
+    for index, (row_result, vec_result) in enumerate(zip(row_out, vec_out)):
+        assert vec_result == row_result, f"query {index} diverged"
+    assert _view_contents(vec_session) == _view_contents(row_session)
+    row_clock = _clock_totals(row_session)
+    vec_clock = _clock_totals(vec_session)
+    assert set(vec_clock) == set(row_clock)
+    for category, seconds in row_clock.items():
+        assert vec_clock[category] == pytest.approx(
+            seconds, rel=1e-9, abs=1e-12), category
+
+
+class TestVbenchDifferential:
+    def test_vbench_high_eva(self, tiny_video):
+        assert_modes_equivalent(vbench_high("tiny", FRAMES), tiny_video)
+
+    def test_vbench_low_eva(self, tiny_video):
+        assert_modes_equivalent(vbench_low("tiny", FRAMES), tiny_video)
+
+    def test_vbench_high_no_reuse(self, tiny_video):
+        # Miss-heavy: every query evaluates models; exercises the batched
+        # predict_batch path without any view probes.
+        assert_modes_equivalent(vbench_high("tiny", FRAMES)[:3],
+                                tiny_video, ReusePolicy.NONE)
+
+    def test_repeated_queries_hit_heavy(self, tiny_video):
+        # Re-running the same queries makes the second pass ~100% view
+        # hits: exercises the bulk get_many hit partition.
+        queries = vbench_high("tiny", FRAMES)[:2]
+        assert_modes_equivalent(queries + queries, tiny_video)
+
+    def test_sparse_video(self, sparse_video):
+        # Sparse frames produce empty detection sets: empty keys must be
+        # recorded and reused identically (APPLY must not re-evaluate).
+        assert_modes_equivalent(vbench_high("sparse", 300)[:4],
+                                sparse_video)
+
+
+def _random_queries(seed: int, count: int = 8) -> list[str]:
+    """Randomized predicate/shape queries over the VBENCH schema."""
+    rng = random.Random(seed)
+    colors = ["Gray", "Red", "White", "Black"]
+    types = ["Nissan", "Toyota", "Ford", "Honda"]
+    labels = ["car", "bus", "van"]
+
+    def clause() -> str:
+        kind = rng.randrange(7)
+        if kind == 0:
+            return f"id {rng.choice(['<', '>=', '>'])} " \
+                   f"{rng.randrange(0, FRAMES)}"
+        if kind == 1:
+            return f"area > {rng.choice([0.05, 0.1, 0.2, 0.3])}"
+        if kind == 2:
+            return f"score > {rng.choice([0.3, 0.5, 0.7])}"
+        if kind == 3:
+            return f"label = '{rng.choice(labels)}'"
+        if kind == 4:
+            return f"CarType(frame, bbox) = '{rng.choice(types)}'"
+        if kind == 5:
+            return f"ColorDet(frame, bbox) = '{rng.choice(colors)}'"
+        # Arithmetic over columns: exercises the numeric kernels.
+        return f"id * 2 + {rng.randrange(5)} < {rng.randrange(FRAMES) * 2}"
+
+    queries = []
+    for _ in range(count):
+        clauses = " AND ".join(clause()
+                               for _ in range(rng.randrange(1, 4)))
+        shape = rng.randrange(4)
+        if shape == 0:
+            select, suffix = "id, bbox", ""
+        elif shape == 1:
+            select, suffix = "COUNT(*), AVG(area), MAX(score)", ""
+        elif shape == 2:
+            select, suffix = ("label, COUNT(*)",
+                              " GROUP BY label ORDER BY COUNT(*) DESC")
+        else:
+            select, suffix = "id, area", " ORDER BY area DESC LIMIT 17"
+        queries.append(
+            f"SELECT {select} FROM tiny CROSS APPLY "
+            f"FastRCNNObjectDetector(frame) WHERE {clauses}{suffix};")
+    return queries
+
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_random_predicates_eva(self, tiny_video, seed):
+        assert_modes_equivalent(_random_queries(seed), tiny_video)
+
+    def test_random_predicates_no_reuse(self, tiny_video):
+        assert_modes_equivalent(_random_queries(5, count=4), tiny_video,
+                                ReusePolicy.NONE)
+
+
+EXPLAIN_QUERY = ("SELECT id, bbox FROM tiny CROSS APPLY "
+                 "FastRCNNObjectDetector(frame) "
+                 "WHERE id < 50 AND label = 'car';")
+
+
+class TestKernelReporting:
+    def _annotated(self, tiny_video, mode: str) -> str:
+        session = EvaSession(config=EvaConfig(
+            reuse_policy=ReusePolicy.EVA, execution_mode=mode))
+        session.register_video(tiny_video)
+        result = session.execute(f"EXPLAIN ANALYZE {EXPLAIN_QUERY}")
+        return "\n".join(row[0] for row in result.rows)
+
+    def test_explain_analyze_reports_kernel_modes(self, tiny_video):
+        annotated = self._annotated(tiny_video, "vectorized")
+        assert "kernel=vectorized" in annotated
+
+    def test_row_mode_reports_row_kernels(self, tiny_video):
+        annotated = self._annotated(tiny_video, "row")
+        assert "kernel=row" in annotated
+        assert "kernel=vectorized" not in annotated
+
+    def test_execution_mode_validation(self):
+        with pytest.raises(ValueError):
+            EvaConfig(execution_mode="turbo")
