@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Benchmark regression tracking: re-run bench_exec and diff the baseline.
+
+CI calls this with ``--quick``: it re-runs
+``benchmarks/bench_exec.py`` into a temporary report, compares it
+against the committed baseline (``BENCH_vectorized.json``), and appends
+a one-line summary to ``BENCH_history.jsonl`` so benchmark drift is
+visible over time.
+
+Comparison rules:
+
+* **correctness is absolute** — ``rows_match`` / ``virtual_match`` false
+  in the fresh run fails the job regardless of configuration (row and
+  vectorized execution must agree on results and virtual cost; see
+  ``docs/execution.md``);
+* **wall clock is configuration-relative** — raw wall seconds are only
+  compared when the fresh run used the same ``frames`` / ``repetitions``
+  / ``quick`` flag as the baseline, with a ``--tolerance`` band
+  (default +/-25%).  A ``--quick`` CI run against the committed
+  full-size baseline skips raw-wall checks and instead applies
+  scale-free checks: the hot-path speedup must stay >= ``--min-speedup``
+  (default 1.0 — vectorized execution must not get *slower* than row),
+  and per-scenario speedup regressions beyond the tolerance are
+  reported as warnings.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py --quick
+    PYTHONPATH=src python benchmarks/compare_bench.py \
+        --baseline BENCH_vectorized.json --history BENCH_history.jsonl
+    PYTHONPATH=src python benchmarks/compare_bench.py \
+        --report fresh.json          # compare an existing report, no re-run
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_SCRIPT = Path(__file__).resolve().parent / "bench_exec.py"
+
+
+def run_bench(quick: bool, output: Path) -> int:
+    """Re-run bench_exec.py into ``output``; returns its exit code."""
+    command = [sys.executable, str(BENCH_SCRIPT), "-o", str(output)]
+    if quick:
+        command.append("--quick")
+    completed = subprocess.run(command, cwd=str(REPO_ROOT))
+    return completed.returncode
+
+
+def same_configuration(baseline: dict, fresh: dict) -> bool:
+    """Raw wall times are only comparable on identical workload size."""
+    return all(baseline.get(key) == fresh.get(key)
+               for key in ("quick", "frames", "repetitions"))
+
+
+def compare(baseline: dict, fresh: dict, *, tolerance: float,
+            min_speedup: float) -> tuple[list[str], list[str]]:
+    """Diff ``fresh`` against ``baseline``.
+
+    Returns ``(failures, warnings)``; any failure fails the job.
+    """
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    # 1. Correctness gates: absolute, configuration-independent.
+    for name, scenario in sorted(fresh.get("scenarios", {}).items()):
+        if not scenario.get("rows_match", False):
+            failures.append(
+                f"{name}: rows_match is false (row and vectorized "
+                f"modes returned different results)")
+        if not scenario.get("virtual_match", False):
+            failures.append(
+                f"{name}: virtual_match is false (modes charged "
+                f"different virtual cost)")
+
+    # 2. Scenario coverage: the fresh run must keep every baseline
+    #    scenario (a silently dropped scenario hides regressions).
+    missing = sorted(set(baseline.get("scenarios", {}))
+                     - set(fresh.get("scenarios", {})))
+    for name in missing:
+        failures.append(f"{name}: scenario missing from fresh run")
+
+    # 3. Hot-path sanity: scale-free, applies to every configuration.
+    hot = fresh.get("hot_path_speedup")
+    if hot is not None and hot < min_speedup:
+        failures.append(
+            f"hot_path_speedup {hot:.2f}x < required {min_speedup:.2f}x "
+            f"(vectorized hot path must not regress below row mode)")
+
+    comparable = same_configuration(baseline, fresh)
+    for name in sorted(set(baseline.get("scenarios", {}))
+                       & set(fresh.get("scenarios", {}))):
+        base = baseline["scenarios"][name]
+        new = fresh["scenarios"][name]
+        if comparable:
+            # 4a. Same workload size: raw wall seconds within tolerance.
+            for mode in ("row", "vectorized"):
+                old_wall = base[mode]["wall_seconds"]
+                new_wall = new[mode]["wall_seconds"]
+                if old_wall <= 0:
+                    continue
+                ratio = new_wall / old_wall
+                if ratio > 1.0 + tolerance:
+                    failures.append(
+                        f"{name}/{mode}: wall {new_wall:.3f}s is "
+                        f"{ratio:.2f}x baseline {old_wall:.3f}s "
+                        f"(> +{tolerance:.0%})")
+                elif ratio < 1.0 - tolerance:
+                    warnings.append(
+                        f"{name}/{mode}: wall {new_wall:.3f}s is "
+                        f"{ratio:.2f}x baseline {old_wall:.3f}s "
+                        f"(faster than the tolerance band; consider "
+                        f"refreshing the baseline)")
+        else:
+            # 4b. Different size (CI --quick vs full baseline): compare
+            # the scale-free per-scenario speedup, warnings only —
+            # quick runs are noisy.
+            old_speedup = base.get("real_speedup")
+            new_speedup = new.get("real_speedup")
+            if old_speedup and new_speedup \
+                    and new_speedup < old_speedup * (1.0 - tolerance):
+                warnings.append(
+                    f"{name}: speedup {new_speedup:.2f}x below "
+                    f"baseline {old_speedup:.2f}x by more than "
+                    f"{tolerance:.0%} (configurations differ: "
+                    f"informational)")
+    return failures, warnings
+
+
+def history_entry(baseline: dict, fresh: dict, failures: list[str],
+                  warnings: list[str]) -> dict:
+    """One JSONL line summarizing this comparison."""
+    return {
+        "timestamp": _dt.datetime.now(_dt.timezone.utc).isoformat(
+            timespec="seconds"),
+        "quick": fresh.get("quick"),
+        "frames": fresh.get("frames"),
+        "repetitions": fresh.get("repetitions"),
+        "comparable_to_baseline": same_configuration(baseline, fresh),
+        "hot_path_speedup": fresh.get("hot_path_speedup"),
+        "scenarios": {
+            name: {
+                "row_wall_seconds": s["row"]["wall_seconds"],
+                "vectorized_wall_seconds": s["vectorized"]["wall_seconds"],
+                "real_speedup": s["real_speedup"],
+                "rows_match": s["rows_match"],
+                "virtual_match": s["virtual_match"],
+            }
+            for name, s in sorted(fresh.get("scenarios", {}).items())
+        },
+        "failures": failures,
+        "warnings": warnings,
+        "ok": not failures,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_vectorized.json",
+                        help="committed baseline report")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="compare an existing fresh report instead "
+                             "of re-running bench_exec.py")
+    parser.add_argument("--quick", action="store_true",
+                        help="re-run bench_exec.py with --quick "
+                             "(CI smoke size)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative wall-clock tolerance "
+                             "(default 0.25 = +/-25%%)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="hard floor for hot_path_speedup")
+    parser.add_argument("--history", type=Path,
+                        default=REPO_ROOT / "BENCH_history.jsonl",
+                        help="JSONL file the summary is appended to "
+                             "('-' disables)")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+
+    if args.report is not None:
+        fresh = json.loads(args.report.read_text())
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            output = Path(tmp) / "bench_fresh.json"
+            code = run_bench(args.quick, output)
+            if code != 0:
+                # bench_exec exits non-zero on its own rows/virtual
+                # mismatch; its report still has the details when it
+                # got far enough to write one.
+                if not output.exists():
+                    print("error: bench_exec.py failed before writing "
+                          "a report", file=sys.stderr)
+                    return code
+            fresh = json.loads(output.read_text())
+
+    failures, warnings = compare(baseline, fresh,
+                                 tolerance=args.tolerance,
+                                 min_speedup=args.min_speedup)
+    for line in warnings:
+        print(f"warning: {line}")
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+
+    if str(args.history) != "-":
+        entry = history_entry(baseline, fresh, failures, warnings)
+        with open(args.history, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"appended summary to {args.history}")
+
+    if failures:
+        print(f"benchmark regression check FAILED "
+              f"({len(failures)} failure(s))", file=sys.stderr)
+        return 1
+    comparable = same_configuration(baseline, fresh)
+    mode = ("raw-wall +/-{:.0%}".format(args.tolerance) if comparable
+            else "scale-free (configurations differ)")
+    print(f"benchmark regression check passed [{mode}], "
+          f"hot path {fresh.get('hot_path_speedup')}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

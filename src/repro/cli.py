@@ -187,7 +187,8 @@ def run_bench(policy_name: str, workload: str, frames: int,
 
 def run_trace(policy_name: str, dataset: str, sql: str,
               jsonl: str | None, stdout: IO[str],
-              execution_mode: str = "vectorized") -> int:
+              execution_mode: str = "vectorized",
+              chrome_trace: str | None = None) -> int:
     """``repro trace``: run statements and print the span tree(s).
 
     Multiple ``;``-separated statements run on one session, so the second
@@ -239,7 +240,84 @@ def run_trace(policy_name: str, dataset: str, sql: str,
         sink.close()
         print(f"-- {sink.events_written} events written to {jsonl}",
               file=stdout)
+    if chrome_trace is not None:
+        from repro.obs.chrome import write_chrome_trace
+
+        count = write_chrome_trace(chrome_trace, tracer.spans())
+        print(f"-- {count} chrome-trace events written to {chrome_trace} "
+              f"(synthetic deterministic timeline; open in "
+              f"chrome://tracing or Perfetto)", file=stdout)
     return exit_code
+
+
+def run_profile(policy_name: str, workload: str, frames: int,
+                calibration: str, top: int, jsonl: str | None,
+                stdout: IO[str],
+                execution_mode: str = "vectorized") -> int:
+    """``repro profile``: run a VBENCH workload under the continuous
+    profiler and print the rollups.
+
+    Output: the top-N operator self-time table and per-model table
+    (:func:`repro.obs.profiler.render_profile`), the cost-model drift
+    table (believed Eq. 3 per-tuple costs vs costs observed from the
+    charged virtual time), and — with ``--calibration apply`` — the
+    calibration diff plus any ranking / model-selection decisions the
+    re-fitted constants changed (also emitted as ``cost-calibration``
+    audit records on the trace sink).
+    """
+    from repro.obs.calibration import detect_drift, modeled_model_costs
+    from repro.obs.profiler import render_profile
+    from repro.vbench.queries import vbench_high, vbench_low
+
+    config = EvaConfig(reuse_policy=ReusePolicy(policy_name),
+                       execution_mode=execution_mode,
+                       cost_calibration=calibration)
+    session = EvaSession(config=config)
+    video = SyntheticVideo(
+        VideoMetadata(name="bench", num_frames=frames, width=960,
+                      height=540, fps=25.0, vehicles_per_frame=8.3),
+        seed=7)
+    session.register_video(video)
+    # Operator rollups need per-operator actuals -> instrumented engine.
+    session.tracer.capture_operators = True
+    queries = (vbench_high if workload == "high" else vbench_low)(
+        "bench", frames)
+    for sql in queries:
+        try:
+            session.execute(sql)
+        except EvaError as error:
+            print(f"error: {error}", file=stdout)
+            return 1
+    snapshot = session.profiler.snapshot()
+    print(render_profile(snapshot, top=top), file=stdout)
+    report = session.last_drift_report
+    if report is None:
+        # --calibration off never runs the in-session pass; compute the
+        # drift report from the final profile for display.
+        report = detect_drift(
+            snapshot, modeled_model_costs(session.catalog),
+            ratio_threshold=config.drift_ratio_threshold,
+            min_invocations=config.calibration_min_invocations)
+    print(report.render(), file=stdout)
+    for record in session.calibration_events:
+        changes = ", ".join(
+            f"{c['model']}: {c['old_cost']:.6f} -> {c['new_cost']:.6f}"
+            for c in record.chosen)
+        print(f"calibration[{record.trace_id}]: {changes}", file=stdout)
+        for entry in record.candidates:
+            probe = entry.get("probe")
+            if probe and entry.get("changed"):
+                print(f"  decision changed: {probe} "
+                      f"({entry.get('before') or entry.get('changes')}"
+                      f" -> {entry.get('after', '')})", file=stdout)
+    if not session.calibration_events and calibration == "apply":
+        print("calibration: no drift beyond threshold; constants "
+              "unchanged", file=stdout)
+    if jsonl is not None:
+        count = session.profiler.save_jsonl(jsonl)
+        print(f"-- {count} profile events written to {jsonl}",
+              file=stdout)
+    return 0
 
 
 def _print_audit(memory, trace_id: str | None, out: IO[str]) -> None:
@@ -407,6 +485,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "show the reuse earlier ones materialized")
     trace.add_argument("--jsonl", default=None, metavar="PATH",
                        help="also export every event as JSON lines")
+    trace.add_argument("--chrome-trace", default=None, metavar="PATH",
+                       help="export the recorded spans as a Chrome "
+                            "trace (chrome://tracing / Perfetto) on a "
+                            "synthetic deterministic timeline")
+    profile = sub.add_parser(
+        "profile",
+        help="run a VBENCH workload under the continuous profiler and "
+             "print operator/model rollups, the cost-drift table, and "
+             "any calibration diff")
+    profile.add_argument("--policy", default="eva",
+                         choices=[p.value for p in ReusePolicy])
+    profile.add_argument("--workload", default="high",
+                         choices=["high", "low"])
+    profile.add_argument("--frames", type=int, default=2000)
+    profile.add_argument("--calibration", default="report",
+                         choices=["off", "report", "apply"],
+                         help="cost-model calibration mode (default: "
+                              "report drift without re-fitting)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows per rollup table")
+    profile.add_argument("--jsonl", default=None, metavar="PATH",
+                         help="also persist the profile rollups as "
+                              "JSON lines")
+    profile.add_argument("--execution-mode", default="vectorized",
+                         choices=["vectorized", "row"],
+                         help="column-at-a-time kernels (default) or "
+                              "the row-at-a-time interpreter")
     metrics = sub.add_parser(
         "metrics-dump",
         help="run the multi-client demo workload and print the "
@@ -451,7 +556,17 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
         try:
             return run_trace(args.policy, args.dataset, args.query,
                              args.jsonl, stdout,
-                             execution_mode=args.execution_mode)
+                             execution_mode=args.execution_mode,
+                             chrome_trace=args.chrome_trace)
+        except ValueError as error:
+            print(f"error: {error}", file=stdout)
+            return 2
+    if args.command == "profile":
+        try:
+            return run_profile(args.policy, args.workload, args.frames,
+                               args.calibration, args.top, args.jsonl,
+                               stdout,
+                               execution_mode=args.execution_mode)
         except ValueError as error:
             print(f"error: {error}", file=stdout)
             return 2

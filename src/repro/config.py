@@ -87,12 +87,40 @@ class EvaConfig:
     #: totals (the differential suite asserts this); vectorized is simply
     #: faster in *real* seconds.
     execution_mode: str = "vectorized"
+    #: Cost-model calibration from observed telemetry
+    #: (:mod:`repro.obs.calibration`): ``"off"`` never compares,
+    #: ``"report"`` detects drift after each query and exposes it
+    #: (``session.last_drift_report``, ``repro profile``, Prometheus)
+    #: without touching the planner, ``"apply"`` additionally re-fits the
+    #: catalog's believed per-tuple UDF costs to the observed ones so
+    #: Eq. 3/4 ranking and Algorithm 2 model selection run on measured
+    #: rather than assumed constants (audited as ``cost-calibration``
+    #: records).
+    cost_calibration: str = "off"
+    #: Drift flagging threshold: a model drifts when
+    #: observed/modeled cost >= threshold or <= 1/threshold.
+    drift_ratio_threshold: float = 1.5
+    #: Minimum *executed* (non-reused) invocations before a model's
+    #: observed cost is trusted for drift detection / calibration.
+    calibration_min_invocations: int = 32
 
     def __post_init__(self):
         if self.execution_mode not in ("vectorized", "row"):
             raise ValueError(
                 f"execution_mode must be 'vectorized' or 'row', "
                 f"got {self.execution_mode!r}")
+        if self.cost_calibration not in ("off", "report", "apply"):
+            raise ValueError(
+                f"cost_calibration must be 'off', 'report' or 'apply', "
+                f"got {self.cost_calibration!r}")
+        if self.drift_ratio_threshold < 1.0:
+            raise ValueError(
+                f"drift_ratio_threshold must be >= 1.0, "
+                f"got {self.drift_ratio_threshold!r}")
+        if self.calibration_min_invocations < 1:
+            raise ValueError(
+                f"calibration_min_invocations must be >= 1, "
+                f"got {self.calibration_min_invocations!r}")
         if self.ranking is None:
             # Materialization-aware ranking is EVA's contribution; the
             # baselines use the canonical ranking function.

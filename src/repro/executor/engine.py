@@ -66,4 +66,31 @@ class ExecutionEngine:
 
     def run(self, plan: PhysicalPlan) -> Batch:
         """Execute ``plan`` to completion and return the result batch."""
-        return self.build(plan).run_to_completion()
+        root = self.build(plan)
+        batch = root.run_to_completion()
+        self._record_kernel_fallbacks(root)
+        return batch
+
+    def _record_kernel_fallbacks(self, root: Operator) -> None:
+        """Roll per-operator runtime-fallback counts into the metrics.
+
+        Every operator tracks ``kernel_fallback_batches`` — batches that
+        started on the vectorized path but re-ran through the row
+        interpreter.  Harvesting them once per query (under a single
+        ``kernel_fallback:<Operator>`` counter name) keeps the operators
+        free of metrics plumbing while the Prometheus exposition can
+        still report fallbacks per operator
+        (``eva_kernel_fallback_batches_total``).
+        """
+        metrics = self.context.metrics
+        op: Operator | None = root
+        while op is not None:
+            # Instrumented wrappers expose the real operator as .inner.
+            real = getattr(op, "inner", op)
+            count = getattr(real, "kernel_fallback_batches", 0)
+            if count:
+                node = getattr(real, "node", None)
+                label = (type(node).__name__.removeprefix("Phys")
+                         if node is not None else type(real).__name__)
+                metrics.increment(f"kernel_fallback:{label}", count)
+            op = getattr(op, "child", None) or getattr(real, "child", None)

@@ -25,6 +25,10 @@ KIND_RANKING = "predicate-ranking"
 KIND_CLASSIFIER = "classifier-apply"
 KIND_DETECTOR = "detector-apply"
 KIND_MODEL_SELECTION = "model-selection"
+#: Emitted when a calibration pass re-fits believed UDF costs from
+#: observed telemetry (:mod:`repro.obs.calibration`); the record's
+#: candidates carry the drift entries and before/after decision probes.
+KIND_COST_CALIBRATION = "cost-calibration"
 
 
 def predicate_sql(predicate) -> str:

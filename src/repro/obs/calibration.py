@@ -1,0 +1,342 @@
+"""Cost-model drift detection and calibration (closing Eq. 3's loop).
+
+The optimizer's Eq. 3 / Eq. 4 decisions run on *believed* per-tuple UDF
+costs: ``c_e`` values snapshotted into the catalog when each UDF was
+registered (:meth:`~repro.catalog.catalog.Catalog.register_model_udf`).
+The executor, meanwhile, charges the *actual* per-invocation cost of the
+physical model to the simulation clock.  When the two diverge — a model
+was swapped, re-quantized, or moved to different hardware after
+registration — every ranking (Eq. 4), classifier/detector
+implementation choice (Eq. 3) and Algorithm 2 selection silently runs
+on stale numbers.
+
+This module closes the loop using the telemetry
+:class:`~repro.obs.profiler.ProfileStore` already aggregates:
+
+* :func:`modeled_model_costs` — the planner's current beliefs, read
+  from the catalog's UDF definitions (deterministic, sorted).
+* :func:`detect_drift` — compares believed vs observed per-tuple costs
+  per model and flags divergence beyond a configurable ratio
+  (``EvaConfig.drift_ratio_threshold``), ignoring models with too few
+  executed invocations to trust (``calibration_min_invocations``).
+* :func:`apply_calibration` — re-fits the catalog's believed costs to
+  the observed ones (rebuilding the frozen
+  :class:`~repro.catalog.udf_registry.UdfDefinition` entries) and
+  returns the per-model overlay the optimizer threads into Algorithm 2
+  (:func:`~repro.optimizer.model_selection.select_physical_udfs`).
+* :func:`probe_decision_changes` — a deterministic before/after probe
+  reporting whether the new constants change (a) the Eq. 4 cost
+  ordering of UDFs feeding Rule I's predicate ranking or (b) any
+  logical detector's cheapest-model choice (Algorithm 2, line 3) —
+  the evidence recorded on the ``cost-calibration`` audit record.
+
+Sessions drive this via ``EvaConfig.cost_calibration``:
+``"off"`` (default), ``"report"`` (detect and expose, never mutate), or
+``"apply"`` (re-fit after each query once drift is established).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+
+def modeled_model_costs(catalog) -> dict[str, float]:
+    """The planner's believed per-tuple cost per physical model.
+
+    Reads every model-backed UDF definition in the catalog (already
+    deterministically sorted by :meth:`UdfRegistry.definitions`); the
+    first definition wins when several UDFs wrap the same model.
+    """
+    modeled: dict[str, float] = {}
+    for definition in catalog.udfs.definitions():
+        if definition.model_name:
+            modeled.setdefault(definition.model_name,
+                               definition.per_tuple_cost)
+    return modeled
+
+
+@dataclass(frozen=True)
+class DriftEntry:
+    """Modeled vs observed cost for one physical model."""
+
+    model: str
+    modeled_cost: float
+    observed_cost: float
+    #: Executed (non-reused) invocations backing the observation.
+    executed: int
+    #: observed / modeled; ``inf`` when the belief is zero.
+    ratio: float
+    drifted: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "modeled_cost": self.modeled_cost,
+            "observed_cost": self.observed_cost,
+            "executed": self.executed,
+            "ratio": (round(self.ratio, 6)
+                      if math.isfinite(self.ratio) else "inf"),
+            "drifted": self.drifted,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """All drift entries of one detection pass, sorted by model name."""
+
+    entries: tuple[DriftEntry, ...]
+    ratio_threshold: float
+    min_invocations: int
+    #: Models with observations but below ``min_invocations`` executed.
+    skipped: tuple[str, ...] = ()
+
+    @property
+    def drifted_entries(self) -> list[DriftEntry]:
+        return [e for e in self.entries if e.drifted]
+
+    @property
+    def has_drift(self) -> bool:
+        return any(e.drifted for e in self.entries)
+
+    def render(self) -> str:
+        lines = [
+            f"cost-model drift (threshold {self.ratio_threshold:.2f}x, "
+            f"min {self.min_invocations} executed invocations):"
+        ]
+        if not self.entries and not self.skipped:
+            lines.append("  (no executed model invocations observed)")
+            return "\n".join(lines)
+        if self.entries:
+            lines.append(
+                f"  {'model':<24} {'modeled c_e':>12} {'observed c_e':>12} "
+                f"{'ratio':>8} {'executed':>9}  drift")
+            for e in self.entries:
+                ratio = (f"{e.ratio:.2f}x" if math.isfinite(e.ratio)
+                         else "inf")
+                lines.append(
+                    f"  {e.model:<24} {e.modeled_cost:>12.6f} "
+                    f"{e.observed_cost:>12.6f} {ratio:>8} "
+                    f"{e.executed:>9}  {'DRIFT' if e.drifted else 'ok'}")
+        for model in self.skipped:
+            lines.append(f"  {model:<24} (below min executed invocations; "
+                         "skipped)")
+        return "\n".join(lines)
+
+
+def detect_drift(snapshot, modeled: dict[str, float], *,
+                 ratio_threshold: float = 1.5,
+                 min_invocations: int = 32) -> DriftReport:
+    """Compare observed per-tuple costs against the planner's beliefs.
+
+    Args:
+        snapshot: a :class:`~repro.obs.profiler.ProfileSnapshot` (or any
+            object with a ``models`` mapping of
+            :class:`~repro.obs.profiler.ModelProfile`).
+        modeled: believed cost per model (:func:`modeled_model_costs`).
+        ratio_threshold: flag when observed/modeled ≥ threshold or
+            ≤ 1/threshold.
+        min_invocations: ignore models with fewer *executed*
+            invocations — a thin sample is not evidence of drift.
+
+    Entries are sorted by model name, so the report (and everything
+    derived from it: audit records, Prometheus samples, CLI tables) is
+    byte-stable under ``PYTHONHASHSEED=random``.
+    """
+    if ratio_threshold < 1.0:
+        raise ValueError("ratio_threshold must be >= 1.0")
+    entries: list[DriftEntry] = []
+    skipped: list[str] = []
+    for model in sorted(modeled):
+        profile = snapshot.models.get(model)
+        if profile is None:
+            continue
+        observed = profile.observed_per_tuple_cost
+        if observed is None:
+            continue
+        if profile.executed < min_invocations:
+            skipped.append(model)
+            continue
+        believed = modeled[model]
+        if believed > 0:
+            ratio = observed / believed
+        else:
+            ratio = math.inf if observed > 0 else 1.0
+        drifted = ratio >= ratio_threshold or \
+            (ratio > 0 and ratio <= 1.0 / ratio_threshold)
+        entries.append(DriftEntry(
+            model=model,
+            modeled_cost=believed,
+            observed_cost=observed,
+            executed=profile.executed,
+            ratio=ratio,
+            drifted=drifted,
+        ))
+    return DriftReport(
+        entries=tuple(entries),
+        ratio_threshold=ratio_threshold,
+        min_invocations=min_invocations,
+        skipped=tuple(skipped),
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationChange:
+    """One believed cost replaced by its observed value."""
+
+    model: str
+    old_cost: float
+    new_cost: float
+    #: Catalog UDF names whose definitions were rebuilt.
+    udfs: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "old": self.old_cost,
+            "new": self.new_cost,
+            "udfs": list(self.udfs),
+        }
+
+
+@dataclass
+class CalibrationResult:
+    """What a calibration pass changed (or would change)."""
+
+    applied: bool
+    changes: list[CalibrationChange] = field(default_factory=list)
+    #: model -> calibrated per-tuple cost (the Algorithm 2 overlay).
+    calibrated: dict[str, float] = field(default_factory=dict)
+    #: Probe results (:func:`probe_decision_changes`), filled by callers.
+    probes: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        if not self.changes:
+            return "calibration: no constants changed"
+        verb = "applied" if self.applied else "proposed"
+        lines = [f"calibration ({verb}):"]
+        for change in self.changes:
+            factor = (change.new_cost / change.old_cost
+                      if change.old_cost else math.inf)
+            lines.append(
+                f"  {change.model:<24} c_e {change.old_cost:.6f} -> "
+                f"{change.new_cost:.6f} (x{factor:.2f}; "
+                f"udfs: {', '.join(change.udfs) or '-'})")
+        ranking = self.probes.get("ranking")
+        if ranking is not None:
+            lines.append(
+                "  ranking cost order "
+                + ("CHANGED: " + " < ".join(ranking["after"])
+                   if ranking["changed"] else "unchanged"))
+        selection = self.probes.get("model_selection")
+        if selection is not None:
+            if selection["changes"]:
+                for flip in selection["changes"]:
+                    lines.append(
+                        f"  cheapest {flip['logical_type']} model "
+                        f"CHANGED: {flip['before']} -> {flip['after']}")
+            else:
+                lines.append("  cheapest-model choices unchanged")
+        return "\n".join(lines)
+
+
+def apply_calibration(catalog, report: DriftReport, *,
+                      apply: bool = True) -> CalibrationResult:
+    """Re-fit the catalog's believed costs to the observed ones.
+
+    For every drifted entry, each UDF definition wrapping that model is
+    rebuilt (``dataclasses.replace`` — definitions are frozen) with
+    ``per_tuple_cost`` set to the observed cost and re-registered.  With
+    ``apply=False`` the catalog is left untouched and the result only
+    describes what *would* change (``cost_calibration="report"``).
+    """
+    result = CalibrationResult(applied=apply)
+    for entry in report.drifted_entries:
+        if math.isclose(entry.modeled_cost, entry.observed_cost,
+                        rel_tol=1e-9, abs_tol=1e-15):
+            continue
+        udf_names = tuple(
+            definition.name
+            for definition in catalog.udfs.definitions()
+            if definition.model_name == entry.model)
+        if apply:
+            for name in udf_names:
+                definition = catalog.udfs.get(name)
+                catalog.udfs.register(
+                    dataclasses.replace(
+                        definition, per_tuple_cost=entry.observed_cost),
+                    replace=True)
+        result.changes.append(CalibrationChange(
+            model=entry.model,
+            old_cost=entry.modeled_cost,
+            new_cost=entry.observed_cost,
+            udfs=udf_names,
+        ))
+        result.calibrated[entry.model] = entry.observed_cost
+    return result
+
+
+def probe_decision_changes(catalog, old_costs: dict[str, float],
+                           new_costs: dict[str, float]) -> dict:
+    """Would the new constants change a planner decision?
+
+    Two deterministic probes, independent of any concrete query:
+
+    * **ranking** — Eq. 4's rank is monotone in ``c_e`` for fixed
+      selectivity and miss fraction, so Rule I's predicate order flips
+      exactly when the cost order of the expensive UDFs flips.  The
+      probe compares the cost-sorted order of expensive model-backed
+      UDFs before and after.
+    * **model_selection** — Algorithm 2's line 3 ("cheapest physical
+      UDF") is an argmin over believed costs; the probe recomputes it
+      per logical detector type before and after.
+    """
+    expensive = [
+        d for d in catalog.udfs.definitions()
+        if d.model_name and d.is_expensive
+    ]
+
+    def cost_order(costs: dict[str, float]) -> list[str]:
+        return [d.name for d in sorted(
+            expensive,
+            key=lambda d: (costs.get(d.model_name, d.per_tuple_cost),
+                           d.name))]
+
+    before_order = cost_order(old_costs)
+    after_order = cost_order(new_costs)
+    probes: dict = {
+        "ranking": {
+            "changed": before_order != after_order,
+            "before": before_order,
+            "after": after_order,
+        },
+    }
+    flips: list[dict] = []
+    for definition in catalog.udfs.definitions():
+        if not definition.is_logical:
+            continue
+        logical_type = definition.logical_type or "ObjectDetector"
+        models = catalog.physical_detectors(logical_type)
+        if not models:
+            continue
+
+        def cheapest(costs: dict[str, float]) -> str:
+            return min(
+                models,
+                key=lambda m: (costs.get(m.name, m.per_tuple_cost),
+                               m.name)).name
+
+        before = cheapest(old_costs)
+        after = cheapest(new_costs)
+        if before != after:
+            flips.append({
+                "logical_type": logical_type,
+                "before": before,
+                "after": after,
+            })
+    probes["model_selection"] = {
+        "changed": bool(flips),
+        "changes": flips,
+    }
+    return probes

@@ -1,0 +1,140 @@
+"""Chrome-trace / Perfetto export of recorded spans.
+
+Converts :class:`~repro.obs.trace.Span` records into the Chrome trace
+event format (the ``{"traceEvents": [...]}`` JSON that
+``chrome://tracing``, Perfetto and speedscope all open), so a ``repro
+trace`` run can be inspected on a real flame-graph timeline instead of
+the ASCII tree.
+
+Spans deliberately store only *durations* (wall seconds and virtual
+seconds; see :mod:`repro.obs.trace`), never absolute timestamps — that
+is what keeps traces byte-stable across processes.  The exporter
+therefore reconstructs a **synthetic deterministic timeline**:
+
+* traces are laid out sequentially in trace-id order;
+* within a trace, each span's children are laid out sequentially from
+  the parent's start, in span-id order (span ids are allocated
+  monotonically, so this matches actual nesting order);
+* a span's displayed duration is ``max(own wall time, sum of children)``
+  — a child measured slightly longer than its parent (scheduler noise)
+  still nests inside it.
+
+The result is not a literal wall-clock record but an exact rendering of
+the measured hierarchy and proportions, and it is identical for
+identical workloads under ``PYTHONHASHSEED=random``.
+
+All events are complete events (``"ph": "X"``) with microsecond
+``ts``/``dur``; virtual seconds and the span's tags ride in ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Minimum rendered duration so zero-length spans stay visible (µs).
+MIN_DURATION_US = 1
+
+
+def _trace_sort_key(trace_id: str) -> tuple:
+    try:
+        return (0, int(trace_id[1:]))
+    except (ValueError, IndexError):
+        return (1, trace_id)
+
+
+def _span_sort_key(span) -> tuple:
+    try:
+        return (0, int(span.span_id[1:]))
+    except (ValueError, IndexError):
+        return (1, span.span_id)
+
+
+def _duration_us(span, children_by_parent) -> int:
+    """max(own wall, sum of children) in whole microseconds, memoized
+    implicitly by the bottom-up call order."""
+    own = int(round(span.wall_seconds * 1e6))
+    child_total = sum(
+        _duration_us(child, children_by_parent)
+        for child in children_by_parent.get(span.span_id, ()))
+    return max(own, child_total, MIN_DURATION_US)
+
+
+def chrome_trace_events(spans) -> list[dict]:
+    """Chrome trace events for ``spans`` (any iterable of Span)."""
+    spans = sorted(spans, key=_span_sort_key)
+    by_trace: dict[str, list] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    events: list[dict] = [
+        {"ph": "M", "pid": 1, "tid": 1, "name": "process_name",
+         "args": {"name": "repro"}},
+        {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+         "args": {"name": "query lifecycle"}},
+    ]
+    cursor = 0
+    for trace_id in sorted(by_trace, key=_trace_sort_key):
+        trace_spans = by_trace[trace_id]
+        present = {span.span_id for span in trace_spans}
+        children: dict[str | None, list] = {}
+        roots = []
+        for span in trace_spans:
+            if span.parent_id in present:
+                children.setdefault(span.parent_id, []).append(span)
+            else:
+                roots.append(span)
+
+        def emit(span, start: int) -> int:
+            duration = _duration_us(span, children)
+            args: dict = {
+                "span_id": span.span_id,
+                "trace_id": span.trace_id,
+                "virtual_s": round(span.virtual_seconds, 9),
+            }
+            if span.virtual_breakdown:
+                args["virtual_breakdown"] = {
+                    k: round(v, 9)
+                    for k, v in sorted(span.virtual_breakdown.items())}
+            if span.client_id is not None:
+                args["client_id"] = span.client_id
+            for key in sorted(span.tags):
+                args.setdefault(f"tag.{key}", str(span.tags[key]))
+            events.append({
+                "name": span.name,
+                "cat": "eva",
+                "ph": "X",
+                "ts": start,
+                "dur": duration,
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            })
+            child_start = start
+            for child in children.get(span.span_id, ()):
+                child_start += emit(child, child_start)
+            return duration
+
+        for root in roots:
+            cursor += emit(root, cursor)
+    return events
+
+
+def chrome_trace_document(spans) -> dict:
+    """The full Chrome trace JSON document for ``spans``."""
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs.chrome",
+            "timeline": "synthetic-deterministic",
+        },
+    }
+
+
+def write_chrome_trace(path, spans) -> int:
+    """Write the Chrome trace JSON for ``spans``; returns event count."""
+    document = chrome_trace_document(spans)
+    Path(path).write_text(json.dumps(document, indent=1) + "\n",
+                          encoding="utf-8")
+    return len(document["traceEvents"])

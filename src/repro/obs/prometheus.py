@@ -87,14 +87,35 @@ def _expose_udf_stats(exp: _Exposition, metrics) -> None:
     exp.sample("eva_hit_ratio", metrics.hit_percentage() / 100.0)
 
 
+#: Prefix carved out of the generic event counters: operators bump
+#: ``kernel_fallback:<Operator>`` when a batch falls off the vectorized
+#: fast path, and the exposition reports those under a dedicated metric
+#: (labelled by operator) instead of ``eva_events_total``.
+KERNEL_FALLBACK_PREFIX = "kernel_fallback:"
+
+
 def _expose_counters(exp: _Exposition, metrics) -> None:
     if not metrics.counters:
         return
-    exp.header("eva_events_total",
-               "Named event counters (plan-cache evictions, ...)",
-               "counter")
-    for name in sorted(metrics.counters):
-        exp.sample("eva_events_total", metrics.counters[name], event=name)
+    events = {name: value for name, value in metrics.counters.items()
+              if not name.startswith(KERNEL_FALLBACK_PREFIX)}
+    fallbacks = {name[len(KERNEL_FALLBACK_PREFIX):]: value
+                 for name, value in metrics.counters.items()
+                 if name.startswith(KERNEL_FALLBACK_PREFIX)}
+    if events:
+        exp.header("eva_events_total",
+                   "Named event counters (plan-cache evictions, ...)",
+                   "counter")
+        for name in sorted(events):
+            exp.sample("eva_events_total", events[name], event=name)
+    if fallbacks:
+        exp.header("eva_kernel_fallback_batches_total",
+                   "Batches that fell off the vectorized fast path "
+                   "onto row-at-a-time execution, by operator",
+                   "counter")
+        for operator in sorted(fallbacks):
+            exp.sample("eva_kernel_fallback_batches_total",
+                       fallbacks[operator], operator=operator)
 
 
 def _expose_query_histogram(exp: _Exposition, metrics) -> None:
@@ -163,7 +184,79 @@ def _expose_server(exp: _Exposition, snapshot) -> None:
                            client=client.client_id, outcome=outcome)
 
 
-def prometheus_text(metrics=None, clock=None, server=None) -> str:
+def _expose_profile(exp: _Exposition, snapshot) -> None:
+    """Continuous-profiler rollups (:class:`~repro.obs.profiler.ProfileSnapshot`)."""
+    exp.header("eva_profile_queries_total",
+               "Queries observed by the continuous profiler", "counter")
+    exp.sample("eva_profile_queries_total", snapshot.queries)
+    if snapshot.operators:
+        exp.header("eva_profile_operator_self_seconds_total",
+                   "Per-operator self time from instrumented runs "
+                   "(kind=wall|virtual)", "counter")
+        for name in sorted(snapshot.operators):
+            op = snapshot.operators[name]
+            exp.sample("eva_profile_operator_self_seconds_total",
+                       op.self_wall_seconds, operator=name, kind="wall")
+            exp.sample("eva_profile_operator_self_seconds_total",
+                       op.self_virtual_seconds, operator=name,
+                       kind="virtual")
+        exp.header("eva_profile_operator_rows_total",
+                   "Rows produced per operator (instrumented runs)",
+                   "counter")
+        for name in sorted(snapshot.operators):
+            exp.sample("eva_profile_operator_rows_total",
+                       snapshot.operators[name].rows, operator=name)
+    if snapshot.models:
+        exp.header("eva_profile_model_invocations_total",
+                   "Model invocations observed by the profiler "
+                   "(disposition=total|reused|executed)", "counter")
+        for name in sorted(snapshot.models):
+            prof = snapshot.models[name]
+            exp.sample("eva_profile_model_invocations_total",
+                       prof.invocations, model=name, disposition="total")
+            exp.sample("eva_profile_model_invocations_total",
+                       prof.reused, model=name, disposition="reused")
+            exp.sample("eva_profile_model_invocations_total",
+                       prof.executed, model=name, disposition="executed")
+        exp.header("eva_profile_model_virtual_seconds_total",
+                   "Virtual seconds charged to executed model "
+                   "invocations", "counter")
+        for name in sorted(snapshot.models):
+            exp.sample("eva_profile_model_virtual_seconds_total",
+                       snapshot.models[name].virtual_seconds, model=name)
+
+
+def _expose_drift(exp: _Exposition, report) -> None:
+    """Cost-model drift (:class:`~repro.obs.calibration.DriftReport`)."""
+    if not report.entries:
+        return
+    exp.header("eva_model_cost_seconds",
+               "Per-tuple model cost (kind=modeled is the planner's "
+               "belief; kind=observed is measured from telemetry)",
+               "gauge")
+    for entry in report.entries:
+        exp.sample("eva_model_cost_seconds", entry.modeled_cost,
+                   model=entry.model, kind="modeled")
+        exp.sample("eva_model_cost_seconds", entry.observed_cost,
+                   model=entry.model, kind="observed")
+    exp.header("eva_model_cost_ratio",
+               "Observed / modeled per-tuple cost (1.0 = calibrated)",
+               "gauge")
+    for entry in report.entries:
+        ratio = entry.ratio
+        exp.sample("eva_model_cost_ratio",
+                   ratio if ratio != float("inf") else 0.0,
+                   model=entry.model)
+    exp.header("eva_model_cost_drifted",
+               "1 when a model's observed cost diverges from the "
+               "planner's belief beyond the configured ratio", "gauge")
+    for entry in report.entries:
+        exp.sample("eva_model_cost_drifted",
+                   1 if entry.drifted else 0, model=entry.model)
+
+
+def prometheus_text(metrics=None, clock=None, server=None, *,
+                    profile=None, drift=None) -> str:
     """Render the exposition for any subset of metric sources.
 
     Args:
@@ -172,6 +265,10 @@ def prometheus_text(metrics=None, clock=None, server=None) -> str:
         clock: a :class:`~repro.clock.SimulationClock` (category totals).
         server: a :class:`~repro.server.stats.ServerStatsSnapshot`
             (admission / backpressure / attribution counters).
+        profile: a :class:`~repro.obs.profiler.ProfileSnapshot`
+            (continuous-profiler operator/model rollups).
+        drift: a :class:`~repro.obs.calibration.DriftReport`
+            (modeled vs observed per-tuple model costs).
     """
     exp = _Exposition()
     if metrics is not None:
@@ -182,4 +279,8 @@ def prometheus_text(metrics=None, clock=None, server=None) -> str:
         _expose_clock(exp, clock)
     if server is not None:
         _expose_server(exp, server)
+    if profile is not None:
+        _expose_profile(exp, profile)
+    if drift is not None:
+        _expose_drift(exp, drift)
     return exp.text()

@@ -27,6 +27,12 @@ class SlowQueryEntry:
     #: Per-category virtual breakdown (category value -> seconds).
     breakdown: dict = field(default_factory=dict)
     rows_returned: int = 0
+    #: The top self-time operators of the offending query: dicts of
+    #: ``operator`` / ``self_virtual_s`` / ``self_wall_ms`` / ``rows``,
+    #: ordered by self virtual seconds descending.  Empty when the query
+    #: did not run instrumented (per-operator actuals need the
+    #: instrumented engine; see :mod:`repro.executor.instrument`).
+    top_operators: tuple = ()
 
     def to_event(self) -> dict:
         return {
@@ -39,6 +45,7 @@ class SlowQueryEntry:
             "virtual_breakdown": {k: round(v, 9)
                                   for k, v in self.breakdown.items()},
             "rows_returned": self.rows_returned,
+            "top_operators": [dict(op) for op in self.top_operators],
         }
 
 
@@ -59,7 +66,8 @@ class SlowQueryLog:
                 breakdown: dict | None = None,
                 trace_id: str | None = None,
                 client_id: str | None = None,
-                rows_returned: int = 0) -> SlowQueryEntry | None:
+                rows_returned: int = 0,
+                top_operators=()) -> SlowQueryEntry | None:
         """Record the query if it crossed the threshold.
 
         Returns the entry when the query was slow, else None.
@@ -76,6 +84,7 @@ class SlowQueryLog:
             client_id=client_id,
             breakdown=dict(breakdown or {}),
             rows_returned=rows_returned,
+            top_operators=tuple(top_operators),
         )
         with self._lock:
             self._entries.append(entry)

@@ -1,5 +1,12 @@
 """Re-export of the cost model (lives in :mod:`repro.costs` to keep the
-config module free of optimizer-package imports)."""
+config module free of optimizer-package imports).
+
+The per-tuple ``c_e`` values that flow *through* this model at plan time
+are the planner's beliefs — catalog snapshots optionally re-fit from
+observed telemetry by :mod:`repro.obs.calibration` when
+``EvaConfig.cost_calibration="apply"`` is set (see
+``docs/observability.md`` for the Eq. 3 ↔ observed-cost mapping).
+"""
 
 from repro.costs import CostConstants, CostModel
 

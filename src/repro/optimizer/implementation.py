@@ -263,11 +263,12 @@ class PhysicalImplementer:
                 candidates, guard, ctx.udf_manager, ctx.engine,
                 ctx.estimator, ctx.bound.metadata.num_frames,
                 ctx.cost_model.constants.view_read_per_key,
-                audit=iterations)
+                audit=iterations,
+                model_costs={m.name: ctx.model_cost(m) for m in models})
             self._audit_model_selection(
                 call, logical_type, guard, candidates, iterations, sources)
             return sources
-        cheapest = min(models, key=lambda m: m.per_tuple_cost)
+        cheapest = min(models, key=ctx.model_cost)
         signature = ctx.model_signature(cheapest.name)
         if reuse and ctx.udf_manager.known(signature):
             inter = ctx.udf_manager.intersection_with_history(
@@ -301,12 +302,12 @@ class PhysicalImplementer:
             query_predicate=predicate_sql(guard),
             history_predicate=history,
             selectivities={"guard": ctx.estimator.selectivity(guard)},
-            costs={f"model:{c.model.name}": c.model.per_tuple_cost
+            costs={f"model:{c.model.name}": ctx.model_cost(c.model)
                    for c in candidates},
             candidates=[
                 {"model": c.model.name,
                  "accuracy": c.model.accuracy.value,
-                 "per_tuple_cost": c.model.per_tuple_cost,
+                 "per_tuple_cost": ctx.model_cost(c.model),
                  "known": ctx.udf_manager.known(c.signature)}
                 for c in candidates
             ] + iterations,
@@ -320,7 +321,14 @@ class PhysicalImplementer:
 
     def _detector_cost(self, sources: list[DetectorSource],
                        guard: DnfPredicate, input_rows: float) -> float:
-        """Eq. 3 applied to the chosen source mix."""
+        """Eq. 3 applied to the chosen source mix.
+
+        Costing runs on the planner's *believed* per-tuple costs
+        (:meth:`OptimizationContext.model_cost` — catalog snapshot plus
+        any calibrated overlay), not the zoo's declared costs; the
+        executor will charge the latter, and the gap between the two is
+        what drift detection measures.
+        """
         guard_selectivity = max(self.ctx.estimator.selectivity(guard), 1e-9)
         cost = 0.0
         for source in sources:
@@ -328,11 +336,12 @@ class PhysicalImplementer:
                 source.predicate) / guard_selectivity)
             rows = input_rows * fraction
             model = self.ctx.catalog.zoo.get(source.model_name)
+            believed = self.ctx.model_cost(model)
             if source.use_view:
                 cost += self.ctx.cost_model.udf_predicate_cost(
-                    rows, model.per_tuple_cost, missing_fraction=0.0)
+                    rows, believed, missing_fraction=0.0)
             else:
-                cost += rows * model.per_tuple_cost
+                cost += rows * believed
         return cost
 
     # -- Rule II: classifier APPLY -----------------------------------------------

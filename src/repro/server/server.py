@@ -338,14 +338,41 @@ class EvaServer:
                     total.charge(category, seconds)
         return total
 
+    def profile_snapshot(self):
+        """Point-in-time snapshot of the *shared* continuous profiler.
+
+        All clients roll their per-query model/operator telemetry into
+        one :class:`~repro.obs.profiler.ProfileStore` on the shared
+        state, so this is the server-wide profile, not any one
+        client's.
+        """
+        return self.state.profiler.snapshot()
+
+    def drift_report(self):
+        """Server-wide cost-model drift: the shared profile's observed
+        per-tuple costs vs the catalog's believed (modeled) costs."""
+        from repro.obs.calibration import detect_drift, modeled_model_costs
+
+        config = self.state.config
+        return detect_drift(
+            self.profile_snapshot(),
+            modeled_model_costs(self.state.catalog),
+            ratio_threshold=config.drift_ratio_threshold,
+            min_invocations=config.calibration_min_invocations,
+        )
+
     def prometheus_text(self) -> str:
         """The Prometheus exposition for the whole server: merged
         per-UDF #TI/#DI/hit-rate metrics, summed per-client virtual-time
-        categories, and the admission/backpressure counters."""
+        categories, the admission/backpressure counters, the shared
+        continuous-profiler rollups, and the modeled-vs-observed
+        cost-drift gauges."""
         from repro.obs.prometheus import prometheus_text
 
         return prometheus_text(
             metrics=self.aggregate_metrics(),
             clock=self.aggregate_clock(),
             server=self.stats(),
+            profile=self.profile_snapshot(),
+            drift=self.drift_report(),
         )

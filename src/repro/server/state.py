@@ -36,6 +36,7 @@ from repro.clock import SimulationClock
 from repro.config import EvaConfig
 from repro.metrics import MetricsCollector
 from repro.models.zoo import ModelZoo, default_zoo
+from repro.obs.profiler import ProfileStore
 from repro.obs.sinks import TraceSink
 from repro.obs.trace import Tracer
 from repro.optimizer.udf_manager import UdfHistory, UdfManager, UdfSignature
@@ -374,6 +375,11 @@ class SharedReuseState:
         self.symbolic = SymbolicEngine(self.config.symbolic_time_budget)
         self.view_store = SharedViewStore()
         self.udf_manager = LockedUdfManager(UdfManager(self.symbolic))
+        #: One shared profile store: every client's per-model /
+        #: per-operator telemetry rolls up into the same continuous
+        #: profile (ProfileStore is internally thread-safe), mirroring
+        #: how materialized views are shared.
+        self.profiler = ProfileStore()
         self._setup_lock = threading.Lock()
 
     def attach_stats(self, stats: "ServerStats") -> None:
@@ -390,9 +396,11 @@ class SharedReuseState:
         """A per-client :class:`SessionState` over the shared components.
 
         Shared: catalog, storage, view store (through this client's
-        attributed facade), UDF manager, symbolic engine, config.
-        Private: virtual clock, metrics, and tracer (and, inside the
-        session, the plan cache and optimizer instance).  ``trace_sink``
+        attributed facade), UDF manager, symbolic engine, config, and
+        the continuous profile store (every client's telemetry rolls up
+        into one server-wide profile).  Private: virtual clock, metrics,
+        and tracer (and, inside the session, the plan cache and
+        optimizer instance).  ``trace_sink``
         is the server's shared export sink: per-client tracers stamp
         their ``client_id`` on every span, so one sink carries an
         attributed, interleaved event stream for the whole server.
@@ -409,5 +417,6 @@ class SharedReuseState:
             metrics=MetricsCollector(),
             tracer=Tracer(clock=clock, sink=trace_sink,
                           client_id=client_id),
+            profiler=self.profiler,
             shared=True,
         )

@@ -38,6 +38,7 @@ from repro.executor.context import ExecutionContext
 from repro.executor.engine import ExecutionEngine
 from repro.metrics import MetricsCollector, QueryMetrics
 from repro.models.zoo import ModelZoo, default_zoo
+from repro.obs.profiler import ProfileStore
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import Tracer
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
@@ -98,6 +99,11 @@ class SessionState:
     #: overhead).  The server substitutes per-client tracers that share
     #: one export sink.
     tracer: Tracer | None = None
+    #: Rolling per-model / per-operator telemetry
+    #: (:mod:`repro.obs.profiler`).  Private per session by default; the
+    #: server substitutes one shared store so every client's telemetry
+    #: lands in the same rollups.
+    profiler: ProfileStore = field(default_factory=ProfileStore)
     #: True when the reuse components are shared with other sessions (a
     #: server deployment).  Destructive whole-state operations
     #: (:meth:`EvaSession.reset_reuse_state`, ``load_reuse_state``) are
@@ -148,7 +154,14 @@ class EvaSession:
         self.symbolic = state.symbolic
         self.udf_manager = state.udf_manager
         self.tracer = state.tracer
+        self.profiler = state.profiler
         self.slow_log = SlowQueryLog(self.config.slow_query_threshold)
+        #: Most recent drift report (``cost_calibration != "off"``).
+        self.last_drift_report = None
+        #: ``cost-calibration`` audit records emitted by this session.
+        self.calibration_events: list = []
+        #: Per-operator actuals of the last instrumented query.
+        self._last_operator_stats: list = []
         self.optimizer = Optimizer(
             self.catalog, self.udf_manager, self.symbolic,
             OptimizerConfig.from_eva_config(self.config))
@@ -291,7 +304,9 @@ class EvaSession:
                                                    batch.num_rows)
             root.tag(rows=batch.num_rows, cache_hit=cache_hit,
                      reused=any(r.reused for r in optimized.audit))
+            self._observe_profile(query_metrics)
             self._observe_slow(sql, query_metrics, before, batch.num_rows)
+            self._maybe_calibrate()
         return QueryResult(
             columns=batch.column_names,
             rows=batch.to_tuples(),
@@ -309,16 +324,20 @@ class EvaSession:
         """
         tracer = self.tracer
         if not (tracer.enabled and tracer.capture_operators):
+            self._last_operator_stats = []
             return self.engine.run(plan)
         from repro.executor.instrument import InstrumentedEngine
 
         engine = InstrumentedEngine(self.context)
         batch = engine.run(plan)
+        operator_stats = engine.operator_stats(plan)
+        self._last_operator_stats = operator_stats
+        self.profiler.observe_operator_stats(operator_stats)
         trace_id = tracer.current_trace_id
         if trace_id is not None:
             parents: dict[int, str | None] = {
                 0: tracer.current_span_id}
-            for stats in engine.operator_stats(plan):
+            for stats in operator_stats:
                 tags: dict = {}
                 if stats.kernel_mode is not None:
                     tags["kernel"] = stats.kernel_mode
@@ -358,6 +377,17 @@ class EvaSession:
 
     def _observe_slow(self, sql: str, query_metrics: QueryMetrics,
                       before, rows_returned: int) -> None:
+        top_operators = [
+            {
+                "operator": stats.label,
+                "self_virtual_s": round(stats.self_virtual, 9),
+                "self_wall_ms": round(stats.self_elapsed * 1000.0, 6),
+                "rows": stats.rows_out,
+            }
+            for stats in sorted(
+                self._last_operator_stats,
+                key=lambda s: (-s.self_virtual, s.label))[:3]
+        ]
         entry = self.slow_log.observe(
             sql,
             query_metrics.total_time,
@@ -367,9 +397,100 @@ class EvaSession:
             trace_id=self.tracer.current_trace_id,
             client_id=self.tracer.client_id,
             rows_returned=rows_returned,
+            top_operators=top_operators,
         )
         if entry is not None:
             self.tracer.emit_event(entry.to_event())
+
+    # -- continuous profiling & cost calibration ------------------------------
+
+    def _observe_profile(self, query_metrics: QueryMetrics) -> None:
+        """Fold the finished query's telemetry into the profile store.
+
+        Per-model virtual seconds are reconstructed as ``executed
+        invocations x the model's charged per-tuple cost`` — exactly what
+        the executor charged to the simulation clock (it bills
+        ``len(batch) * per_tuple_cost`` per evaluated sub-batch), without
+        the profiler having to sit on the execution hot path.
+        """
+        profiler = self.profiler
+        profiler.observe_query()
+        for name in sorted(query_metrics.udf_counts):
+            count = query_metrics.udf_counts[name]
+            reused = query_metrics.reused_counts.get(name, 0)
+            executed = count - reused
+            try:
+                rate = self.catalog.zoo.get(name).per_tuple_cost
+            except Exception:
+                stats = self.metrics.udf_stats.get(name)
+                rate = stats.per_tuple_cost if stats is not None else 0.0
+            profiler.observe_model(name, count, reused, executed * rate)
+
+    def _maybe_calibrate(self) -> None:
+        """Drift detection / calibration per ``config.cost_calibration``.
+
+        ``"report"`` refreshes :attr:`last_drift_report`; ``"apply"``
+        additionally re-fits the catalog's believed per-tuple costs to
+        the observed ones, primes the optimizer's calibrated-cost
+        overlay, invalidates the plan cache (its entries priced plans
+        with the stale constants), and emits a ``cost-calibration``
+        audit record carrying the drift table and the before/after
+        ranking / model-selection probes.
+        """
+        mode = self.config.cost_calibration
+        if mode == "off":
+            return
+        from repro.obs.calibration import (
+            apply_calibration,
+            detect_drift,
+            modeled_model_costs,
+            probe_decision_changes,
+        )
+
+        modeled = modeled_model_costs(self.catalog)
+        report = detect_drift(
+            self.profiler.snapshot(), modeled,
+            ratio_threshold=self.config.drift_ratio_threshold,
+            min_invocations=self.config.calibration_min_invocations)
+        self.last_drift_report = report
+        if mode != "apply" or not report.has_drift:
+            return
+        result = apply_calibration(self.catalog, report)
+        if not result.changes:
+            return
+        new_costs = dict(modeled)
+        new_costs.update(result.calibrated)
+        result.probes = probe_decision_changes(self.catalog, modeled,
+                                               new_costs)
+        self.optimizer.calibrated_costs.update(result.calibrated)
+        # Cached plans were costed (and their sources chosen) with the
+        # stale constants; the UdfManager version they key on does not
+        # change when the catalog's beliefs do.
+        self._plan_cache.clear()
+        self.metrics.increment("cost_calibrations")
+        self._emit_calibration_record(result)
+
+    def _emit_calibration_record(self, result) -> None:
+        from repro.obs.audit import KIND_COST_CALIBRATION, \
+            ReuseDecisionRecord
+
+        record = ReuseDecisionRecord(
+            kind=KIND_COST_CALIBRATION,
+            signature="cost-model",
+            costs={change.model: change.new_cost
+                   for change in result.changes},
+            candidates=(
+                [entry.to_dict()
+                 for entry in self.last_drift_report.drifted_entries]
+                + [{"probe": name, **probe}
+                   for name, probe in sorted(result.probes.items())]),
+            chosen=[change.to_dict() for change in result.changes],
+            reused=False,
+            trace_id=self.tracer.current_trace_id,
+            client_id=self.tracer.client_id,
+        )
+        self.calibration_events.append(record)
+        self.tracer.emit_event(record.to_event())
 
     # -- plan cache ----------------------------------------------------------
 

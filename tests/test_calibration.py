@@ -1,0 +1,312 @@
+"""Tests for cost-model drift detection and calibration.
+
+The seam under test: the planner runs on *believed* per-tuple costs
+(catalog snapshots, optionally re-fit from telemetry) while the executor
+charges the zoo's *actual* costs to the simulation clock.  Mutating a
+zoo model's cost after session construction simulates the paper's
+"model swapped after registration" scenario without touching the
+planner's beliefs.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.config import EvaConfig
+from repro.models.zoo import default_zoo
+from repro.obs.calibration import (
+    apply_calibration,
+    detect_drift,
+    modeled_model_costs,
+    probe_decision_changes,
+)
+from repro.obs.profiler import ProfileStore
+from repro.obs.schema import load_schema, validate_event
+from repro.session import EvaSession
+from repro.types import VideoMetadata
+from repro.video.synthetic import SyntheticVideo
+
+TRACE_SCHEMA = load_schema("tests/schemas/trace.schema.json")
+
+
+def make_video(frames=120, name="v"):
+    return SyntheticVideo(
+        VideoMetadata(name=name, num_frames=frames, width=960, height=540,
+                      fps=25.0, vehicles_per_frame=6.0), seed=5)
+
+
+def private_session(**config_kwargs) -> EvaSession:
+    """A session over a *private copy* of the zoo.
+
+    ``default_zoo()`` registers module-level model singletons; tests
+    that simulate world drift by mutating ``per_tuple_cost`` must not
+    leak that mutation into every other test in the process.
+    """
+    return EvaSession(config=EvaConfig(**config_kwargs),
+                      zoo=copy.deepcopy(default_zoo()))
+
+
+def store_with(model, invocations, reused, virtual_seconds):
+    store = ProfileStore()
+    store.observe_model(model, invocations, reused, virtual_seconds)
+    return store
+
+
+class TestModeledCosts:
+    def test_reads_catalog_beliefs(self):
+        session = EvaSession(config=EvaConfig())
+        modeled = modeled_model_costs(session.catalog)
+        assert modeled["yolo_tiny"] == pytest.approx(0.009)
+        assert modeled["fasterrcnn_resnet50"] == pytest.approx(0.099)
+
+    def test_beliefs_survive_world_drift(self):
+        """The catalog snapshot, not the live zoo, is the belief."""
+        session = private_session()
+        session.catalog.zoo.get("yolo_tiny").per_tuple_cost = 0.5
+        assert modeled_model_costs(
+            session.catalog)["yolo_tiny"] == pytest.approx(0.009)
+
+
+class TestDetectDrift:
+    def test_no_drift_when_observed_matches(self):
+        store = store_with("m", 100, 0, 100 * 0.01)
+        report = detect_drift(store.snapshot(), {"m": 0.01})
+        assert not report.has_drift
+        assert report.entries[0].ratio == pytest.approx(1.0)
+
+    def test_flags_overshoot_and_undershoot(self):
+        over = detect_drift(
+            store_with("m", 100, 0, 100 * 0.02).snapshot(), {"m": 0.01})
+        under = detect_drift(
+            store_with("m", 100, 0, 100 * 0.004).snapshot(), {"m": 0.01})
+        assert over.has_drift and over.entries[0].ratio == \
+            pytest.approx(2.0)
+        assert under.has_drift
+
+    def test_threshold_is_configurable(self):
+        store = store_with("m", 100, 0, 100 * 0.014)
+        assert not detect_drift(store.snapshot(), {"m": 0.01},
+                                ratio_threshold=1.5).has_drift
+        assert detect_drift(store.snapshot(), {"m": 0.01},
+                            ratio_threshold=1.3).has_drift
+
+    def test_thin_samples_are_skipped(self):
+        store = store_with("m", 10, 0, 10 * 0.05)
+        report = detect_drift(store.snapshot(), {"m": 0.01},
+                              min_invocations=32)
+        assert report.entries == ()
+        assert report.skipped == ("m",)
+
+    def test_fully_reused_model_is_ignored(self):
+        store = store_with("m", 100, 100, 0.0)
+        report = detect_drift(store.snapshot(), {"m": 0.01})
+        assert report.entries == () and report.skipped == ()
+
+    def test_threshold_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            detect_drift(ProfileStore().snapshot(), {}, ratio_threshold=0.5)
+
+    def test_entries_sorted_by_model(self):
+        store = ProfileStore()
+        for name in ("zeta", "alpha", "mid"):
+            store.observe_model(name, 50, 0, 50 * 0.02)
+        report = detect_drift(store.snapshot(),
+                              {"zeta": 0.01, "alpha": 0.01, "mid": 0.01})
+        assert [e.model for e in report.entries] == \
+            ["alpha", "mid", "zeta"]
+
+
+class TestApplyCalibration:
+    def test_rebuilds_catalog_definitions(self):
+        session = private_session()
+        store = store_with("yolo_tiny", 100, 0, 100 * 0.2)
+        report = detect_drift(store.snapshot(),
+                              modeled_model_costs(session.catalog))
+        result = apply_calibration(session.catalog, report)
+        assert result.applied
+        assert result.calibrated == {"yolo_tiny": pytest.approx(0.2)}
+        assert session.catalog.udfs.get("YoloTiny").per_tuple_cost == \
+            pytest.approx(0.2)
+        # The zoo (the world) is never touched.
+        assert session.catalog.zoo.get("yolo_tiny").per_tuple_cost == \
+            pytest.approx(0.009)
+
+    def test_report_mode_leaves_catalog_untouched(self):
+        session = EvaSession(config=EvaConfig())
+        store = store_with("yolo_tiny", 100, 0, 100 * 0.2)
+        report = detect_drift(store.snapshot(),
+                              modeled_model_costs(session.catalog))
+        result = apply_calibration(session.catalog, report, apply=False)
+        assert not result.applied and result.changes
+        assert session.catalog.udfs.get("YoloTiny").per_tuple_cost == \
+            pytest.approx(0.009)
+
+    def test_probe_detects_cheapest_model_flip(self):
+        session = EvaSession(config=EvaConfig())
+        old = modeled_model_costs(session.catalog)
+        new = dict(old, yolo_tiny=0.2)
+        probes = probe_decision_changes(session.catalog, old, new)
+        assert probes["model_selection"]["changed"]
+        flip = probes["model_selection"]["changes"][0]
+        assert flip["before"] == "yolo_tiny"
+        assert flip["after"] == "fasterrcnn_resnet50"
+
+    def test_probe_detects_ranking_order_flip(self):
+        session = EvaSession(config=EvaConfig())
+        old = modeled_model_costs(session.catalog)
+        # color_det (0.005) < car_type (0.006); make car_type cheaper.
+        new = dict(old, car_type=0.001)
+        probes = probe_decision_changes(session.catalog, old, new)
+        assert probes["ranking"]["changed"]
+        order = probes["ranking"]["after"]
+        assert order.index("CarType") < order.index("ColorDet")
+
+    def test_probe_no_change_for_identical_costs(self):
+        session = EvaSession(config=EvaConfig())
+        old = modeled_model_costs(session.catalog)
+        probes = probe_decision_changes(session.catalog, old, dict(old))
+        assert not probes["ranking"]["changed"]
+        assert not probes["model_selection"]["changed"]
+
+
+class TestSessionCalibration:
+    """End-to-end: drift observed -> constants re-fit -> decisions change."""
+
+    def _drifted_session(self, mode):
+        session = private_session(cost_calibration=mode)
+        session.register_video(make_video())
+        # The world drifts after registration: yolo_tiny now costs more
+        # than both Faster-RCNN variants, but the catalog still believes
+        # 0.009.
+        session.catalog.zoo.get("yolo_tiny").per_tuple_cost = 0.2
+        return session
+
+    def test_report_mode_detects_but_never_mutates(self):
+        session = self._drifted_session("report")
+        session.execute(
+            "SELECT id FROM v CROSS APPLY ObjectDetector(frame) "
+            "WHERE label = 'car' AND id < 60;")
+        report = session.last_drift_report
+        assert report is not None and report.has_drift
+        entry = {e.model: e for e in report.entries}["yolo_tiny"]
+        assert entry.ratio == pytest.approx(0.2 / 0.009, rel=1e-6)
+        assert session.catalog.udfs.get("YoloTiny").per_tuple_cost == \
+            pytest.approx(0.009)
+        assert not session.calibration_events
+
+    def test_apply_mode_flips_algorithm2_model_choice(self):
+        """The acceptance-criteria scenario: calibrated constants change
+        an Algorithm 2 model-selection outcome, recorded in the audit
+        log."""
+        session = self._drifted_session("apply")
+        # Query 1 plans on the stale belief: yolo_tiny is "cheapest".
+        session.execute(
+            "SELECT id FROM v CROSS APPLY ObjectDetector(frame) "
+            "WHERE label = 'car' AND id < 60;")
+        yolo = session.metrics.udf_stats["yolo_tiny"]
+        assert yolo.executed_invocations >= 60
+        assert "fasterrcnn_resnet50" not in session.metrics.udf_stats
+
+        # The post-query calibration pass re-fit the belief.
+        assert session.optimizer.calibrated_costs["yolo_tiny"] == \
+            pytest.approx(0.2)
+        assert session.catalog.udfs.get("YoloTiny").per_tuple_cost == \
+            pytest.approx(0.2)
+        assert len(session.calibration_events) == 1
+        record = session.calibration_events[0]
+        assert record.kind == "cost-calibration"
+        flips = [c for c in record.candidates
+                 if c.get("probe") == "model_selection"]
+        assert flips and flips[0]["changed"]
+        assert flips[0]["changes"][0]["after"] == "fasterrcnn_resnet50"
+        validate_event(record.to_event(), TRACE_SCHEMA)
+
+        # Query 2 over an uncovered region now picks the genuinely
+        # cheapest model under the calibrated beliefs.
+        session.execute(
+            "SELECT id FROM v CROSS APPLY ObjectDetector(frame) "
+            "WHERE label = 'car' AND id >= 60 AND id < 120;")
+        resnet = session.metrics.udf_stats["fasterrcnn_resnet50"]
+        assert resnet.executed_invocations >= 60
+        assert session.metrics.udf_stats["yolo_tiny"] \
+            .executed_invocations == yolo.executed_invocations
+
+    def test_calibration_is_self_stabilizing(self):
+        """After apply, beliefs match observations; no churn."""
+        session = self._drifted_session("apply")
+        session.execute(
+            "SELECT id FROM v CROSS APPLY ObjectDetector(frame) "
+            "WHERE label = 'car' AND id < 60;")
+        assert len(session.calibration_events) == 1
+        session.execute(
+            "SELECT id FROM v CROSS APPLY ObjectDetector(frame) "
+            "WHERE label = 'car' AND id >= 60 AND id < 100;")
+        session.execute(
+            "SELECT id FROM v CROSS APPLY ObjectDetector(frame) "
+            "WHERE label = 'car' AND id >= 100 AND id < 120;")
+        assert len(session.calibration_events) == 1
+
+    def test_off_mode_does_nothing(self):
+        session = self._drifted_session("off")
+        session.execute(
+            "SELECT id FROM v CROSS APPLY ObjectDetector(frame) "
+            "WHERE label = 'car' AND id < 60;")
+        assert session.last_drift_report is None
+        assert not session.calibration_events
+
+    def test_stable_costs_emit_no_calibration(self):
+        session = EvaSession(config=EvaConfig(cost_calibration="apply"))
+        session.register_video(make_video())
+        session.execute(
+            "SELECT id FROM v CROSS APPLY FastRCNNObjectDetector(frame) "
+            "WHERE label = 'car' AND id < 60;")
+        assert session.last_drift_report is not None
+        assert not session.last_drift_report.has_drift
+        assert not session.calibration_events
+
+
+_DETERMINISM_SNIPPET = """
+import json
+from repro.obs.calibration import detect_drift
+from repro.obs.profiler import ProfileStore
+
+store = ProfileStore()
+for name in ("zeta_model", "alpha_model", "m_model", "beta_model"):
+    store.observe_model(name, 64, 16, 48 * 0.02)
+modeled = {"zeta_model": 0.01, "alpha_model": 0.02,
+           "m_model": 0.004, "beta_model": 0.02}
+report = detect_drift(store.snapshot(), modeled)
+print(json.dumps([e.to_dict() for e in report.entries]))
+print(report.render())
+print(json.dumps(store.events()))
+"""
+
+_IMPORT_ROOT = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _run_snippet(hashseed: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, "-c", _DETERMINISM_SNIPPET],
+        capture_output=True, text=True, timeout=120,
+        env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin",
+             "HOME": os.path.expanduser("~"),
+             "PYTHONPATH": _IMPORT_ROOT},
+    )
+    assert completed.returncode == 0, completed.stderr[-1000:]
+    return completed.stdout
+
+
+def test_drift_report_deterministic_across_hash_seeds():
+    """Drift tables and profile events must be byte-stable under
+    PYTHONHASHSEED=random (dict iteration order must never leak)."""
+    outputs = {_run_snippet(seed) for seed in ("random", "0", "4242")}
+    assert len(outputs) == 1
+    first_line = next(iter(outputs)).splitlines()[0]
+    models = [e["model"] for e in json.loads(first_line)]
+    assert models == sorted(models)
