@@ -1,18 +1,27 @@
 #!/usr/bin/env python
-"""Microbenchmark: row vs vectorized execution on the hot query paths.
+"""Microbenchmark: execution-mode, parallel, and micro-batching hot paths.
 
-Runs the same workloads under ``execution_mode="row"`` and
-``"vectorized"`` and reports real-seconds speedups plus virtual-cost
-parity.  Three scenarios bracket the design space:
+Every scenario compares a *pair* of configurations that must produce
+identical rows and identical virtual cost, and reports the real-seconds
+speedup of the second over the first:
 
-* ``filter_only``   — scan + compiled-kernel predicates, no UDFs: pure
-  expression-kernel speedup.
-* ``apply_hit_heavy`` — EVA policy with warm materialized views: the
-  filter + APPLY hot path of exploratory analytics, dominated by bulk
-  view probes (``get_many``) and kernel filters.
-* ``apply_miss_heavy`` — no-reuse policy, cold models: dominated by
-  model evaluation (``predict_batch``), the regime where batching helps
-  least.
+* ``filter_only``   (``row`` vs ``vectorized``) — scan + compiled-kernel
+  predicates, no UDFs: pure expression-kernel speedup.
+* ``apply_hit_heavy`` (``row`` vs ``vectorized``) — EVA policy with warm
+  materialized views: the filter + APPLY hot path of exploratory
+  analytics, dominated by bulk view probes (``get_many``).
+* ``apply_miss_heavy`` (``row`` vs ``vectorized``) — no-reuse policy,
+  cold models: dominated by model evaluation (``predict_batch``).
+* ``parallel_filter`` (``serial`` vs ``parallel``) — the same
+  filter + APPLY path under morsel-driven parallelism
+  (``EvaConfig.parallelism``) with simulated per-call model serving
+  latency: workers overlap the inference round-trips that dominate the
+  paper's Eq. 3 cost (see ``docs/execution.md``).
+* ``batched_miss_heavy`` (``unbatched`` vs ``batched``) — eight
+  concurrent server clients running the same miss-heavy detector query;
+  the ``batched`` run gives the shared ``InferenceBatcher`` a coalescing
+  window and must measure a mean batch size above one request while
+  leaving every client's rows and virtual totals untouched.
 
 Usage::
 
@@ -20,9 +29,11 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_exec.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/bench_exec.py -o out.json
 
-Writes ``BENCH_vectorized.json`` (repo root by default).  Virtual totals
-must match between modes (the differential suite proves the general
-claim; the benchmark re-checks it on its own workloads).
+Writes ``BENCH_vectorized.json`` (repo root by default).  Rows and
+virtual totals must match within each pair (the differential suites
+prove the general claims; the benchmark re-checks them on its own
+workloads) and the batched scenario must genuinely coalesce; any
+violation exits 1.
 """
 
 from __future__ import annotations
@@ -30,16 +41,24 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
 from pathlib import Path
 
 from repro.clock import CostCategory
 from repro.config import EvaConfig, ReusePolicy
+from repro.models.zoo import default_zoo
 from repro.session import EvaSession
 from repro.types import VideoMetadata
 from repro.video.synthetic import SyntheticVideo
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Concurrent clients in the server micro-batching scenario.
+NUM_CLIENTS = 8
+#: Simulated per-``predict_batch`` serving round-trip (real seconds;
+#: virtual charges are never affected) for the latency-bound scenarios.
+SERVICE_LATENCY_PER_CALL = 0.01
 
 
 def make_video(frames: int) -> SyntheticVideo:
@@ -49,12 +68,35 @@ def make_video(frames: int) -> SyntheticVideo:
     return SyntheticVideo(metadata, seed=7)
 
 
-def build_scenarios(frames: int, repetitions: int) -> dict:
-    detector = "FastRCNNObjectDetector(frame)"
-    apply_query = (
-        f"SELECT id, bbox FROM bench CROSS APPLY {detector} "
+def set_service_latency(per_call: float) -> None:
+    """Set the simulated serving latency on every zoo model.
+
+    The zoo registers module-level model singletons, so this applies to
+    every session/server created afterwards in this process; callers
+    must reset to 0.0 when their scenario ends.
+    """
+    zoo = default_zoo()
+    for name in zoo.names():
+        zoo.get(name).service_latency_per_call = per_call
+
+
+def virtual_total(breakdown: dict) -> float:
+    """Non-OPTIMIZE virtual seconds (OPTIMIZE charges measured real
+    time for symbolic work and jitters run to run)."""
+    return sum(seconds for category, seconds in breakdown.items()
+               if category is not CostCategory.OPTIMIZE)
+
+
+def apply_query(frames: int) -> str:
+    return (
+        "SELECT id, bbox FROM bench CROSS APPLY "
+        f"FastRCNNObjectDetector(frame) "
         f"WHERE id < {round(frames * 0.8)} AND label = 'car' "
         "AND area > 0.1 AND CarType(frame, bbox) = 'Nissan';")
+
+
+def build_mode_scenarios(frames: int, repetitions: int) -> dict:
+    """The row-vs-vectorized scenarios (pair ``("row", "vectorized")``)."""
     filter_query = (
         "SELECT id, timestamp FROM bench "
         f"WHERE id * 3 + 1 < {frames * 2} AND timestamp > 0.5;")
@@ -66,13 +108,13 @@ def build_scenarios(frames: int, repetitions: int) -> dict:
         },
         "apply_hit_heavy": {
             "policy": ReusePolicy.EVA,
-            "warmup": [apply_query],
-            "queries": [apply_query] * repetitions,
+            "warmup": [apply_query(frames)],
+            "queries": [apply_query(frames)] * repetitions,
         },
         "apply_miss_heavy": {
             "policy": ReusePolicy.NONE,
             "warmup": [],
-            "queries": [apply_query],
+            "queries": [apply_query(frames)],
         },
     }
 
@@ -91,10 +133,143 @@ def run_mode(video: SyntheticVideo, policy: ReusePolicy, mode: str,
         rows += len(session.execute(sql).rows)
     wall = time.perf_counter() - start
     breakdown = session.clock.snapshot_delta(before)
-    virtual = sum(seconds for category, seconds in breakdown.items()
-                  if category is not CostCategory.OPTIMIZE)
     return {"wall_seconds": round(wall, 6), "rows": rows,
-            "virtual_seconds": virtual, "queries": len(queries)}
+            "virtual_seconds": virtual_total(breakdown),
+            "queries": len(queries)}
+
+
+def pair_entry(pair: tuple[str, str], baseline: dict, candidate: dict,
+               **extra) -> dict:
+    """One report scenario: two runs that must agree on rows/virtual."""
+    speedup = (baseline["wall_seconds"] / candidate["wall_seconds"]
+               if candidate["wall_seconds"] else float("inf"))
+    virtual_match = (
+        abs(baseline["virtual_seconds"] - candidate["virtual_seconds"])
+        <= 1e-6 * max(1.0, abs(baseline["virtual_seconds"])))
+    entry = {
+        "pair": list(pair),
+        pair[0]: baseline,
+        pair[1]: candidate,
+        "real_speedup": round(speedup, 2),
+        "rows_match": baseline["rows"] == candidate["rows"],
+        "virtual_match": virtual_match,
+    }
+    entry.update(extra)
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# parallel_filter: serial vs morsel-driven parallel execution
+# ---------------------------------------------------------------------------
+
+def run_parallelism(video: SyntheticVideo, parallelism: int,
+                    queries: list[str], batch_rows: int) -> dict:
+    """One session run at a given ``parallelism`` (0 = serial)."""
+    config = EvaConfig(reuse_policy=ReusePolicy.NONE,
+                       parallelism=parallelism,
+                       batch_rows=batch_rows, morsel_rows=batch_rows)
+    session = EvaSession(config=config)
+    session.register_video(video)
+    before = session.clock.snapshot()
+    start = time.perf_counter()
+    rows = 0
+    for sql in queries:
+        rows += len(session.execute(sql).rows)
+    wall = time.perf_counter() - start
+    breakdown = session.clock.snapshot_delta(before)
+    return {"wall_seconds": round(wall, 6), "rows": rows,
+            "virtual_seconds": virtual_total(breakdown),
+            "queries": len(queries),
+            "parallelism": parallelism,
+            "parallel_queries":
+                session.metrics.counters.get("parallel_queries", 0),
+            "parallel_morsels":
+                session.metrics.counters.get("parallel_morsels", 0)}
+
+
+def run_parallel_filter(frames: int, quick: bool) -> dict:
+    """Serial vs ``--parallelism 4`` on the latency-bound APPLY path."""
+    video = make_video(frames)
+    queries = [apply_query(frames)] * (1 if quick else 2)
+    # Small morsels so even the quick video splits into several; both
+    # runs use the same batch size, so per-batch charges line up.
+    batch_rows = 64
+    set_service_latency(SERVICE_LATENCY_PER_CALL)
+    try:
+        serial = run_parallelism(video, 0, queries, batch_rows)
+        parallel = run_parallelism(video, 4, queries, batch_rows)
+    finally:
+        set_service_latency(0.0)
+    return pair_entry(("serial", "parallel"), serial, parallel,
+                      parallel_engaged=parallel["parallel_queries"] > 0)
+
+
+# ---------------------------------------------------------------------------
+# batched_miss_heavy: concurrent server clients, with/without coalescing
+# ---------------------------------------------------------------------------
+
+def run_server(frames: int, timeout_ms: float) -> dict:
+    """Eight concurrent clients on one server; returns pooled totals."""
+    from repro.server import EvaServer
+
+    # Policy NONE: no cross-client view reuse, so each client's rows and
+    # virtual totals are exactly its solo-run totals regardless of
+    # arrival interleaving — isolating the batcher's (non-)effect.
+    config = EvaConfig(reuse_policy=ReusePolicy.NONE,
+                       micro_batch_max_size=1_000_000,
+                       micro_batch_timeout_ms=timeout_ms)
+    server = EvaServer(config, max_workers=NUM_CLIENTS)
+    server.register_video(make_video(frames))
+    query = ("SELECT id, label FROM bench CROSS APPLY "
+             "FastRCNNObjectDetector(frame) WHERE label = 'car';")
+    row_counts: list[int] = [0] * NUM_CLIENTS
+    with server.start():
+        handles = [server.connect() for _ in range(NUM_CLIENTS)]
+
+        def run(index: int) -> None:
+            row_counts[index] = len(handles[index].execute(query).rows)
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(NUM_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        snapshot = server.batcher_snapshot()
+        virtual = 0.0
+        for handle in handles:
+            with handle.checkout() as session:
+                virtual += virtual_total(session.clock.breakdown())
+    return {"wall_seconds": round(wall, 6), "rows": sum(row_counts),
+            "virtual_seconds": virtual, "queries": NUM_CLIENTS,
+            "batcher": {
+                "requests": snapshot.requests,
+                "dispatches": snapshot.dispatches,
+                "coalesced_dispatches": snapshot.coalesced_dispatches,
+                "mean_batch_requests": round(
+                    snapshot.mean_batch_requests, 3),
+                "max_batch_requests": snapshot.max_batch_requests,
+            }}
+
+
+def run_batched_miss_heavy(quick: bool) -> dict:
+    """Coalescing off (0 ms window) vs on (generous window)."""
+    frames = 150 if quick else 400
+    set_service_latency(SERVICE_LATENCY_PER_CALL)
+    try:
+        unbatched = run_server(frames, timeout_ms=0.0)
+        # The coalescing window is real wall time spent waiting, so this
+        # scenario's real_speedup is informational only — the measured
+        # win is the dispatch reduction (8 requests -> ~1 coalesced
+        # dispatch, i.e. one shared serving round-trip instead of 8).
+        batched = run_server(frames, timeout_ms=250.0)
+    finally:
+        set_service_latency(0.0)
+    mean = batched["batcher"]["mean_batch_requests"]
+    return pair_entry(("unbatched", "batched"), unbatched, batched,
+                      coalesced=mean > 1.0)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -110,44 +285,55 @@ def main(argv: list[str] | None = None) -> int:
     frames = args.frames or (300 if args.quick else 2000)
     repetitions = 2 if args.quick else 5
     video = make_video(frames)
-    scenarios = build_scenarios(frames, repetitions)
 
     report: dict = {
-        "benchmark": "row vs vectorized execution",
+        "benchmark": "execution-mode / parallel / micro-batching paths",
         "quick": args.quick,
         "frames": frames,
         "repetitions": repetitions,
         "scenarios": {},
     }
-    ok = True
-    for name, spec in scenarios.items():
+    for name, spec in build_mode_scenarios(frames, repetitions).items():
         row = run_mode(video, spec["policy"], "row",
                        spec["warmup"], spec["queries"])
         vec = run_mode(video, spec["policy"], "vectorized",
                        spec["warmup"], spec["queries"])
-        speedup = (row["wall_seconds"] / vec["wall_seconds"]
-                   if vec["wall_seconds"] else float("inf"))
-        virtual_match = abs(row["virtual_seconds"] - vec["virtual_seconds"]) \
-            <= 1e-6 * max(1.0, abs(row["virtual_seconds"]))
-        rows_match = row["rows"] == vec["rows"]
-        ok = ok and virtual_match and rows_match
-        report["scenarios"][name] = {
-            "row": row,
-            "vectorized": vec,
-            "real_speedup": round(speedup, 2),
-            "rows_match": rows_match,
-            "virtual_match": virtual_match,
-        }
-        print(f"{name:18s} row={row['wall_seconds']:.3f}s "
-              f"vectorized={vec['wall_seconds']:.3f}s "
-              f"speedup={speedup:.2f}x rows={vec['rows']} "
-              f"virtual_match={virtual_match}")
-    hot = report["scenarios"]["apply_hit_heavy"]["real_speedup"]
-    report["hot_path_speedup"] = hot
+        report["scenarios"][name] = pair_entry(("row", "vectorized"),
+                                               row, vec)
+    report["scenarios"]["parallel_filter"] = run_parallel_filter(
+        frames, args.quick)
+    report["scenarios"]["batched_miss_heavy"] = run_batched_miss_heavy(
+        args.quick)
+
+    ok = True
+    for name, entry in report["scenarios"].items():
+        first, second = entry["pair"]
+        ok = ok and entry["rows_match"] and entry["virtual_match"]
+        print(f"{name:18s} {first}={entry[first]['wall_seconds']:.3f}s "
+              f"{second}={entry[second]['wall_seconds']:.3f}s "
+              f"speedup={entry['real_speedup']:.2f}x "
+              f"rows={entry[second]['rows']} "
+              f"virtual_match={entry['virtual_match']}")
+    if not report["scenarios"]["parallel_filter"]["parallel_engaged"]:
+        print("ERROR: parallel_filter silently fell back to serial "
+              "execution", file=sys.stderr)
+        ok = False
+    if not report["scenarios"]["batched_miss_heavy"]["coalesced"]:
+        print("ERROR: batched_miss_heavy never coalesced concurrent "
+              "requests (mean batch size <= 1)", file=sys.stderr)
+        ok = False
+
+    report["hot_path_speedup"] = \
+        report["scenarios"]["apply_hit_heavy"]["real_speedup"]
+    report["parallel_speedup"] = \
+        report["scenarios"]["parallel_filter"]["real_speedup"]
+    report["batcher_mean_batch_requests"] = \
+        report["scenarios"]["batched_miss_heavy"]["batched"]["batcher"][
+            "mean_batch_requests"]
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     if not ok:
-        print("ERROR: result or virtual-cost mismatch between modes",
+        print("ERROR: benchmark acceptance gates failed (see above)",
               file=sys.stderr)
         return 1
     return 0

@@ -9,10 +9,15 @@ visible over time.
 
 Comparison rules:
 
-* **correctness is absolute** — ``rows_match`` / ``virtual_match`` false
-  in the fresh run fails the job regardless of configuration (row and
-  vectorized execution must agree on results and virtual cost; see
-  ``docs/execution.md``);
+* **correctness is absolute** — each scenario names its two
+  configurations in a ``pair`` field (``row``/``vectorized``,
+  ``serial``/``parallel``, ``unbatched``/``batched``);
+  ``rows_match`` / ``virtual_match`` false in the fresh run fails the
+  job regardless of configuration (both halves of every pair must agree
+  on results and virtual cost; see ``docs/execution.md``), as do a
+  ``parallel_filter`` run that silently fell back to serial execution
+  or a ``batched_miss_heavy`` run that never coalesced (mean batch
+  size <= 1 request);
 * **wall clock is configuration-relative** — raw wall seconds are only
   compared when the fresh run used the same ``frames`` / ``repetitions``
   / ``quick`` flag as the baseline, with a ``--tolerance`` band
@@ -20,8 +25,9 @@ Comparison rules:
   full-size baseline skips raw-wall checks and instead applies
   scale-free checks: the hot-path speedup must stay >= ``--min-speedup``
   (default 1.0 — vectorized execution must not get *slower* than row),
-  and per-scenario speedup regressions beyond the tolerance are
-  reported as warnings.
+  the morsel-parallel speedup must stay >= ``--min-parallel-speedup``
+  (default 1.0), and per-scenario speedup regressions beyond the
+  tolerance are reported as warnings.
 
 Usage::
 
@@ -61,8 +67,16 @@ def same_configuration(baseline: dict, fresh: dict) -> bool:
                for key in ("quick", "frames", "repetitions"))
 
 
+def scenario_pair(scenario: dict) -> tuple[str, str]:
+    """The scenario's two configuration names (legacy reports lack the
+    ``pair`` field and always compared row vs vectorized)."""
+    pair = scenario.get("pair", ["row", "vectorized"])
+    return tuple(pair)
+
+
 def compare(baseline: dict, fresh: dict, *, tolerance: float,
-            min_speedup: float) -> tuple[list[str], list[str]]:
+            min_speedup: float,
+            min_parallel_speedup: float) -> tuple[list[str], list[str]]:
     """Diff ``fresh`` against ``baseline``.
 
     Returns ``(failures, warnings)``; any failure fails the job.
@@ -72,14 +86,24 @@ def compare(baseline: dict, fresh: dict, *, tolerance: float,
 
     # 1. Correctness gates: absolute, configuration-independent.
     for name, scenario in sorted(fresh.get("scenarios", {}).items()):
+        first, second = scenario_pair(scenario)
         if not scenario.get("rows_match", False):
             failures.append(
-                f"{name}: rows_match is false (row and vectorized "
-                f"modes returned different results)")
+                f"{name}: rows_match is false ({first} and {second} "
+                f"returned different results)")
         if not scenario.get("virtual_match", False):
             failures.append(
-                f"{name}: virtual_match is false (modes charged "
-                f"different virtual cost)")
+                f"{name}: virtual_match is false ({first} and {second} "
+                f"charged different virtual cost)")
+        if "parallel_engaged" in scenario \
+                and not scenario["parallel_engaged"]:
+            failures.append(
+                f"{name}: parallel run silently fell back to serial "
+                f"execution (parallel_engaged is false)")
+        if "coalesced" in scenario and not scenario["coalesced"]:
+            failures.append(
+                f"{name}: inference batcher never coalesced concurrent "
+                f"requests (mean batch size <= 1)")
 
     # 2. Scenario coverage: the fresh run must keep every baseline
     #    scenario (a silently dropped scenario hides regressions).
@@ -88,21 +112,32 @@ def compare(baseline: dict, fresh: dict, *, tolerance: float,
     for name in missing:
         failures.append(f"{name}: scenario missing from fresh run")
 
-    # 3. Hot-path sanity: scale-free, applies to every configuration.
+    # 3. Speedup floors: scale-free, apply to every configuration.
     hot = fresh.get("hot_path_speedup")
     if hot is not None and hot < min_speedup:
         failures.append(
             f"hot_path_speedup {hot:.2f}x < required {min_speedup:.2f}x "
             f"(vectorized hot path must not regress below row mode)")
+    par = fresh.get("parallel_speedup")
+    if par is not None and par < min_parallel_speedup:
+        failures.append(
+            f"parallel_speedup {par:.2f}x < required "
+            f"{min_parallel_speedup:.2f}x (morsel-driven execution must "
+            f"not regress below serial)")
 
     comparable = same_configuration(baseline, fresh)
     for name in sorted(set(baseline.get("scenarios", {}))
                        & set(fresh.get("scenarios", {}))):
         base = baseline["scenarios"][name]
         new = fresh["scenarios"][name]
+        if scenario_pair(base) != scenario_pair(new):
+            failures.append(
+                f"{name}: configuration pair changed from "
+                f"{scenario_pair(base)} to {scenario_pair(new)}")
+            continue
         if comparable:
             # 4a. Same workload size: raw wall seconds within tolerance.
-            for mode in ("row", "vectorized"):
+            for mode in scenario_pair(new):
                 old_wall = base[mode]["wall_seconds"]
                 new_wall = new[mode]["wall_seconds"]
                 if old_wall <= 0:
@@ -146,10 +181,14 @@ def history_entry(baseline: dict, fresh: dict, failures: list[str],
         "repetitions": fresh.get("repetitions"),
         "comparable_to_baseline": same_configuration(baseline, fresh),
         "hot_path_speedup": fresh.get("hot_path_speedup"),
+        "parallel_speedup": fresh.get("parallel_speedup"),
+        "batcher_mean_batch_requests":
+            fresh.get("batcher_mean_batch_requests"),
         "scenarios": {
             name: {
-                "row_wall_seconds": s["row"]["wall_seconds"],
-                "vectorized_wall_seconds": s["vectorized"]["wall_seconds"],
+                "pair": list(scenario_pair(s)),
+                "wall_seconds": {mode: s[mode]["wall_seconds"]
+                                 for mode in scenario_pair(s)},
                 "real_speedup": s["real_speedup"],
                 "rows_match": s["rows_match"],
                 "virtual_match": s["virtual_match"],
@@ -178,6 +217,9 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 0.25 = +/-25%%)")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="hard floor for hot_path_speedup")
+    parser.add_argument("--min-parallel-speedup", type=float, default=1.0,
+                        help="hard floor for parallel_speedup "
+                             "(serial vs --parallelism 4)")
     parser.add_argument("--history", type=Path,
                         default=REPO_ROOT / "BENCH_history.jsonl",
                         help="JSONL file the summary is appended to "
@@ -206,9 +248,10 @@ def main(argv: list[str] | None = None) -> int:
                     return code
             fresh = json.loads(output.read_text())
 
-    failures, warnings = compare(baseline, fresh,
-                                 tolerance=args.tolerance,
-                                 min_speedup=args.min_speedup)
+    failures, warnings = compare(
+        baseline, fresh, tolerance=args.tolerance,
+        min_speedup=args.min_speedup,
+        min_parallel_speedup=args.min_parallel_speedup)
     for line in warnings:
         print(f"warning: {line}")
     for line in failures:
@@ -228,7 +271,10 @@ def main(argv: list[str] | None = None) -> int:
     mode = ("raw-wall +/-{:.0%}".format(args.tolerance) if comparable
             else "scale-free (configurations differ)")
     print(f"benchmark regression check passed [{mode}], "
-          f"hot path {fresh.get('hot_path_speedup')}x")
+          f"hot path {fresh.get('hot_path_speedup')}x, "
+          f"parallel {fresh.get('parallel_speedup')}x, "
+          f"mean coalesced batch "
+          f"{fresh.get('batcher_mean_batch_requests')} request(s)")
     return 0
 
 

@@ -58,10 +58,12 @@ def make_video(spec: str) -> SyntheticVideo:
 
 
 def make_session(policy_name: str, dataset: str,
-                 execution_mode: str = "vectorized") -> EvaSession:
+                 execution_mode: str = "vectorized",
+                 parallelism: int = 0) -> EvaSession:
     policy = ReusePolicy(policy_name.lower())
     session = EvaSession(config=EvaConfig(reuse_policy=policy,
-                                          execution_mode=execution_mode))
+                                          execution_mode=execution_mode,
+                                          parallelism=parallelism))
     session.register_video(make_video(dataset))
     return session
 
@@ -156,7 +158,8 @@ def run_script(session: EvaSession, path: str, stdout: IO[str]) -> int:
 
 def run_bench(policy_name: str, workload: str, frames: int,
               stdout: IO[str], artifacts: str | None = None,
-              execution_mode: str = "vectorized") -> int:
+              execution_mode: str = "vectorized",
+              parallelism: int = 0) -> int:
     from repro.vbench.queries import vbench_high, vbench_low
     from repro.vbench.workload import run_workload
 
@@ -168,7 +171,8 @@ def run_bench(policy_name: str, workload: str, frames: int,
         "bench", frames)
     result = run_workload(video, queries,
                           EvaConfig(reuse_policy=ReusePolicy(policy_name),
-                                    execution_mode=execution_mode),
+                                    execution_mode=execution_mode,
+                                    parallelism=parallelism),
                           artifacts_dir=artifacts)
     rows = [[f"Q{i + 1}", round(m.total_time, 1), m.rows_returned]
             for i, m in enumerate(result.query_metrics)]
@@ -188,7 +192,8 @@ def run_bench(policy_name: str, workload: str, frames: int,
 def run_trace(policy_name: str, dataset: str, sql: str,
               jsonl: str | None, stdout: IO[str],
               execution_mode: str = "vectorized",
-              chrome_trace: str | None = None) -> int:
+              chrome_trace: str | None = None,
+              parallelism: int = 0) -> int:
     """``repro trace``: run statements and print the span tree(s).
 
     Multiple ``;``-separated statements run on one session, so the second
@@ -200,7 +205,8 @@ def run_trace(policy_name: str, dataset: str, sql: str,
     from repro.obs.sinks import CompositeSink, InMemorySink, JsonlFileSink
 
     session = make_session(policy_name, dataset,
-                           execution_mode=execution_mode)
+                           execution_mode=execution_mode,
+                           parallelism=parallelism)
     tracer = session.tracer
     tracer.capture_operators = True
     memory = InMemorySink()
@@ -455,6 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["vectorized", "row"],
                        help="column-at-a-time kernels (default) or the "
                             "row-at-a-time interpreter")
+        p.add_argument("--parallelism", type=int, default=0,
+                       help="morsel-driven worker threads per query "
+                            "(0/1 = serial; results and virtual costs "
+                            "are identical either way)")
 
     shell = sub.add_parser("shell", help="interactive EVAQL shell")
     common(shell)
@@ -474,6 +484,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["vectorized", "row"],
                        help="column-at-a-time kernels (default) or the "
                             "row-at-a-time interpreter")
+    bench.add_argument("--parallelism", type=int, default=0,
+                       help="morsel-driven worker threads per query "
+                            "(0/1 = serial)")
     trace = sub.add_parser(
         "trace",
         help="run statement(s) and print the hierarchical span tree "
@@ -544,7 +557,8 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
     if args.command == "bench":
         return run_bench(args.policy, args.workload, args.frames, stdout,
                          artifacts=args.artifacts,
-                         execution_mode=args.execution_mode)
+                         execution_mode=args.execution_mode,
+                         parallelism=args.parallelism)
     if args.command == "serve-demo":
         try:
             return run_serve_demo(args.dataset, args.clients, args.workers,
@@ -557,7 +571,8 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
             return run_trace(args.policy, args.dataset, args.query,
                              args.jsonl, stdout,
                              execution_mode=args.execution_mode,
-                             chrome_trace=args.chrome_trace)
+                             chrome_trace=args.chrome_trace,
+                             parallelism=args.parallelism)
         except ValueError as error:
             print(f"error: {error}", file=stdout)
             return 2
@@ -579,7 +594,8 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
             return 2
     try:
         session = make_session(args.policy, args.dataset,
-                               execution_mode=args.execution_mode)
+                               execution_mode=args.execution_mode,
+                               parallelism=args.parallelism)
     except ValueError as error:
         print(f"error: {error}", file=stdout)
         return 2

@@ -103,6 +103,37 @@ class EvaConfig:
     #: Minimum *executed* (non-reused) invocations before a model's
     #: observed cost is trusted for drift detection / calibration.
     calibration_min_invocations: int = 32
+    #: Morsel-driven intra-query parallelism: number of worker threads
+    #: driving the streaming suffix of the plan (scan / filter / project /
+    #: APPLY) over disjoint frame-range morsels.  ``0`` and ``1`` keep the
+    #: current serial path.  Results, view contents and per-query virtual
+    #: clock charges are identical to serial mode (the parallel
+    #: differential suite asserts this); only real seconds change.
+    parallelism: int = 0
+    #: Rows per morsel handed to a parallel worker.  Rounded up to a
+    #: multiple of ``batch_rows`` so serial batches are exactly the
+    #: concatenation of morsel batches (charge parity).  ``0`` picks
+    #: ``4 * batch_rows``.
+    morsel_rows: int = 0
+    #: Cross-query inference micro-batching (server deployments): maximum
+    #: number of tuples coalesced into one ``predict_batch`` call across
+    #: concurrent clients targeting the same physical model.  Must
+    #: comfortably exceed ``batch_rows`` — a single client's miss
+    #: sub-batch can be a full scan batch, and chunking never splits a
+    #: request, so a budget below ``2 * batch_rows`` can never merge two
+    #: full sub-batches.  The default fits four.
+    micro_batch_max_size: int = 2048
+    #: How long (milliseconds) a leader waits for other clients' miss
+    #: sub-batches to coalesce before dispatching what it has.
+    micro_batch_timeout_ms: float = 2.0
+    #: Maximum entries in the FunCache baseline's function cache (LRU
+    #: eviction, ``funcache_evictions`` counter).  ``0`` disables the cap;
+    #: an unbounded cache is a slow leak across long exploratory sessions.
+    funcache_max_entries: int = 65536
+    #: Maximum memoized Algorithm 1 reduction results
+    #: (``INTER``/``DIFF``/``REDUCE`` keyed by canonical DNF forms) kept by
+    #: the symbolic engine.  ``0`` disables memoization entirely.
+    symbolic_memo_size: int = 4096
 
     def __post_init__(self):
         if self.execution_mode not in ("vectorized", "row"):
@@ -121,6 +152,28 @@ class EvaConfig:
             raise ValueError(
                 f"calibration_min_invocations must be >= 1, "
                 f"got {self.calibration_min_invocations!r}")
+        if self.parallelism < 0:
+            raise ValueError(
+                f"parallelism must be >= 0, got {self.parallelism!r}")
+        if self.morsel_rows < 0:
+            raise ValueError(
+                f"morsel_rows must be >= 0, got {self.morsel_rows!r}")
+        if self.micro_batch_max_size < 1:
+            raise ValueError(
+                f"micro_batch_max_size must be >= 1, "
+                f"got {self.micro_batch_max_size!r}")
+        if self.micro_batch_timeout_ms < 0:
+            raise ValueError(
+                f"micro_batch_timeout_ms must be >= 0, "
+                f"got {self.micro_batch_timeout_ms!r}")
+        if self.funcache_max_entries < 0:
+            raise ValueError(
+                f"funcache_max_entries must be >= 0, "
+                f"got {self.funcache_max_entries!r}")
+        if self.symbolic_memo_size < 0:
+            raise ValueError(
+                f"symbolic_memo_size must be >= 0, "
+                f"got {self.symbolic_memo_size!r}")
         if self.ranking is None:
             # Materialization-aware ranking is EVA's contribution; the
             # baselines use the canonical ranking function.
@@ -132,3 +185,17 @@ class EvaConfig:
     def uses_views(self) -> bool:
         """Do plans consult materialized views (EVA and HashStash)?"""
         return self.reuse_policy in (ReusePolicy.EVA, ReusePolicy.HASHSTASH)
+
+    @property
+    def effective_morsel_rows(self) -> int:
+        """Morsel size rounded *up* to a multiple of ``batch_rows``.
+
+        Alignment guarantees that the batches a morsel produces are
+        exactly the batches the serial scan would have produced over the
+        same frame range, so per-batch virtual charges match serially.
+        """
+        rows = self.morsel_rows or 4 * self.batch_rows
+        remainder = rows % self.batch_rows
+        if remainder:
+            rows += self.batch_rows - remainder
+        return rows

@@ -32,46 +32,70 @@ from repro.storage.batch import Batch
 
 
 class ExecutionEngine:
-    """Builds operator trees from physical plans and runs them."""
+    """Builds operator trees from physical plans and runs them.
+
+    With ``EvaConfig.parallelism >= 2``, eligible plans run through the
+    morsel-driven :class:`~repro.executor.parallel.ParallelExecutor`
+    (results, view contents and virtual charges identical to serial
+    mode); everything else — and every plan under the instrumented
+    engine, whose per-operator measurement is single-threaded by design
+    — takes the serial path below.
+    """
+
+    #: Subclasses that must observe every batch per-operator (the
+    #: instrumented engine) disable the parallel dispatch.
+    supports_parallel = True
 
     def __init__(self, context: ExecutionContext):
         self.context = context
+        self._parallel = None
 
     def build(self, plan: PhysicalPlan) -> Operator:
+        child: Operator | None = None
+        plan_child = getattr(plan, "child", None)
+        if plan_child is not None:
+            child = self.build(plan_child)
+        return self.build_node(plan, child)
+
+    def build_node(self, plan: PhysicalPlan,
+                   child: Operator | None) -> Operator:
+        """Build the operator for one plan node over a pre-built child."""
         if isinstance(plan, PhysScan):
             return ScanOperator(plan, self.context)
         if isinstance(plan, PhysDetectorApply):
-            return DetectorApplyOperator(
-                self.build(plan.child), plan, self.context)
+            return DetectorApplyOperator(child, plan, self.context)
         if isinstance(plan, PhysClassifierApply):
-            return ClassifierApplyOperator(
-                self.build(plan.child), plan, self.context)
+            return ClassifierApplyOperator(child, plan, self.context)
         if isinstance(plan, PhysFilter):
-            return FilterOperator(self.build(plan.child), plan, self.context)
+            return FilterOperator(child, plan, self.context)
         if isinstance(plan, PhysProject):
-            return ProjectOperator(self.build(plan.child), plan,
-                                   self.context)
+            return ProjectOperator(child, plan, self.context)
         if isinstance(plan, PhysGroupBy):
-            return GroupByOperator(self.build(plan.child), plan,
-                                   self.context)
+            return GroupByOperator(child, plan, self.context)
         if isinstance(plan, PhysDistinct):
-            return DistinctOperator(self.build(plan.child), plan,
-                                    self.context)
+            return DistinctOperator(child, plan, self.context)
         if isinstance(plan, PhysOrderBy):
-            return OrderByOperator(self.build(plan.child), plan,
-                                   self.context)
+            return OrderByOperator(child, plan, self.context)
         if isinstance(plan, PhysLimit):
-            return LimitOperator(self.build(plan.child), plan, self.context)
+            return LimitOperator(child, plan, self.context)
         raise ExecutorError(f"no operator for plan node {type(plan).__name__}")
 
     def run(self, plan: PhysicalPlan) -> Batch:
         """Execute ``plan`` to completion and return the result batch."""
+        if self.supports_parallel and self.context.config.parallelism >= 2:
+            from repro.executor.parallel import ParallelExecutor
+
+            if self._parallel is None:
+                self._parallel = ParallelExecutor(self.context)
+            batch = self._parallel.run(plan, self)
+            if batch is not None:
+                return batch
         root = self.build(plan)
         batch = root.run_to_completion()
-        self._record_kernel_fallbacks(root)
+        self.record_kernel_fallbacks(root)
         return batch
 
-    def _record_kernel_fallbacks(self, root: Operator) -> None:
+    def record_kernel_fallbacks(self, root: Operator) -> None:
         """Roll per-operator runtime-fallback counts into the metrics.
 
         Every operator tracks ``kernel_fallback_batches`` — batches that
@@ -94,3 +118,6 @@ class ExecutionEngine:
                          if node is not None else type(real).__name__)
                 metrics.increment(f"kernel_fallback:{label}", count)
             op = getattr(op, "child", None) or getattr(real, "child", None)
+
+    # Backwards-compatible alias (pre-parallel name).
+    _record_kernel_fallbacks = record_kernel_fallbacks

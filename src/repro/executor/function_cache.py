@@ -7,10 +7,19 @@ The paper's implementation hashes the raw input arguments with xxHash on
 1x speedup on low-reuse workloads (Fig. 5).  Here the hash itself is not
 performed (inputs are synthetic handles) but its cost is charged to the
 virtual clock based on the input's byte size.
+
+The cache is **bounded**: entries across all UDFs live in one LRU keyed by
+``(udf_name, key)``, capped at ``EvaConfig.funcache_max_entries`` (0
+disables the cap).  An unbounded cache is a slow leak across long
+exploratory sessions — every distinct (frame, bbox) input pins its result
+forever.  Evictions bump the ``funcache_evictions`` metrics counter
+(exported as ``eva_events_total{event="funcache_evictions"}``), mirroring
+the plan cache's treatment.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Hashable
 
 from repro.clock import CostCategory, SimulationClock
@@ -18,12 +27,23 @@ from repro.costs import CostConstants
 
 
 class FunctionCache:
-    """Per-UDF in-memory result cache with hashing-cost accounting."""
+    """Bounded per-UDF in-memory result cache with hashing-cost accounting."""
 
-    def __init__(self, clock: SimulationClock, costs: CostConstants):
+    def __init__(self, clock: SimulationClock, costs: CostConstants,
+                 max_entries: int = 0, metrics=None):
         self._clock = clock
         self._costs = costs
-        self._tables: dict[str, dict[Hashable, object]] = {}
+        #: 0 disables the cap (legacy unbounded behavior).
+        self._max_entries = max_entries
+        #: Duck-typed :class:`~repro.metrics.MetricsCollector` (or None).
+        self._metrics = metrics
+        #: One LRU across all UDFs: (udf_name, key) -> value.  A single
+        #: recency order means a burst on one UDF evicts the *globally*
+        #: coldest entries rather than starving its own table.
+        self._entries: OrderedDict[tuple[str, Hashable], object] = \
+            OrderedDict()
+        self._per_udf: dict[str, int] = {}
+        self.evictions = 0
 
     def _charge_hash(self, input_bytes: int) -> None:
         self._clock.charge(
@@ -39,19 +59,33 @@ class FunctionCache:
             ``(hit, value)`` — ``value`` is meaningful only when hit.
         """
         self._charge_hash(input_bytes)
-        table = self._tables.get(udf_name)
-        if table is None:
-            return False, None
-        if key in table:
-            return True, table[key]
+        slot = (udf_name, key)
+        if slot in self._entries:
+            self._entries.move_to_end(slot)
+            return True, self._entries[slot]
         return False, None
 
     def store(self, udf_name: str, key: Hashable, value: object) -> None:
         """Insert a computed result (the arguments were already hashed)."""
-        self._tables.setdefault(udf_name, {})[key] = value
+        slot = (udf_name, key)
+        fresh = slot not in self._entries
+        self._entries[slot] = value
+        self._entries.move_to_end(slot)
+        if fresh:
+            self._per_udf[udf_name] = self._per_udf.get(udf_name, 0) + 1
+        while self._max_entries and len(self._entries) > self._max_entries:
+            (evicted_udf, _), _ = self._entries.popitem(last=False)
+            self._per_udf[evicted_udf] -= 1
+            self.evictions += 1
+            if self._metrics is not None:
+                self._metrics.increment("funcache_evictions")
 
     def entries(self, udf_name: str) -> int:
-        return len(self._tables.get(udf_name, {}))
+        return self._per_udf.get(udf_name, 0)
+
+    def total_entries(self) -> int:
+        return len(self._entries)
 
     def clear(self) -> None:
-        self._tables.clear()
+        self._entries.clear()
+        self._per_udf.clear()

@@ -50,6 +50,9 @@ class ClassifierApplyOperator(Operator):
         self.column = udf_column_name(term_key(node.call))
         self._view_name = f"mv::{node.signature}"
         self._join_charged = False
+        #: Once-per-query gate key: stable across the morsel clones of
+        #: this plan node, so exactly one morsel charges the join setup.
+        self._join_gate_key = ("join", "classifier", node.signature)
         config = context.config
         policy = config.reuse_policy
         # Fuzzy bbox reuse walks per-row spatial candidates; it stays on
@@ -136,8 +139,9 @@ class ClassifierApplyOperator(Operator):
         if view is not None and pending:
             costs = self.context.costs
             if not self._join_charged:
-                self.context.clock.charge(CostCategory.JOIN,
-                                          costs.join_setup)
+                if self.context.acquire_join_gate(self._join_gate_key):
+                    self.context.clock.charge(CostCategory.JOIN,
+                                              costs.join_setup)
                 self._join_charged = True
             self.context.clock.charge(
                 CostCategory.READ_VIEW,
@@ -187,7 +191,7 @@ class ClassifierApplyOperator(Operator):
                 inputs = [frames[i].frame_id for i in group]
             else:
                 inputs = [(frames[i].frame_id, bboxes[i]) for i in group]
-            outputs = self.model.predict_batch(video, inputs)
+            outputs = self.context.invoke_model(self.model, video, inputs)
             for i, value in zip(group, outputs):
                 values[i] = value
             self.context.metrics.record_invocations(
@@ -265,8 +269,9 @@ class ClassifierApplyOperator(Operator):
         if view is None:
             return None
         if not self._join_charged:
-            self.context.clock.charge(CostCategory.JOIN,
-                                      self.context.costs.join_setup)
+            if self.context.acquire_join_gate(self._join_gate_key):
+                self.context.clock.charge(CostCategory.JOIN,
+                                          self.context.costs.join_setup)
             self._join_charged = True
         self.context.clock.charge(CostCategory.READ_VIEW,
                                   self.context.costs.view_read_per_key)

@@ -54,6 +54,9 @@ class DetectorApplyOperator(Operator):
         ]
         self._fallback_model = self._pick_fallback()
         self._join_charged = False
+        #: Once-per-query gate key: stable across the morsel clones of
+        #: this plan node, so exactly one morsel charges the join setup.
+        self._join_gate_key = ("join", "detector", node.signature)
         # HashStash reads its recycler union up front and FunCache charges
         # per-lookup hashing — both resolve row-at-a-time.
         self._vectorized = (
@@ -227,8 +230,9 @@ class DetectorApplyOperator(Operator):
                 still.extend(group)
                 continue
             if not self._join_charged:
-                self.context.clock.charge(CostCategory.JOIN,
-                                          costs.join_setup)
+                if self.context.acquire_join_gate(self._join_gate_key):
+                    self.context.clock.charge(CostCategory.JOIN,
+                                              costs.join_setup)
                 self._join_charged = True
             self.context.clock.charge(
                 CostCategory.READ_VIEW,
@@ -267,8 +271,8 @@ class DetectorApplyOperator(Operator):
             video = self.context.video(video_name)
             self.context.clock.charge(
                 CostCategory.UDF, len(group) * model.per_tuple_cost)
-            outputs = model.predict_batch(
-                video, [frames[i].frame_id for i in group])
+            outputs = self.context.invoke_model(
+                model, video, [frames[i].frame_id for i in group])
             for i, detections in zip(group, outputs):
                 results[i] = tuple(detections)
             self.context.metrics.record_invocations(
@@ -356,8 +360,9 @@ class DetectorApplyOperator(Operator):
             return None
         if not self._join_charged:
             # The 3*C_M hash-join setup of Eq. 3, charged once per query.
-            self.context.clock.charge(CostCategory.JOIN,
-                                      self.context.costs.join_setup)
+            if self.context.acquire_join_gate(self._join_gate_key):
+                self.context.clock.charge(CostCategory.JOIN,
+                                          self.context.costs.join_setup)
             self._join_charged = True
         key = (frame.frame_id,)
         costs = self.context.costs

@@ -29,6 +29,11 @@ KIND_MODEL_SELECTION = "model-selection"
 #: observed telemetry (:mod:`repro.obs.calibration`); the record's
 #: candidates carry the drift entries and before/after decision probes.
 KIND_COST_CALIBRATION = "cost-calibration"
+#: Emitted once per optimization pass that exercised the symbolic
+#: engine's reduction memo; the record's ``costs`` carry the pass's
+#: hit/miss/eviction deltas and the memo's current size, and ``reused``
+#: means at least one reduction was served from cache.
+KIND_SYMBOLIC_MEMO = "symbolic-memo"
 
 
 def predicate_sql(predicate) -> str:

@@ -255,8 +255,46 @@ def _expose_drift(exp: _Exposition, report) -> None:
                    1 if entry.drifted else 0, model=entry.model)
 
 
+def _expose_batcher(exp: _Exposition, snapshot) -> None:
+    """Inference micro-batcher coalescing statistics
+    (:class:`~repro.server.batcher.BatcherSnapshot`)."""
+    exp.header("eva_batcher_requests_total",
+               "Client miss sub-batches submitted to the shared "
+               "inference batcher", "counter")
+    exp.sample("eva_batcher_requests_total", snapshot.requests)
+    exp.header("eva_batcher_tuples_total",
+               "Tuples submitted to the shared inference batcher",
+               "counter")
+    exp.sample("eva_batcher_tuples_total", snapshot.tuples)
+    exp.header("eva_batcher_dispatches_total",
+               "Physical predict_batch calls (kind=coalesced carried "
+               "more than one client request)", "counter")
+    exp.sample("eva_batcher_dispatches_total", snapshot.dispatches,
+               kind="all")
+    exp.sample("eva_batcher_dispatches_total",
+               snapshot.coalesced_dispatches, kind="coalesced")
+    exp.header("eva_batcher_batch_requests",
+               "Client requests per physical dispatch "
+               "(stat=mean|max; mean > 1 means cross-client "
+               "coalescing happened)", "gauge")
+    exp.sample("eva_batcher_batch_requests",
+               snapshot.mean_batch_requests, stat="mean")
+    exp.sample("eva_batcher_batch_requests",
+               snapshot.max_batch_requests, stat="max")
+    exp.header("eva_batcher_batch_tuples",
+               "Tuples per physical dispatch (stat=mean|max)", "gauge")
+    exp.sample("eva_batcher_batch_tuples", snapshot.mean_batch_tuples,
+               stat="mean")
+    exp.sample("eva_batcher_batch_tuples", snapshot.max_batch_tuples,
+               stat="max")
+    exp.header("eva_batcher_queue_depth",
+               "Requests currently parked in coalescing windows",
+               "gauge")
+    exp.sample("eva_batcher_queue_depth", snapshot.queue_depth)
+
+
 def prometheus_text(metrics=None, clock=None, server=None, *,
-                    profile=None, drift=None) -> str:
+                    profile=None, drift=None, batcher=None) -> str:
     """Render the exposition for any subset of metric sources.
 
     Args:
@@ -269,6 +307,8 @@ def prometheus_text(metrics=None, clock=None, server=None, *,
             (continuous-profiler operator/model rollups).
         drift: a :class:`~repro.obs.calibration.DriftReport`
             (modeled vs observed per-tuple model costs).
+        batcher: a :class:`~repro.server.batcher.BatcherSnapshot`
+            (cross-client inference micro-batching gauges).
     """
     exp = _Exposition()
     if metrics is not None:
@@ -283,4 +323,6 @@ def prometheus_text(metrics=None, clock=None, server=None, *,
         _expose_profile(exp, profile)
     if drift is not None:
         _expose_drift(exp, drift)
+    if batcher is not None:
+        _expose_batcher(exp, batcher)
     return exp.text()

@@ -120,6 +120,7 @@ class Optimizer:
         """
         with _span(tracer, "optimize:bind"):
             bound = bind(statement, self.catalog)
+        memo_before = self.engine.memo_stats()
         ctx = OptimizationContext(
             bound=bound,
             catalog=self.catalog,
@@ -146,6 +147,7 @@ class Optimizer:
             implemented = PhysicalImplementer(ctx).implement(plan)
             span.tag(estimated_cost=round(implemented.cost, 6),
                      estimated_rows=round(implemented.rows, 3))
+        self._audit_memo(ctx, memo_before)
         return OptimizedQuery(
             plan=implemented.plan,
             updates=list(implemented.updates),
@@ -153,6 +155,30 @@ class Optimizer:
             detector_sources=ctx.detector_sources,
             audit=list(ctx.audit),
         )
+
+    def _audit_memo(self, ctx, before) -> None:
+        """Append this pass's reduction-memo hit/miss deltas to the audit.
+
+        One ``symbolic-memo`` record per pass that exercised the memo.
+        Under a shared (server) engine the deltas can include concurrent
+        clients' traffic — they are an attribution of *activity during*
+        this pass, not an exact per-pass ledger, which is the same
+        trade the shared profiler makes.
+        """
+        delta = self.engine.memo_stats().delta(before)
+        if delta.hits == 0 and delta.misses == 0:
+            return
+        from repro.obs.audit import KIND_SYMBOLIC_MEMO, ReuseDecisionRecord
+
+        ctx.audit.record(ReuseDecisionRecord(
+            kind=KIND_SYMBOLIC_MEMO,
+            signature="symbolic-engine",
+            costs={"memo_hits": delta.hits,
+                   "memo_misses": delta.misses,
+                   "memo_evictions": delta.evictions,
+                   "memo_size": delta.size},
+            reused=delta.hits > 0,
+        ))
 
 
 def _span(tracer, name: str, **tags):

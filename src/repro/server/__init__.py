@@ -25,6 +25,7 @@ See ``docs/server.md`` for the concurrency model and what is shared
 versus per-client.
 """
 
+from repro.server.batcher import BatcherSnapshot, InferenceBatcher
 from repro.server.client import ClientHandle
 from repro.server.server import EvaServer
 from repro.server.state import (
@@ -42,6 +43,8 @@ from repro.server.stats import (
 __all__ = [
     "EvaServer",
     "ClientHandle",
+    "InferenceBatcher",
+    "BatcherSnapshot",
     "SharedReuseState",
     "SharedViewStore",
     "LockedUdfManager",

@@ -361,12 +361,23 @@ class EvaServer:
             min_invocations=config.calibration_min_invocations,
         )
 
+    def batcher_snapshot(self):
+        """Point-in-time statistics of the shared inference batcher.
+
+        Returns a :class:`~repro.server.batcher.BatcherSnapshot`:
+        physical dispatches vs logical requests, coalesced-call counts,
+        and max/mean batch sizes — ``mean_batch_requests > 1`` means
+        concurrent clients actually shared model calls.
+        """
+        return self.state.batcher.snapshot()
+
     def prometheus_text(self) -> str:
         """The Prometheus exposition for the whole server: merged
         per-UDF #TI/#DI/hit-rate metrics, summed per-client virtual-time
         categories, the admission/backpressure counters, the shared
-        continuous-profiler rollups, and the modeled-vs-observed
-        cost-drift gauges."""
+        continuous-profiler rollups, the inference micro-batcher's
+        coalescing gauges, and the modeled-vs-observed cost-drift
+        gauges."""
         from repro.obs.prometheus import prometheus_text
 
         return prometheus_text(
@@ -375,4 +386,5 @@ class EvaServer:
             server=self.stats(),
             profile=self.profile_snapshot(),
             drift=self.drift_report(),
+            batcher=self.batcher_snapshot(),
         )

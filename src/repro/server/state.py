@@ -40,6 +40,7 @@ from repro.obs.profiler import ProfileStore
 from repro.obs.sinks import TraceSink
 from repro.obs.trace import Tracer
 from repro.optimizer.udf_manager import UdfHistory, UdfManager, UdfSignature
+from repro.server.batcher import InferenceBatcher
 from repro.server.locks import RWLock
 from repro.session import SessionState
 from repro.storage.engine import StorageEngine
@@ -372,9 +373,20 @@ class SharedReuseState:
         self.zoo = zoo or default_zoo()
         self.catalog = Catalog(self.zoo)
         self.storage = StorageEngine()
-        self.symbolic = SymbolicEngine(self.config.symbolic_time_budget)
+        self.symbolic = SymbolicEngine(
+            self.config.symbolic_time_budget,
+            memo_size=self.config.symbolic_memo_size)
         self.view_store = SharedViewStore()
         self.udf_manager = LockedUdfManager(UdfManager(self.symbolic))
+        #: Cross-client inference micro-batching: every client's
+        #: ExecutionContext routes model calls through this shared
+        #: batcher, which coalesces concurrent miss sub-batches that
+        #: target the same physical model into single ``predict_batch``
+        #: dispatches (one shared service round-trip each).  Virtual
+        #: clocks are untouched — operators pre-charge their own.
+        self.batcher = InferenceBatcher(
+            max_batch_size=self.config.micro_batch_max_size,
+            timeout_ms=self.config.micro_batch_timeout_ms)
         #: One shared profile store: every client's per-model /
         #: per-operator telemetry rolls up into the same continuous
         #: profile (ProfileStore is internally thread-safe), mirroring
@@ -418,5 +430,6 @@ class SharedReuseState:
             tracer=Tracer(clock=clock, sink=trace_sink,
                           client_id=client_id),
             profiler=self.profiler,
+            inference=self.batcher,
             shared=True,
         )

@@ -104,6 +104,13 @@ class SessionState:
     #: server substitutes one shared store so every client's telemetry
     #: lands in the same rollups.
     profiler: ProfileStore = field(default_factory=ProfileStore)
+    #: Cross-query inference micro-batcher
+    #: (:class:`repro.server.batcher.InferenceBatcher`), duck-typed to a
+    #: ``submit(model, video, inputs)`` method.  None (the library
+    #: default) invokes models directly; the server shares one batcher
+    #: across every client so concurrent miss sub-batches targeting the
+    #: same physical model coalesce into single ``predict_batch`` calls.
+    inference: object | None = None
     #: True when the reuse components are shared with other sessions (a
     #: server deployment).  Destructive whole-state operations
     #: (:meth:`EvaSession.reset_reuse_state`, ``load_reuse_state``) are
@@ -120,7 +127,8 @@ class SessionState:
               zoo: ModelZoo | None = None) -> "SessionState":
         """A fully isolated component set (single-user session)."""
         config = config or EvaConfig()
-        symbolic = SymbolicEngine(config.symbolic_time_budget)
+        symbolic = SymbolicEngine(config.symbolic_time_budget,
+                                  memo_size=config.symbolic_memo_size)
         return cls(
             config=config,
             catalog=Catalog(zoo or default_zoo()),
@@ -173,6 +181,7 @@ class EvaSession:
             metrics=self.metrics,
             config=self.config,
             tracer=state.tracer,
+            inference=state.inference,
         )
         self.engine = ExecutionEngine(self.context)
         #: The OptimizedQuery of the most recent SELECT (introspection).
@@ -287,6 +296,7 @@ class EvaSession:
                     with self.clock.measure(CostCategory.OPTIMIZE):
                         optimized = self.optimizer.optimize(
                             statement, tracer=tracer)
+                self._count_memo(optimized)
                 self._cache_plan(sql, optimized)
             self.last_optimized = optimized
             self._emit_audit(optimized)
@@ -356,6 +366,29 @@ class EvaSession:
                 if span is not None:
                     parents[stats.depth + 1] = span.span_id
         return batch
+
+    def _count_memo(self, optimized) -> None:
+        """Fold a fresh pass's symbolic-memo deltas into the counters.
+
+        Only called for freshly optimized plans — a plan-cache hit skips
+        the symbolic engine entirely, so its (stale) memo record must
+        not be re-counted.
+        """
+        from repro.obs.audit import KIND_SYMBOLIC_MEMO
+
+        for record in optimized.audit:
+            if record.kind != KIND_SYMBOLIC_MEMO:
+                continue
+            hits = int(record.costs.get("memo_hits", 0))
+            misses = int(record.costs.get("memo_misses", 0))
+            evictions = int(record.costs.get("memo_evictions", 0))
+            if hits:
+                self.metrics.increment("symbolic_memo_hits", hits)
+            if misses:
+                self.metrics.increment("symbolic_memo_misses", misses)
+            if evictions:
+                self.metrics.increment("symbolic_memo_evictions",
+                                       evictions)
 
     def _emit_audit(self, optimized) -> None:
         """Stamp and export fresh reuse-decision audit records.

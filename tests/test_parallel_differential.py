@@ -1,0 +1,440 @@
+"""Differential suite: serial vs morsel-parallel execution, plus the
+cross-client inference batcher.
+
+Part 1 runs every VBENCH query (and randomized predicate/shape queries)
+once serially and once per ``parallelism`` level, asserting that
+
+* every query returns the identical result batch (columns and rows),
+* the materialized-view stores end up with identical contents,
+* per-UDF invocation accounting (#TI / #DI / reused) is identical, and
+* the virtual clock's per-category totals match (``pytest.approx``:
+  morsel merge changes float *summation order*, never charged amounts).
+
+Part 2 proves the server-side :class:`~repro.server.batcher.
+InferenceBatcher` coalesces concurrent clients' miss sub-batches
+(observed max batch size > 1) without changing any client's rows or
+virtual totals.
+
+Part 3 unit-tests the supporting pieces: once-per-query gates, the
+LRU-bounded function cache, the symbolic reduction memo, and batcher
+chunking.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.clock import CostCategory, SimulationClock
+from repro.config import EvaConfig, ReusePolicy
+from repro.session import EvaSession
+from repro.vbench.queries import vbench_high, vbench_low
+
+FRAMES = 400  # tiny_video's length; id bounds scale to it
+
+#: Morsel geometry small enough that a 400-frame video splits into
+#: many morsels (the default 4 * 512 would serialize everything).
+MORSEL_CONFIG = dict(batch_rows=50, morsel_rows=50)
+
+PARALLELISMS = (1, 2, 8)
+
+
+def _run(queries, video, policy: ReusePolicy, parallelism: int):
+    session = EvaSession(config=EvaConfig(reuse_policy=policy,
+                                          parallelism=parallelism,
+                                          **MORSEL_CONFIG))
+    session.register_video(video)
+    outcomes = []
+    for sql in queries:
+        result = session.execute(sql)
+        outcomes.append((tuple(result.columns), tuple(result.rows)))
+    return session, outcomes
+
+
+def _view_contents(session: EvaSession) -> dict:
+    snapshot = {}
+    for name in session.view_store.names():
+        view = session.view_store.get(name)
+        snapshot[name] = {key: view.get(key) for key in view.keys()}
+    return snapshot
+
+
+def _clock_totals(session: EvaSession) -> dict:
+    # OPTIMIZE is measured in *real* seconds (symbolic reduction work)
+    # and legitimately differs between two runs of anything; every other
+    # category is charged from profiled constants and must match.
+    return {category: seconds
+            for category, seconds in session.clock.breakdown().items()
+            if category is not CostCategory.OPTIMIZE}
+
+
+def _udf_accounting(session: EvaSession) -> dict:
+    return {name: (stats.total_invocations, stats.distinct_invocations,
+                   stats.reused_invocations, stats.executed_invocations)
+            for name, stats in session.metrics.udf_stats.items()}
+
+
+def assert_parallel_equivalent(queries, video,
+                               policy: ReusePolicy = ReusePolicy.EVA,
+                               parallelisms=PARALLELISMS):
+    serial_session, serial_out = _run(queries, video, policy, 0)
+    serial_views = _view_contents(serial_session)
+    serial_clock = _clock_totals(serial_session)
+    serial_udfs = _udf_accounting(serial_session)
+    for parallelism in parallelisms:
+        par_session, par_out = _run(queries, video, policy, parallelism)
+        for index, (expected, actual) in enumerate(zip(serial_out,
+                                                       par_out)):
+            assert actual == expected, \
+                f"query {index} diverged at parallelism={parallelism}"
+        assert _view_contents(par_session) == serial_views
+        assert _udf_accounting(par_session) == serial_udfs
+        par_clock = _clock_totals(par_session)
+        assert set(par_clock) == set(serial_clock)
+        for category, seconds in serial_clock.items():
+            assert par_clock[category] == pytest.approx(
+                seconds, rel=1e-9, abs=1e-12), \
+                f"{category} at parallelism={parallelism}"
+
+
+class TestVbenchParallelDifferential:
+    def test_vbench_high_eva(self, tiny_video):
+        assert_parallel_equivalent(vbench_high("tiny", FRAMES),
+                                   tiny_video)
+
+    def test_vbench_low_eva(self, tiny_video):
+        assert_parallel_equivalent(vbench_low("tiny", FRAMES),
+                                   tiny_video)
+
+    def test_vbench_high_no_reuse(self, tiny_video):
+        # Miss-heavy: every query evaluates models in every morsel.
+        assert_parallel_equivalent(vbench_high("tiny", FRAMES)[:3],
+                                   tiny_video, ReusePolicy.NONE)
+
+    def test_repeated_queries_hit_heavy(self, tiny_video):
+        # Second pass is ~100% view hits: bulk probes across morsels.
+        queries = vbench_high("tiny", FRAMES)[:2]
+        assert_parallel_equivalent(queries + queries, tiny_video)
+
+    def test_sparse_video(self, sparse_video):
+        # Sparse frames produce empty detection sets: empty keys must be
+        # recorded once and reused identically across morsels.
+        assert_parallel_equivalent(vbench_high("sparse", 300)[:4],
+                                   sparse_video)
+
+    def test_parallel_path_actually_engages(self, tiny_video):
+        session, _ = _run(vbench_high("tiny", FRAMES)[:3], tiny_video,
+                          ReusePolicy.EVA, 4)
+        assert session.metrics.counters.get("parallel_queries", 0) > 0
+        assert session.metrics.counters.get("parallel_morsels", 0) >= 2
+
+
+def _random_queries(seed: int, count: int = 8) -> list[str]:
+    """Randomized predicate/shape queries over the VBENCH schema."""
+    rng = random.Random(seed)
+    colors = ["Gray", "Red", "White", "Black"]
+    types = ["Nissan", "Toyota", "Ford", "Honda"]
+    labels = ["car", "bus", "van"]
+
+    def clause() -> str:
+        kind = rng.randrange(7)
+        if kind == 0:
+            return f"id {rng.choice(['<', '>=', '>'])} " \
+                   f"{rng.randrange(0, FRAMES)}"
+        if kind == 1:
+            return f"area > {rng.choice([0.05, 0.1, 0.2, 0.3])}"
+        if kind == 2:
+            return f"score > {rng.choice([0.3, 0.5, 0.7])}"
+        if kind == 3:
+            return f"label = '{rng.choice(labels)}'"
+        if kind == 4:
+            return f"CarType(frame, bbox) = '{rng.choice(types)}'"
+        if kind == 5:
+            return f"ColorDet(frame, bbox) = '{rng.choice(colors)}'"
+        return f"id * 2 + {rng.randrange(5)} < {rng.randrange(FRAMES) * 2}"
+
+    queries = []
+    for _ in range(count):
+        clauses = " AND ".join(clause()
+                               for _ in range(rng.randrange(1, 4)))
+        shape = rng.randrange(4)
+        if shape == 0:
+            select, suffix = "id, bbox", ""
+        elif shape == 1:
+            select, suffix = "COUNT(*), AVG(area), MAX(score)", ""
+        elif shape == 2:
+            select, suffix = ("label, COUNT(*)",
+                              " GROUP BY label ORDER BY COUNT(*) DESC")
+        else:
+            # LIMIT forces the serial fallback: still must be identical.
+            select, suffix = "id, area", " ORDER BY area DESC LIMIT 17"
+        queries.append(
+            f"SELECT {select} FROM tiny CROSS APPLY "
+            f"FastRCNNObjectDetector(frame) WHERE {clauses}{suffix};")
+    return queries
+
+
+class TestRandomizedParallelDifferential:
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_random_predicates_eva(self, tiny_video, seed):
+        assert_parallel_equivalent(_random_queries(seed), tiny_video)
+
+    def test_random_predicates_no_reuse(self, tiny_video):
+        assert_parallel_equivalent(_random_queries(5, count=4),
+                                   tiny_video, ReusePolicy.NONE)
+
+
+# ---------------------------------------------------------------------------
+# Part 2: the cross-client inference batcher.
+# ---------------------------------------------------------------------------
+
+BATCH_QUERY = ("SELECT id, label FROM shared CROSS APPLY "
+               "FastRCNNObjectDetector(frame) WHERE label = 'car';")
+
+NUM_CLIENTS = 8
+
+
+def _batch_server(timeout_ms: float):
+    from repro.server import EvaServer
+    from repro.types import VideoMetadata
+    from repro.video.synthetic import SyntheticVideo
+
+    # Policy NONE: no cross-client view reuse, so every client evaluates
+    # the identical miss set and per-client virtual totals are exactly
+    # the solo-run totals — isolating the batcher's (non-)effect.
+    config = EvaConfig(reuse_policy=ReusePolicy.NONE,
+                       micro_batch_max_size=1_000_000,
+                       micro_batch_timeout_ms=timeout_ms)
+    server = EvaServer(config, max_workers=NUM_CLIENTS)
+    video = SyntheticVideo(
+        VideoMetadata(name="shared", num_frames=200, width=960,
+                      height=540, fps=25.0, vehicles_per_frame=8.3),
+        seed=7)
+    server.register_video(video)
+    return server
+
+
+class TestInferenceBatcher:
+    def test_coalesces_without_changing_virtual_totals(self):
+        # Solo baseline: one client, nothing to coalesce with.
+        solo = _batch_server(timeout_ms=0.0)
+        with solo.start():
+            handle = solo.connect()
+            baseline = handle.execute(BATCH_QUERY)
+            with handle.checkout() as session:
+                baseline_clock = {
+                    c: s for c, s in session.clock.breakdown().items()
+                    if c is not CostCategory.OPTIMIZE}
+
+        server = _batch_server(timeout_ms=1000.0)
+        results: dict[str, object] = {}
+        with server.start():
+            handles = [server.connect() for _ in range(NUM_CLIENTS)]
+
+            def run(handle) -> None:
+                results[handle.client_id] = handle.execute(BATCH_QUERY)
+
+            threads = [threading.Thread(target=run, args=(h,))
+                       for h in handles]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            snapshot = server.batcher_snapshot()
+            clocks = {}
+            for handle in handles:
+                with handle.checkout() as session:
+                    clocks[handle.client_id] = {
+                        c: s
+                        for c, s in session.clock.breakdown().items()
+                        if c is not CostCategory.OPTIMIZE}
+
+        # The batcher actually coalesced concurrent clients' calls.
+        assert snapshot.requests == NUM_CLIENTS
+        assert snapshot.max_batch_requests > 1
+        assert snapshot.mean_batch_requests > 1.0
+        assert snapshot.coalesced_dispatches >= 1
+        assert snapshot.dispatches < NUM_CLIENTS
+        # ... without changing any client's rows or virtual totals.
+        for client_id, result in results.items():
+            assert tuple(result.rows) == tuple(baseline.rows), client_id
+        for client_id, clock in clocks.items():
+            assert set(clock) == set(baseline_clock), client_id
+            for category, seconds in baseline_clock.items():
+                assert clock[category] == pytest.approx(
+                    seconds, rel=1e-9, abs=1e-12), (client_id, category)
+
+    def test_prometheus_exposes_batcher_gauges(self):
+        server = _batch_server(timeout_ms=0.0)
+        with server.start():
+            server.connect().execute(BATCH_QUERY)
+            text = server.prometheus_text()
+        assert "eva_batcher_requests_total" in text
+        assert "eva_batcher_dispatches_total" in text
+        assert 'eva_batcher_batch_requests{stat="max"}' in text
+
+
+# ---------------------------------------------------------------------------
+# Part 3: supporting pieces.
+# ---------------------------------------------------------------------------
+
+
+class TestOnceGates:
+    def test_each_key_acquired_exactly_once(self):
+        from repro.executor.context import OnceGates
+
+        gates = OnceGates()
+        assert gates.acquire(("join", "classifier", "sig"))
+        assert not gates.acquire(("join", "classifier", "sig"))
+        assert gates.acquire(("join", "detector", "sig"))
+
+    def test_thread_safety(self):
+        from repro.executor.context import OnceGates
+
+        gates = OnceGates()
+        wins: list[int] = []
+
+        def contend(i: int) -> None:
+            if gates.acquire("shared-key"):
+                wins.append(i)
+
+        threads = [threading.Thread(target=contend, args=(i,))
+                   for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(wins) == 1
+
+
+class TestFunctionCacheLru:
+    def _cache(self, max_entries: int):
+        from repro.costs import CostConstants
+        from repro.executor.function_cache import FunctionCache
+        from repro.metrics import MetricsCollector
+
+        metrics = MetricsCollector()
+        cache = FunctionCache(SimulationClock(), CostConstants(),
+                              max_entries=max_entries, metrics=metrics)
+        return cache, metrics
+
+    def test_evicts_least_recently_used(self):
+        cache, metrics = self._cache(max_entries=2)
+        cache.store("udf", "a", 1)
+        cache.store("udf", "b", 2)
+        assert cache.lookup("udf", "a", 0) == (True, 1)  # refresh "a"
+        cache.store("udf", "c", 3)  # evicts "b"
+        assert cache.lookup("udf", "b", 0)[0] is False
+        assert cache.lookup("udf", "a", 0)[0] is True
+        assert cache.lookup("udf", "c", 0)[0] is True
+        assert cache.evictions == 1
+        assert metrics.counters.get("funcache_evictions") == 1
+
+    def test_unbounded_when_zero(self):
+        cache, _ = self._cache(max_entries=0)
+        for i in range(100):
+            cache.store("udf", i, i)
+        assert cache.total_entries() == 100
+        assert cache.evictions == 0
+
+    def test_config_knob_validated(self):
+        with pytest.raises(ValueError):
+            EvaConfig(funcache_max_entries=-1)
+
+
+class TestSymbolicMemo:
+    def _engine(self, memo_size: int = 16):
+        from repro.symbolic.engine import SymbolicEngine
+
+        return SymbolicEngine(memo_size=memo_size)
+
+    def _where(self, sql: str):
+        from repro.parser.parser import parse
+
+        return parse(f"SELECT id FROM t WHERE {sql};").where
+
+    def test_repeated_reductions_hit(self):
+        engine = self._engine()
+        first = engine.analyze(self._where("id < 100 AND id >= 20"))
+        again = engine.analyze(self._where("id < 100 AND id >= 20"))
+        stats = engine.memo_stats()
+        assert stats.hits >= 1
+        assert first.conjunctives == again.conjunctives
+
+    def test_intersection_and_difference_memoized(self):
+        engine = self._engine()
+        p1 = engine.analyze(self._where("id < 300"))
+        p2 = engine.analyze(self._where("id >= 100"))
+        before = engine.memo_stats()
+        inter1 = engine.intersection(p1, p2)
+        inter2 = engine.intersection(p1, p2)
+        diff1 = engine.difference(p1, p2)
+        diff2 = engine.difference(p1, p2)
+        delta = engine.memo_stats().delta(before)
+        assert delta.hits == 2
+        assert delta.misses == 2
+        assert inter1.conjunctives == inter2.conjunctives
+        assert diff1.conjunctives == diff2.conjunctives
+
+    def test_memoized_results_semantically_identical(self):
+        memo = self._engine(memo_size=64)
+        plain = self._engine(memo_size=0)
+        shapes = ["id < 250", "id < 250 AND label = 'car'",
+                  "id >= 50 AND id < 250", "label != 'bus' OR id = 3"]
+        for sql in shapes * 2:  # second pass hits the memo
+            expr = self._where(sql)
+            assert (memo.analyze(expr).conjunctives
+                    == plain.analyze(expr).conjunctives), sql
+        assert memo.memo_stats().hits >= len(shapes)
+        assert plain.memo_stats() .misses == 0
+
+    def test_lru_bound_and_evictions(self):
+        engine = self._engine(memo_size=2)
+        for bound in (10, 20, 30, 40):
+            engine.analyze(self._where(f"id < {bound}"))
+        stats = engine.memo_stats()
+        assert stats.size <= 2
+        assert stats.evictions >= 2
+
+    def test_session_surfaces_counters(self, tiny_video):
+        session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.EVA))
+        session.register_video(tiny_video)
+        overlapping = [
+            "SELECT id FROM tiny CROSS APPLY "
+            "FastRCNNObjectDetector(frame) "
+            f"WHERE id < {bound} AND label = 'car';"
+            for bound in (100, 200, 300)
+        ]
+        for sql in overlapping:
+            session.execute(sql)
+        assert session.metrics.counters.get("symbolic_memo_hits", 0) > 0
+        from repro.obs.audit import KIND_SYMBOLIC_MEMO
+
+        records = [r for r in session.last_optimized.audit
+                   if r.kind == KIND_SYMBOLIC_MEMO]
+        assert records and records[-1].costs["memo_hits"] > 0
+
+
+class TestBatcherChunking:
+    def test_requests_never_split(self):
+        from repro.server.batcher import InferenceBatcher, _Request
+
+        batcher = InferenceBatcher(max_batch_size=4)
+        chunks = batcher._chunks([_Request([1, 2, 3]),
+                                  _Request([4, 5]),
+                                  _Request([6]),
+                                  _Request([7, 8, 9, 10, 11])])
+        sizes = [[len(r.inputs) for r in chunk] for chunk in chunks]
+        assert sizes == [[3], [2, 1], [5]]
+
+    def test_validation(self):
+        from repro.server.batcher import InferenceBatcher
+
+        with pytest.raises(ValueError):
+            InferenceBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            InferenceBatcher(timeout_ms=-1.0)
+        with pytest.raises(ValueError):
+            EvaConfig(micro_batch_timeout_ms=-0.5)
