@@ -17,6 +17,11 @@ speedup of the second over the first:
   (``EvaConfig.parallelism``) with simulated per-call model serving
   latency: workers overlap the inference round-trips that dominate the
   paper's Eq. 3 cost (see ``docs/execution.md``).
+* ``cold_start_hit_heavy`` (``warm`` vs ``restarted``) — the same
+  hit-heavy pass served by the session that materialized the views vs a
+  fresh session that recovered them from a durable store
+  (``store_mode="durable"``, see ``docs/storage.md``); the restart must
+  answer at the pre-restart hit rate.
 * ``batched_miss_heavy`` (``unbatched`` vs ``batched``) — eight
   concurrent server clients running the same miss-heavy detector query;
   the ``batched`` run gives the shared ``InferenceBatcher`` a coalescing
@@ -205,6 +210,64 @@ def run_parallel_filter(frames: int, quick: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# cold_start_hit_heavy: durable-store restart vs the uninterrupted session
+# ---------------------------------------------------------------------------
+
+def run_durable(video: SyntheticVideo, store_dir: Path,
+                warmup: list[str], queries: list[str]) -> dict:
+    """One durable session; hit rate is over the measured window only."""
+    session = EvaSession(config=EvaConfig(
+        reuse_policy=ReusePolicy.EVA, store_mode="durable",
+        store_path=str(store_dir)))
+    session.register_video(video)
+    for sql in warmup:
+        session.execute(sql)
+    first_measured = len(session.metrics.query_metrics)
+    before = session.clock.snapshot()
+    start = time.perf_counter()
+    rows = 0
+    for sql in queries:
+        rows += len(session.execute(sql).rows)
+    wall = time.perf_counter() - start
+    breakdown = session.clock.snapshot_delta(before)
+    total = reused = 0
+    for metrics in session.metrics.query_metrics[first_measured:]:
+        total += sum(metrics.udf_counts.values())  # #TI, reused included
+        reused += sum(metrics.reused_counts.values())
+    report = session.view_store.recovery_report
+    session.close()
+    return {"wall_seconds": round(wall, 6), "rows": rows,
+            "virtual_seconds": virtual_total(breakdown),
+            "queries": len(queries),
+            "hit_rate": round(100.0 * reused / max(1, total), 2),
+            "recovery_seconds": round(report.wall_seconds, 6),
+            "keys_recovered": report.keys_recovered}
+
+
+def run_cold_start_hit_heavy(frames: int, quick: bool) -> dict:
+    """Warm hit-heavy pass vs the same pass in a fresh session that
+    recovered the durable store — the restart must answer at the
+    pre-restart hit rate (zero fresh UDF invocations)."""
+    import shutil
+    import tempfile
+
+    video = make_video(frames)
+    query = apply_query(frames)
+    queries = [query] * (1 if quick else 2)
+    store_dir = Path(tempfile.mkdtemp(prefix="eva-bench-store-"))
+    try:
+        # The warm session materializes on its warmup pass, then serves
+        # the measured window from memory; close() snapshots the store.
+        warm = run_durable(video, store_dir, [query], queries)
+        restarted = run_durable(video, store_dir, [], queries)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    return pair_entry(
+        ("warm", "restarted"), warm, restarted,
+        hit_rate_match=restarted["hit_rate"] >= warm["hit_rate"] - 1e-6)
+
+
+# ---------------------------------------------------------------------------
 # batched_miss_heavy: concurrent server clients, with/without coalescing
 # ---------------------------------------------------------------------------
 
@@ -302,6 +365,8 @@ def main(argv: list[str] | None = None) -> int:
                                                row, vec)
     report["scenarios"]["parallel_filter"] = run_parallel_filter(
         frames, args.quick)
+    report["scenarios"]["cold_start_hit_heavy"] = run_cold_start_hit_heavy(
+        frames, args.quick)
     report["scenarios"]["batched_miss_heavy"] = run_batched_miss_heavy(
         args.quick)
 
@@ -322,6 +387,12 @@ def main(argv: list[str] | None = None) -> int:
         print("ERROR: batched_miss_heavy never coalesced concurrent "
               "requests (mean batch size <= 1)", file=sys.stderr)
         ok = False
+    cold = report["scenarios"]["cold_start_hit_heavy"]
+    if not cold["hit_rate_match"]:
+        print("ERROR: cold_start_hit_heavy lost hit rate across the "
+              f"restart ({cold['warm']['hit_rate']}% -> "
+              f"{cold['restarted']['hit_rate']}%)", file=sys.stderr)
+        ok = False
 
     report["hot_path_speedup"] = \
         report["scenarios"]["apply_hit_heavy"]["real_speedup"]
@@ -330,6 +401,9 @@ def main(argv: list[str] | None = None) -> int:
     report["batcher_mean_batch_requests"] = \
         report["scenarios"]["batched_miss_heavy"]["batched"]["batcher"][
             "mean_batch_requests"]
+    report["post_restart_hit_rate"] = \
+        report["scenarios"]["cold_start_hit_heavy"]["restarted"][
+            "hit_rate"]
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     if not ok:

@@ -17,7 +17,9 @@ Comparison rules:
   on results and virtual cost; see ``docs/execution.md``), as do a
   ``parallel_filter`` run that silently fell back to serial execution
   or a ``batched_miss_heavy`` run that never coalesced (mean batch
-  size <= 1 request);
+  size <= 1 request), or a ``cold_start_hit_heavy`` run whose
+  restarted session answered below the warm session's hit rate
+  (``hit_rate_match`` false — durable-store recovery lost state);
 * **wall clock is configuration-relative** — raw wall seconds are only
   compared when the fresh run used the same ``frames`` / ``repetitions``
   / ``quick`` flag as the baseline, with a ``--tolerance`` band
@@ -104,6 +106,11 @@ def compare(baseline: dict, fresh: dict, *, tolerance: float,
             failures.append(
                 f"{name}: inference batcher never coalesced concurrent "
                 f"requests (mean batch size <= 1)")
+        if "hit_rate_match" in scenario \
+                and not scenario["hit_rate_match"]:
+            failures.append(
+                f"{name}: restarted session lost hit rate vs the warm "
+                f"session (durable-store recovery is incomplete)")
 
     # 2. Scenario coverage: the fresh run must keep every baseline
     #    scenario (a silently dropped scenario hides regressions).
@@ -184,6 +191,7 @@ def history_entry(baseline: dict, fresh: dict, failures: list[str],
         "parallel_speedup": fresh.get("parallel_speedup"),
         "batcher_mean_batch_requests":
             fresh.get("batcher_mean_batch_requests"),
+        "post_restart_hit_rate": fresh.get("post_restart_hit_rate"),
         "scenarios": {
             name: {
                 "pair": list(scenario_pair(s)),

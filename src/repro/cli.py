@@ -59,11 +59,14 @@ def make_video(spec: str) -> SyntheticVideo:
 
 def make_session(policy_name: str, dataset: str,
                  execution_mode: str = "vectorized",
-                 parallelism: int = 0) -> EvaSession:
+                 parallelism: int = 0,
+                 store_path: str | None = None) -> EvaSession:
     policy = ReusePolicy(policy_name.lower())
-    session = EvaSession(config=EvaConfig(reuse_policy=policy,
-                                          execution_mode=execution_mode,
-                                          parallelism=parallelism))
+    session = EvaSession(config=EvaConfig(
+        reuse_policy=policy, execution_mode=execution_mode,
+        parallelism=parallelism,
+        store_mode="durable" if store_path else "memory",
+        store_path=store_path))
     session.register_video(make_video(dataset))
     return session
 
@@ -159,9 +162,10 @@ def run_script(session: EvaSession, path: str, stdout: IO[str]) -> int:
 def run_bench(policy_name: str, workload: str, frames: int,
               stdout: IO[str], artifacts: str | None = None,
               execution_mode: str = "vectorized",
-              parallelism: int = 0) -> int:
+              parallelism: int = 0,
+              store_path: str | None = None) -> int:
     from repro.vbench.queries import vbench_high, vbench_low
-    from repro.vbench.workload import run_workload
+    from repro.vbench.workload import run_workload, workload_session
 
     video = SyntheticVideo(
         VideoMetadata(name="bench", num_frames=frames, width=960,
@@ -169,11 +173,15 @@ def run_bench(policy_name: str, workload: str, frames: int,
         seed=7)
     queries = (vbench_high if workload == "high" else vbench_low)(
         "bench", frames)
-    result = run_workload(video, queries,
-                          EvaConfig(reuse_policy=ReusePolicy(policy_name),
-                                    execution_mode=execution_mode,
-                                    parallelism=parallelism),
+    config = EvaConfig(reuse_policy=ReusePolicy(policy_name),
+                       execution_mode=execution_mode,
+                       parallelism=parallelism,
+                       store_mode="durable" if store_path else "memory",
+                       store_path=store_path)
+    session = workload_session(video, config)
+    result = run_workload(video, queries, session=session,
                           artifacts_dir=artifacts)
+    session.close()  # snapshot + flush a durable store; no-op otherwise
     rows = [[f"Q{i + 1}", round(m.total_time, 1), m.rows_returned]
             for i, m in enumerate(result.query_metrics)]
     rows.append(["total", round(result.total_time, 1), ""])
@@ -443,6 +451,42 @@ def run_serve_demo(dataset: str, clients: int, workers: int,
     return 1 if errors else 0
 
 
+def run_store(command: str, path: str, stdout: IO[str],
+              schema: str | None = None) -> int:
+    """``repro store check|stats``: read-only store inspection.
+
+    ``check`` exits non-zero on unrepairable corruption; warnings (torn
+    tails, stale partition files) are printed but do not fail, because
+    recovery handles them.  ``--schema`` additionally validates the
+    store manifest line-by-line against a JSON schema using the
+    dependency-free :mod:`repro.obs.schema` validator.
+    """
+    from repro.store import check_store, render_check, render_stats, \
+        store_stats
+    from repro.store.layout import StoreLayout
+
+    if command == "check":
+        report = check_store(path)
+        print(render_check(report), file=stdout)
+        exit_code = 0 if report.ok else 1
+        if schema is not None and report.ok:
+            from repro.obs.schema import (SchemaError, load_schema,
+                                          validate_jsonl)
+
+            manifest = StoreLayout(path).manifest_path
+            try:
+                count = validate_jsonl(manifest, load_schema(schema))
+                print(f"manifest: {count} records conform to {schema}",
+                      file=stdout)
+            except SchemaError as error:
+                print(f"manifest schema violation: {error}", file=stdout)
+                exit_code = 1
+        return exit_code
+    stats = store_stats(path)
+    print(render_stats(stats), file=stdout)
+    return 0 if stats["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -465,6 +509,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="morsel-driven worker threads per query "
                             "(0/1 = serial; results and virtual costs "
                             "are identical either way)")
+        p.add_argument("--store-path", default=None, metavar="DIR",
+                       help="back the session with a durable view store "
+                            "at DIR (WAL + snapshots; reuse state "
+                            "survives restarts)")
 
     shell = sub.add_parser("shell", help="interactive EVAQL shell")
     common(shell)
@@ -487,6 +535,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--parallelism", type=int, default=0,
                        help="morsel-driven worker threads per query "
                             "(0/1 = serial)")
+    bench.add_argument("--store-path", default=None, metavar="DIR",
+                       help="run against a durable view store at DIR "
+                            "(snapshot + flush on completion)")
     trace = sub.add_parser(
         "trace",
         help="run statement(s) and print the hierarchical span tree "
@@ -546,6 +597,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload repetitions per client")
     serve.add_argument("--queue", type=int, default=16,
                        help="admission queue bound")
+    store = sub.add_parser(
+        "store",
+        help="inspect a durable view store directory (read-only)")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    check = store_sub.add_parser(
+        "check", help="integrity pass: checksums, torn tails, manifest "
+                      "vs control-log consistency")
+    check.add_argument("path", help="store directory")
+    check.add_argument("--schema", default=None, metavar="PATH",
+                       help="also validate manifest.jsonl against this "
+                            "JSON schema")
+    stats = store_sub.add_parser(
+        "stats", help="tier/partition/WAL sizes and audit counters")
+    stats.add_argument("path", help="store directory")
     return parser
 
 
@@ -558,7 +623,15 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
         return run_bench(args.policy, args.workload, args.frames, stdout,
                          artifacts=args.artifacts,
                          execution_mode=args.execution_mode,
-                         parallelism=args.parallelism)
+                         parallelism=args.parallelism,
+                         store_path=args.store_path)
+    if args.command == "store":
+        try:
+            return run_store(args.store_command, args.path, stdout,
+                             schema=getattr(args, "schema", None))
+        except EvaError as error:
+            print(f"error: {error}", file=stdout)
+            return 1
     if args.command == "serve-demo":
         try:
             return run_serve_demo(args.dataset, args.clients, args.workers,
@@ -595,10 +668,14 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
     try:
         session = make_session(args.policy, args.dataset,
                                execution_mode=args.execution_mode,
-                               parallelism=args.parallelism)
+                               parallelism=args.parallelism,
+                               store_path=args.store_path)
     except ValueError as error:
         print(f"error: {error}", file=stdout)
         return 2
-    if args.command == "shell":
-        return run_shell(session, stdin, stdout)
-    return run_script(session, args.script, stdout)
+    try:
+        if args.command == "shell":
+            return run_shell(session, stdin, stdout)
+        return run_script(session, args.script, stdout)
+    finally:
+        session.close()

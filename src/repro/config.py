@@ -134,6 +134,30 @@ class EvaConfig:
     #: (``INTER``/``DIFF``/``REDUCE`` keyed by canonical DNF forms) kept by
     #: the symbolic engine.  ``0`` disables memoization entirely.
     symbolic_memo_size: int = 4096
+    #: View-store durability (``repro.store``, see docs/storage.md).
+    #: ``"memory"`` keeps today's in-process store with zero behavior
+    #: change; ``"durable"`` persists views, drop tombstones and UDF
+    #: aggregated predicates under ``store_path`` so a restarted
+    #: session/server resumes at its pre-restart hit-rate.
+    store_mode: str = "memory"
+    #: Directory backing the durable store (required when durable).
+    store_path: str | None = None
+    #: Hot-tier (resident views) byte budget; exceeding it demotes the
+    #: cheapest-recompute-per-byte view to the warm tier.  0 = unbounded.
+    store_hot_bytes: int = 0
+    #: Warm-tier (on-disk demoted views) byte budget; exceeding it drops
+    #: the cheapest-recompute-per-byte warm view.  0 = unbounded.
+    store_warm_bytes: int = 0
+    #: WAL group-commit interval: fsync after this many appended records.
+    store_fsync_every: int = 32
+    #: Snapshot a partition after this many WAL records, folding its log
+    #: into an npz snapshot and truncating the WAL.
+    store_snapshot_interval: int = 4096
+    #: Frames per partition bucket: a view's keys are segmented into
+    #: independent (view, generation, frame-range) WAL+snapshot pairs.
+    store_partition_frames: int = 2048
+    #: Threads replaying partitions at recovery.
+    store_recovery_parallelism: int = 4
 
     def __post_init__(self):
         if self.execution_mode not in ("vectorized", "row"):
@@ -174,6 +198,23 @@ class EvaConfig:
             raise ValueError(
                 f"symbolic_memo_size must be >= 0, "
                 f"got {self.symbolic_memo_size!r}")
+        if self.store_mode not in ("memory", "durable"):
+            raise ValueError(
+                f"store_mode must be 'memory' or 'durable', "
+                f"got {self.store_mode!r}")
+        if self.store_mode == "durable" and not self.store_path:
+            raise ValueError(
+                "store_mode='durable' requires store_path")
+        for name in ("store_hot_bytes", "store_warm_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be >= 0, got {getattr(self, name)!r}")
+        for name in ("store_fsync_every", "store_snapshot_interval",
+                     "store_partition_frames",
+                     "store_recovery_parallelism"):
+            if getattr(self, name) < 1:
+                raise ValueError(
+                    f"{name} must be >= 1, got {getattr(self, name)!r}")
         if self.ranking is None:
             # Materialization-aware ranking is EVA's contribution; the
             # baselines use the canonical ranking function.

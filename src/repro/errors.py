@@ -37,6 +37,11 @@ class StorageError(EvaError):
     """The storage engine could not read or write data."""
 
 
+class StoreCorruptionError(StorageError):
+    """The durable view store's on-disk state failed an integrity check
+    that recovery cannot repair (bad file header, unreadable manifest)."""
+
+
 class OptimizerError(EvaError):
     """The optimizer could not produce a physical plan."""
 

@@ -293,8 +293,66 @@ def _expose_batcher(exp: _Exposition, snapshot) -> None:
     exp.sample("eva_batcher_queue_depth", snapshot.queue_depth)
 
 
+def _expose_store(exp: _Exposition, snapshot) -> None:
+    """Durable view-store health (``repro.store.StoreSnapshot``)."""
+    exp.header("eva_store_tier_bytes",
+               "Estimated bytes held per view-store tier "
+               "(hot=resident, warm=demoted to disk)", "gauge")
+    exp.sample("eva_store_tier_bytes", snapshot.hot_bytes, tier="hot")
+    exp.sample("eva_store_tier_bytes", snapshot.warm_bytes, tier="warm")
+    exp.header("eva_store_tier_views", "Views held per tier", "gauge")
+    exp.sample("eva_store_tier_views", snapshot.hot_views, tier="hot")
+    exp.sample("eva_store_tier_views", snapshot.warm_views, tier="warm")
+    exp.header("eva_store_wal_bytes",
+               "Bytes across all open WAL segments (control log "
+               "included); falls back to 0 after the store closes",
+               "gauge")
+    exp.sample("eva_store_wal_bytes", snapshot.wal_bytes)
+    exp.header("eva_store_snapshot_files",
+               "Partition snapshot files on disk", "gauge")
+    exp.sample("eva_store_snapshot_files", snapshot.snapshot_files)
+    if snapshot.snapshot_age_seconds is not None:
+        exp.header("eva_store_snapshot_age_seconds",
+                   "Seconds since the last partition snapshot was "
+                   "written by this process", "gauge")
+        exp.sample("eva_store_snapshot_age_seconds",
+                   snapshot.snapshot_age_seconds)
+    exp.header("eva_store_evictions_total",
+               "Tier evictions by disposition (demoted=hot->warm, "
+               "dropped=warm budget exceeded)", "counter")
+    exp.sample("eva_store_evictions_total",
+               snapshot.counters.get("demotions", 0), reason="demoted")
+    exp.sample("eva_store_evictions_total",
+               snapshot.counters.get("evicted_dropped", 0),
+               reason="dropped")
+    exp.header("eva_store_promotions_total",
+               "Warm views reloaded into the hot tier on probe",
+               "counter")
+    exp.sample("eva_store_promotions_total",
+               snapshot.counters.get("promotions", 0))
+    exp.header("eva_store_wal_records_total",
+               "Put records appended to partition WALs", "counter")
+    exp.sample("eva_store_wal_records_total",
+               snapshot.counters.get("wal_records", 0))
+    exp.header("eva_store_snapshots_total",
+               "Partition snapshots written", "counter")
+    exp.sample("eva_store_snapshots_total",
+               snapshot.counters.get("snapshots", 0))
+    recovery = snapshot.recovery
+    if recovery:
+        exp.header("eva_store_recovery_info",
+                   "Startup recovery pass results (views/partitions/"
+                   "records replayed, torn tails repaired)", "gauge")
+        for key in ("views_recovered", "partitions_replayed",
+                    "records_replayed", "keys_recovered",
+                    "torn_tails_repaired", "stale_files_removed"):
+            exp.sample("eva_store_recovery_info", recovery.get(key, 0),
+                       stat=key)
+
+
 def prometheus_text(metrics=None, clock=None, server=None, *,
-                    profile=None, drift=None, batcher=None) -> str:
+                    profile=None, drift=None, batcher=None,
+                    store=None) -> str:
     """Render the exposition for any subset of metric sources.
 
     Args:
@@ -309,6 +367,8 @@ def prometheus_text(metrics=None, clock=None, server=None, *,
             (modeled vs observed per-tuple model costs).
         batcher: a :class:`~repro.server.batcher.BatcherSnapshot`
             (cross-client inference micro-batching gauges).
+        store: a :class:`~repro.store.StoreSnapshot` (durable
+            view-store tier sizes, WAL bytes, eviction counters).
     """
     exp = _Exposition()
     if metrics is not None:
@@ -325,4 +385,6 @@ def prometheus_text(metrics=None, clock=None, server=None, *,
         _expose_drift(exp, drift)
     if batcher is not None:
         _expose_batcher(exp, batcher)
+    if store is not None:
+        _expose_store(exp, store)
     return exp.text()

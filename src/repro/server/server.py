@@ -156,6 +156,10 @@ class EvaServer:
                         if self._pending == 0:
                             break
                     time.sleep(0.005)
+        # Workers are quiesced: snapshot and close a durable view store
+        # so the next server over this path recovers from snapshots
+        # instead of replaying the whole WAL.
+        self.state.close_store()
 
     # -- setup -----------------------------------------------------------------
 
@@ -387,4 +391,5 @@ class EvaServer:
             profile=self.profile_snapshot(),
             drift=self.drift_report(),
             batcher=self.batcher_snapshot(),
+            store=self.state.view_store.store_snapshot(),
         )

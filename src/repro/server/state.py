@@ -305,22 +305,39 @@ class SharedViewStore:
     def total_serialized_bytes(self) -> int:
         return self._base.total_serialized_bytes()
 
-    def drop(self, name: str) -> bool:
+    def drop(self, name: str) -> int:
+        """Drop one view; returns the (estimated) bytes freed, 0 if the
+        view did not exist (see :meth:`ViewStore.drop`)."""
         lock = self._view_lock(name)
         with lock.write_locked():
-            existed = self._base.drop(name)
+            freed = self._base.drop(name)
         with self._registry_lock:
             self._owners.pop(name, None)
             # The RWLock stays registered: a concurrent reader blocked on
             # it must still be able to release cleanly.
-        return existed
+        return freed
 
-    def drop_all(self) -> None:
-        for name in self.names():
-            self.drop(name)
+    def drop_all(self) -> int:
+        return sum(self.drop(name) for name in self.names())
 
     def save_to(self, directory) -> int:
         return self._base.save_to(directory)
+
+    # -- durability passthrough (no-ops over a memory-backed base) -----------
+
+    def flush(self) -> None:
+        if hasattr(self._base, "flush"):
+            self._base.flush()
+
+    def close(self) -> None:
+        if hasattr(self._base, "close"):
+            self._base.close()
+
+    def store_snapshot(self):
+        """Durable-store health, or None for a memory-backed base."""
+        if hasattr(self._base, "store_snapshot"):
+            return self._base.store_snapshot()
+        return None
 
 
 class ClientViewStore:
@@ -354,11 +371,11 @@ class ClientViewStore:
     def total_serialized_bytes(self) -> int:
         return self.shared.total_serialized_bytes()
 
-    def drop(self, name: str) -> bool:
+    def drop(self, name: str) -> int:
         return self.shared.drop(name)
 
-    def drop_all(self) -> None:
-        self.shared.drop_all()
+    def drop_all(self) -> int:
+        return self.shared.drop_all()
 
     def save_to(self, directory) -> int:
         return self.shared.save_to(directory)
@@ -376,8 +393,18 @@ class SharedReuseState:
         self.symbolic = SymbolicEngine(
             self.config.symbolic_time_budget,
             memo_size=self.config.symbolic_memo_size)
-        self.view_store = SharedViewStore()
-        self.udf_manager = LockedUdfManager(UdfManager(self.symbolic))
+        if self.config.store_mode == "durable":
+            from repro.store import (PersistentUdfManager, open_view_store,
+                                     restore_udf_histories)
+
+            base_store = open_view_store(self.config)
+            base_manager = PersistentUdfManager(self.symbolic, base_store)
+            restore_udf_histories(base_store, base_manager, self.symbolic)
+        else:
+            base_store = ViewStore()
+            base_manager = UdfManager(self.symbolic)
+        self.view_store = SharedViewStore(base_store)
+        self.udf_manager = LockedUdfManager(base_manager)
         #: Cross-client inference micro-batching: every client's
         #: ExecutionContext routes model calls through this shared
         #: batcher, which coalesces concurrent miss sub-batches that
@@ -392,7 +419,15 @@ class SharedReuseState:
         #: profile (ProfileStore is internally thread-safe), mirroring
         #: how materialized views are shared.
         self.profiler = ProfileStore()
+        if getattr(base_store, "is_durable", False):
+            from repro.store import make_cost_resolver
+            base_store.cost_resolver = make_cost_resolver(
+                self.profiler, self.catalog)
         self._setup_lock = threading.Lock()
+
+    def close_store(self) -> None:
+        """Snapshot + close a durable base store (server shutdown)."""
+        self.view_store.close()
 
     def attach_stats(self, stats: "ServerStats") -> None:
         self.view_store.attach_stats(stats)

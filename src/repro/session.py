@@ -129,12 +129,22 @@ class SessionState:
         config = config or EvaConfig()
         symbolic = SymbolicEngine(config.symbolic_time_budget,
                                   memo_size=config.symbolic_memo_size)
+        if config.store_mode == "durable":
+            from repro.store import (PersistentUdfManager, open_view_store,
+                                     restore_udf_histories)
+
+            view_store = open_view_store(config)
+            udf_manager = PersistentUdfManager(symbolic, view_store)
+            restore_udf_histories(view_store, udf_manager, symbolic)
+        else:
+            view_store = ViewStore()
+            udf_manager = UdfManager(symbolic)
         return cls(
             config=config,
             catalog=Catalog(zoo or default_zoo()),
             storage=StorageEngine(),
-            view_store=ViewStore(),
-            udf_manager=UdfManager(symbolic),
+            view_store=view_store,
+            udf_manager=udf_manager,
             symbolic=symbolic,
         )
 
@@ -192,6 +202,30 @@ class EvaSession:
             OrderedDict()
         if register_standard_udfs:
             self.register_standard_udfs()
+        if getattr(self.view_store, "is_durable", False) \
+                and not state.shared:
+            if self.view_store.cost_resolver is None:
+                from repro.store import make_cost_resolver
+                self.view_store.cost_resolver = make_cost_resolver(
+                    self.profiler, self.catalog)
+            self._emit_recovery_span()
+
+    def _emit_recovery_span(self) -> None:
+        """One ``store-recover`` trace span per store recovery."""
+        report = getattr(self.view_store, "recovery_report", None)
+        if report is None or report.span_emitted:
+            return
+        report.span_emitted = True
+        with self.tracer.span(
+                "store-recover",
+                views=report.views_recovered,
+                warm_views=report.warm_views,
+                partitions=report.partitions_replayed,
+                records=report.records_replayed,
+                keys=report.keys_recovered,
+                torn_tails=report.torn_tails_repaired,
+                recovery_wall_s=round(report.wall_seconds, 6)):
+            pass
 
     # -- setup ---------------------------------------------------------------
 
@@ -666,6 +700,17 @@ class EvaSession:
         self.context.metrics = self.metrics
         self.clock.reset()
         self._plan_cache.clear()
+
+    def close(self) -> None:
+        """Flush and snapshot a durable store (no-op otherwise).
+
+        Server-managed sessions skip this — the store's lifecycle belongs
+        to the :class:`~repro.server.EvaServer`, which snapshots it during
+        its draining shutdown.  Safe to call more than once.
+        """
+        store = self.state.view_store
+        if not self.state.shared and getattr(store, "is_durable", False):
+            store.close()
 
     def _refuse_if_shared(self, operation: str) -> None:
         if self.state.shared:

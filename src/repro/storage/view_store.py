@@ -26,6 +26,17 @@ from repro.types import BoundingBox
 
 Key = tuple[Hashable, ...]
 
+#: Serialized size of an *empty* view (npz container + headers); measured
+#: 576 bytes for a two-column layout, rounded down so the estimate stays
+#: a mild over-approximation only through the payload term.
+SERIALIZED_BASE_OVERHEAD = 512
+
+#: Compressed-bytes per raw-JSON-payload byte.  Calibrated against real
+#: query output (detector views compress to 0.33, patch-classifier views
+#: to 0.20 of their raw JSON); 0.35 over-estimates both slightly, which
+#: is the safe direction for byte-budget enforcement.
+SERIALIZED_COMPRESSION_FACTOR = 0.35
+
 
 class MaterializedView:
     """Append-only map from UDF input keys to tuples of output rows."""
@@ -37,7 +48,15 @@ class MaterializedView:
         self.name = name
         self.key_columns = list(key_columns)
         self.output_columns = list(output_columns)
+        #: Optional write observer (duck-typed; see ``repro.store``): gets
+        #: ``view_put(view, key, rows)`` / ``view_put_many(view, items)``
+        #: after inserts commit, *outside* the view lock.  Durable backends
+        #: use this to append WAL records; re-put no-ops are not reported.
+        self.listener = None
         self._entries: dict[Key, tuple[dict, ...]] = {}
+        #: Running raw-JSON payload size, maintained by put/put_many so
+        #: :meth:`serialized_bytes` is O(1) — it is the eviction hot path.
+        self._approx_payload_bytes = 0
         #: Lazily-built secondary index: first key component -> keys.
         #: Used by fuzzy bounding-box reuse to enumerate a frame's boxes.
         self._prefix_index: dict[Hashable, list[Key]] | None = None
@@ -62,12 +81,17 @@ class MaterializedView:
         """
         stored = tuple(
             {col: row[col] for col in self.output_columns} for row in rows)
+        nbytes = _payload_bytes(key, stored)
         with self._lock:
             if key in self._entries:
                 return False
             self._entries[key] = stored
+            self._approx_payload_bytes += nbytes
             if self._prefix_index is not None:
                 self._prefix_index.setdefault(key[0], []).append(key)
+        listener = self.listener
+        if listener is not None:
+            listener.view_put(self, key, stored)
         return True
 
     def put_many(self, items: Iterable[tuple[Key, Iterable[Mapping]]]
@@ -88,15 +112,21 @@ class MaterializedView:
             for key, rows in items
         ]
         inserted: list[bool] = []
+        fresh: list[tuple[Key, tuple[dict, ...]]] = []
         with self._lock:
             for key, stored in prepared:
                 if key in self._entries:
                     inserted.append(False)
                     continue
                 self._entries[key] = stored
+                self._approx_payload_bytes += _payload_bytes(key, stored)
                 if self._prefix_index is not None:
                     self._prefix_index.setdefault(key[0], []).append(key)
                 inserted.append(True)
+                fresh.append((key, stored))
+        listener = self.listener
+        if listener is not None and fresh:
+            listener.view_put_many(self, fresh)
         return inserted
 
     # -- reads ------------------------------------------------------------------
@@ -144,6 +174,11 @@ class MaterializedView:
     def num_keys(self) -> int:
         return len(self._entries)
 
+    def items(self) -> list[tuple[Key, tuple[dict, ...]]]:
+        """Consistent snapshot of all (key, rows) entries under the lock."""
+        with self._lock:
+            return list(self._entries.items())
+
     @property
     def num_output_rows(self) -> int:
         return sum(len(rows) for rows in self._entries.values())
@@ -151,8 +186,15 @@ class MaterializedView:
     # -- serialization ----------------------------------------------------------
 
     def serialized_bytes(self) -> int:
-        """Bytes this view occupies when serialized (compressed)."""
-        return len(self.serialize())
+        """Estimated compressed size of :meth:`serialize` output, in O(1).
+
+        Maintained incrementally from the raw JSON payload written per
+        insert; :meth:`serialize` itself remains exact.  Calibrated to
+        over-estimate real views by 1.05–1.75x — byte-budget policies
+        built on it (tier eviction, footprint caps) err conservative.
+        """
+        return SERIALIZED_BASE_OVERHEAD + int(
+            self._approx_payload_bytes * SERIALIZED_COMPRESSION_FACTOR)
 
     def serialize(self) -> bytes:
         """Serialize all entries (compressed npz + JSON payloads)."""
@@ -204,6 +246,11 @@ class ViewStore:
 
     def __init__(self) -> None:
         self._views: dict[str, MaterializedView] = {}
+        #: Pluggable durability backend (duck-typed; see ``repro.store``):
+        #: gets ``view_created(view)`` after a view is registered and
+        #: ``view_dropped(name)`` after one is removed.  ``None`` (the
+        #: default) keeps the store purely in-memory with zero overhead.
+        self.backend = None
         #: Guards the name -> view map.  Two threads racing to create the
         #: same view must receive the *same* instance, or one thread's
         #: entries would be silently lost when the other's map write wins.
@@ -215,6 +262,14 @@ class ViewStore:
             view = self._views.get(name)
             if view is None:
                 view = MaterializedView(name, key_columns, output_columns)
+                backend = self.backend
+                if backend is not None:
+                    # Log the creation and attach the WAL listener *before*
+                    # the view becomes reachable through the map — a racing
+                    # writer must never see a view whose puts would miss
+                    # the WAL.  Creation is rare (once per view name), so
+                    # the control-log fsync under the lock is immaterial.
+                    backend.view_created(view)
                 self._views[name] = view
                 return view
         if (view.key_columns != list(key_columns)
@@ -238,18 +293,34 @@ class ViewStore:
             views = list(self._views.values())
         return sum(v.serialized_bytes() for v in views)
 
-    def drop(self, name: str) -> bool:
-        """Evict one view; returns whether it existed.
+    def drop(self, name: str) -> int:
+        """Evict one view; returns the (estimated) bytes it freed, 0 if
+        the view did not exist.
 
+        An existing view always frees a non-zero amount (the serialized
+        container overhead), so truthiness still answers "did it exist".
         Single-view eviction is the primitive the server's storage-budget
-        policies build on (drop the coldest view when over budget).
+        policies build on (drop the coldest view when over budget); the
+        durability backend is told *after* the map removal so the
+        tombstone it logs cannot race a resurrection through
+        :meth:`create_or_get` (which would re-log a create afterwards).
         """
         with self._lock:
-            return self._views.pop(name, None) is not None
+            view = self._views.pop(name, None)
+        if view is None:
+            return 0
+        freed = view.serialized_bytes()
+        view.listener = None
+        backend = self.backend
+        if backend is not None:
+            backend.view_dropped(name)
+        return freed
 
-    def drop_all(self) -> None:
+    def drop_all(self) -> int:
+        """Drop every view; returns the total (estimated) bytes freed."""
         with self._lock:
-            self._views.clear()
+            names = list(self._views)
+        return sum(self.drop(name) for name in names)
 
     # -- persistence -------------------------------------------------------------
 
@@ -293,6 +364,15 @@ class ViewStore:
                 entry["output_columns"], payload)
             store._views[entry["name"]] = view
         return store
+
+
+def _payload_bytes(key: Key, stored: tuple[dict, ...]) -> int:
+    """Raw JSON size of one entry — the unit the running estimate sums."""
+    nbytes = len(json.dumps([_jsonable(part) for part in key]))
+    for row in stored:
+        for value in row.values():
+            nbytes += len(json.dumps(_jsonable(value)))
+    return nbytes
 
 
 def _jsonable(value):

@@ -1,0 +1,36 @@
+"""Durable view-store subsystem: WAL + snapshots, partitioned recovery,
+and cost-aware tiered eviction behind the ``ViewStore`` interface.
+
+See ``docs/storage.md`` for the on-disk format and the eviction policy's
+mapping onto the paper's Eq. 3 cost model.
+"""
+
+from repro.store.durable import (DEFAULT_PER_TUPLE_COST, DurableViewStore,
+                                 StoreSnapshot)
+from repro.store.health import (StoreCheckReport, check_store, render_check,
+                                render_stats, store_stats)
+from repro.store.integration import (PersistentUdfManager, make_cost_resolver,
+                                     open_view_store, restore_udf_histories)
+from repro.store.layout import RecoveryReport, StoreLayout
+from repro.store.wal import WalScan, WalWriter, repair_wal, scan_wal
+
+__all__ = [
+    "DEFAULT_PER_TUPLE_COST",
+    "DurableViewStore",
+    "PersistentUdfManager",
+    "RecoveryReport",
+    "StoreCheckReport",
+    "StoreLayout",
+    "StoreSnapshot",
+    "WalScan",
+    "WalWriter",
+    "check_store",
+    "make_cost_resolver",
+    "open_view_store",
+    "render_check",
+    "render_stats",
+    "repair_wal",
+    "restore_udf_histories",
+    "scan_wal",
+    "store_stats",
+]

@@ -1,0 +1,746 @@
+"""Durable, partitioned view-store backend with tiered eviction.
+
+:class:`DurableViewStore` subclasses the in-memory ``ViewStore`` and acts
+as its own backend/listener: every view creation, drop, and put flows
+into an append-only log, so a restarted process recovers the full reuse
+state (ROADMAP open item 1 — reuse state must outlive the server).
+
+Durability model
+----------------
+* ``control.log`` (a WAL) orders view creates, drop tombstones, and UDF
+  aggregated-predicate records.  It is the source of truth for which
+  (view, generation) pairs are live; the manifest is advisory.
+* Each partition — one (view, generation, frame-range bucket) — owns an
+  independent ``wal/<pid>.wal`` of put records plus an optional
+  ``snapshots/<pid>.npz``.  Recovery loads the snapshot then replays the
+  WAL suffix, partition-by-partition in a thread pool.
+* Drops log the tombstone (fsynced) *before* deleting files, so a crash
+  mid-drop replays as "dropped" rather than resurrecting a half-deleted
+  view.  Generation numbers make files of a dropped-then-recreated view
+  distinguishable from the live ones.
+
+Tiering
+-------
+Hot views are resident ``MaterializedView`` objects; warm views exist
+only as snapshot+WAL files and are promoted (reloaded) when probed.
+When the hot tier exceeds its byte budget, the view with the *lowest*
+eviction score — estimated re-materialization cost per stored byte,
+``num_keys x per-tuple cost / serialized bytes`` (the Eq. 3 numerator
+over the footprint) — is demoted first: it is the cheapest state to
+regenerate should it be needed again.  Per-tuple costs come from the
+profiler's observed values via a pluggable ``cost_resolver``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.storage.view_store import (MaterializedView, ViewStore,
+                                      _from_jsonable, _jsonable)
+from repro.store.layout import (PartitionState, RecoveryReport, StoreLayout,
+                                bucket_of, parse_partition_id, partition_id,
+                                view_crc)
+from repro.store.wal import WalWriter, repair_wal, scan_wal
+
+#: Fallback per-tuple re-materialization cost (virtual seconds) when no
+#: observed or believed cost is available for a view's model.
+DEFAULT_PER_TUPLE_COST = 0.05
+
+
+@dataclass
+class _ViewMeta:
+    """Durability bookkeeping for one live (view, generation)."""
+
+    name: str
+    generation: int
+    key_columns: list[str]
+    output_columns: list[str]
+    tier: str = "hot"
+    partitions: dict[int, PartitionState] = field(default_factory=dict)
+    #: Keys represented on disk (snapshot keys; scoring for warm views).
+    durable_keys: int = 0
+    last_access: int = 0
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """Point-in-time store health for metrics/CLI exposition."""
+
+    path: str
+    hot_views: int
+    warm_views: int
+    hot_bytes: int
+    warm_bytes: int
+    wal_bytes: int
+    snapshot_files: int
+    snapshot_age_seconds: float | None
+    counters: dict[str, int]
+    recovery: dict | None
+
+
+class DurableViewStore(ViewStore):
+    """A ``ViewStore`` whose contents survive process restarts."""
+
+    is_durable = True
+
+    def __init__(self, path, *, partition_frames: int = 2048,
+                 fsync_every: int = 32, snapshot_interval: int = 4096,
+                 hot_bytes: int = 0, warm_bytes: int = 0,
+                 recovery_parallelism: int = 4):
+        super().__init__()
+        self.layout = StoreLayout(path)
+        self.layout.ensure_directories()
+        self.partition_frames = max(1, int(partition_frames))
+        self.fsync_every = max(1, int(fsync_every))
+        self.snapshot_interval = max(1, int(snapshot_interval))
+        #: Byte budgets; 0 disables enforcement for that tier.
+        self.hot_budget = max(0, int(hot_bytes))
+        self.warm_budget = max(0, int(warm_bytes))
+        self.recovery_parallelism = max(1, int(recovery_parallelism))
+        #: Resolves a model/UDF name to its per-tuple cost (virtual
+        #: seconds) for eviction scoring; wired by the owning session or
+        #: server once a profiler exists.  None falls back to defaults.
+        self.cost_resolver = None
+        self.counters: dict[str, int] = {
+            "wal_records": 0, "snapshots": 0, "promotions": 0,
+            "demotions": 0, "evicted_dropped": 0, "tombstones": 0,
+        }
+        self._meta: dict[str, _ViewMeta] = {}
+        self._wal_writers: dict[str, WalWriter] = {}
+        self._udf_records: dict[str, dict] = {}
+        #: Highest generation ever assigned per view name (tombstoned
+        #: generations included) — creates allocate the next one.
+        self._gen_seen: dict[str, int] = {}
+        #: Guards all durable state: control log, WAL writers, metas,
+        #: manifest and audit writes.  Always acquired *before* the base
+        #: store's map lock (see ``create_or_get``); re-entrant because
+        #: listener callbacks can fire under it.
+        self._io_lock = threading.RLock()
+        self._access_clock = 0
+        self._audit_seq = 0
+        self._audit_handle = None
+        self._closed = False
+        self._last_snapshot_at: float | None = None
+        self.recovery_report = self._recover()
+        self._control = WalWriter(self.layout.control_log_path,
+                                  sync_every=1)
+        self.backend = self
+        self._write_manifest()
+
+    # -- ViewStore interface overrides ------------------------------------------
+
+    def create_or_get(self, name, key_columns, output_columns):
+        with self._io_lock:
+            if self._closed:
+                raise StorageError(f"store {self.layout.root} is closed")
+            self._promote_locked(name)
+            view = super().create_or_get(name, key_columns, output_columns)
+        self._touch(name)
+        self._maybe_evict(exclude=name)
+        return view
+
+    def get(self, name):
+        view = super().get(name)
+        if view is None:
+            with self._io_lock:
+                view = self._promote_locked(name)
+            if view is not None:
+                self._maybe_evict(exclude=name)
+        if view is not None:
+            self._touch(name)
+        return view
+
+    def __contains__(self, name):
+        return super().__contains__(name) or name in self._meta
+
+    def names(self):
+        with self._io_lock:
+            with self._lock:
+                return sorted(set(self._views) | set(self._meta))
+
+    def total_serialized_bytes(self) -> int:
+        """Hot-tier resident estimate plus warm-tier on-disk bytes."""
+        with self._io_lock:
+            total = super().total_serialized_bytes()
+            for meta in self._meta.values():
+                if meta.tier == "warm":
+                    total += self._warm_file_bytes(meta)
+        return total
+
+    def drop(self, name: str) -> int:
+        with self._io_lock:
+            freed = super().drop(name)  # resident path; logs tombstone
+            if freed == 0:
+                meta = self._meta.get(name)
+                if meta is not None:  # warm view: files only
+                    freed = self._warm_file_bytes(meta)
+                    self.view_dropped(name)
+        return freed
+
+    def drop_all(self) -> int:
+        with self._io_lock:
+            return sum(self.drop(name) for name in self.names())
+
+    # -- backend hooks (called by the base ViewStore) ---------------------------
+
+    def view_created(self, view: MaterializedView) -> None:
+        with self._io_lock:
+            meta = self._meta.get(view.name)
+            if meta is None:
+                generation = self._gen_seen.get(view.name, 0) + 1
+                self._gen_seen[view.name] = generation
+                meta = _ViewMeta(view.name, generation,
+                                 list(view.key_columns),
+                                 list(view.output_columns))
+                self._meta[view.name] = meta
+                self._control.append({
+                    "op": "create", "view": view.name, "gen": generation,
+                    "key_columns": meta.key_columns,
+                    "output_columns": meta.output_columns,
+                })
+                self._control.flush()
+                self._write_manifest()
+            meta.tier = "hot"
+            view.listener = self
+
+    def view_dropped(self, name: str) -> None:
+        with self._io_lock:
+            meta = self._meta.pop(name, None)
+            if meta is None:
+                return
+            # Tombstone first (fsynced): a crash below this line must
+            # replay as "dropped", never as a half-deleted view.
+            self._control.append({"op": "drop", "view": name,
+                                  "gen": meta.generation})
+            self._control.flush()
+            self.counters["tombstones"] += 1
+            self._remove_partition_files(meta)
+            self._audit("drop", view=name, reason="drop")
+            self._write_manifest()
+
+    def view_put(self, view: MaterializedView, key, stored) -> None:
+        self._log_puts(view, [(key, stored)])
+
+    def view_put_many(self, view: MaterializedView, items) -> None:
+        self._log_puts(view, items)
+
+    # -- UDF history durability -------------------------------------------------
+
+    def log_udf_history(self, udf_name: str, sources: list[str],
+                        per_tuple_cost: float, predicate_sql: str) -> None:
+        """Persist one signature's aggregated predicate (latest wins)."""
+        record = {"op": "udf", "udf": udf_name, "sources": list(sources),
+                  "cost": per_tuple_cost, "predicate": predicate_sql}
+        key = "@".join([udf_name.lower(), *sources])
+        with self._io_lock:
+            if self._closed or self._udf_records.get(key) == record:
+                return
+            self._udf_records[key] = record
+            self._control.append(record)
+
+    def udf_history_records(self) -> list[dict]:
+        with self._io_lock:
+            return [dict(r) for r in self._udf_records.values()]
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Fsync every log so all acknowledged puts are crash-durable."""
+        with self._io_lock:
+            if self._closed:
+                return
+            self._control.flush()
+            for writer in self._wal_writers.values():
+                writer.flush()
+
+    def snapshot(self) -> int:
+        """Snapshot every dirty partition; returns partitions written."""
+        written = 0
+        with self._io_lock:
+            if self._closed:
+                return 0
+            with self._lock:
+                resident = dict(self._views)
+            for name, view in resident.items():
+                meta = self._meta.get(name)
+                if meta is None:
+                    continue
+                for part in self._partitions_of(view, meta):
+                    if part.records_since_snapshot > 0 or (
+                            part.snapshot_keys == 0 and view.num_keys):
+                        self._snapshot_partition(view, meta, part)
+                        written += 1
+            self._compact_control_log()
+            self._write_manifest()
+        return written
+
+    def close(self) -> None:
+        """Snapshot, flush, and release every file handle (idempotent)."""
+        with self._io_lock:
+            if self._closed:
+                return
+            self.snapshot()
+            self._control.close()
+            for writer in self._wal_writers.values():
+                writer.close()
+            self._wal_writers.clear()
+            if self._audit_handle is not None:
+                self._audit_handle.close()
+                self._audit_handle = None
+            self._closed = True
+
+    def store_snapshot(self) -> StoreSnapshot:
+        """Health counters for Prometheus / ``repro store stats``."""
+        with self._io_lock:
+            hot = [m for m in self._meta.values() if m.tier == "hot"]
+            warm = [m for m in self._meta.values() if m.tier == "warm"]
+            with self._lock:
+                hot_bytes = sum(v.serialized_bytes()
+                                for v in self._views.values())
+            warm_bytes = sum(self._warm_file_bytes(m) for m in warm)
+            wal_bytes = sum(w.size for w in self._wal_writers.values())
+            if not self._closed:
+                wal_bytes += self._control.size
+            snapshot_files = len(list(self.layout.snapshot_dir.glob("*.npz")))
+            age = None
+            if self._last_snapshot_at is not None:
+                age = time.perf_counter() - self._last_snapshot_at
+            report = self.recovery_report
+            return StoreSnapshot(
+                path=str(self.layout.root), hot_views=len(hot),
+                warm_views=len(warm), hot_bytes=hot_bytes,
+                warm_bytes=warm_bytes, wal_bytes=wal_bytes,
+                snapshot_files=snapshot_files, snapshot_age_seconds=age,
+                counters=dict(self.counters),
+                recovery=report.as_dict() if report else None)
+
+    # -- write path -------------------------------------------------------------
+
+    def _log_puts(self, view: MaterializedView, items) -> None:
+        with self._io_lock:
+            if self._closed:
+                return
+            meta = self._meta.get(view.name)
+            if meta is None:
+                return  # dropped concurrently; nothing durable to do
+            by_bucket: dict[int, list] = {}
+            for key, stored in items:
+                bucket = bucket_of(key[0], self.partition_frames)
+                by_bucket.setdefault(bucket, []).append(
+                    [[_jsonable(part) for part in key],
+                     [{col: _jsonable(val) for col, val in row.items()}
+                      for row in stored]])
+            to_snapshot = []
+            for bucket, entries in sorted(by_bucket.items()):
+                part = self._ensure_partition(meta, bucket)
+                writer = self._ensure_writer(part)
+                writer.append({"op": "puts", "view": view.name,
+                               "gen": meta.generation, "entries": entries})
+                part.records_since_snapshot += 1
+                self.counters["wal_records"] += 1
+                if part.records_since_snapshot >= self.snapshot_interval:
+                    to_snapshot.append(part)
+            for part in to_snapshot:
+                self._snapshot_partition(view, meta, part)
+            if to_snapshot:
+                self._write_manifest()
+        self._touch(view.name)
+        self._maybe_evict(exclude=view.name)
+
+    def _ensure_partition(self, meta: _ViewMeta,
+                          bucket: int) -> PartitionState:
+        part = meta.partitions.get(bucket)
+        if part is None:
+            pid = partition_id(meta.name, meta.generation, bucket)
+            part = PartitionState(pid, meta.name, meta.generation, bucket)
+            meta.partitions[bucket] = part
+        return part
+
+    def _ensure_writer(self, part: PartitionState) -> WalWriter:
+        writer = self._wal_writers.get(part.pid)
+        if writer is None:
+            writer = WalWriter(part.wal_path(self.layout.root),
+                               sync_every=self.fsync_every)
+            self._wal_writers[part.pid] = writer
+        return writer
+
+    def _partitions_of(self, view: MaterializedView,
+                       meta: _ViewMeta) -> list[PartitionState]:
+        """All partitions the view's current keys span (plus existing)."""
+        for key in list(view.keys()):
+            self._ensure_partition(
+                meta, bucket_of(key[0], self.partition_frames))
+        return list(meta.partitions.values())
+
+    # -- snapshots --------------------------------------------------------------
+
+    def _snapshot_partition(self, view: MaterializedView, meta: _ViewMeta,
+                            part: PartitionState) -> None:
+        entries = [(key, rows) for key, rows in view.items()
+                   if bucket_of(key[0], self.partition_frames)
+                   == part.bucket]
+        shard = MaterializedView(view.name, view.key_columns,
+                                 view.output_columns)
+        shard.put_many(entries)
+        payload = shard.serialize()
+        target = part.snapshot_path(self.layout.root)
+        tmp = target.with_suffix(".npz.tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, target)
+        part.snapshot_keys = len(entries)
+        part.records_since_snapshot = 0
+        # The WAL's records are folded into the snapshot — truncate it
+        # (opening a writer if none is live, e.g. right after recovery).
+        self._ensure_writer(part).reset()
+        self.counters["snapshots"] += 1
+        self._last_snapshot_at = time.perf_counter()
+        meta.durable_keys = sum(p.snapshot_keys
+                                for p in meta.partitions.values())
+
+    def _compact_control_log(self) -> None:
+        """Rewrite control.log to live creates + latest UDF records."""
+        records = []
+        for name in sorted(self._meta):
+            meta = self._meta[name]
+            records.append({"op": "create", "view": name,
+                            "gen": meta.generation,
+                            "key_columns": meta.key_columns,
+                            "output_columns": meta.output_columns})
+        records.extend(self._udf_records[k]
+                       for k in sorted(self._udf_records))
+        path = self.layout.control_log_path
+        tmp = path.with_suffix(".log.tmp")
+        rewriter = WalWriter(tmp, sync_every=len(records) + 1)
+        for record in records:
+            rewriter.append(record)
+        rewriter.close()
+        self._control.close()
+        os.replace(tmp, path)
+        self._control = WalWriter(path, sync_every=1)
+
+    # -- tiering ----------------------------------------------------------------
+
+    def _touch(self, name: str) -> None:
+        meta = self._meta.get(name)
+        if meta is not None:
+            self._access_clock += 1
+            meta.last_access = self._access_clock
+
+    def _promote_locked(self, name: str) -> MaterializedView | None:
+        """Reload a warm view into the hot tier (caller holds _io_lock)."""
+        with self._lock:
+            view = self._views.get(name)
+        if view is not None:
+            return view
+        meta = self._meta.get(name)
+        if meta is None or meta.tier != "warm":
+            return None
+        view = self._load_view(meta)
+        view.listener = self
+        meta.tier = "hot"
+        with self._lock:
+            self._views[name] = view
+        self.counters["promotions"] += 1
+        self._audit("promote", view=name, bytes=view.serialized_bytes())
+        self._write_manifest()
+        return view
+
+    def _maybe_evict(self, exclude: str | None = None) -> None:
+        if self.hot_budget <= 0 and self.warm_budget <= 0:
+            return
+        with self._io_lock:
+            if self._closed:
+                return
+            if self.hot_budget > 0:
+                self._shrink_hot_tier(exclude)
+            if self.warm_budget > 0:
+                self._shrink_warm_tier(exclude)
+
+    def _shrink_hot_tier(self, exclude: str | None) -> None:
+        while True:
+            with self._lock:
+                resident = dict(self._views)
+            total = sum(v.serialized_bytes() for v in resident.values())
+            if total <= self.hot_budget:
+                return
+            candidates = []
+            for name, view in resident.items():
+                if name == exclude or name not in self._meta:
+                    continue
+                meta = self._meta[name]
+                nbytes = view.serialized_bytes()
+                score = self._eviction_score(name, view.num_keys, nbytes)
+                candidates.append((score, meta.last_access, name, view,
+                                   nbytes))
+            if not candidates:
+                return
+            score, _, name, view, nbytes = min(
+                candidates, key=lambda c: (c[0], c[1]))
+            self._demote(name, view, score=score, nbytes=nbytes)
+
+    def _shrink_warm_tier(self, exclude: str | None) -> None:
+        while True:
+            warm = [(name, meta) for name, meta in self._meta.items()
+                    if meta.tier == "warm" and name != exclude]
+            total = sum(self._warm_file_bytes(m) for _, m in warm)
+            if total <= self.warm_budget or not warm:
+                return
+            scored = [(self._eviction_score(
+                name, meta.durable_keys, self._warm_file_bytes(meta)),
+                meta.last_access, name) for name, meta in warm]
+            score, _, name = min(scored, key=lambda c: (c[0], c[1]))
+            nbytes = self._warm_file_bytes(self._meta[name])
+            self.view_dropped(name)
+            self.counters["evicted_dropped"] += 1
+            self._audit("evict_drop", view=name, reason="warm_budget",
+                        bytes=nbytes, score=score)
+
+    def _demote(self, name: str, view: MaterializedView, *,
+                score: float, nbytes: int) -> None:
+        """Hot -> warm: snapshot everything, then release the memory.
+
+        The listener stays attached: a straggling handle that still
+        holds the demoted object keeps WAL-ing its puts, so they are
+        replayed into the view at its next promotion.
+        """
+        meta = self._meta[name]
+        for part in self._partitions_of(view, meta):
+            self._snapshot_partition(view, meta, part)
+        with self._lock:
+            self._views.pop(name, None)
+        meta.tier = "warm"
+        self.counters["demotions"] += 1
+        self._audit("demote", view=name, reason="hot_budget",
+                    bytes=nbytes, score=score)
+        self._write_manifest()
+
+    def _eviction_score(self, name: str, num_keys: int,
+                        nbytes: int) -> float:
+        """Re-materialization cost per stored byte (evict the minimum).
+
+        ``num_keys x per-tuple cost`` is Eq. 3's reuse saving for the
+        view's materialized tuples; dividing by the serialized footprint
+        ranks views by how much recompute work each byte of budget is
+        protecting.  Cheap-to-recompute bulky views go first.
+        """
+        model = name.removeprefix("mv::").split("@")[0]
+        cost = None
+        if self.cost_resolver is not None:
+            cost = self.cost_resolver(model)
+        if cost is None or cost <= 0:
+            cost = DEFAULT_PER_TUPLE_COST
+        return (num_keys * cost) / max(1, nbytes)
+
+    def _remove_partition_files(self, meta: _ViewMeta) -> None:
+        for part in meta.partitions.values():
+            writer = self._wal_writers.pop(part.pid, None)
+            if writer is not None:
+                writer.close()
+            for path in (part.wal_path(self.layout.root),
+                         part.snapshot_path(self.layout.root)):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def _warm_file_bytes(self, meta: _ViewMeta) -> int:
+        total = 0
+        for part in meta.partitions.values():
+            for path in (part.snapshot_path(self.layout.root),
+                         part.wal_path(self.layout.root)):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        return total
+
+    # -- recovery ---------------------------------------------------------------
+
+    def _recover(self) -> RecoveryReport:
+        report = RecoveryReport()
+        start = time.perf_counter()
+        scan = scan_wal(self.layout.control_log_path)
+        if scan.torn:
+            repair_wal(self.layout.control_log_path, scan)
+            report.torn_tails_repaired += 1
+            report.problems.append(f"control.log: {scan.error}")
+        live: dict[str, dict] = {}
+        for record in scan.records:
+            op = record.get("op")
+            if op == "create":
+                live[record["view"]] = record
+                self._gen_seen[record["view"]] = max(
+                    self._gen_seen.get(record["view"], 0), record["gen"])
+            elif op == "drop":
+                current = live.get(record["view"])
+                if current is not None and current["gen"] <= record["gen"]:
+                    live.pop(record["view"], None)
+            elif op == "udf":
+                key = "@".join([record["udf"].lower(), *record["sources"]])
+                self._udf_records[key] = record
+        manifest = self.layout.read_manifest()
+        self._build_metas(live, manifest)
+        report.stale_files_removed = self._sweep_stale_files()
+        self._replay_hot_views(report)
+        report.views_recovered = len(self._meta)
+        report.warm_views = sum(1 for m in self._meta.values()
+                                if m.tier == "warm")
+        report.udf_histories = len(self._udf_records)
+        report.wall_seconds = time.perf_counter() - start
+        if self._meta or report.problems:
+            self._audit("recovery", **report.as_dict())
+        return report
+
+    def _build_metas(self, live: dict[str, dict], manifest: dict) -> None:
+        partition_infos = dict(manifest["partitions"])
+        for pid in self.layout.scan_partition_files():
+            partition_infos.setdefault(pid, {"id": pid})
+        crc_to_name = {view_crc(name): name for name in live}
+        for name, record in live.items():
+            declared = manifest["views"].get(name, {})
+            meta = _ViewMeta(name, record["gen"],
+                             list(record["key_columns"]),
+                             list(record["output_columns"]),
+                             tier=declared.get("tier", "hot"))
+            self._meta[name] = meta
+        for pid, info in partition_infos.items():
+            parsed = parse_partition_id(pid)
+            if parsed is None:
+                continue
+            crc, generation, bucket = parsed
+            name = crc_to_name.get(crc)
+            if name is None or self._meta[name].generation != generation:
+                continue  # stale generation; swept below
+            part = PartitionState(pid, name, generation, bucket,
+                                  snapshot_keys=int(
+                                      info.get("snapshot_keys", 0)))
+            self._meta[name].partitions[bucket] = part
+        for meta in self._meta.values():
+            meta.durable_keys = sum(p.snapshot_keys
+                                    for p in meta.partitions.values())
+
+    def _sweep_stale_files(self) -> int:
+        """Delete partition files whose (view, generation) is not live —
+        leftovers of a drop that crashed after its tombstone fsynced."""
+        live_pids = {part.pid for meta in self._meta.values()
+                     for part in meta.partitions.values()}
+        removed = 0
+        for pid, files in self.layout.scan_partition_files().items():
+            if pid in live_pids:
+                continue
+            for path in files.values():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def _replay_hot_views(self, report: RecoveryReport) -> None:
+        views = {name: MaterializedView(meta.name, meta.key_columns,
+                                        meta.output_columns)
+                 for name, meta in self._meta.items()
+                 if meta.tier == "hot"}
+        tasks = [(views[name], self._meta[name], part)
+                 for name in views
+                 for part in self._meta[name].partitions.values()]
+        if tasks:
+            with ThreadPoolExecutor(
+                    max_workers=min(self.recovery_parallelism,
+                                    len(tasks))) as pool:
+                results = list(pool.map(
+                    lambda t: self._replay_partition(*t), tasks))
+            for records, keys, torn, problem in results:
+                report.partitions_replayed += 1
+                report.records_replayed += records
+                report.keys_recovered += keys
+                report.torn_tails_repaired += int(torn)
+                if problem:
+                    report.problems.append(problem)
+        for name, view in views.items():
+            view.listener = self
+            with self._lock:
+                self._views[name] = view
+            self._touch(name)
+
+    def _replay_partition(self, view: MaterializedView, meta: _ViewMeta,
+                          part: PartitionState
+                          ) -> tuple[int, int, bool, str | None]:
+        """Snapshot load + WAL replay for one partition (pool worker).
+
+        Touches only this partition's files and the (lock-guarded) view,
+        so partitions replay concurrently without shared state.
+        """
+        keys_added = 0
+        snapshot_path = part.snapshot_path(self.layout.root)
+        problem = None
+        if snapshot_path.exists():
+            try:
+                shard = MaterializedView.deserialize(
+                    meta.name, meta.key_columns, meta.output_columns,
+                    snapshot_path.read_bytes())
+                keys_added += sum(view.put_many(shard.items()))
+                part.snapshot_keys = shard.num_keys
+            except Exception as exc:  # corrupt snapshot: WAL still replays
+                problem = f"{part.pid}: unreadable snapshot ({exc})"
+        scan = scan_wal(part.wal_path(self.layout.root))
+        torn = scan.torn
+        if torn:
+            repair_wal(part.wal_path(self.layout.root), scan)
+            problem = problem or f"{part.pid}: {scan.error}"
+        applied = 0
+        for record in scan.records:
+            if (record.get("op") != "puts"
+                    or record.get("gen") != meta.generation):
+                continue
+            keys_added += sum(view.put_many(
+                (tuple(_from_jsonable(p) for p in raw_key),
+                 tuple({col: _from_jsonable(val)
+                        for col, val in row.items()} for row in raw_rows))
+                for raw_key, raw_rows in record["entries"]))
+            applied += 1
+        return applied, keys_added, torn, problem
+
+    def _load_view(self, meta: _ViewMeta) -> MaterializedView:
+        """Warm -> resident: snapshot + WAL replay of every partition."""
+        for pid, writer in list(self._wal_writers.items()):
+            if any(part.pid == pid for part in meta.partitions.values()):
+                writer.flush()
+        view = MaterializedView(meta.name, meta.key_columns,
+                                meta.output_columns)
+        for part in meta.partitions.values():
+            self._replay_partition(view, meta, part)
+        return view
+
+    # -- manifest / audit -------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        views = [{"name": meta.name, "generation": meta.generation,
+                  "key_columns": meta.key_columns,
+                  "output_columns": meta.output_columns,
+                  "tier": meta.tier}
+                 for meta in self._meta.values()]
+        partitions = [{"id": part.pid, "view": part.view,
+                       "generation": part.generation,
+                       "bucket": part.bucket,
+                       "snapshot_keys": part.snapshot_keys}
+                      for meta in self._meta.values()
+                      for part in meta.partitions.values()]
+        self.layout.write_manifest(partition_frames=self.partition_frames,
+                                   views=views, partitions=partitions)
+
+    def _audit(self, event: str, **fields) -> None:
+        if self._audit_handle is None:
+            self._audit_handle = open(self.layout.audit_path, "a",
+                                      encoding="utf-8")
+        self._audit_seq += 1
+        record = {"type": "store_audit", "seq": self._audit_seq,
+                  "event": event, **fields}
+        self._audit_handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._audit_handle.flush()

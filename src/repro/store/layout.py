@@ -1,0 +1,217 @@
+"""On-disk layout of a durable view store.
+
+::
+
+    <store>/
+      manifest.jsonl     # store_meta + one record per view and partition
+      control.log        # WAL of create / drop / udf-history records
+      audit.jsonl        # append-only eviction / recovery audit trail
+      wal/<pid>.wal      # per-partition put WALs
+      snapshots/<pid>.npz
+
+A *partition* is one (view, generation, frame-range bucket): bucket =
+``first_key_component // partition_frames``.  Every partition owns an
+independent WAL segment and snapshot file, so recovery replays them in
+parallel and a snapshot never rewrites more than one bucket's worth of
+entries.  Partition ids embed the CRC of the view name plus the view's
+generation — files from a dropped generation are recognizably stale even
+if a crash interrupted their deletion.
+
+The manifest is advisory (tier placement, file names for `store check`);
+the control log is the source of truth for which views/generations are
+live.  It is rewritten atomically (tmp + ``os.replace``) on structural
+changes, never appended.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+STORE_FORMAT = "eva-store-v1"
+MANIFEST_NAME = "manifest.jsonl"
+CONTROL_LOG_NAME = "control.log"
+AUDIT_NAME = "audit.jsonl"
+WAL_DIR = "wal"
+SNAPSHOT_DIR = "snapshots"
+
+_PARTITION_ID = re.compile(r"^(?P<crc>[0-9a-f]{8})-g(?P<gen>\d+)"
+                           r"-b(?P<bucket>\d+)$")
+
+
+def view_crc(name: str) -> str:
+    return f"{zlib.crc32(name.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def bucket_of(first_component, partition_frames: int) -> int:
+    """Frame-range bucket of a key.  First key components are frame ids
+    (ints) for every view the executor builds; anything else lands in a
+    stable catch-all bucket so the partition function is total."""
+    if isinstance(first_component, bool) or not isinstance(
+            first_component, int):
+        return 0
+    return max(0, int(first_component)) // max(1, partition_frames)
+
+
+def partition_id(name: str, generation: int, bucket: int) -> str:
+    return f"{view_crc(name)}-g{generation}-b{bucket}"
+
+
+def parse_partition_id(pid: str) -> tuple[str, int, int] | None:
+    """(view-name-crc, generation, bucket), or None if not a partition id."""
+    match = _PARTITION_ID.match(pid)
+    if match is None:
+        return None
+    return (match.group("crc"), int(match.group("gen")),
+            int(match.group("bucket")))
+
+
+@dataclass
+class PartitionState:
+    """Bookkeeping for one partition's pair of files."""
+
+    pid: str
+    view: str
+    generation: int
+    bucket: int
+    #: Number of keys captured by the current snapshot file (0 = none).
+    snapshot_keys: int = 0
+    #: WAL records appended since the last snapshot (snapshot trigger).
+    records_since_snapshot: int = 0
+
+    def wal_path(self, root: Path) -> Path:
+        return root / WAL_DIR / f"{self.pid}.wal"
+
+    def snapshot_path(self, root: Path) -> Path:
+        return root / SNAPSHOT_DIR / f"{self.pid}.npz"
+
+
+@dataclass
+class StoreLayout:
+    """Path arithmetic + manifest I/O for one store directory."""
+
+    root: Path
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def control_log_path(self) -> Path:
+        return self.root / CONTROL_LOG_NAME
+
+    @property
+    def audit_path(self) -> Path:
+        return self.root / AUDIT_NAME
+
+    @property
+    def wal_dir(self) -> Path:
+        return self.root / WAL_DIR
+
+    @property
+    def snapshot_dir(self) -> Path:
+        return self.root / SNAPSHOT_DIR
+
+    def ensure_directories(self) -> None:
+        self.wal_dir.mkdir(parents=True, exist_ok=True)
+        self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+
+    def scan_partition_files(self) -> dict[str, dict]:
+        """Partition ids present on disk, from the wal/ and snapshots/
+        directories themselves — the fallback when a crash predates the
+        manifest rewrite that would have listed them."""
+        found: dict[str, dict] = {}
+        for path in sorted(self.wal_dir.glob("*.wal")):
+            parsed = parse_partition_id(path.stem)
+            if parsed is not None:
+                found.setdefault(path.stem, {})["wal"] = path
+        for path in sorted(self.snapshot_dir.glob("*.npz")):
+            parsed = parse_partition_id(path.stem)
+            if parsed is not None:
+                found.setdefault(path.stem, {})["snapshot"] = path
+        return found
+
+    # -- manifest ---------------------------------------------------------------
+
+    def write_manifest(self, *, partition_frames: int,
+                       views: list[dict], partitions: list[dict]) -> None:
+        """Atomically replace the manifest (tmp file + ``os.replace``)."""
+        lines = [json.dumps({"type": "store_meta", "format": STORE_FORMAT,
+                             "partition_frames": partition_frames},
+                            sort_keys=True)]
+        lines += [json.dumps({"type": "view", **v}, sort_keys=True)
+                  for v in sorted(views, key=lambda v: v["name"])]
+        lines += [json.dumps({"type": "partition", **p}, sort_keys=True)
+                  for p in sorted(partitions, key=lambda p: p["id"])]
+        tmp = self.manifest_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    def read_manifest(self) -> dict:
+        """Parsed manifest: {"meta": ..., "views": {...}, "partitions":
+        {...}}; empty maps when the manifest is absent/unreadable (it is
+        advisory — recovery rebuilds from the control log)."""
+        result = {"meta": None, "views": {}, "partitions": {}}
+        try:
+            text = self.manifest_path.read_text("utf-8")
+        except OSError:
+            return result
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            kind = record.get("type")
+            if kind == "store_meta":
+                result["meta"] = record
+            elif kind == "view" and "name" in record:
+                result["views"][record["name"]] = record
+            elif kind == "partition" and "id" in record:
+                result["partitions"][record["id"]] = record
+        return result
+
+
+@dataclass
+class RecoveryReport:
+    """What the startup pass found and repaired."""
+
+    views_recovered: int = 0
+    warm_views: int = 0
+    partitions_replayed: int = 0
+    records_replayed: int = 0
+    keys_recovered: int = 0
+    torn_tails_repaired: int = 0
+    stale_files_removed: int = 0
+    udf_histories: int = 0
+    wall_seconds: float = 0.0
+    problems: list[str] = field(default_factory=list)
+    #: Whether a tracer span was already emitted for this recovery (the
+    #: first session bound to the store reports it).
+    span_emitted: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "views_recovered": self.views_recovered,
+            "warm_views": self.warm_views,
+            "partitions_replayed": self.partitions_replayed,
+            "records_replayed": self.records_replayed,
+            "keys_recovered": self.keys_recovered,
+            "torn_tails_repaired": self.torn_tails_repaired,
+            "stale_files_removed": self.stale_files_removed,
+            "udf_histories": self.udf_histories,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "problems": list(self.problems),
+        }

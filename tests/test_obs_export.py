@@ -190,6 +190,36 @@ class TestPrometheus:
         assert ('eva_udf_invocations_total{disposition="total",'
                 'udf="fasterrcnn_resnet50"} 120') in text
 
+    def test_store_exposition(self, tmp_path):
+        from repro.store import DurableViewStore
+
+        store = DurableViewStore(tmp_path, fsync_every=1)
+        view = store.create_or_get("mv::m@v", ["id"], ["label"])
+        view.put((1,), [{"label": "car"}])
+        text = prometheus_text(store=store.store_snapshot())
+        store.close()
+        assert 'eva_store_tier_views{tier="hot"} 1' in text
+        assert 'eva_store_tier_views{tier="warm"} 0' in text
+        assert 'eva_store_tier_bytes{tier="hot"}' in text
+        assert "eva_store_wal_records_total 1" in text
+        assert 'eva_store_evictions_total{reason="demoted"} 0' in text
+        assert 'eva_store_recovery_info{stat="views_recovered"} 0' in text
+        assert "# TYPE eva_store_wal_bytes gauge" in text
+
+    def test_durable_server_exposition_includes_store(self, tiny_video,
+                                                      tmp_path):
+        from repro.server.server import EvaServer
+
+        config = EvaConfig(reuse_policy=ReusePolicy.EVA,
+                           store_mode="durable",
+                           store_path=str(tmp_path))
+        with EvaServer(config=config, max_workers=2) as server:
+            server.register_video(tiny_video)
+            server.connect("alice").execute(DETECT)
+            text = server.prometheus_text()
+        assert 'eva_store_tier_views{tier="hot"}' in text
+        assert "eva_store_wal_records_total" in text
+
 
 class TestServerTraceSink:
     def test_server_stamps_client_ids_on_spans(self, tiny_video):

@@ -255,12 +255,12 @@ class TestSharedViewStore:
 
         def dropper():
             time.sleep(0.02)
-            assert store.drop("mv::drop") is True
+            assert store.drop("mv::drop") > 0  # freed bytes
             stop.set()
 
         run_threads([reader, reader, dropper])
         assert "mv::drop" not in store
-        assert store.drop("mv::drop") is False  # idempotent
+        assert store.drop("mv::drop") == 0  # idempotent
         # The store stays usable after a drop.
         recreated = facade.create_or_get("mv::drop", ["id"], ["label"])
         assert recreated.put((1,), [{"label": "car"}]) is True

@@ -180,6 +180,49 @@ class TestMaterializedView:
         assert view.put((2,), []) is True
 
 
+class TestSerializedBytesEstimate:
+    """`serialized_bytes` is a running estimate maintained by put/put_many
+    (O(1) to read), not a re-serialization of the whole view."""
+
+    def _rows(self, i):
+        return [{"label": "car", "bbox": BoundingBox(0, 0, i, i + 1)}]
+
+    def test_rejected_duplicate_puts_do_not_grow_estimate(self):
+        view = MaterializedView("v", ["id"], ["label", "bbox"])
+        view.put((1,), self._rows(1))
+        size = view.serialized_bytes()
+        view.put((1,), self._rows(999))  # first write wins: no growth
+        view.put_many([((1,), self._rows(5))])
+        assert view.serialized_bytes() == size
+
+    def test_put_and_put_many_agree(self):
+        entries = [((i,), self._rows(i)) for i in range(25)]
+        one_by_one = MaterializedView("v", ["id"], ["label", "bbox"])
+        for key, rows in entries:
+            one_by_one.put(key, rows)
+        bulk = MaterializedView("v", ["id"], ["label", "bbox"])
+        bulk.put_many(entries)
+        assert one_by_one.serialized_bytes() == bulk.serialized_bytes()
+
+    def test_estimate_tracks_actual_payload(self):
+        view = MaterializedView("v", ["id"], ["label", "bbox"])
+        for i in range(200):
+            view.put((i,), self._rows(i))
+        actual = len(view.serialize())
+        estimate = view.serialized_bytes()
+        # Calibrated to over-approximate (eviction must err toward
+        # staying under budget) without being wildly off.
+        assert actual <= estimate <= 20 * actual
+
+    def test_deserialized_view_rebuilds_the_estimate(self):
+        view = MaterializedView("v", ["id"], ["label", "bbox"])
+        for i in range(30):
+            view.put((i,), self._rows(i))
+        restored = MaterializedView.deserialize(
+            "v", ["id"], ["label", "bbox"], view.serialize())
+        assert restored.serialized_bytes() == view.serialized_bytes()
+
+
 class TestPrefixIndexConsistency:
     """`put` and the lazily-built `_prefix_index` must agree: keys added
     before the first prefix probe (index built from entries), after it
@@ -249,12 +292,12 @@ class TestViewStore:
         store = ViewStore()
         store.create_or_get("keep", ["id"], ["x"]).put((1,), [{"x": 1}])
         store.create_or_get("gone", ["id"], ["x"]).put((2,), [{"x": 2}])
-        assert store.drop("gone") is True
+        assert store.drop("gone") > 0  # freed-byte estimate
         assert store.names() == ["keep"]
         assert "gone" not in store
         assert store.get("gone") is None
-        assert store.drop("gone") is False  # already gone
-        assert store.drop("never-existed") is False
+        assert store.drop("gone") == 0  # already gone
+        assert store.drop("never-existed") == 0
         # Dropping frees the name for a fresh (empty) view.
         fresh = store.create_or_get("gone", ["id"], ["y"])
         assert fresh.num_keys == 0

@@ -1,0 +1,169 @@
+"""Tiered-eviction tests: hot-budget demotion in cheapest-recompute-
+per-byte order, warm-budget drops, promotion on probe, audit records."""
+
+from __future__ import annotations
+
+import json
+
+from repro.store import DEFAULT_PER_TUPLE_COST, DurableViewStore
+
+COSTS = {"cheap": 0.001, "pricey": 10.0}
+
+
+def make_store(path, **kwargs) -> DurableViewStore:
+    store = DurableViewStore(path, partition_frames=64, fsync_every=1,
+                             **kwargs)
+    store.cost_resolver = COSTS.get
+    return store
+
+
+def fill(store, model: str, count=40):
+    view = store.create_or_get(f"mv::{model}@tiny", ["id"], ["label"])
+    for i in range(count):
+        view.put((i,), [{"label": f"{model}-{i}"}])
+    return view
+
+
+def audit_events(path):
+    lines = (path / "audit.jsonl").read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert all(r["type"] == "store_audit" for r in records)
+    assert [r["seq"] for r in records] == list(range(1, len(records) + 1))
+    return records
+
+
+class TestHotTier:
+    def test_cheapest_recompute_per_byte_demoted_first(self, tmp_path):
+        store = make_store(tmp_path)
+        cheap = fill(store, "cheap")
+        pricey = fill(store, "pricey")
+        total = cheap.serialized_bytes() + pricey.serialized_bytes()
+        # Same footprint and key count: only the per-tuple cost differs,
+        # so the cheap view's state protects less recompute per byte.
+        store.hot_budget = total - 1
+        store._maybe_evict()
+
+        assert store._meta["mv::cheap@tiny"].tier == "warm"
+        assert store._meta["mv::pricey@tiny"].tier == "hot"
+        assert store.counters["demotions"] == 1
+        assert store.counters["evicted_dropped"] == 0
+        # Demotion is not a drop: the view is still addressable.
+        assert sorted(store.names()) == ["mv::cheap@tiny",
+                                         "mv::pricey@tiny"]
+        store.close()
+
+    def test_probe_promotes_demoted_view_with_contents_intact(
+            self, tmp_path):
+        store = make_store(tmp_path)
+        expected = sorted(fill(store, "cheap").items())
+        fill(store, "pricey")
+        store.hot_budget = 1  # everything must go (minus the excluded)
+        store._maybe_evict()
+        assert store._meta["mv::cheap@tiny"].tier == "warm"
+
+        view = store.get("mv::cheap@tiny")
+        assert view is not None
+        assert sorted(view.items()) == expected
+        assert store._meta["mv::cheap@tiny"].tier == "hot"
+        assert store.counters["promotions"] == 1
+        store.close()
+
+    def test_straggler_puts_to_demoted_object_survive(self, tmp_path):
+        """A handle that still holds the demoted object keeps WAL-ing;
+        its puts appear after the next promotion."""
+        store = make_store(tmp_path)
+        straggler = fill(store, "cheap")
+        store.hot_budget = 1
+        store._maybe_evict()
+        assert store._meta["mv::cheap@tiny"].tier == "warm"
+        straggler.put((999,), [{"label": "late"}])
+
+        promoted = store.get("mv::cheap@tiny")
+        assert promoted is not straggler
+        assert promoted.get((999,)) == ({"label": "late"},)
+        store.close()
+
+    def test_excluded_view_is_never_evicted(self, tmp_path):
+        store = make_store(tmp_path)
+        fill(store, "cheap")
+        store.hot_budget = 1
+        store._maybe_evict(exclude="mv::cheap@tiny")
+        assert store._meta["mv::cheap@tiny"].tier == "hot"
+        store.close()
+
+
+class TestWarmTier:
+    def test_warm_budget_drops_lowest_score(self, tmp_path):
+        store = make_store(tmp_path)
+        fill(store, "cheap")
+        fill(store, "pricey")
+        store.hot_budget = 1
+        store._maybe_evict()  # both demoted to warm
+        assert store.counters["demotions"] == 2
+
+        store.warm_budget = max(
+            store._warm_file_bytes(store._meta["mv::pricey@tiny"]),
+            store._warm_file_bytes(store._meta["mv::cheap@tiny"]))
+        store._maybe_evict()
+        # Only the cheap-to-recompute view was sacrificed.
+        assert store.names() == ["mv::pricey@tiny"]
+        assert store.counters["evicted_dropped"] == 1
+        assert store.counters["tombstones"] == 1
+        store.close()
+
+    def test_zero_budgets_never_evict(self, tmp_path):
+        store = make_store(tmp_path)  # hot_bytes=0, warm_bytes=0
+        fill(store, "cheap")
+        fill(store, "pricey")
+        store._maybe_evict()
+        assert all(m.tier == "hot" for m in store._meta.values())
+        assert store.counters["demotions"] == 0
+        store.close()
+
+
+class TestScoringAndAudit:
+    def test_eviction_score_formula_and_default_cost(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store._eviction_score("mv::pricey@tiny", 10, 100) == \
+            10 * COSTS["pricey"] / 100
+        # Unknown model: falls back to the default per-tuple cost.
+        assert store._eviction_score("mv::mystery@tiny", 10, 100) == \
+            10 * DEFAULT_PER_TUPLE_COST / 100
+        store.close()
+
+    def test_audit_trail_records_tier_movements(self, tmp_path):
+        store = make_store(tmp_path)
+        fill(store, "cheap")
+        fill(store, "pricey")
+        store.hot_budget = 1
+        store._maybe_evict()
+        store.get("mv::cheap@tiny")  # promote
+        store.warm_budget = 1
+        store._maybe_evict(exclude="mv::cheap@tiny")  # drops pricey
+        store.close()
+
+        events = audit_events(tmp_path)
+        demotes = [r for r in events if r["event"] == "demote"]
+        assert len(demotes) == 2
+        assert all(r["reason"] == "hot_budget" and "score" in r
+                   and r["bytes"] > 0 for r in demotes)
+        promotes = [r for r in events if r["event"] == "promote"]
+        assert [r["view"] for r in promotes] == ["mv::cheap@tiny"]
+        drops = [r for r in events if r["event"] == "evict_drop"]
+        assert [r["view"] for r in drops] == ["mv::pricey@tiny"]
+        assert drops[0]["reason"] == "warm_budget"
+
+    def test_store_snapshot_reflects_tiers_and_counters(self, tmp_path):
+        store = make_store(tmp_path)
+        fill(store, "cheap")
+        fill(store, "pricey")
+        store.hot_budget = 1
+        store._maybe_evict(exclude="mv::pricey@tiny")
+        snap = store.store_snapshot()
+        assert snap.hot_views == 1 and snap.warm_views == 1
+        assert snap.hot_bytes > 0 and snap.warm_bytes > 0
+        assert snap.counters["demotions"] == 1
+        assert snap.counters["wal_records"] == 80
+        assert snap.snapshot_files >= 1
+        assert snap.snapshot_age_seconds is not None
+        store.close()
