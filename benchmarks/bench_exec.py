@@ -27,6 +27,15 @@ speedup of the second over the first:
   the ``batched`` run gives the shared ``InferenceBatcher`` a coalescing
   window and must measure a mean batch size above one request while
   leaving every client's rows and virtual totals untouched.
+* ``stress_concurrent`` (``serial`` vs ``concurrent``) — the flight
+  recorder's stress workload: 64 clients (16 under ``--quick``) firing
+  the same hit-heavy query at a warmed server.  The serial pass runs
+  the identical per-client workload one query at a time, so rows and
+  virtual cost must match exactly; the concurrent pass measures each
+  client's end-to-end latency (admission wait included) and reports
+  p50/p99 against the server's ``slo_latency_*`` targets (``slo_ok``),
+  plus one schema-tracked flight record per completed query
+  (``flight_ok``).
 
 Usage::
 
@@ -335,6 +344,121 @@ def run_batched_miss_heavy(quick: bool) -> dict:
                       coalesced=mean > 1.0)
 
 
+# ---------------------------------------------------------------------------
+# stress_concurrent: 64 clients vs the same workload run serially
+# ---------------------------------------------------------------------------
+
+#: Concurrent clients in the flight-recorder stress scenario.
+STRESS_CLIENTS = 64
+STRESS_CLIENTS_QUICK = 16
+STRESS_WORKERS = 8
+#: SLO targets the concurrent pass is gated against (seconds).  The
+#: workload is all-hit after warmup, so per-query latency is dominated
+#: by admission waves (clients / workers) over a sub-100ms probe; the
+#: targets leave generous headroom for slow CI machines while still
+#: catching a hot path that collapses under concurrency.
+STRESS_SLO_P50 = 10.0
+STRESS_SLO_P99 = 30.0
+
+
+def latency_quantile(values: list[float], q: float) -> float:
+    """Linear-interpolated quantile of raw per-query latencies."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def run_stress_pass(server, query: str, num_clients: int, *,
+                    concurrent: bool) -> dict:
+    """One query per client against a warmed server; pooled totals plus
+    per-query end-to-end latencies (admission wait included)."""
+    from repro.errors import ServerOverloadedError
+
+    handles = [server.connect() for _ in range(num_clients)]
+    latencies = [0.0] * num_clients
+    row_counts = [0] * num_clients
+    errors: list[str] = []
+
+    def run(index: int) -> None:
+        started = time.perf_counter()
+        while True:
+            try:
+                result = handles[index].execute(query)
+                break
+            except ServerOverloadedError as error:
+                time.sleep(error.retry_after)
+            except Exception as error:  # noqa: BLE001 - pooled below
+                errors.append(f"{handles[index].client_id}: {error}")
+                return
+        latencies[index] = time.perf_counter() - started
+        row_counts[index] = len(result.rows)
+
+    start = time.perf_counter()
+    if concurrent:
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(num_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:
+        for index in range(num_clients):
+            run(index)
+    wall = time.perf_counter() - start
+
+    virtual = 0.0
+    for handle in handles:
+        with handle.checkout() as session:
+            virtual += virtual_total(session.clock.breakdown())
+    if errors:
+        raise RuntimeError("stress clients failed: " + "; ".join(errors))
+    return {"wall_seconds": round(wall, 6), "rows": sum(row_counts),
+            "virtual_seconds": virtual, "queries": num_clients,
+            "latency_p50_seconds": round(latency_quantile(latencies, 0.50), 6),
+            "latency_p99_seconds": round(latency_quantile(latencies, 0.99), 6),
+            "latency_max_seconds": round(max(latencies), 6)}
+
+
+def run_stress_concurrent(frames: int, quick: bool) -> dict:
+    """Serial vs 64-way concurrent hit-heavy workload on one server."""
+    from repro.server import EvaServer
+
+    num_clients = STRESS_CLIENTS_QUICK if quick else STRESS_CLIENTS
+    config = EvaConfig(reuse_policy=ReusePolicy.EVA,
+                       slo_latency_p50=STRESS_SLO_P50,
+                       slo_latency_p99=STRESS_SLO_P99)
+    server = EvaServer(config, max_workers=STRESS_WORKERS,
+                       max_queue=4 * num_clients)
+    server.register_video(make_video(frames))
+    query = apply_query(frames)
+    with server.start():
+        # Warm the shared views once so both passes are all-hit and
+        # therefore agree on rows and (hit-only) virtual cost.
+        server.connect().execute(query)
+        serial = run_stress_pass(server, query, num_clients,
+                                 concurrent=False)
+        concurrent = run_stress_pass(server, query, num_clients,
+                                     concurrent=True)
+        flight_records = len(server.trace_events(type="flight"))
+        slo = server.slo_snapshot()
+    p50 = concurrent["latency_p50_seconds"]
+    p99 = concurrent["latency_p99_seconds"]
+    return pair_entry(
+        ("serial", "concurrent"), serial, concurrent,
+        clients=num_clients, workers=STRESS_WORKERS,
+        slo={"p50_target_s": STRESS_SLO_P50, "p99_target_s": STRESS_SLO_P99,
+             "p50_s": p50, "p99_s": p99,
+             "violations": slo.over_p99},
+        slo_ok=p50 <= STRESS_SLO_P50 and p99 <= STRESS_SLO_P99,
+        # Warmup + serial pass + concurrent pass, one record per query.
+        flight_ok=flight_records == 2 * num_clients + 1)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -369,6 +493,8 @@ def main(argv: list[str] | None = None) -> int:
         frames, args.quick)
     report["scenarios"]["batched_miss_heavy"] = run_batched_miss_heavy(
         args.quick)
+    report["scenarios"]["stress_concurrent"] = run_stress_concurrent(
+        frames, args.quick)
 
     ok = True
     for name, entry in report["scenarios"].items():
@@ -387,6 +513,18 @@ def main(argv: list[str] | None = None) -> int:
         print("ERROR: batched_miss_heavy never coalesced concurrent "
               "requests (mean batch size <= 1)", file=sys.stderr)
         ok = False
+    stress = report["scenarios"]["stress_concurrent"]
+    if not stress["slo_ok"]:
+        print("ERROR: stress_concurrent blew its latency SLOs "
+              f"(p50 {stress['slo']['p50_s']:.3f}s vs target "
+              f"{stress['slo']['p50_target_s']:.1f}s, p99 "
+              f"{stress['slo']['p99_s']:.3f}s vs target "
+              f"{stress['slo']['p99_target_s']:.1f}s)", file=sys.stderr)
+        ok = False
+    if not stress["flight_ok"]:
+        print("ERROR: stress_concurrent did not record exactly one "
+              "flight record per completed query", file=sys.stderr)
+        ok = False
     cold = report["scenarios"]["cold_start_hit_heavy"]
     if not cold["hit_rate_match"]:
         print("ERROR: cold_start_hit_heavy lost hit rate across the "
@@ -404,6 +542,10 @@ def main(argv: list[str] | None = None) -> int:
     report["post_restart_hit_rate"] = \
         report["scenarios"]["cold_start_hit_heavy"]["restarted"][
             "hit_rate"]
+    report["stress_p50_seconds"] = stress["concurrent"][
+        "latency_p50_seconds"]
+    report["stress_p99_seconds"] = stress["concurrent"][
+        "latency_p99_seconds"]
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     if not ok:

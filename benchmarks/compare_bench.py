@@ -19,7 +19,11 @@ Comparison rules:
   or a ``batched_miss_heavy`` run that never coalesced (mean batch
   size <= 1 request), or a ``cold_start_hit_heavy`` run whose
   restarted session answered below the warm session's hit rate
-  (``hit_rate_match`` false — durable-store recovery lost state);
+  (``hit_rate_match`` false — durable-store recovery lost state), or a
+  ``stress_concurrent`` run whose concurrent-pass p50/p99 latencies
+  blew the checked-in SLO targets (``slo_ok`` false) or that failed to
+  emit exactly one flight record per completed query (``flight_ok``
+  false);
 * **wall clock is configuration-relative** — raw wall seconds are only
   compared when the fresh run used the same ``frames`` / ``repetitions``
   / ``quick`` flag as the baseline, with a ``--tolerance`` band
@@ -111,6 +115,17 @@ def compare(baseline: dict, fresh: dict, *, tolerance: float,
             failures.append(
                 f"{name}: restarted session lost hit rate vs the warm "
                 f"session (durable-store recovery is incomplete)")
+        if "slo_ok" in scenario and not scenario["slo_ok"]:
+            slo = scenario.get("slo", {})
+            failures.append(
+                f"{name}: concurrent latency SLOs violated "
+                f"(p50 {slo.get('p50_s')}s vs target "
+                f"{slo.get('p50_target_s')}s, p99 {slo.get('p99_s')}s "
+                f"vs target {slo.get('p99_target_s')}s)")
+        if "flight_ok" in scenario and not scenario["flight_ok"]:
+            failures.append(
+                f"{name}: flight recorder did not emit exactly one "
+                f"record per completed query")
 
     # 2. Scenario coverage: the fresh run must keep every baseline
     #    scenario (a silently dropped scenario hides regressions).
@@ -192,6 +207,8 @@ def history_entry(baseline: dict, fresh: dict, failures: list[str],
         "batcher_mean_batch_requests":
             fresh.get("batcher_mean_batch_requests"),
         "post_restart_hit_rate": fresh.get("post_restart_hit_rate"),
+        "stress_p50_seconds": fresh.get("stress_p50_seconds"),
+        "stress_p99_seconds": fresh.get("stress_p99_seconds"),
         "scenarios": {
             name: {
                 "pair": list(scenario_pair(s)),

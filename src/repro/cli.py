@@ -487,6 +487,234 @@ def run_store(command: str, path: str, stdout: IO[str],
     return 0 if stats["ok"] else 1
 
 
+def run_flight(policy_name: str, dataset: str, sql: str,
+               stdout: IO[str], *, stage: str | None = None,
+               jsonl: str | None = None,
+               execution_mode: str = "vectorized",
+               parallelism: int = 0,
+               store_path: str | None = None,
+               slo_p50: float | None = None,
+               slo_p99: float | None = None) -> int:
+    """``repro flight``: run statements and dump their flight records.
+
+    Every SELECT yields one wide per-query record (stage breakdown,
+    lock waits, batcher/store-io/morsel telemetry, Eq. 3/4 costs);
+    ``--stage`` filters by dominant stage, ``--jsonl`` exports the raw
+    records, and ``--slo-p50/--slo-p99`` arm the violation column.
+    """
+    from repro.obs.flight import STORE_IO_KINDS
+    from repro.obs.sinks import InMemorySink
+    from repro.obs.slo import STAGES
+
+    if stage is not None and stage not in STAGES:
+        print(f"error: unknown stage {stage!r} (choose from "
+              f"{', '.join(STAGES)})", file=stdout)
+        return 2
+    policy = ReusePolicy(policy_name.lower())
+    session = EvaSession(config=EvaConfig(
+        reuse_policy=policy, execution_mode=execution_mode,
+        parallelism=parallelism,
+        store_mode="durable" if store_path else "memory",
+        store_path=store_path,
+        slo_latency_p50=slo_p50, slo_latency_p99=slo_p99))
+    session.register_video(make_video(dataset))
+    memory = InMemorySink()
+    session.tracer.sink = memory
+    statements = split_statements(sql)
+    if not statements:
+        print("error: no statements to record", file=stdout)
+        return 2
+    exit_code = 0
+    try:
+        for statement in statements:
+            try:
+                session.execute(statement)
+            except EvaError as error:
+                print(f"error: {error}", file=stdout)
+                exit_code = 1
+    finally:
+        session.close()
+    records = memory.events("flight")
+    if stage is not None:
+        records = [r for r in records if r["dominant_stage"] == stage]
+    rows = []
+    for record in records:
+        stages = record["stages"]
+        rows.append([
+            record["flight_id"],
+            record["query"][:32] + ("..." if len(record["query"]) > 32
+                                    else ""),
+            record["rows_returned"],
+            f"{record['total_s'] * 1e3:.1f}",
+            record["dominant_stage"],
+            "yes" if record["over_slo"] else "",
+            f"{stages['queueing'] * 1e3:.2f}",
+            f"{stages['contention'] * 1e3:.2f}",
+            f"{stages['inference'] * 1e3:.2f}",
+            f"{stages['store-io'] * 1e3:.2f}",
+            f"{stages['compute'] * 1e3:.2f}",
+            "hit" if record["cache_hit"]
+            else ("reuse" if record["reused"] else ""),
+        ])
+    print(format_table(
+        ["flight", "query", "rows", "total ms", "dominant", "over-slo",
+         "queue ms", "lock ms", "infer ms", "io ms", "compute ms",
+         "reuse"],
+        rows, title="flight records"), file=stdout)
+    totals = {name: sum(r["stages"][name] for r in records)
+              for name in STAGES}
+    attributed = ", ".join(f"{name} {totals[name] * 1e3:.1f}ms"
+                           for name in STAGES)
+    print(f"-- {len(records)} records; attributed wall time: "
+          f"{attributed}", file=stdout)
+    io_totals = {kind: sum(r["store_io"][kind] for r in records)
+                 for kind in STORE_IO_KINDS}
+    if any(io_totals.values()):
+        detail = ", ".join(f"{k} {v * 1e3:.1f}ms"
+                           for k, v in io_totals.items() if v)
+        print(f"-- store io: {detail}", file=stdout)
+    if jsonl is not None:
+        import json
+
+        with open(jsonl, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"-- {len(records)} flight records written to {jsonl}",
+              file=stdout)
+    return exit_code
+
+
+def _top_frame(server, *, clear: bool) -> str:
+    """One rendered frame of the ``repro top`` dashboard."""
+    snapshot = server.stats()
+    slo = server.slo_snapshot()
+    flight = server.flight_stats()
+    lines = []
+    if clear:
+        lines.append("\x1b[2J\x1b[H")
+    lines.append(f"eva top - uptime {snapshot.uptime:6.1f}s   "
+                 f"clients {len(snapshot.clients)}   "
+                 f"workers {snapshot.workers}")
+    lines.append(f"queries   submitted {snapshot.submitted}  "
+                 f"completed {snapshot.completed}  "
+                 f"failed {snapshot.failed}  "
+                 f"rejected {snapshot.rejected}   "
+                 f"qps {snapshot.aggregate_qps:.1f}")
+    lines.append(f"queue     depth {snapshot.queue_depth} "
+                 f"(peak {snapshot.peak_queue_depth})   "
+                 f"hit rate {snapshot.hit_percentage:.1f}%   "
+                 f"views {snapshot.num_views} "
+                 f"({snapshot.view_storage_bytes / 1024:.0f} KiB)")
+    wait = snapshot.admission_wait
+    if wait.get("count"):
+        lines.append(f"admission p50 {wait['p50_s'] * 1e3:.2f}ms  "
+                     f"p99 {wait['p99_s'] * 1e3:.2f}ms  "
+                     f"max {wait['max_s'] * 1e3:.2f}ms  "
+                     f"({wait['count']} waits)")
+    latency = slo.latency
+    lines.append(f"latency   p50 {latency.p50 * 1e3:.1f}ms  "
+                 f"p95 {latency.p95 * 1e3:.1f}ms  "
+                 f"p99 {latency.p99 * 1e3:.1f}ms  "
+                 f"({latency.count} queries)")
+    if slo.enabled:
+        targets = []
+        if slo.target_p50 is not None:
+            targets.append(f"p50<{slo.target_p50 * 1e3:.0f}ms "
+                           f"burn {slo.burn_rate_p50:.2f}")
+        if slo.target_p99 is not None:
+            targets.append(f"p99<{slo.target_p99 * 1e3:.0f}ms "
+                           f"burn {slo.burn_rate_p99:.2f}")
+        lines.append(f"slo       {'   '.join(targets)}   "
+                     f"violations {slo.over_p99}")
+    dominant = flight["dominant"]
+    if flight["records"]:
+        share = ", ".join(
+            f"{name} {dominant[name]}"
+            for name in sorted(dominant, key=dominant.get, reverse=True)
+            if dominant[name])
+        lines.append(f"dominant  {share}   "
+                     f"(over-slo {flight['over_slo']})")
+    ranked = sorted(
+        snapshot.lock_waits.items(),
+        key=lambda kv: kv[1]["read_s"] + kv[1]["write_s"], reverse=True)
+    if ranked:
+        lines.append("lock class                          "
+                     "waits   read ms  write ms  max-wq")
+        for name, waits in ranked[:5]:
+            lines.append(
+                f"  {name:<32} {waits['waits']:>6} "
+                f"{waits['read_s'] * 1e3:>9.2f} "
+                f"{waits['write_s'] * 1e3:>9.2f} "
+                f"{waits.get('writers_waiting_high_water', 0):>7}")
+    return "\n".join(lines)
+
+
+def run_top(dataset: str, clients: int, workers: int, duration: float,
+            interval: float, once: bool, stdout: IO[str], *,
+            slo_p50: float | None = None,
+            slo_p99: float | None = None) -> int:
+    """``repro top``: live terminal dashboard over a running server.
+
+    Spins up an in-process :class:`~repro.server.EvaServer`, drives the
+    overlapping demo workload from ``clients`` background threads, and
+    refreshes a QPS / queue / latency-quantile / lock-contention / SLO
+    view every ``interval`` seconds.  ``--once`` renders a single frame
+    after the workload settles and exits (CI smoke mode).
+    """
+    import threading
+    import time as _time
+
+    from repro.errors import ServerOverloadedError
+    from repro.server import EvaServer
+
+    video = make_video(dataset)
+    queries = demo_queries(video.name, video.num_frames)
+    config = EvaConfig(slo_latency_p50=slo_p50, slo_latency_p99=slo_p99)
+    server = EvaServer(config, max_workers=workers)
+    server.register_video(video)
+    stop = threading.Event()
+
+    def run_client(handle, offset: int) -> None:
+        i = 0
+        while not stop.is_set():
+            sql = queries[(i + offset) % len(queries)]
+            i += 1
+            try:
+                handle.execute(sql)
+            except ServerOverloadedError as error:
+                _time.sleep(error.retry_after)
+            except EvaError:  # pragma: no cover - workload best-effort
+                return
+
+    with server.start():
+        handles = [server.connect() for _ in range(clients)]
+        threads = [threading.Thread(target=run_client, args=(h, i),
+                                    name=f"top-client-{i}", daemon=True)
+                   for i, h in enumerate(handles)]
+        for thread in threads:
+            thread.start()
+        try:
+            deadline = _time.monotonic() + duration
+            if once:
+                # Let the workload produce a few records, then render.
+                while (server.stats().completed < clients
+                       and _time.monotonic() < deadline):
+                    _time.sleep(0.05)
+                print(_top_frame(server, clear=False), file=stdout)
+            else:
+                while _time.monotonic() < deadline:
+                    print(_top_frame(server,
+                                     clear=stdout.isatty()), file=stdout)
+                    _time.sleep(interval)
+                print(_top_frame(server, clear=stdout.isatty()),
+                      file=stdout)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -597,6 +825,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload repetitions per client")
     serve.add_argument("--queue", type=int, default=16,
                        help="admission queue bound")
+    flight = sub.add_parser(
+        "flight",
+        help="run statement(s) and dump their per-query flight records "
+             "(stage breakdown, lock waits, store io, Eq. 3/4 costs)")
+    common(flight)
+    flight.add_argument("query",
+                        help="';'-separated EVAQL statement(s) sharing "
+                             "one session")
+    flight.add_argument("--stage", default=None,
+                        help="only records whose dominant stage matches "
+                             "(queueing | contention | inference | "
+                             "store-io | compute)")
+    flight.add_argument("--jsonl", default=None, metavar="PATH",
+                        help="export the raw flight records as JSON "
+                             "lines")
+    flight.add_argument("--slo-p50", type=float, default=None,
+                        help="p50 latency target in seconds")
+    flight.add_argument("--slo-p99", type=float, default=None,
+                        help="p99 latency target in seconds (arms the "
+                             "over-slo column)")
+    top = sub.add_parser(
+        "top",
+        help="live refreshing dashboard over a running multi-client "
+             "server: QPS, queue depth, hit rate, latency quantiles, "
+             "lock contention, SLO burn")
+    top.add_argument("--dataset", default="synthetic:240",
+                     help="ua_detrac[:size] | jackson | "
+                          "synthetic:<frames>[:<density>]")
+    top.add_argument("--clients", type=int, default=4)
+    top.add_argument("--workers", type=int, default=4)
+    top.add_argument("--duration", type=float, default=10.0,
+                     help="seconds to keep the dashboard running")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (CI smoke mode)")
+    top.add_argument("--slo-p50", type=float, default=None,
+                     help="p50 latency target in seconds")
+    top.add_argument("--slo-p99", type=float, default=None,
+                     help="p99 latency target in seconds")
     store = sub.add_parser(
         "store",
         help="inspect a durable view store directory (read-only)")
@@ -655,6 +923,26 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
                                args.calibration, args.top, args.jsonl,
                                stdout,
                                execution_mode=args.execution_mode)
+        except ValueError as error:
+            print(f"error: {error}", file=stdout)
+            return 2
+    if args.command == "flight":
+        try:
+            return run_flight(args.policy, args.dataset, args.query,
+                              stdout, stage=args.stage, jsonl=args.jsonl,
+                              execution_mode=args.execution_mode,
+                              parallelism=args.parallelism,
+                              store_path=args.store_path,
+                              slo_p50=args.slo_p50, slo_p99=args.slo_p99)
+        except ValueError as error:
+            print(f"error: {error}", file=stdout)
+            return 2
+    if args.command == "top":
+        try:
+            return run_top(args.dataset, args.clients, args.workers,
+                           args.duration, args.interval, args.once,
+                           stdout, slo_p50=args.slo_p50,
+                           slo_p99=args.slo_p99)
         except ValueError as error:
             print(f"error: {error}", file=stdout)
             return 2

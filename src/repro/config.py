@@ -158,6 +158,16 @@ class EvaConfig:
     store_partition_frames: int = 2048
     #: Threads replaying partitions at recovery.
     store_recovery_parallelism: int = 4
+    #: Latency SLO targets in *wall* seconds of total latency (admission
+    #: wait + execution), consumed by the flight recorder's
+    #: :class:`~repro.obs.slo.SloTracker`: half the queries should finish
+    #: within ``slo_latency_p50`` and 99% within ``slo_latency_p99``.
+    #: A query over the p99 target counts as an SLO violation and gets a
+    #: dominant-stage attribution (queueing | contention | inference |
+    #: store-io | compute).  ``None`` disables the respective objective;
+    #: latency quantiles are tracked regardless.
+    slo_latency_p50: float | None = None
+    slo_latency_p99: float | None = None
 
     def __post_init__(self):
         if self.execution_mode not in ("vectorized", "row"):
@@ -215,6 +225,17 @@ class EvaConfig:
             if getattr(self, name) < 1:
                 raise ValueError(
                     f"{name} must be >= 1, got {getattr(self, name)!r}")
+        for name in ("slo_latency_p50", "slo_latency_p99"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"{name} must be positive when set, got {value!r}")
+        if self.slo_latency_p50 is not None \
+                and self.slo_latency_p99 is not None \
+                and self.slo_latency_p50 > self.slo_latency_p99:
+            raise ValueError(
+                f"slo_latency_p50 ({self.slo_latency_p50!r}) must not "
+                f"exceed slo_latency_p99 ({self.slo_latency_p99!r})")
         if self.ranking is None:
             # Materialization-aware ranking is EVA's contribution; the
             # baselines use the canonical ranking function.

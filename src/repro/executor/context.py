@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -15,6 +16,7 @@ from repro.errors import ExecutorError
 from repro.expressions.evaluator import ExpressionEvaluator
 from repro.executor.function_cache import FunctionCache
 from repro.metrics import MetricsCollector
+from repro.obs.flight import current_flight
 from repro.storage.engine import StorageEngine
 from repro.storage.view_store import ViewStore
 from repro.types import BoundingBox
@@ -131,13 +133,19 @@ class ExecutionContext:
         client/morsel pays for exactly its own tuples no matter how the
         wall-clock work was shared.
         """
-        if self.inference is not None:
-            return self.inference.submit(model, video, inputs)
-        outputs = model.predict_batch(video, inputs)
-        simulate = getattr(model, "simulate_service_latency", None)
-        if simulate is not None:
-            simulate(len(inputs))
-        return outputs
+        flight = current_flight()
+        started = time.perf_counter() if flight is not None else 0.0
+        try:
+            if self.inference is not None:
+                return self.inference.submit(model, video, inputs)
+            outputs = model.predict_batch(video, inputs)
+            simulate = getattr(model, "simulate_service_latency", None)
+            if simulate is not None:
+                simulate(len(inputs))
+            return outputs
+        finally:
+            if flight is not None:
+                flight.add_inference(time.perf_counter() - started)
 
     # -- once-per-query gates -------------------------------------------------
 

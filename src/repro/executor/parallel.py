@@ -53,6 +53,7 @@ from typing import Iterator
 from repro.clock import SimulationClock
 from repro.config import ReusePolicy
 from repro.executor.context import ExecutionContext, OnceGates
+from repro.obs.flight import record_morsels
 from repro.executor.operators.base import Operator
 from repro.metrics import MetricsCollector
 from repro.optimizer.plans import (
@@ -242,6 +243,7 @@ class ParallelExecutor:
         wall_start = time.perf_counter()
         results = self._run_morsels(suffix_root, morsels, gates)
         merged = self._merge(results)
+        record_morsels([r.wall_seconds for r in results])
         metrics = self.context.metrics
         metrics.increment("parallel_queries")
         metrics.increment("parallel_morsels", len(morsels))

@@ -350,9 +350,119 @@ def _expose_store(exp: _Exposition, snapshot) -> None:
                        stat=key)
 
 
+def _expose_lock_waits(exp: _Exposition, lock_waits: dict) -> None:
+    """Per-lock-class contention rollups (``snapshot.lock_waits``)."""
+    if not lock_waits:
+        return
+    exp.header("eva_lock_wait_seconds_total",
+               "Seconds spent waiting to acquire shared locks, by lock "
+               "class and side (read=shared, write=exclusive)", "counter")
+    for name in sorted(lock_waits):
+        waits = lock_waits[name]
+        exp.sample("eva_lock_wait_seconds_total", waits["read_s"],
+                   lock_class=name, kind="read")
+        exp.sample("eva_lock_wait_seconds_total", waits["write_s"],
+                   lock_class=name, kind="write")
+    exp.header("eva_lock_wait_acquisitions_total",
+               "Timed lock acquisitions per lock class", "counter")
+    for name in sorted(lock_waits):
+        exp.sample("eva_lock_wait_acquisitions_total",
+                   lock_waits[name]["waits"], lock_class=name)
+    exp.header("eva_lock_writers_waiting_high_water",
+               "Most writers ever simultaneously queued on one lock",
+               "gauge")
+    for name in sorted(lock_waits):
+        exp.sample("eva_lock_writers_waiting_high_water",
+                   lock_waits[name].get("writers_waiting_high_water", 0),
+                   lock_class=name)
+
+
+def _expose_admission_wait(exp: _Exposition, wait: dict) -> None:
+    """Admission-wait summary (``snapshot.admission_wait``)."""
+    if not wait or not wait.get("count"):
+        return
+    exp.header("eva_server_admission_wait_seconds",
+               "Wall seconds between submit and a worker picking the "
+               "query up (stat=p50|p99|max|mean)", "gauge")
+    mean = wait["sum_s"] / wait["count"]
+    for stat, value in (("p50", wait["p50_s"]), ("p99", wait["p99_s"]),
+                        ("max", wait["max_s"]), ("mean", mean)):
+        exp.sample("eva_server_admission_wait_seconds", value, stat=stat)
+    exp.header("eva_server_admission_wait_total",
+               "Queries whose admission wait was measured", "counter")
+    exp.sample("eva_server_admission_wait_total", wait["count"])
+
+
+def _expose_flight(exp: _Exposition, stats: dict) -> None:
+    """Flight-recorder rollups (``FlightStats.snapshot()``)."""
+    exp.header("eva_flight_records_total",
+               "Per-query flight records assembled", "counter")
+    exp.sample("eva_flight_records_total", stats["records"])
+    exp.header("eva_flight_stage_seconds_total",
+               "Wall seconds attributed per latency stage across all "
+               "recorded queries", "counter")
+    for stage in sorted(stats["stage_seconds"]):
+        exp.sample("eva_flight_stage_seconds_total",
+                   stats["stage_seconds"][stage], stage=stage)
+    exp.header("eva_flight_dominant_stage_total",
+               "Queries whose latency was dominated by each stage",
+               "counter")
+    for stage in sorted(stats["dominant"]):
+        exp.sample("eva_flight_dominant_stage_total",
+                   stats["dominant"][stage], stage=stage)
+    exp.header("eva_flight_over_slo_total",
+               "Recorded queries that violated the p99 latency SLO, "
+               "by dominant stage", "counter")
+    for stage in sorted(stats["over_slo_by_stage"]):
+        exp.sample("eva_flight_over_slo_total",
+                   stats["over_slo_by_stage"][stage], stage=stage)
+
+
+def _expose_slo(exp: _Exposition, snapshot) -> None:
+    """Latency SLO state (:class:`~repro.obs.slo.SloSnapshot`)."""
+    latency = snapshot.latency
+    exp.header("eva_slo_latency_seconds",
+               "Histogram of total query latency (admission wait + "
+               "execution wall time)", "histogram")
+    cumulative = 0
+    for bound, count in zip(latency.buckets, latency.counts):
+        cumulative += count
+        exp.sample("eva_slo_latency_seconds_bucket", cumulative,
+                   le=_fmt(bound))
+    exp.sample("eva_slo_latency_seconds_bucket", latency.count, le="+Inf")
+    exp.sample("eva_slo_latency_seconds_sum", latency.sum_seconds)
+    exp.sample("eva_slo_latency_seconds_count", latency.count)
+    exp.header("eva_slo_latency_quantile_seconds",
+               "Streaming latency quantile estimates", "gauge")
+    for stat, value in (("p50", latency.p50), ("p95", latency.p95),
+                        ("p99", latency.p99)):
+        exp.sample("eva_slo_latency_quantile_seconds", value,
+                   quantile=stat)
+    targets = (("p50", snapshot.target_p50, snapshot.over_p50,
+                snapshot.burn_rate_p50),
+               ("p99", snapshot.target_p99, snapshot.over_p99,
+                snapshot.burn_rate_p99))
+    configured = [t for t in targets if t[1] is not None]
+    if not configured:
+        return
+    exp.header("eva_slo_target_seconds",
+               "Configured latency SLO targets", "gauge")
+    for objective, target, _, _ in configured:
+        exp.sample("eva_slo_target_seconds", target, objective=objective)
+    exp.header("eva_slo_violations_total",
+               "Queries over each configured SLO target", "counter")
+    for objective, _, over, _ in configured:
+        exp.sample("eva_slo_violations_total", over, objective=objective)
+    exp.header("eva_slo_burn_rate",
+               "Error-budget burn rate (violation fraction / budget; "
+               ">1 means the objective is being missed)", "gauge")
+    for objective, _, _, burn in configured:
+        exp.sample("eva_slo_burn_rate", burn, objective=objective)
+
+
 def prometheus_text(metrics=None, clock=None, server=None, *,
                     profile=None, drift=None, batcher=None,
-                    store=None) -> str:
+                    store=None, flight=None, slo=None) -> str:
     """Render the exposition for any subset of metric sources.
 
     Args:
@@ -369,6 +479,10 @@ def prometheus_text(metrics=None, clock=None, server=None, *,
             (cross-client inference micro-batching gauges).
         store: a :class:`~repro.store.StoreSnapshot` (durable
             view-store tier sizes, WAL bytes, eviction counters).
+        flight: a ``FlightStats.snapshot()`` dict (per-stage wall-time
+            rollups and dominant-stage counts; ``eva_flight_*``).
+        slo: a :class:`~repro.obs.slo.SloSnapshot` (latency histogram,
+            targets, violations, burn rates; ``eva_slo_*``).
     """
     exp = _Exposition()
     if metrics is not None:
@@ -379,6 +493,8 @@ def prometheus_text(metrics=None, clock=None, server=None, *,
         _expose_clock(exp, clock)
     if server is not None:
         _expose_server(exp, server)
+        _expose_lock_waits(exp, getattr(server, "lock_waits", {}))
+        _expose_admission_wait(exp, getattr(server, "admission_wait", {}))
     if profile is not None:
         _expose_profile(exp, profile)
     if drift is not None:
@@ -387,4 +503,8 @@ def prometheus_text(metrics=None, clock=None, server=None, *,
         _expose_batcher(exp, batcher)
     if store is not None:
         _expose_store(exp, store)
+    if flight is not None:
+        _expose_flight(exp, flight)
+    if slo is not None:
+        _expose_slo(exp, slo)
     return exp.text()

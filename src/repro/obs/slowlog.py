@@ -33,6 +33,12 @@ class SlowQueryEntry:
     #: did not run instrumented (per-operator actuals need the
     #: instrumented engine; see :mod:`repro.executor.instrument`).
     top_operators: tuple = ()
+    #: The query's :mod:`~repro.obs.flight` record id and dominant-stage
+    #: attribution (``queueing | contention | inference | store-io |
+    #: compute``) — the wall-time "why" next to the virtual-time "what".
+    #: None when the query ran without flight recording.
+    flight_id: str | None = None
+    dominant_stage: str | None = None
 
     def to_event(self) -> dict:
         return {
@@ -46,6 +52,8 @@ class SlowQueryEntry:
                                   for k, v in self.breakdown.items()},
             "rows_returned": self.rows_returned,
             "top_operators": [dict(op) for op in self.top_operators],
+            "flight_id": self.flight_id,
+            "dominant_stage": self.dominant_stage,
         }
 
 
@@ -67,7 +75,10 @@ class SlowQueryLog:
                 trace_id: str | None = None,
                 client_id: str | None = None,
                 rows_returned: int = 0,
-                top_operators=()) -> SlowQueryEntry | None:
+                top_operators=(),
+                flight_id: str | None = None,
+                dominant_stage: str | None = None
+                ) -> SlowQueryEntry | None:
         """Record the query if it crossed the threshold.
 
         Returns the entry when the query was slow, else None.
@@ -85,6 +96,8 @@ class SlowQueryLog:
             breakdown=dict(breakdown or {}),
             rows_returned=rows_returned,
             top_operators=tuple(top_operators),
+            flight_id=flight_id,
+            dominant_stage=dominant_stage,
         )
         with self._lock:
             self._entries.append(entry)

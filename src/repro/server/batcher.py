@@ -42,6 +42,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.obs.flight import current_flight, record_batcher_wait
+
 __all__ = ["InferenceBatcher", "BatcherSnapshot"]
 
 
@@ -77,13 +79,16 @@ class BatcherSnapshot:
 class _Request:
     """One client's miss sub-batch, parked until its chunk dispatches."""
 
-    __slots__ = ("inputs", "outputs", "error", "done")
+    __slots__ = ("inputs", "outputs", "error", "done", "window_requests")
 
     def __init__(self, inputs: list):
         self.inputs = inputs
         self.outputs: list | None = None
         self.error: BaseException | None = None
         self.done = threading.Event()
+        #: How many requests rode the physical dispatch that served this
+        #: one (set by the leader; window-occupancy telemetry).
+        self.window_requests = 0
 
 
 @dataclass
@@ -146,6 +151,8 @@ class InferenceBatcher:
         inputs = list(inputs)
         if not inputs:
             return []
+        flight = current_flight()
+        started = time.perf_counter() if flight is not None else 0.0
         queue = self._queue_for((model.name, video.name))
         request = _Request(inputs)
         with queue.lock:
@@ -161,6 +168,10 @@ class InferenceBatcher:
         if is_leader:
             self._lead(queue, model, video)
         request.done.wait()
+        if flight is not None:
+            record_batcher_wait("leader" if is_leader else "follower",
+                                time.perf_counter() - started,
+                                request.window_requests)
         if request.error is not None:
             raise request.error
         assert request.outputs is not None
@@ -230,6 +241,7 @@ class InferenceBatcher:
             return
         offset = 0
         for request in chunk:
+            request.window_requests = len(chunk)
             request.outputs = outputs[offset:offset + len(request.inputs)]
             offset += len(request.inputs)
         self._record(chunk, len(merged))

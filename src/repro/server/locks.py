@@ -14,26 +14,64 @@ package never nest acquisitions.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 
 class RWLock:
-    """Multiple concurrent readers XOR one exclusive writer."""
+    """Multiple concurrent readers XOR one exclusive writer.
+
+    Contention telemetry is **opt-in and zero-cost when off**: with no
+    listener registered the acquire paths make no ``perf_counter``
+    calls and accumulate no wait seconds.  :meth:`set_listener`
+    registers a ``listener(kind, wait_seconds)`` callback
+    (``kind`` is ``"read"`` or ``"write"``) invoked after every
+    acquisition with the wall seconds the caller spent blocked; the
+    installer (e.g. the shared view store) closes over its lock-class
+    label.  The writers-waiting high-water mark costs one integer
+    compare and is therefore tracked unconditionally.
+    """
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._listener: Callable[[str, float], None] | None = None
+        #: Peak concurrent writers blocked on this lock (always on).
+        self.writers_waiting_high_water = 0
+        #: Total wall seconds spent blocked, by side.  Only accumulated
+        #: while a listener is registered (timing is otherwise skipped).
+        self.read_wait_seconds = 0.0
+        self.write_wait_seconds = 0.0
+
+    def set_listener(self,
+                     listener: Callable[[str, float], None] | None) -> None:
+        """Register (or clear) the contention callback."""
+        self._listener = listener
+
+    def _notify(self, kind: str, waited: float) -> None:
+        # Called with the condition held: the float adds stay racefree.
+        if kind == "read":
+            self.read_wait_seconds += waited
+        else:
+            self.write_wait_seconds += waited
+        listener = self._listener
+        if listener is not None:
+            listener(kind, waited)
 
     # -- read side -----------------------------------------------------------
 
     def acquire_read(self) -> None:
+        listener = self._listener
+        started = time.perf_counter() if listener is not None else 0.0
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+            if listener is not None:
+                self._notify("read", time.perf_counter() - started)
 
     def release_read(self) -> None:
         with self._cond:
@@ -54,14 +92,20 @@ class RWLock:
     # -- write side ----------------------------------------------------------
 
     def acquire_write(self) -> None:
+        listener = self._listener
+        started = time.perf_counter() if listener is not None else 0.0
         with self._cond:
             self._writers_waiting += 1
+            if self._writers_waiting > self.writers_waiting_high_water:
+                self.writers_waiting_high_water = self._writers_waiting
             try:
                 while self._writer_active or self._readers:
                     self._cond.wait()
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+            if listener is not None:
+                self._notify("write", time.perf_counter() - started)
 
     def release_write(self) -> None:
         with self._cond:

@@ -232,7 +232,9 @@ class EvaServer:
             self.stats_hub.record_submitted(client_id)
             self._update_queue_depth_locked()
             executor = self._executor
-        future = executor.submit(self._run_query, client, sql, token)
+        submitted_at = time.monotonic()
+        future = executor.submit(self._run_query, client, sql, token,
+                                 submitted_at)
         future.add_done_callback(
             lambda f: self._on_done(f, client.client_id, token))
         return future
@@ -249,7 +251,8 @@ class EvaServer:
     # -- worker body -----------------------------------------------------------
 
     def _run_query(self, client: _Client, sql: str,
-                   token: CancelToken) -> QueryResult:
+                   token: CancelToken,
+                   submitted_at: float | None = None) -> QueryResult:
         started = time.monotonic()
         try:
             # A query that burned its whole deadline in the queue must
@@ -258,6 +261,13 @@ class EvaServer:
             # Session checkout: one query at a time per client.
             with client.lock:
                 token.check()
+                # Admission wait: submit-to-worker-start, including the
+                # checkout wait above (a query stuck behind its own
+                # client's previous query is queued, not computing).
+                queue_wait = (time.monotonic() - submitted_at
+                              if submitted_at is not None else 0.0)
+                self.stats_hub.record_admission_wait(queue_wait)
+                client.session.flight.deposit_queue_wait(queue_wait)
                 result = client.session.execute(sql, cancel=token)
             self.stats_hub.record_completed(client.client_id)
             return result
@@ -375,13 +385,25 @@ class EvaServer:
         """
         return self.state.batcher.snapshot()
 
+    def slo_snapshot(self):
+        """Fleet-wide SLO accounting: latency quantiles over every
+        completed query plus burn-rate counters against the configured
+        ``slo_latency_*`` targets
+        (:class:`~repro.obs.slo.SloSnapshot`)."""
+        return self.state.slo.snapshot()
+
+    def flight_stats(self):
+        """Aggregate flight-record rollups (records, per-stage wall
+        seconds, dominant-stage and over-SLO attribution counts)."""
+        return self.state.flight_stats.snapshot()
+
     def prometheus_text(self) -> str:
         """The Prometheus exposition for the whole server: merged
         per-UDF #TI/#DI/hit-rate metrics, summed per-client virtual-time
         categories, the admission/backpressure counters, the shared
         continuous-profiler rollups, the inference micro-batcher's
-        coalescing gauges, and the modeled-vs-observed cost-drift
-        gauges."""
+        coalescing gauges, the modeled-vs-observed cost-drift gauges,
+        and the flight/SLO/lock-contention families."""
         from repro.obs.prometheus import prometheus_text
 
         return prometheus_text(
@@ -392,4 +414,6 @@ class EvaServer:
             drift=self.drift_report(),
             batcher=self.batcher_snapshot(),
             store=self.state.view_store.store_snapshot(),
+            flight=self.flight_stats(),
+            slo=self.slo_snapshot(),
         )

@@ -29,6 +29,8 @@ per client by :meth:`SharedReuseState.session_state`.
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Hashable, Iterable, Mapping
 
 from repro.catalog.catalog import Catalog
@@ -36,8 +38,11 @@ from repro.clock import SimulationClock
 from repro.config import EvaConfig
 from repro.metrics import MetricsCollector
 from repro.models.zoo import ModelZoo, default_zoo
+from repro.obs.flight import FlightStats
+from repro.obs.flight import record_lock_wait as _flight_lock_wait
 from repro.obs.profiler import ProfileStore
 from repro.obs.sinks import TraceSink
+from repro.obs.slo import SloTracker
 from repro.obs.trace import Tracer
 from repro.optimizer.udf_manager import UdfHistory, UdfManager, UdfSignature
 from repro.server.batcher import InferenceBatcher
@@ -66,44 +71,64 @@ class LockedUdfManager:
     def __init__(self, base: UdfManager):
         self._base = base
         self._lock = threading.RLock()
+        self._listener = None
+
+    def set_listener(self, listener) -> None:
+        """Register a ``listener(kind, wait_seconds)`` contention
+        callback (the ``udf-manager`` lock class).  Zero-cost when
+        unset: acquisition is untimed without a listener."""
+        self._listener = listener
+
+    @contextmanager
+    def _guarded(self):
+        listener = self._listener
+        if listener is None:
+            with self._lock:
+                yield
+            return
+        started = time.perf_counter()
+        with self._lock:
+            # The mutex is exclusive, so contention is "write"-side.
+            listener("write", time.perf_counter() - started)
+            yield
 
     @property
     def version(self) -> int:
         """Monotone state version (plan caches key validity on it)."""
-        with self._lock:
+        with self._guarded():
             return self._base.version
 
     def history(self, signature: UdfSignature,
                 per_tuple_cost: float = 0.0) -> UdfHistory:
-        with self._lock:
+        with self._guarded():
             return self._base.history(signature, per_tuple_cost)
 
     def known(self, signature: UdfSignature) -> bool:
-        with self._lock:
+        with self._guarded():
             return self._base.known(signature)
 
     def histories(self) -> list[UdfHistory]:
-        with self._lock:
+        with self._guarded():
             return self._base.histories()
 
     def intersection_with_history(self, signature: UdfSignature,
                                   guard: DnfPredicate) -> DnfPredicate:
-        with self._lock:
+        with self._guarded():
             return self._base.intersection_with_history(signature, guard)
 
     def difference_with_history(self, signature: UdfSignature,
                                 guard: DnfPredicate) -> DnfPredicate:
-        with self._lock:
+        with self._guarded():
             return self._base.difference_with_history(signature, guard)
 
     def record_execution(self, signature: UdfSignature,
                          guard: DnfPredicate,
                          per_tuple_cost: float = 0.0) -> None:
-        with self._lock:
+        with self._guarded():
             self._base.record_execution(signature, guard, per_tuple_cost)
 
     def reset(self) -> None:
-        with self._lock:
+        with self._guarded():
             self._base.reset()
 
 
@@ -255,6 +280,26 @@ class SharedViewStore:
     def attach_stats(self, stats: "ServerStats") -> None:
         """Start reporting hits/materializations to ``stats``."""
         self._stats = stats
+        with self._registry_lock:
+            for name, lock in self._locks.items():
+                self._install_listener(name, lock)
+
+    def _install_listener(self, name: str, lock: RWLock) -> None:
+        """Wire a view lock's contention callback (``view:<name>``) to
+        the server stats and the active query's flight context."""
+        stats = self._stats
+        if stats is None:
+            return
+        lock_class = f"view:{name}"
+
+        def on_wait(kind: str, waited: float,
+                    _stats=stats, _lock=lock) -> None:
+            _stats.record_lock_wait(
+                lock_class, kind, waited,
+                writers_waiting_high_water=_lock.writers_waiting_high_water)
+            _flight_lock_wait(lock_class, kind, waited)
+
+        lock.set_listener(on_wait)
 
     @property
     def base(self) -> ViewStore:
@@ -272,6 +317,7 @@ class SharedViewStore:
             if lock is None:
                 lock = RWLock()
                 self._locks[name] = lock
+                self._install_listener(name, lock)
             return lock
 
     def _view_owners(self, name: str) -> dict[Key, str]:
@@ -419,6 +465,12 @@ class SharedReuseState:
         #: profile (ProfileStore is internally thread-safe), mirroring
         #: how materialized views are shared.
         self.profiler = ProfileStore()
+        #: Server-wide latency SLO tracking and flight-record rollups:
+        #: one tracker/stats pair shared by every client session so
+        #: quantiles, burn rates and dominant-stage counts describe the
+        #: whole server, not one connection.
+        self.slo = SloTracker.from_config(self.config)
+        self.flight_stats = FlightStats()
         if getattr(base_store, "is_durable", False):
             from repro.store import make_cost_resolver
             base_store.cost_resolver = make_cost_resolver(
@@ -431,6 +483,12 @@ class SharedReuseState:
 
     def attach_stats(self, stats: "ServerStats") -> None:
         self.view_store.attach_stats(stats)
+
+        def on_udf_wait(kind: str, waited: float, _stats=stats) -> None:
+            _stats.record_lock_wait("udf-manager", kind, waited)
+            _flight_lock_wait("udf-manager", kind, waited)
+
+        self.udf_manager.set_listener(on_udf_wait)
 
     def register_video(self, video: SyntheticVideo) -> None:
         """Register a video for all clients (guarded; setup-time only)."""
@@ -466,5 +524,7 @@ class SharedReuseState:
                           client_id=client_id),
             profiler=self.profiler,
             inference=self.batcher,
+            slo=self.slo,
+            flight_stats=self.flight_stats,
             shared=True,
         )

@@ -29,10 +29,30 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.metrics import MetricsCollector
+from repro.obs.slo import LatencyHistogram
 
 #: Attribution owner recorded when a key's materializing client is
 #: unknown (e.g. state loaded from disk before the server started).
 UNKNOWN_OWNER = "<unknown>"
+
+#: Wait-time buckets (seconds): admission and lock waits are usually
+#: far below query latency, so the grid starts at 100 microseconds.
+WAIT_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+
+def _window_qps(completed: int, first_activity: float | None,
+                last_completed: float | None) -> float:
+    """Completed-query throughput over the *active* wall-clock window.
+
+    The window runs from the first submission to the most recent
+    completion, so an idle server reports its historical rate instead of
+    a figure that decays toward zero with uptime (the old
+    ``completed / uptime`` behaviour).
+    """
+    if not completed or first_activity is None or last_completed is None:
+        return 0.0
+    return completed / max(last_completed - first_activity, 1e-9)
 
 
 @dataclass(frozen=True)
@@ -78,6 +98,12 @@ class ServerStatsSnapshot:
     clients: tuple[ClientStatsSnapshot, ...] = ()
     #: (prober, owner) -> count of attributed view hits.
     cross_client_hits: dict = field(default_factory=dict)
+    #: Admission-wait histogram summary (submit -> worker start), from
+    #: :class:`~repro.obs.slo.LatencyHistogram.snapshot`'s ``to_dict``.
+    admission_wait: dict = field(default_factory=dict)
+    #: Per-lock-class contention: lock class -> ``read_s`` / ``write_s``
+    #: / ``waits`` / ``writers_waiting_high_water`` / histogram summary.
+    lock_waits: dict = field(default_factory=dict)
 
     @property
     def cross_client_hit_count(self) -> int:
@@ -101,6 +127,12 @@ class ServerStatsSnapshot:
             f"{self.num_views} views "
             f"({self.view_storage_bytes / 1024:.0f} KiB)",
         ]
+        if self.admission_wait.get("count"):
+            lines.append(
+                f"admission wait: p50 "
+                f"{self.admission_wait['p50_s'] * 1000:.2f}ms, p99 "
+                f"{self.admission_wait['p99_s'] * 1000:.2f}ms over "
+                f"{self.admission_wait['count']} queries")
         if self.clients:
             rows = [[c.client_id, c.submitted, c.completed, c.rejected,
                      c.keys_materialized, c.hits_received,
@@ -117,7 +149,8 @@ class ServerStatsSnapshot:
 class _ClientCounters:
     __slots__ = ("submitted", "completed", "failed", "rejected",
                  "timed_out", "cancelled", "keys_materialized",
-                 "hits_received", "hits_from_others", "hits_donated")
+                 "hits_received", "hits_from_others", "hits_donated",
+                 "first_activity", "last_completed")
 
     def __init__(self) -> None:
         self.submitted = 0
@@ -130,6 +163,33 @@ class _ClientCounters:
         self.hits_received = 0
         self.hits_from_others = 0
         self.hits_donated = 0
+        #: First submission / latest completion (``time.monotonic``);
+        #: the QPS window — see :func:`_window_qps`.
+        self.first_activity: float | None = None
+        self.last_completed: float | None = None
+
+
+class _LockClassWaits:
+    """Aggregated contention for one lock class."""
+
+    __slots__ = ("read_seconds", "write_seconds", "waits",
+                 "writers_waiting_high_water", "histogram")
+
+    def __init__(self) -> None:
+        self.read_seconds = 0.0
+        self.write_seconds = 0.0
+        self.waits = 0
+        self.writers_waiting_high_water = 0
+        self.histogram = LatencyHistogram(WAIT_BUCKETS)
+
+    def to_dict(self) -> dict:
+        return {
+            "read_s": round(self.read_seconds, 9),
+            "write_s": round(self.write_seconds, 9),
+            "waits": self.waits,
+            "writers_waiting_high_water": self.writers_waiting_high_water,
+            "wait": self.histogram.snapshot().to_dict(),
+        }
 
 
 class ServerStats:
@@ -142,6 +202,8 @@ class ServerStats:
         self._queue_depth = 0
         self._peak_queue_depth = 0
         self._cross_hits: dict[tuple[str, str], int] = defaultdict(int)
+        self._admission_wait = LatencyHistogram(WAIT_BUCKETS)
+        self._lock_waits: dict[str, _LockClassWaits] = {}
 
     def _client(self, client_id: str) -> _ClientCounters:
         counters = self._clients.get(client_id)
@@ -154,11 +216,16 @@ class ServerStats:
 
     def record_submitted(self, client_id: str) -> None:
         with self._lock:
-            self._client(client_id).submitted += 1
+            counters = self._client(client_id)
+            counters.submitted += 1
+            if counters.first_activity is None:
+                counters.first_activity = time.monotonic()
 
     def record_completed(self, client_id: str) -> None:
         with self._lock:
-            self._client(client_id).completed += 1
+            counters = self._client(client_id)
+            counters.completed += 1
+            counters.last_completed = time.monotonic()
 
     def record_failed(self, client_id: str) -> None:
         with self._lock:
@@ -180,6 +247,31 @@ class ServerStats:
         with self._lock:
             self._queue_depth = depth
             self._peak_queue_depth = max(self._peak_queue_depth, depth)
+
+    # -- wait-time accounting --------------------------------------------------
+
+    def record_admission_wait(self, seconds: float) -> None:
+        """Submit-to-worker-start gap of one admitted query."""
+        self._admission_wait.observe(seconds)
+
+    def record_lock_wait(self, lock_class: str, kind: str,
+                         seconds: float, *,
+                         writers_waiting_high_water: int = 0) -> None:
+        """One blocked RW-lock acquisition (``kind`` read|write)."""
+        with self._lock:
+            waits = self._lock_waits.get(lock_class)
+            if waits is None:
+                waits = _LockClassWaits()
+                self._lock_waits[lock_class] = waits
+            if kind == "read":
+                waits.read_seconds += seconds
+            else:
+                waits.write_seconds += seconds
+            waits.waits += 1
+            if writers_waiting_high_water > waits.writers_waiting_high_water:
+                waits.writers_waiting_high_water = \
+                    writers_waiting_high_water
+        waits.histogram.observe(seconds)
 
     # -- reuse attribution -----------------------------------------------------
 
@@ -221,7 +313,8 @@ class ServerStats:
                     hits_received=c.hits_received,
                     hits_from_others=c.hits_from_others,
                     hits_donated=c.hits_donated,
-                    qps=c.completed / uptime,
+                    qps=_window_qps(c.completed, c.first_activity,
+                                    c.last_completed),
                 ))
             total = _ClientCounters()
             for c in self._clients.values():
@@ -231,6 +324,14 @@ class ServerStats:
                 total.rejected += c.rejected
                 total.timed_out += c.timed_out
                 total.cancelled += c.cancelled
+                if c.first_activity is not None and (
+                        total.first_activity is None
+                        or c.first_activity < total.first_activity):
+                    total.first_activity = c.first_activity
+                if c.last_completed is not None and (
+                        total.last_completed is None
+                        or c.last_completed > total.last_completed):
+                    total.last_completed = c.last_completed
             return ServerStatsSnapshot(
                 uptime=uptime,
                 workers=workers,
@@ -242,12 +343,18 @@ class ServerStats:
                 cancelled=total.cancelled,
                 queue_depth=self._queue_depth,
                 peak_queue_depth=self._peak_queue_depth,
-                aggregate_qps=total.completed / uptime,
+                aggregate_qps=_window_qps(total.completed,
+                                          total.first_activity,
+                                          total.last_completed),
                 hit_percentage=hit_percentage,
                 num_views=num_views,
                 view_storage_bytes=view_storage_bytes,
                 clients=tuple(clients),
                 cross_client_hits=dict(self._cross_hits),
+                admission_wait=self._admission_wait.snapshot().to_dict(),
+                lock_waits={name: waits.to_dict()
+                            for name, waits
+                            in sorted(self._lock_waits.items())},
             )
 
 

@@ -38,7 +38,9 @@ from repro.executor.context import ExecutionContext
 from repro.executor.engine import ExecutionEngine
 from repro.metrics import MetricsCollector, QueryMetrics
 from repro.models.zoo import ModelZoo, default_zoo
+from repro.obs.flight import FlightRecorder, FlightStats
 from repro.obs.profiler import ProfileStore
+from repro.obs.slo import SloTracker
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import Tracer
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
@@ -111,6 +113,15 @@ class SessionState:
     #: across every client so concurrent miss sub-batches targeting the
     #: same physical model coalesce into single ``predict_batch`` calls.
     inference: object | None = None
+    #: Latency SLO accounting (:class:`repro.obs.slo.SloTracker`).
+    #: Private per session by default (built from the config's
+    #: ``slo_latency_*`` targets); the server substitutes one shared
+    #: tracker so burn rates and latency quantiles are fleet-wide.
+    slo: object | None = None
+    #: Aggregate flight-record rollups
+    #: (:class:`repro.obs.flight.FlightStats`); shared under the server
+    #: for the same reason.
+    flight_stats: object | None = None
     #: True when the reuse components are shared with other sessions (a
     #: server deployment).  Destructive whole-state operations
     #: (:meth:`EvaSession.reset_reuse_state`, ``load_reuse_state``) are
@@ -121,6 +132,10 @@ class SessionState:
     def __post_init__(self):
         if self.tracer is None:
             self.tracer = Tracer(clock=self.clock)
+        if self.slo is None:
+            self.slo = SloTracker.from_config(self.config)
+        if self.flight_stats is None:
+            self.flight_stats = FlightStats()
 
     @classmethod
     def fresh(cls, config: EvaConfig | None = None,
@@ -174,6 +189,12 @@ class EvaSession:
         self.tracer = state.tracer
         self.profiler = state.profiler
         self.slow_log = SlowQueryLog(self.config.slow_query_threshold)
+        #: Per-query flight recorder (docs/observability.md).  SLO
+        #: accounting and aggregate stage rollups live on the state so
+        #: the server can share them fleet-wide; flight ids stay
+        #: per-session deterministic.
+        self.flight = FlightRecorder(self.tracer, slo=state.slo,
+                                     stats=state.flight_stats)
         #: Most recent drift report (``cost_calibration != "off"``).
         self.last_drift_report = None
         #: ``cost-calibration`` audit records emitted by this session.
@@ -269,11 +290,15 @@ class EvaSession:
             self.context.cancel = previous
 
     def _execute(self, sql: str) -> QueryResult:
+        # Consume any admission wait the server deposited for this
+        # statement up front: only SELECTs produce flight records, and a
+        # stale wait must never leak onto a later query.
+        queue_wait_s = self.flight.take_queue_wait()
         statement = parse(sql)
         if isinstance(statement, CreateUdfStatement):
             return self._execute_create_udf(statement)
         if isinstance(statement, SelectStatement):
-            return self._execute_select(sql, statement)
+            return self._execute_select(sql, statement, queue_wait_s)
         if isinstance(statement, ShowUdfsStatement):
             return self._execute_show_udfs()
         if isinstance(statement, DropUdfStatement):
@@ -317,44 +342,122 @@ class EvaSession:
                      "cost_ms"],
             rows=rows)
 
-    def _execute_select(self, sql: str,
-                        statement: SelectStatement) -> QueryResult:
+    def _execute_select(self, sql: str, statement: SelectStatement,
+                        queue_wait_s: float = 0.0) -> QueryResult:
         tracer = self.tracer
-        with tracer.span("query", sql=sql) as root:
-            self.metrics.begin_query(sql, self.clock)
-            before = self.clock.snapshot()
-            optimized = self._cached_plan(sql)
-            cache_hit = optimized is not None
-            if optimized is None:
-                with tracer.span("optimize"):
+        # Flight recording rides the tracer: a disabled tracer (the
+        # documented zero-overhead mode) also records no flights, so
+        # the wait-time hooks stay dictionary misses.
+        flight_ctx = self.flight.begin(queue_wait_s) \
+            if tracer.enabled else None
+        kernel_fallbacks_before = self._kernel_fallback_total()
+        try:
+            with tracer.span("query", sql=sql) as root:
+                self.metrics.begin_query(sql, self.clock)
+                before = self.clock.snapshot()
+                optimized = self._cached_plan(sql)
+                cache_hit = optimized is not None
+                if optimized is None:
+                    with tracer.span("optimize"):
+                        with self.clock.measure(CostCategory.OPTIMIZE):
+                            optimized = self.optimizer.optimize(
+                                statement, tracer=tracer)
+                    self._count_memo(optimized)
+                    self._cache_plan(sql, optimized)
+                self.last_optimized = optimized
+                self._emit_audit(optimized)
+                with tracer.span("execute"):
+                    batch = self._run_plan(optimized.plan)
+                # p_u := UNION(p_u, q) for every UDF whose results were
+                # stored.
+                with tracer.span("record-updates",
+                                 updates=len(optimized.updates)):
                     with self.clock.measure(CostCategory.OPTIMIZE):
-                        optimized = self.optimizer.optimize(
-                            statement, tracer=tracer)
-                self._count_memo(optimized)
-                self._cache_plan(sql, optimized)
-            self.last_optimized = optimized
-            self._emit_audit(optimized)
-            with tracer.span("execute"):
-                batch = self._run_plan(optimized.plan)
-            # p_u := UNION(p_u, q) for every UDF whose results were stored.
-            with tracer.span("record-updates",
-                             updates=len(optimized.updates)):
-                with self.clock.measure(CostCategory.OPTIMIZE):
-                    for update in optimized.updates:
-                        self.udf_manager.record_execution(
-                            update.signature, update.guard,
-                            update.per_tuple_cost)
-            query_metrics = self.metrics.end_query(self.clock,
-                                                   batch.num_rows)
-            root.tag(rows=batch.num_rows, cache_hit=cache_hit,
-                     reused=any(r.reused for r in optimized.audit))
-            self._observe_profile(query_metrics)
-            self._observe_slow(sql, query_metrics, before, batch.num_rows)
-            self._maybe_calibrate()
+                        for update in optimized.updates:
+                            self.udf_manager.record_execution(
+                                update.signature, update.guard,
+                                update.per_tuple_cost)
+                query_metrics = self.metrics.end_query(self.clock,
+                                                       batch.num_rows)
+                reused = any(r.reused for r in optimized.audit)
+                root.tag(rows=batch.num_rows, cache_hit=cache_hit,
+                         reused=reused)
+                self._observe_profile(query_metrics)
+                self._maybe_calibrate()
+        except BaseException:
+            self.flight.abort()
+            raise
+        # Assembled after the root span closes so wall_seconds is final;
+        # the flight record then feeds the slow-query observation (the
+        # entry links the flight id and dominant-stage attribution).
+        record = None
+        if flight_ctx is not None:
+            record = self._observe_flight(
+                flight_ctx, sql, root, query_metrics, batch.num_rows,
+                cache_hit=cache_hit, reused=reused, optimized=optimized,
+                kernel_fallbacks_before=kernel_fallbacks_before)
+        self._observe_slow(sql, query_metrics, before, batch.num_rows,
+                           trace_id=getattr(root, "trace_id", None),
+                           flight=record)
         return QueryResult(
             columns=batch.column_names,
             rows=batch.to_tuples(),
             metrics=query_metrics,
+        )
+
+    def _kernel_fallback_total(self) -> int:
+        """Cumulative row-fallback batches across all counters."""
+        return sum(value for name, value in self.metrics.counters.items()
+                   if name.startswith("kernel_fallback:"))
+
+    def _observe_flight(self, flight_ctx, sql: str, root,
+                        query_metrics: QueryMetrics, rows_returned: int,
+                        *, cache_hit: bool, reused: bool, optimized,
+                        kernel_fallbacks_before: int) -> dict:
+        """Assemble and emit the query's flight record."""
+        from repro.obs.audit import KIND_COST_CALIBRATION, \
+            KIND_SYMBOLIC_MEMO
+
+        total_invocations = sum(query_metrics.udf_counts.values())
+        reused_invocations = sum(query_metrics.reused_counts.values())
+        decisions = 0
+        reused_decisions = 0
+        eq_costs: dict[str, float] = {}
+        for decision in optimized.audit:
+            if decision.kind in (KIND_SYMBOLIC_MEMO,
+                                 KIND_COST_CALIBRATION):
+                continue
+            decisions += 1
+            reused_decisions += bool(decision.reused)
+            for label, value in decision.costs.items():
+                if isinstance(value, (int, float)):
+                    eq_costs[label] = eq_costs.get(label, 0.0) \
+                        + float(value)
+        return self.flight.finish(
+            flight_ctx,
+            query=sql,
+            trace_id=root.trace_id,
+            wall_seconds=root.wall_seconds,
+            virtual_seconds=query_metrics.total_time,
+            virtual_breakdown={category.value: seconds
+                               for category, seconds
+                               in query_metrics.time_breakdown.items()},
+            rows_returned=rows_returned,
+            cache_hit=cache_hit,
+            reused=reused,
+            kernel_fallbacks=self._kernel_fallback_total()
+            - kernel_fallbacks_before,
+            invocations={
+                "total": total_invocations,
+                "reused": reused_invocations,
+                "executed": total_invocations - reused_invocations,
+            },
+            reuse={
+                "decisions": decisions,
+                "reused_decisions": reused_decisions,
+                "eq_costs": {label: round(value, 9) for label, value
+                             in sorted(eq_costs.items())},
+            },
         )
 
     def _run_plan(self, plan):
@@ -443,7 +546,9 @@ class EvaSession:
             tracer.emit_event(record.to_event())
 
     def _observe_slow(self, sql: str, query_metrics: QueryMetrics,
-                      before, rows_returned: int) -> None:
+                      before, rows_returned: int, *,
+                      trace_id: str | None = None,
+                      flight: dict | None = None) -> None:
         top_operators = [
             {
                 "operator": stats.label,
@@ -461,10 +566,13 @@ class EvaSession:
             breakdown={category.value: seconds
                        for category, seconds
                        in self.clock.snapshot_delta(before).items()},
-            trace_id=self.tracer.current_trace_id,
+            trace_id=(trace_id if trace_id is not None
+                      else self.tracer.current_trace_id),
             client_id=self.tracer.client_id,
             rows_returned=rows_returned,
             top_operators=top_operators,
+            flight_id=flight["flight_id"] if flight else None,
+            dominant_stage=flight["dominant_stage"] if flight else None,
         )
         if entry is not None:
             self.tracer.emit_event(entry.to_event())

@@ -41,6 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError
+from repro.obs.flight import current_flight
 from repro.storage.view_store import (MaterializedView, ViewStore,
                                       _from_jsonable, _jsonable)
 from repro.store.layout import (PartitionState, RecoveryReport, StoreLayout,
@@ -382,6 +383,8 @@ class DurableViewStore(ViewStore):
 
     def _snapshot_partition(self, view: MaterializedView, meta: _ViewMeta,
                             part: PartitionState) -> None:
+        flight = current_flight()
+        started = time.perf_counter() if flight is not None else 0.0
         entries = [(key, rows) for key, rows in view.items()
                    if bucket_of(key[0], self.partition_frames)
                    == part.bucket]
@@ -400,6 +403,8 @@ class DurableViewStore(ViewStore):
         self._ensure_writer(part).reset()
         self.counters["snapshots"] += 1
         self._last_snapshot_at = time.perf_counter()
+        if flight is not None:
+            flight.add_store_io("snapshot", time.perf_counter() - started)
         meta.durable_keys = sum(p.snapshot_keys
                                 for p in meta.partitions.values())
 
@@ -441,11 +446,16 @@ class DurableViewStore(ViewStore):
         meta = self._meta.get(name)
         if meta is None or meta.tier != "warm":
             return None
+        flight = current_flight()
+        started = time.perf_counter() if flight is not None else 0.0
         view = self._load_view(meta)
         view.listener = self
         meta.tier = "hot"
         with self._lock:
             self._views[name] = view
+        if flight is not None:
+            flight.add_store_io("promotion",
+                                time.perf_counter() - started)
         self.counters["promotions"] += 1
         self._audit("promote", view=name, bytes=view.serialized_bytes())
         self._write_manifest()

@@ -20,11 +20,13 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import StoreCorruptionError
+from repro.obs.flight import current_flight
 
 MAGIC = b"EVAWAL1\n"
 _FRAME = struct.Struct(">II")
@@ -62,8 +64,13 @@ class WalWriter:
 
     def append(self, payload: dict) -> int:
         """Write one record; returns its size in bytes on disk."""
+        flight = current_flight()
+        started = time.perf_counter() if flight is not None else 0.0
         frame = encode_record(payload)
         self._handle.write(frame)
+        if flight is not None:
+            flight.add_store_io("wal_append",
+                                time.perf_counter() - started)
         self.size += len(frame)
         self._pending += 1
         if self._pending >= self.sync_every:
@@ -92,9 +99,13 @@ class WalWriter:
         self._handle.close()
 
     def _sync(self) -> None:
+        flight = current_flight()
+        started = time.perf_counter() if flight is not None else 0.0
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self._pending = 0
+        if flight is not None:
+            flight.add_store_io("fsync", time.perf_counter() - started)
 
 
 @dataclass

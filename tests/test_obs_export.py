@@ -257,7 +257,8 @@ class TestJsonlSchema:
         assert count == sink.events_written
         types = {json.loads(line)["type"]
                  for line in path.read_text().splitlines()}
-        assert types == {"span", "reuse_decision", "slow_query"}
+        assert types == {"span", "reuse_decision", "slow_query",
+                         "flight"}
 
     def test_schema_rejects_malformed_events(self):
         schema = load_schema(SCHEMA_PATH)
