@@ -30,9 +30,16 @@ Comparison rules:
   (default +/-25%).  A ``--quick`` CI run against the committed
   full-size baseline skips raw-wall checks and instead applies
   scale-free checks: the hot-path speedup must stay >= ``--min-speedup``
-  (default 1.0 — vectorized execution must not get *slower* than row),
+  (default 2.0 — the fused vectorized hot path earns >=2x over row
+  mode even at CI smoke sizes, and regressing below that loses the
+  tentpole win the committed baseline records),
   the morsel-parallel speedup must stay >= ``--min-parallel-speedup``
-  (default 1.0), and per-scenario speedup regressions beyond the
+  (default 1.0), the whole-plan kernel compiler must stay >=
+  ``--min-fused-speedup`` over unfused vectorized execution (default
+  1.0), the miss-dominated APPLY path must stay >=
+  ``--min-miss-speedup`` over row mode (default 1.0 — the fusion
+  compiler's skip-fusion deferral must keep cold model evaluation from
+  regressing), and per-scenario speedup regressions beyond the
   tolerance are reported as warnings.
 
 Usage::
@@ -81,8 +88,9 @@ def scenario_pair(scenario: dict) -> tuple[str, str]:
 
 
 def compare(baseline: dict, fresh: dict, *, tolerance: float,
-            min_speedup: float,
-            min_parallel_speedup: float) -> tuple[list[str], list[str]]:
+            min_speedup: float, min_parallel_speedup: float,
+            min_fused_speedup: float = 1.0,
+            min_miss_speedup: float = 1.0) -> tuple[list[str], list[str]]:
     """Diff ``fresh`` against ``baseline``.
 
     Returns ``(failures, warnings)``; any failure fails the job.
@@ -139,13 +147,32 @@ def compare(baseline: dict, fresh: dict, *, tolerance: float,
     if hot is not None and hot < min_speedup:
         failures.append(
             f"hot_path_speedup {hot:.2f}x < required {min_speedup:.2f}x "
-            f"(vectorized hot path must not regress below row mode)")
+            f"(the fused vectorized hot path must keep its >=2x win "
+            f"over row mode)")
     par = fresh.get("parallel_speedup")
     if par is not None and par < min_parallel_speedup:
         failures.append(
             f"parallel_speedup {par:.2f}x < required "
             f"{min_parallel_speedup:.2f}x (morsel-driven execution must "
             f"not regress below serial)")
+    fused = fresh.get("fused_speedup")
+    if fused is None:
+        scenario = fresh.get("scenarios", {}).get("fused_vs_vectorized")
+        fused = scenario.get("real_speedup") if scenario else None
+    if fused is not None and fused < min_fused_speedup:
+        failures.append(
+            f"fused_speedup {fused:.2f}x < required "
+            f"{min_fused_speedup:.2f}x (the whole-plan kernel compiler "
+            f"must not regress below unfused vectorized execution)")
+    miss = fresh.get("miss_path_speedup")
+    if miss is None:
+        scenario = fresh.get("scenarios", {}).get("apply_miss_heavy")
+        miss = scenario.get("real_speedup") if scenario else None
+    if miss is not None and miss < min_miss_speedup:
+        failures.append(
+            f"apply_miss_heavy speedup {miss:.2f}x < required "
+            f"{min_miss_speedup:.2f}x (skip-fusion deferral must keep "
+            f"the miss-dominated path from regressing below row mode)")
 
     comparable = same_configuration(baseline, fresh)
     for name in sorted(set(baseline.get("scenarios", {}))
@@ -203,6 +230,8 @@ def history_entry(baseline: dict, fresh: dict, failures: list[str],
         "repetitions": fresh.get("repetitions"),
         "comparable_to_baseline": same_configuration(baseline, fresh),
         "hot_path_speedup": fresh.get("hot_path_speedup"),
+        "fused_speedup": fresh.get("fused_speedup"),
+        "miss_path_speedup": fresh.get("miss_path_speedup"),
         "parallel_speedup": fresh.get("parallel_speedup"),
         "batcher_mean_batch_requests":
             fresh.get("batcher_mean_batch_requests"),
@@ -240,11 +269,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="relative wall-clock tolerance "
                              "(default 0.25 = +/-25%%)")
-    parser.add_argument("--min-speedup", type=float, default=1.0,
+    parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="hard floor for hot_path_speedup")
     parser.add_argument("--min-parallel-speedup", type=float, default=1.0,
                         help="hard floor for parallel_speedup "
                              "(serial vs --parallelism 4)")
+    parser.add_argument("--min-fused-speedup", type=float, default=1.0,
+                        help="hard floor for fused_speedup (kernel "
+                             "compiler on vs off, vectorized mode)")
+    parser.add_argument("--min-miss-speedup", type=float, default=1.0,
+                        help="hard floor for the apply_miss_heavy "
+                             "real_speedup (vectorized vs row on the "
+                             "miss-dominated path)")
     parser.add_argument("--history", type=Path,
                         default=REPO_ROOT / "BENCH_history.jsonl",
                         help="JSONL file the summary is appended to "
@@ -276,7 +312,9 @@ def main(argv: list[str] | None = None) -> int:
     failures, warnings = compare(
         baseline, fresh, tolerance=args.tolerance,
         min_speedup=args.min_speedup,
-        min_parallel_speedup=args.min_parallel_speedup)
+        min_parallel_speedup=args.min_parallel_speedup,
+        min_fused_speedup=args.min_fused_speedup,
+        min_miss_speedup=args.min_miss_speedup)
     for line in warnings:
         print(f"warning: {line}")
     for line in failures:
@@ -297,6 +335,7 @@ def main(argv: list[str] | None = None) -> int:
             else "scale-free (configurations differ)")
     print(f"benchmark regression check passed [{mode}], "
           f"hot path {fresh.get('hot_path_speedup')}x, "
+          f"fused {fresh.get('fused_speedup')}x, "
           f"parallel {fresh.get('parallel_speedup')}x, "
           f"mean coalesced batch "
           f"{fresh.get('batcher_mean_batch_requests')} request(s)")

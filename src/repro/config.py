@@ -14,9 +14,23 @@ these enums so benchmarks can switch behavior without code changes:
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 
 from repro.costs import CostConstants
+
+
+def _fusion_default() -> bool:
+    """Default for :attr:`EvaConfig.kernel_fusion`.
+
+    CI's fused-execution job flips fusion globally through the
+    ``REPRO_KERNEL_FUSION`` environment variable (``0``/``false``/``off``
+    disable, anything else enables) without touching call sites.
+    """
+    value = os.environ.get("REPRO_KERNEL_FUSION")
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "off", "no", "")
 
 
 class ReusePolicy(enum.Enum):
@@ -70,6 +84,19 @@ class EvaConfig:
     #: unbounded cache keyed by raw SQL is a slow leak under ad-hoc
     #: exploratory workloads where nearly every statement is distinct.
     plan_cache_size: int = 128
+    #: Whole-plan kernel fusion (vectorized mode only): compile each
+    #: plan's streaming suffix (scan → filter → project → APPLY prologue)
+    #: into one generated function per batch instead of N operator calls.
+    #: Results, view contents and virtual clocks are identical either way
+    #: (the fused differential suite asserts this); fusion only changes
+    #: real seconds.  Defaults on; ``REPRO_KERNEL_FUSION=0`` in the
+    #: environment flips the default for A/B runs and CI.
+    kernel_fusion: bool = field(default_factory=_fusion_default)
+    #: Maximum entries in the process-wide plan→kernel cache (LRU).
+    #: Keyed structurally (scan ranges stripped) so morsels and repeat
+    #: queries share compiled plans; invalidated by cost-calibration
+    #: catalog rebuilds.
+    kernel_cache_size: int = 64
     #: Slow-query log threshold in *virtual* seconds: queries whose
     #: virtual time meets it land in the session's
     #: :class:`~repro.obs.slowlog.SlowQueryLog`.  ``None`` disables.
@@ -189,6 +216,10 @@ class EvaConfig:
         if self.parallelism < 0:
             raise ValueError(
                 f"parallelism must be >= 0, got {self.parallelism!r}")
+        if self.kernel_cache_size < 1:
+            raise ValueError(
+                f"kernel_cache_size must be >= 1, "
+                f"got {self.kernel_cache_size!r}")
         if self.morsel_rows < 0:
             raise ValueError(
                 f"morsel_rows must be >= 0, got {self.morsel_rows!r}")

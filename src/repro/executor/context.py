@@ -87,6 +87,12 @@ class ExecutionContext:
     #: parallel run; None on the serial path (per-operator booleans
     #: suffice there — one operator tree exists per query).
     join_gates: OnceGates | None = None
+    #: Process-wide plan→kernel cache
+    #: (:class:`repro.executor.fusion.KernelCache`), duck-typed to avoid
+    #: a context->fusion import cycle.  Shared by every client of a
+    #: server and every morsel worker (``for_morsel`` clones keep it);
+    #: None disables whole-plan fusion.
+    kernel_cache: object | None = None
     evaluator: ExpressionEvaluator = field(init=False)
 
     def __post_init__(self):

@@ -51,11 +51,28 @@ class ExecutionEngine:
         self._parallel = None
 
     def build(self, plan: PhysicalPlan) -> Operator:
+        fused = self.maybe_fuse(plan)
+        if fused is not None:
+            return fused
         child: Operator | None = None
         plan_child = getattr(plan, "child", None)
         if plan_child is not None:
             child = self.build(plan_child)
         return self.build_node(plan, child)
+
+    def maybe_fuse(self, plan: PhysicalPlan) -> Operator | None:
+        """Replace ``plan``'s streaming suffix with one fused operator.
+
+        Tried at every level of the recursive build, so the *maximal*
+        fusable suffix fuses: an unfusable boundary (GROUP BY, LIMIT,
+        a row-only expression) simply recurses past, and its fusable
+        subtree fuses on the next level down.  Returns None whenever
+        fusion is disabled, ineligible, or deferred — the normal
+        operator tree is built instead.
+        """
+        from repro.executor.fusion import maybe_fuse
+
+        return maybe_fuse(plan, self.context)
 
     def build_node(self, plan: PhysicalPlan,
                    child: Operator | None) -> Operator:
@@ -111,12 +128,20 @@ class ExecutionEngine:
         while op is not None:
             # Instrumented wrappers expose the real operator as .inner.
             real = getattr(op, "inner", op)
-            count = getattr(real, "kernel_fallback_batches", 0)
-            if count:
-                node = getattr(real, "node", None)
-                label = (type(node).__name__.removeprefix("Phys")
-                         if node is not None else type(real).__name__)
-                metrics.increment(f"kernel_fallback:{label}", count)
+            stage_counts = getattr(real, "stage_fallback_batches", None)
+            if stage_counts is not None:
+                # A fused pipeline attributes fallbacks to the plan node
+                # whose stage demoted, matching the unfused counters.
+                for label, count in stage_counts.items():
+                    if count:
+                        metrics.increment(f"kernel_fallback:{label}", count)
+            else:
+                count = getattr(real, "kernel_fallback_batches", 0)
+                if count:
+                    node = getattr(real, "node", None)
+                    label = (type(node).__name__.removeprefix("Phys")
+                             if node is not None else type(real).__name__)
+                    metrics.increment(f"kernel_fallback:{label}", count)
             op = getattr(op, "child", None) or getattr(real, "child", None)
 
     # Backwards-compatible alias (pre-parallel name).

@@ -1,0 +1,746 @@
+"""Whole-plan kernel fusion: one generated function per streaming suffix.
+
+The vectorized executor (docs/execution.md) still dispatches
+operator-at-a-time: every batch climbs the operator tree through N
+generator resumptions, N ``filter_mask``/``with_column`` hops, and N
+per-operator bookkeeping passes.  BlazeIt-style engines show that once
+model cost is amortized by reuse, the cheap pipeline *is* the query — so
+this module compiles each plan's **streaming suffix** (scan → filter →
+project → classifier/detector APPLY prologue up to the view probe) into a
+single generated Python function over columnar batches.
+
+How a plan fuses
+----------------
+
+``maybe_fuse`` walks the chain from a node down to its scan.  If every
+node is streaming (scan / filter / project / classifier-apply /
+detector-apply), every expression passes
+:func:`~repro.expressions.compiler.supports_vectorized`, and the APPLY
+nodes meet the same preconditions the vectorized operators require, the
+chain compiles into a :class:`FusedPlan`: compiled expression kernels,
+a stage list, a pruned scan column set, and one ``fused_pipeline(batch,
+rt)`` function produced by ``exec`` of generated source (kept on the
+plan for debugging).  A node that fails the check simply is not fused —
+recursion continues below it, so an unfusable *tail* demotes only
+itself, never the whole plan.  At runtime, any APPLY batch that trips a
+row-fallback precondition demotes only that stage for that batch.
+
+Semantics are bit-identical to serial vectorized execution by
+construction: the generated function mirrors each operator's per-batch
+body (including the exact virtual-clock charges, empty-batch gating, and
+the project operator's empty-schema emission via the end-of-stream
+drain), and filter groups that combine masks speculatively re-run
+sequentially whenever an upper kernel errors, so errors never surface
+for rows a lower filter would have removed.
+
+The plan→kernel cache
+---------------------
+
+Compilation is off the hot path: a process-wide :class:`KernelCache`
+(LRU, ``EvaConfig.kernel_cache_size``) maps a *structural* plan key —
+the chain's node reprs with scan ranges stripped, plus the reuse-policy
+knobs that shape fusion — to its ``FusedPlan``.  Stripping the ranges is
+what lets every morsel of a parallel query (and every client of a shared
+server) reuse one compiled plan.  Cost-calibration catalog rebuilds
+invalidate the cache the same way they clear the session plan cache.
+
+Miss-dominated deferral
+-----------------------
+
+A single miss-dominated query (every APPLY evaluates the model; no view
+to probe) spends its wall time inside model evaluation, so fusing its
+dispatch cannot amortize the compile.  The first sighting of such a plan
+stores a deferral sentinel and runs unfused; only a second sighting
+compiles.  Deterministic, and semantics-free either way.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Iterator
+
+import numpy as np
+
+from repro.catalog.udf_registry import UdfKind
+from repro.clock import CostCategory
+from repro.config import ReusePolicy
+from repro.executor.context import ExecutionContext
+from repro.executor.operators.base import Operator
+from repro.executor.operators.classifier import ClassifierApplyOperator
+from repro.executor.operators.detector import DetectorApplyOperator
+from repro.expressions.compiler import (
+    CompiledKernel,
+    compile_expression,
+    run_kernel_mask,
+    run_kernel_mask_vectorized,
+    run_kernel_values,
+    supports_vectorized,
+)
+from repro.expressions.expr import ColumnRef, Star
+from repro.optimizer.plans import (
+    PhysClassifierApply,
+    PhysDetectorApply,
+    PhysFilter,
+    PhysProject,
+    PhysScan,
+    PhysicalPlan,
+)
+from repro.storage.batch import Batch
+
+#: Chain members allowed between the boundary and the scan.
+_FUSABLE_MID = (PhysFilter, PhysProject, PhysClassifierApply,
+                PhysDetectorApply)
+
+#: Base scan columns, in schema order.
+_SCAN_COLUMNS = ("id", "timestamp", "frame")
+
+#: Cache entry marking a miss-dominated plan seen once: compile on the
+#: second sighting.
+_DEFERRED = object()
+
+
+def _node_label(node: PhysicalPlan) -> str:
+    return type(node).__name__.removeprefix("Phys")
+
+
+# ---------------------------------------------------------------------------
+# plan -> kernel cache
+# ---------------------------------------------------------------------------
+
+
+class KernelCache:
+    """Thread-safe LRU cache of structural plan key → :class:`FusedPlan`.
+
+    Keyed like the PR 1 session plan cache (an ``OrderedDict`` LRU with
+    an eviction counter), but **process-wide**: one instance is shared by
+    every client of an :class:`~repro.server.state.SharedReuseState` and
+    by every morsel thread, so hit/miss/eviction counters are guarded by
+    a lock.  Calibration rebuilds call :meth:`invalidate`.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"kernel cache capacity must be >= 1, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def lookup(self, key: tuple):
+        """The cached entry for ``key`` (a FusedPlan, the deferral
+        sentinel, or None).  Only a compiled-plan hit counts as a hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if isinstance(entry, FusedPlan):
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return entry
+
+    def store(self, key: tuple, entry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every compiled plan (cost-calibration catalog rebuild)."""
+        with self._lock:
+            self._entries.clear()
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+
+# ---------------------------------------------------------------------------
+# fused plan representation
+# ---------------------------------------------------------------------------
+
+
+class FusedPlan:
+    """The context-free compiled form of one streaming suffix.
+
+    Holds only shareable state: compiled expression kernels (stateless
+    when run through the ``run_kernel_*`` counters-outside runners), the
+    stage list, the pruned scan column set, and the generated pipeline
+    function (+ its source, for debugging and EXPLAIN).  Everything
+    per-execution — APPLY operator instances, fallback counters, clocks —
+    lives in the :class:`_FusedRuntime` threaded through each call.
+    """
+
+    __slots__ = ("key", "kernels", "stages", "scan_columns", "source",
+                 "fn", "num_applies", "num_projects", "boundary_label")
+
+    def __init__(self, key, kernels, stages, scan_columns, source, fn,
+                 num_applies, num_projects, boundary_label):
+        self.key = key
+        self.kernels = kernels
+        self.stages = stages
+        self.scan_columns = scan_columns
+        self.source = source
+        self.fn = fn
+        self.num_applies = num_applies
+        self.num_projects = num_projects
+        self.boundary_label = boundary_label
+
+
+class _FusedRuntime:
+    """Per-execution state threaded through the generated function."""
+
+    __slots__ = ("policy", "ops", "fallbacks", "project_reached")
+
+    def __init__(self, policy: ReusePolicy, ops: list,
+                 num_projects: int):
+        self.policy = policy
+        self.ops = ops
+        #: plan-node label -> batches demoted to the row path, so the
+        #: ``kernel_fallback:<Label>`` metrics stay comparable with the
+        #: unfused executor.
+        self.fallbacks: dict[str, int] = {}
+        self.project_reached = [False] * num_projects
+
+
+# ---------------------------------------------------------------------------
+# stage helpers (bound into the generated function's namespace)
+# ---------------------------------------------------------------------------
+
+
+def _mask(kernel: CompiledKernel, batch: Batch, rt: _FusedRuntime,
+          label: str):
+    return run_kernel_mask(kernel, batch, rt.fallbacks, label)
+
+
+def _values(kernel: CompiledKernel, batch: Batch, rt: _FusedRuntime,
+            label: str):
+    return run_kernel_values(kernel, batch, rt.fallbacks, label)
+
+
+def _filter_group(batch: Batch, rt: _FusedRuntime, group: tuple
+                  ) -> Batch | None:
+    """Apply a run of adjacent filters with one combined mask.
+
+    The lowest kernel evaluates with full fallback semantics; the upper
+    kernels evaluate **speculatively** on the unfiltered batch and AND
+    into the combined mask — one ``filter_mask`` instead of one per
+    filter.  Serial short-circuiting is preserved exactly: if the
+    combined mask empties, later kernels never run (serial operators
+    would never see a batch), and if a speculative kernel raises — its
+    error might be caused by a row a lower filter removes — the group
+    demotes and re-runs sequentially, reproducing serial values, errors,
+    and charges (expression kernels never touch the clock).
+    """
+    if all(kernel.vectorized for kernel, _ in group[1:]):
+        first_kernel, first_label = group[0]
+        mask = run_kernel_mask(first_kernel, batch, rt.fallbacks,
+                               first_label)
+        combined = np.asarray(mask, dtype=bool)
+        try:
+            for kernel, _label in group[1:]:
+                if not combined.any():
+                    return None
+                combined = combined & run_kernel_mask_vectorized(kernel,
+                                                                 batch)
+            out = batch.filter_mask(combined)
+            return out if out.num_rows else None
+        except Exception:
+            pass  # demote: an upper kernel failed on the full batch
+    for kernel, label in group:
+        mask = run_kernel_mask(kernel, batch, rt.fallbacks, label)
+        batch = batch.filter_mask(mask)
+        if not batch.num_rows:
+            return None
+    return batch
+
+
+def _classifier_step(batch: Batch, rt: _FusedRuntime,
+                     op: ClassifierApplyOperator, label: str) -> Batch:
+    """One classifier APPLY stage: mirrors the operator's per-batch body."""
+    context = op.context
+    context.clock.charge(CostCategory.APPLY,
+                         context.costs.apply_per_batch)
+    values = op._resolve_batch(batch, rt.policy)
+    if values is None:
+        # Unfusable tail for this batch only: the stage (not the plan)
+        # demotes to the row interpreter.
+        rt.fallbacks[label] = rt.fallbacks.get(label, 0) + 1
+        values = [op._resolve(row, rt.policy) for row in batch.iter_rows()]
+    return batch.with_column(op.column, values)
+
+
+def _detector_step(batch: Batch, rt: _FusedRuntime,
+                   op: DetectorApplyOperator, label: str) -> Batch | None:
+    """One detector APPLY stage: bulk view probe + conditional APPLY."""
+    context = op.context
+    context.clock.charge(CostCategory.APPLY,
+                         context.costs.apply_per_batch)
+    out = op._apply_batch_vectorized(batch)
+    if out is None:
+        rt.fallbacks[label] = rt.fallbacks.get(label, 0) + 1
+        out = op._apply_batch_rows(batch, rt.policy)
+    return out if out.num_rows else None
+
+
+def _project_batch(batch: Batch, rt: _FusedRuntime, spec: tuple,
+                   kernels: list) -> Batch:
+    """Interpreted project stage (used by the end-of-stream drain)."""
+    columns: dict[str, list] = {}
+    for name, kernel_index in spec:
+        if kernel_index is None:  # star: pass through input columns
+            for column in batch.column_names:
+                if not column.startswith("__udf::"):
+                    columns[column] = batch.column(column)
+        else:
+            columns[name] = run_kernel_values(kernels[kernel_index],
+                                              batch, rt.fallbacks,
+                                              "Project")
+    return Batch(columns)
+
+
+# ---------------------------------------------------------------------------
+# eligibility + cache key
+# ---------------------------------------------------------------------------
+
+
+def _fusable_chain(plan: PhysicalPlan, context: ExecutionContext
+                   ) -> list[PhysicalPlan] | None:
+    """The boundary→scan node chain when ``plan`` heads a fusable suffix.
+
+    Mirrors the per-operator vectorization preconditions exactly: a chain
+    fuses only when every operator it replaces would have taken its
+    vectorized path.
+    """
+    config = context.config
+    policy = config.reuse_policy
+    chain: list[PhysicalPlan] = []
+    node = plan
+    while not isinstance(node, PhysScan):
+        if not isinstance(node, _FUSABLE_MID):
+            return None
+        chain.append(node)
+        node = node.child
+    chain.append(node)
+    if len(chain) < 2:
+        return None  # a bare scan gains nothing from fusion
+    for member in chain:
+        if isinstance(member, PhysScan):
+            if (member.residual is not None
+                    and not supports_vectorized(member.residual)):
+                return None
+        elif isinstance(member, PhysFilter):
+            if not supports_vectorized(member.predicate):
+                return None
+        elif isinstance(member, PhysProject):
+            for expr, _name in member.items:
+                if not isinstance(expr, Star) \
+                        and not supports_vectorized(expr):
+                    return None
+        elif isinstance(member, PhysClassifierApply):
+            if policy is ReusePolicy.FUNCACHE:
+                return None
+            if (policy is ReusePolicy.EVA and member.use_view
+                    and config.fuzzy_reuse):
+                # Fuzzy bbox reuse stays on the per-row legacy path.
+                try:
+                    kind = context.catalog.udfs.get(member.call.name).kind
+                except Exception:
+                    return None
+                if kind is UdfKind.PATCH_CLASSIFIER:
+                    return None
+        else:  # PhysDetectorApply
+            if policy not in (ReusePolicy.EVA, ReusePolicy.NONE):
+                return None
+    return chain
+
+
+def fusion_key(chain: list[PhysicalPlan], config) -> tuple:
+    """Structural cache key for a fusable chain.
+
+    Scan ranges are stripped so the morsel clones of a parallel query
+    (which differ *only* in ranges) share one compiled plan; everything
+    else the compiled form depends on — node structure, expressions,
+    signatures, and the reuse-policy knobs that gate APPLY fusion — is
+    captured through the frozen-dataclass reprs.
+    """
+    parts = []
+    for node in chain:
+        if isinstance(node, PhysScan):
+            parts.append(repr(replace(node, ranges=())))
+        else:
+            parts.append(repr(replace(node, child=None)))
+    return (config.reuse_policy.value, bool(config.fuzzy_reuse),
+            tuple(parts))
+
+
+def _miss_dominated(chain: list[PhysicalPlan], config) -> bool:
+    """Every APPLY stage evaluates the model (no view to probe)."""
+    if config.parallelism >= 2:
+        # Morsels amortize one compile across the whole scan; deferral
+        # is a single-query economy only.
+        return False
+    policy = config.reuse_policy
+    applies = [n for n in chain
+               if isinstance(n, (PhysClassifierApply, PhysDetectorApply))]
+    if not applies:
+        return False
+    for node in applies:
+        if isinstance(node, PhysClassifierApply):
+            if policy is ReusePolicy.EVA and node.use_view:
+                return False
+        elif policy is ReusePolicy.EVA and any(
+                source.use_view for source in node.sources):
+            return False
+    return True
+
+
+def _scan_column_pruning(chain: list[PhysicalPlan]) -> list[str] | None:
+    """Scan columns the fused chain actually needs, or None for all.
+
+    Pruning applies only when the boundary is a star-free project: the
+    project's output then fully determines what downstream operators can
+    see, so any base column no chain expression (or APPLY stage)
+    references never needs to be built — in particular ``frame``, whose
+    per-row handle construction dominates scan wall time.  APPLY stages
+    pin their operating set: a detector reads ``id``/``frame`` and feeds
+    ``timestamp`` (when present) to its source predicates; a classifier
+    reads ``frame``.  The READ_VIDEO charge is per-row and unaffected.
+    """
+    boundary = chain[0]
+    if not isinstance(boundary, PhysProject):
+        return None
+    if any(isinstance(expr, Star) for expr, _ in boundary.items):
+        return None
+    needed: set[str] = set()
+
+    def add_expr(expr) -> None:
+        for node in expr.walk():
+            if isinstance(node, ColumnRef):
+                needed.add(node.name)
+
+    for member in chain:
+        if isinstance(member, PhysScan):
+            if member.residual is not None:
+                add_expr(member.residual)
+        elif isinstance(member, PhysFilter):
+            add_expr(member.predicate)
+        elif isinstance(member, PhysProject):
+            for expr, _name in member.items:
+                add_expr(expr)
+        elif isinstance(member, PhysClassifierApply):
+            add_expr(member.call)
+            needed.add("frame")
+        else:  # PhysDetectorApply
+            needed.update(_SCAN_COLUMNS)
+    columns = [c for c in _SCAN_COLUMNS if c in needed]
+    if not columns:
+        columns = ["id"]  # keep the row count observable
+    if len(columns) == len(_SCAN_COLUMNS):
+        return None
+    return columns
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_fused_plan(chain: list[PhysicalPlan],
+                       context: ExecutionContext, key: tuple) -> FusedPlan:
+    """Compile a fusable chain into a :class:`FusedPlan`."""
+    evaluator = context.evaluator
+    kernels: list[CompiledKernel] = []
+    stages: list[tuple] = []
+    pending_filters: list[tuple[int, str]] = []
+    num_applies = 0
+    num_projects = 0
+
+    def flush_filters() -> None:
+        nonlocal pending_filters
+        if pending_filters:
+            stages.append(("filters", tuple(pending_filters)))
+            pending_filters = []
+
+    for node in reversed(chain):  # bottom-up = execution order
+        label = _node_label(node)
+        if isinstance(node, PhysScan):
+            if node.residual is not None:
+                kernels.append(compile_expression(node.residual, evaluator))
+                pending_filters.append((len(kernels) - 1, label))
+        elif isinstance(node, PhysFilter):
+            kernels.append(compile_expression(node.predicate, evaluator))
+            pending_filters.append((len(kernels) - 1, label))
+        elif isinstance(node, PhysDetectorApply):
+            flush_filters()
+            stages.append(("detector", num_applies, label))
+            num_applies += 1
+        elif isinstance(node, PhysClassifierApply):
+            flush_filters()
+            stages.append(("classifier", num_applies, label))
+            num_applies += 1
+        else:  # PhysProject
+            flush_filters()
+            spec = []
+            for expr, name in node.items:
+                if isinstance(expr, Star):
+                    spec.append((name, None))
+                else:
+                    kernels.append(compile_expression(expr, evaluator))
+                    spec.append((name, len(kernels) - 1))
+            stages.append(("project", tuple(spec), num_projects))
+            num_projects += 1
+    flush_filters()
+
+    source, namespace = _generate_source(stages, kernels)
+    code = compile(source, f"<fused:{_node_label(chain[0])}>", "exec")
+    exec(code, namespace)
+    return FusedPlan(
+        key=key,
+        kernels=kernels,
+        stages=tuple(stages),
+        scan_columns=_scan_column_pruning(chain),
+        source=source,
+        fn=namespace["fused_pipeline"],
+        num_applies=num_applies,
+        num_projects=num_projects,
+        boundary_label=_node_label(chain[0]),
+    )
+
+
+def _generate_source(stages: list[tuple], kernels: list[CompiledKernel]
+                     ) -> tuple[str, dict]:
+    """Generate the per-batch pipeline function and its exec namespace."""
+    lines = ["def fused_pipeline(batch, rt):"]
+    namespace: dict = {
+        "_mask": _mask,
+        "_values": _values,
+        "_filter_group": _filter_group,
+        "_detector_step": _detector_step,
+        "_classifier_step": _classifier_step,
+        "_Batch": Batch,
+    }
+    for index, kernel in enumerate(kernels):
+        namespace[f"_K{index}"] = kernel
+    group_count = 0
+    for stage in stages:
+        kind = stage[0]
+        if kind == "filters":
+            group = stage[1]
+            if len(group) == 1:
+                kernel_index, label = group[0]
+                lines += [
+                    f"    # filter ({label}): "
+                    f"{kernels[kernel_index].expr.to_sql()}",
+                    f"    mask = _mask(_K{kernel_index}, batch, rt, "
+                    f"{label!r})",
+                    "    batch = batch.filter_mask(mask)",
+                    "    if not batch.num_rows:",
+                    "        return None",
+                ]
+            else:
+                name = f"_G{group_count}"
+                group_count += 1
+                namespace[name] = tuple(
+                    (kernels[kernel_index], label)
+                    for kernel_index, label in group)
+                labels = ", ".join(label for _, label in group)
+                lines += [
+                    f"    # combined mask group: {labels}",
+                    f"    batch = _filter_group(batch, rt, {name})",
+                    "    if batch is None:",
+                    "        return None",
+                ]
+        elif kind == "detector":
+            _, apply_index, label = stage
+            lines += [
+                f"    # {label}: bulk view probe + conditional APPLY",
+                f"    batch = _detector_step(batch, rt, "
+                f"rt.ops[{apply_index}], {label!r})",
+                "    if batch is None:",
+                "        return None",
+            ]
+        elif kind == "classifier":
+            _, apply_index, label = stage
+            lines += [
+                f"    # {label}: bulk view probe + conditional APPLY",
+                f"    batch = _classifier_step(batch, rt, "
+                f"rt.ops[{apply_index}], {label!r})",
+            ]
+        else:  # project
+            _, spec, project_index = stage
+            lines += [
+                "    # project",
+                f"    rt.project_reached[{project_index}] = True",
+                "    _cols = {}",
+            ]
+            for name, kernel_index in spec:
+                if kernel_index is None:
+                    lines += [
+                        "    for _name in batch.column_names:",
+                        "        if not _name.startswith('__udf::'):",
+                        "            _cols[_name] = batch.column(_name)",
+                    ]
+                else:
+                    lines.append(
+                        f"    _cols[{name!r}] = _values(_K{kernel_index}, "
+                        f"batch, rt, 'Project')")
+            lines.append("    batch = _Batch(_cols)")
+    lines.append("    return batch")
+    return "\n".join(lines) + "\n", namespace
+
+
+# ---------------------------------------------------------------------------
+# the fused operator
+# ---------------------------------------------------------------------------
+
+
+class FusedPipelineOperator(Operator):
+    """Runs a whole streaming suffix as one generated function per batch.
+
+    Built by the engine in place of the chain's operator tree.  Owns the
+    scan loop (cancel checks and READ_VIDEO charges exactly where the
+    scan operator puts them) and a per-execution runtime with fresh APPLY
+    operator instances, so the shared :class:`FusedPlan` carries no
+    mutable state.
+    """
+
+    def __init__(self, chain: list[PhysicalPlan], fused: FusedPlan,
+                 context: ExecutionContext):
+        super().__init__(context)
+        self.child = None
+        self.node = chain[0]
+        self.fused = fused
+        #: Plan nodes this operator replaces, boundary first (EXPLAIN
+        #: ANALYZE reports every covered node as ``kernel=fused``).
+        self.covered_nodes = list(chain)
+        self.kernel_mode = "fused"
+        self._scan = chain[-1]
+        ops: list[Operator] = []
+        for node in reversed(chain):
+            if isinstance(node, PhysClassifierApply):
+                ops.append(ClassifierApplyOperator(None, node, context))
+            elif isinstance(node, PhysDetectorApply):
+                ops.append(DetectorApplyOperator(None, node, context))
+        self.rt = _FusedRuntime(context.config.reuse_policy, ops,
+                                fused.num_projects)
+
+    def execute(self) -> Iterator[Batch]:
+        context = self.context
+        table = context.storage.table(self._scan.table_name)
+        fn = self.fused.fn
+        rt = self.rt
+        clock_charge = context.clock.charge
+        per_frame = context.costs.read_video_per_frame
+        batch_rows = context.config.batch_rows
+        columns = self.fused.scan_columns
+        produced = False
+        try:
+            for start, stop in self._scan.ranges:
+                for batch in table.scan(start, stop, batch_rows,
+                                        columns=columns):
+                    # Same cancel point and read charge as ScanOperator.
+                    context.check_cancelled()
+                    clock_charge(CostCategory.READ_VIDEO,
+                                 batch.num_rows * per_frame)
+                    out = fn(batch, rt)
+                    if out is not None and out.num_rows:
+                        produced = True
+                        yield out
+            if not produced:
+                tail = self._drain_empty()
+                if tail is not None:
+                    yield tail
+        finally:
+            self.kernel_fallback_batches = sum(rt.fallbacks.values())
+
+    def _drain_empty(self) -> Batch | None:
+        """End-of-stream bookkeeping when no batch survived the pipeline.
+
+        Serial project operators emit their (empty) output schema when
+        they never received input, and anything stacked above them reacts
+        to that empty batch — classifiers charge APPLY for it, filters
+        and detectors swallow it, upper projects re-map it.  Replaying
+        the stage list once with an empty batch reproduces those exact
+        semantics (and charges).
+        """
+        rt = self.rt
+        kernels = self.fused.kernels
+        current: Batch | None = None
+        for stage in self.fused.stages:
+            kind = stage[0]
+            if kind == "filters":
+                # A filter never yields an empty batch.
+                current = None
+            elif kind == "detector":
+                if current is not None:
+                    current = _detector_step(current, rt,
+                                             rt.ops[stage[1]], stage[2])
+            elif kind == "classifier":
+                if current is not None:
+                    current = _classifier_step(current, rt,
+                                               rt.ops[stage[1]], stage[2])
+            else:  # project
+                _, spec, project_index = stage
+                if current is not None:
+                    current = _project_batch(current, rt, spec, kernels)
+                elif not rt.project_reached[project_index]:
+                    current = Batch({name: [] for name, kernel_index in spec
+                                     if kernel_index is not None})
+        return current
+
+    @property
+    def stage_fallback_batches(self) -> dict[str, int]:
+        """Per-stage row-fallback batch counts, keyed by plan-node label."""
+        return dict(self.rt.fallbacks)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def maybe_fuse(plan: PhysicalPlan, context: ExecutionContext
+               ) -> FusedPipelineOperator | None:
+    """Fuse ``plan``'s chain if eligible; None routes to normal build."""
+    config = context.config
+    cache: KernelCache | None = getattr(context, "kernel_cache", None)
+    if (cache is None or not config.kernel_fusion
+            or config.execution_mode != "vectorized"):
+        return None
+    chain = _fusable_chain(plan, context)
+    if chain is None:
+        return None
+    key = fusion_key(chain, config)
+    entry = cache.lookup(key)
+    metrics = context.metrics
+    if isinstance(entry, FusedPlan):
+        metrics.increment("kernel_cache:hit", 1)
+        return FusedPipelineOperator(chain, entry, context)
+    if entry is None and _miss_dominated(chain, config):
+        cache.store(key, _DEFERRED)
+        metrics.increment("kernel_cache:deferred", 1)
+        return None
+    fused = compile_fused_plan(chain, context, key)
+    cache.store(key, fused)
+    metrics.increment("kernel_cache:compile", 1)
+    return FusedPipelineOperator(chain, fused, context)

@@ -74,17 +74,28 @@ class InstrumentedEngine(ExecutionEngine):
     def __init__(self, context: ExecutionContext):
         super().__init__(context)
         self.instrumented: dict[int, InstrumentedOperator] = {}
+        #: Plan nodes *covered* by a fused pipeline built above them
+        #: (node id → boundary label).  They never become operators, so
+        #: EXPLAIN ANALYZE reports them as fused into their boundary
+        #: instead of silently dropping them.
+        self.fused_markers: dict[int, str] = {}
 
     def build(self, plan: PhysicalPlan) -> Operator:
         inner = super().build(plan)
         wrapper = InstrumentedOperator(inner, self.context)
         self.instrumented[id(plan)] = wrapper
+        covered = getattr(inner, "covered_nodes", None)
+        if covered:
+            boundary_label = type(covered[0]).__name__.removeprefix("Phys")
+            for node in covered[1:]:
+                self.fused_markers[id(node)] = boundary_label
         return wrapper
 
     def operator_stats(self, plan: PhysicalPlan
                        ) -> "list[OperatorStats]":
         """Per-node actuals for ``plan`` in pre-order, with self times."""
-        return collect_operator_stats(plan, self.instrumented)
+        return collect_operator_stats(plan, self.instrumented,
+                                      self.fused_markers)
 
 
 @dataclass(frozen=True)
@@ -103,29 +114,55 @@ class OperatorStats:
     #: clamped at zero against scheduling noise).
     self_elapsed: float
     self_virtual: float
-    #: Kernel mode the operator ran with (``"vectorized"``,
+    #: Kernel mode the operator ran with (``"fused"``, ``"vectorized"``,
     #: ``"row-fallback"``, ``"row"``) or None when not applicable.
     kernel_mode: str | None = None
     #: Batches re-run through the row interpreter (runtime fallback).
     kernel_fallbacks: int = 0
+    #: Label of the fusion boundary this node was compiled into, for
+    #: nodes a fused pipeline covers (they run inside the boundary's
+    #: generated function and have no operator of their own).
+    fused_into: str | None = None
+    #: On a fusion boundary: how many plan nodes the fused pipeline
+    #: replaced (itself included).
+    fused_ops: int = 0
 
 
 def collect_operator_stats(plan: PhysicalPlan,
-                           instrumented: dict[int, InstrumentedOperator]
+                           instrumented: dict[int, InstrumentedOperator],
+                           fused_markers: dict[int, str] | None = None
                            ) -> list[OperatorStats]:
     """Walk ``plan`` pre-order pairing nodes with their wrappers.
 
     Self time is the node's subtree time minus its direct children's
     subtree times: the wrappers measure whole pipelines (a parent's pull
     blocks on its child's ``next()``), so without the subtraction every
-    ancestor double-counts the leaf work below it.
+    ancestor double-counts the leaf work below it.  Nodes listed in
+    ``fused_markers`` executed inside a fused pipeline's generated
+    function: their work is measured at the fusion boundary, so they
+    report zero of their own and carry the boundary's label instead.
     """
     out: list[OperatorStats] = []
+    fused_markers = fused_markers or {}
 
     def visit(node: PhysicalPlan, depth: int) -> None:
         stats = instrumented.get(id(node))
         children = plan_children(node)
-        if stats is not None:
+        if stats is None and id(node) in fused_markers:
+            out.append(OperatorStats(
+                node=node,
+                label=type(node).__name__.removeprefix("Phys"),
+                depth=depth,
+                rows_out=0,
+                batches_out=0,
+                elapsed=0.0,
+                virtual=0.0,
+                self_elapsed=0.0,
+                self_virtual=0.0,
+                kernel_mode="fused",
+                fused_into=fused_markers[id(node)],
+            ))
+        elif stats is not None:
             child_elapsed = sum(
                 instrumented[id(c)].elapsed for c in children
                 if id(c) in instrumented)
@@ -144,6 +181,7 @@ def collect_operator_stats(plan: PhysicalPlan,
                 self_virtual=max(0.0, stats.virtual - child_virtual),
                 kernel_mode=stats.inner.kernel_mode,
                 kernel_fallbacks=stats.inner.kernel_fallback_batches,
+                fused_ops=len(getattr(stats.inner, "covered_nodes", ())),
             ))
         for child in children:
             visit(child, depth + 1)
@@ -168,9 +206,15 @@ def explain_analyze(plan: PhysicalPlan, context: ExecutionContext
         if stats is None:  # pragma: no cover - every node is wrapped
             annotated.append(line)
             continue
+        if stats.fused_into is not None:
+            annotated.append(
+                f"{line}  (kernel=fused fused-into={stats.fused_into})")
+            continue
         kernel = ""
         if stats.kernel_mode is not None:
             kernel = f" kernel={stats.kernel_mode}"
+            if stats.kernel_mode == "fused" and stats.fused_ops:
+                kernel += f" fusion-boundary={stats.fused_ops}ops"
             if stats.kernel_fallbacks:
                 kernel += f" fallbacks={stats.kernel_fallbacks}"
         annotated.append(

@@ -29,8 +29,18 @@ from repro.video.frames import Frame
 
 
 def bbox_view_key(bbox: BoundingBox) -> tuple[int, int, int, int]:
-    """Rounded box coordinates: the view key component for patch UDFs."""
-    return (round(bbox.x1), round(bbox.y1), round(bbox.x2), round(bbox.y2))
+    """Rounded box coordinates: the view key component for patch UDFs.
+
+    Memoized on the (frozen, ``__dict__``-bearing) box instance: the
+    detector's decoded-hit cache hands back the *same* box objects on
+    every warm probe, so repeat queries round each box exactly once.
+    """
+    key = bbox.__dict__.get("_view_key")
+    if key is None:
+        key = (round(bbox.x1), round(bbox.y1),
+               round(bbox.x2), round(bbox.y2))
+        object.__setattr__(bbox, "_view_key", key)
+    return key
 
 
 class ClassifierApplyOperator(Operator):
@@ -103,14 +113,14 @@ class ClassifierApplyOperator(Operator):
             return []
         if not batch.has_column("frame"):
             return None  # row path raises its KeyError
-        frames: list[Frame] = batch.column("frame")
+        frames: list[Frame] = batch.column_values("frame")
         if self.kind is UdfKind.FRAME_FILTER:
             keys = [(frame.frame_id,) for frame in frames]
             bboxes = None
         else:
             if not batch.has_column("bbox"):
                 return None  # row path raises its "needs a bbox" error
-            bboxes = batch.column("bbox")
+            bboxes = batch.column_values("bbox")
             if any(not isinstance(b, BoundingBox) for b in bboxes):
                 return None
             keys = [(frame.frame_id, bbox_view_key(bbox))

@@ -151,7 +151,7 @@ class DetectorApplyOperator(Operator):
             return Batch()
         if not (batch.has_column("frame") and batch.has_column("id")):
             return None  # row path raises its KeyError
-        frames: list[Frame] = batch.column("frame")
+        frames: list[Frame] = batch.column_values("frame")
         seen: set[tuple[str, int]] = set()
         for frame in frames:
             key = (frame.video_name, frame.frame_id)
@@ -168,19 +168,23 @@ class DetectorApplyOperator(Operator):
                     if view_store.get(
                             self._view_name(model.name, video_name)) is None:
                         return None
-        has_model_source = any(not source.use_view
-                               for source, _, _ in self._sources)
-        values_list = (self._predicate_values(batch)
-                       if has_model_source else None)
         results: list[tuple[Detection, ...] | None] = [None] * n
+        #: Per-row decoded cache entries filled alongside view hits —
+        #: ``(detections, labels, bboxes, scores, areas)`` column
+        #: fragments, or None for model-evaluated rows (``_assemble``
+        #: computes their fragments inline).
+        decoded: list[tuple | None] = [None] * n
         pending: list[int] = list(range(n))
+        values_list: list[dict] | None = None  # built on first model source
         for source, predicate, model in self._sources:
             if not pending:
                 break
             if source.use_view:
                 pending = self._probe_view_batch(
-                    model, frames, pending, results)
+                    model, frames, pending, results, decoded)
                 continue
+            if values_list is None:
+                values_list = self._predicate_values(batch)
             matched = [i for i in pending if predicate(values_list[i])]
             if matched:
                 self._evaluate_many(model, frames, matched, results,
@@ -190,7 +194,7 @@ class DetectorApplyOperator(Operator):
         if pending:
             self._evaluate_many(self._fallback_model, frames, pending,
                                 results, store=self.node.store)
-        return self._assemble(batch, frames, results)
+        return self._assemble(batch, frames, results, decoded)
 
     def _predicate_values(self, batch: Batch) -> list[dict]:
         """Per-row value dicts for source predicates (columnar build)."""
@@ -216,8 +220,18 @@ class DetectorApplyOperator(Operator):
 
     def _probe_view_batch(self, model: ObjectDetectorModel,
                           frames: list[Frame], pending: list[int],
-                          results: list) -> list[int]:
-        """Bulk LEFT OUTER JOIN against one model's views; returns misses."""
+                          results: list, decoded: list) -> list[int]:
+        """Bulk LEFT OUTER JOIN against one model's views; returns misses.
+
+        Decoded hits (``Detection`` tuples plus the per-column fragments
+        ``_assemble`` emits) are memoized in the view's ``runtime_cache``:
+        views are append-only, so a key's decoded form never goes stale,
+        and repeat probes of a warm view skip the per-row conversion and
+        the area recomputation.  Every key still goes through
+        ``get_many`` — that call carries the read lock and, on the
+        server, cross-client hit attribution — so charges, locking, and
+        ownership accounting are identical with and without the cache.
+        """
         by_video: dict[str, list[int]] = {}
         for i in pending:
             by_video.setdefault(frames[i].video_name, []).append(i)
@@ -237,18 +251,34 @@ class DetectorApplyOperator(Operator):
             self.context.clock.charge(
                 CostCategory.READ_VIEW,
                 len(group) * costs.view_read_per_key)
-            stored = view.get_many([(frames[i].frame_id,) for i in group])
+            cache = view.runtime_cache.setdefault("decoded_hits", {})
             hit_keys = []
             rows_read = 0
+            stored = view.get_many([(frames[i].frame_id,) for i in group])
             for i, rows in zip(group, stored):
                 if rows is None:
                     still.append(i)
                     continue
                 rows_read += len(rows)
-                results[i] = tuple(
-                    Detection(r["label"], r["bbox"], r["score"])
-                    for r in rows)
-                hit_keys.append(frames[i].cache_key())
+                frame = frames[i]
+                entry = cache.get(frame.frame_id)
+                if entry is None:
+                    detections = tuple(
+                        Detection(r["label"], r["bbox"], r["score"])
+                        for r in rows)
+                    entry = (
+                        detections,
+                        tuple(d.label for d in detections),
+                        tuple(d.bbox for d in detections),
+                        tuple(d.score for d in detections),
+                        tuple(d.bbox.relative_area(frame.width,
+                                                   frame.height)
+                              for d in detections),
+                    )
+                    cache[frame.frame_id] = entry
+                results[i] = entry[0]
+                decoded[i] = entry
+                hit_keys.append(frame.cache_key())
             if rows_read:
                 self.context.clock.charge(
                     CostCategory.READ_VIEW,
@@ -287,6 +317,24 @@ class DetectorApplyOperator(Operator):
                       [{"label": d.label, "bbox": d.bbox, "score": d.score}
                        for d in results[i]])
                      for i in group])
+                # Warm the decoded-hit cache with the detections we
+                # already hold: later probes of these keys then skip
+                # the dict-row -> Detection decode entirely.
+                cache = view.runtime_cache.setdefault("decoded_hits", {})
+                for i in group:
+                    frame = frames[i]
+                    if frame.frame_id in cache:
+                        continue
+                    detections = results[i]
+                    cache[frame.frame_id] = (
+                        detections,
+                        tuple(d.label for d in detections),
+                        tuple(d.bbox for d in detections),
+                        tuple(d.score for d in detections),
+                        tuple(d.bbox.relative_area(frame.width,
+                                                   frame.height)
+                              for d in detections),
+                    )
                 stored_rows = sum(
                     max(1, len(results[i]))
                     for i, was_new in zip(group, inserted) if was_new)
@@ -296,8 +344,13 @@ class DetectorApplyOperator(Operator):
                         stored_rows * self.context.costs.materialize_per_row)
 
     def _assemble(self, batch: Batch, frames: list[Frame],
-                  results: list) -> Batch:
-        """Expand input rows by their detections, column-at-a-time."""
+                  results: list, decoded: list) -> Batch:
+        """Expand input rows by their detections, column-at-a-time.
+
+        Rows with a decoded cache entry contribute their pre-split
+        column fragments via C-speed ``extend``; model-evaluated rows
+        unpack their ``Detection`` tuples inline.
+        """
         indices = [i for i, detections in enumerate(results)
                    for _ in detections]
         if not indices:
@@ -307,6 +360,15 @@ class DetectorApplyOperator(Operator):
         scores: list = []
         areas: list = []
         for i, detections in enumerate(results):
+            if not detections:
+                continue
+            entry = decoded[i]
+            if entry is not None:
+                labels.extend(entry[1])
+                bboxes.extend(entry[2])
+                scores.extend(entry[3])
+                areas.extend(entry[4])
+                continue
             frame = frames[i]
             for detection in detections:
                 labels.append(detection.label)

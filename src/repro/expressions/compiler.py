@@ -57,7 +57,7 @@ from repro.expressions.expr import (
     Or,
     Star,
 )
-from repro.storage.batch import Batch
+from repro.storage.batch import Batch, ColumnView
 
 #: numpy dtype kinds treated as numeric for arithmetic (bool is excluded:
 #: ``True + True`` is ``2`` in Python but ``True`` in numpy).
@@ -189,6 +189,62 @@ def compile_expression(expr: Expression,
 
 
 # ---------------------------------------------------------------------------
+# shared-kernel runners (used by plan-level fusion)
+# ---------------------------------------------------------------------------
+#
+# Fused plans (executor/fusion.py) cache compiled kernels and share them
+# across queries, sessions, and morsel threads.  The kernel's own
+# ``batches`` / ``fallback_batches`` counters are per-instance state and
+# would race (and misattribute) under sharing, so fusion runs kernels
+# through these functions, which report runtime fallbacks into a
+# caller-owned per-execution ``counts`` dict instead.
+
+
+def run_kernel_values(kernel: CompiledKernel, batch: Batch,
+                      counts: dict | None = None, label: str = "") -> list:
+    """:meth:`CompiledKernel.evaluate` with caller-owned fallback counts."""
+    fn = kernel._fn
+    if fn is not None:
+        try:
+            return _materialize(fn(batch), batch.num_rows)
+        except ExecutorError:
+            if counts is not None:
+                counts[label] = counts.get(label, 0) + 1
+    evaluator = kernel._evaluator
+    expr = kernel.expr
+    return [evaluator.evaluate(expr, row) for row in batch.iter_rows()]
+
+
+def run_kernel_mask(kernel: CompiledKernel, batch: Batch,
+                    counts: dict | None = None,
+                    label: str = "") -> list[bool]:
+    """:meth:`CompiledKernel.evaluate_mask` with caller-owned counts."""
+    fn = kernel._fn
+    if fn is not None:
+        try:
+            return _materialize_mask(fn(batch), batch.num_rows)
+        except ExecutorError:
+            if counts is not None:
+                counts[label] = counts.get(label, 0) + 1
+    evaluator = kernel._evaluator
+    expr = kernel.expr
+    return [evaluator.evaluate_predicate(expr, row)
+            for row in batch.iter_rows()]
+
+
+def run_kernel_mask_vectorized(kernel: CompiledKernel,
+                               batch: Batch) -> np.ndarray:
+    """The kernel's mask via the vectorized path *only*, as a bool array.
+
+    No fallback: any exception propagates so the caller can demote (used
+    for the speculative evaluation of upper filters in a fused mask
+    group, where errors must not surface for rows a lower filter would
+    have removed).  Requires ``kernel.vectorized``.
+    """
+    return _as_bool_array(kernel._fn(batch), batch.num_rows)
+
+
+# ---------------------------------------------------------------------------
 # kernel generators (one per node type)
 # ---------------------------------------------------------------------------
 
@@ -311,6 +367,21 @@ def _compare(op: CompOp, left, right, n: int, sql: str):
     if larr is not None and rarr is not None:
         return _NUMPY_COMPARE[op](larr, rarr)
     lvals = _values(left, n)
+    if isinstance(right, _Scalar) and op in (CompOp.EQ, CompOp.NE):
+        # Scalar (in)equality — e.g. ``label = 'car'`` — never raises
+        # and NULL compares false, so one fused pass replaces the
+        # per-element ``op.apply`` dispatch and emits the bool array
+        # ``_as_bool_array`` would otherwise rebuild.
+        value = right.value
+        if value is None:
+            return np.zeros(n, dtype=bool)
+        if op is CompOp.EQ:
+            return np.fromiter(
+                (v is not None and v == value for v in lvals),
+                dtype=bool, count=n)
+        return np.fromiter(
+            (v is not None and v != value for v in lvals),
+            dtype=bool, count=n)
     rvals = _values(right, n)
     out = []
     append = out.append
@@ -388,6 +459,15 @@ def _numeric_operand(col, kinds: frozenset):
     if isinstance(col, np.ndarray):
         return col if col.dtype.kind in kinds else None
     try:
+        # Fast reject for string columns: ``np.asarray`` would copy the
+        # whole column into a U-dtype array only to be refused below.
+        # Rejection is always safe — it routes to the exact
+        # element-wise path.
+        if len(col) > 0 and isinstance(col[0], str):
+            return None
+    except TypeError:
+        pass
+    try:
         arr = np.asarray(col)
     except (ValueError, TypeError):  # ragged / unconvertible
         return None
@@ -422,7 +502,11 @@ def _materialize(col, n: int) -> list:
         return [col.value] * n
     if isinstance(col, np.ndarray):
         return col.tolist()
-    return col if isinstance(col, list) else list(col)
+    if isinstance(col, (list, ColumnView)):
+        # ColumnViews pass through zero-copy: consumers index/iterate
+        # them like lists and they materialize at most once on demand.
+        return col
+    return list(col)
 
 
 def _materialize_mask(col, n: int) -> list[bool]:

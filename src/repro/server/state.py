@@ -162,6 +162,14 @@ class ClientViewHandle:
         return self._view.key_columns
 
     @property
+    def runtime_cache(self) -> dict:
+        # Derived-data scratch space (e.g. the executor's decoded-hit
+        # cache), shared by all clients of the view: entries are keyed
+        # by frame id and immutable once written, so concurrent writers
+        # can only race to store identical values.
+        return self._view.runtime_cache
+
+    @property
     def output_columns(self) -> list[str]:
         return self._view.output_columns
 
@@ -471,6 +479,13 @@ class SharedReuseState:
         #: whole server, not one connection.
         self.slo = SloTracker.from_config(self.config)
         self.flight_stats = FlightStats()
+        #: One shared plan→kernel cache: compiled fused plans are
+        #: context-free (per-execution state lives in the operator), so
+        #: every client reuses each other's compilations.  KernelCache is
+        #: internally lock-guarded.
+        from repro.executor.fusion import KernelCache
+
+        self.kernel_cache = KernelCache(self.config.kernel_cache_size)
         if getattr(base_store, "is_durable", False):
             from repro.store import make_cost_resolver
             base_store.cost_resolver = make_cost_resolver(
@@ -526,5 +541,6 @@ class SharedReuseState:
             inference=self.batcher,
             slo=self.slo,
             flight_stats=self.flight_stats,
+            kernel_cache=self.kernel_cache,
             shared=True,
         )

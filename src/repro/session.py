@@ -122,6 +122,11 @@ class SessionState:
     #: (:class:`repro.obs.flight.FlightStats`); shared under the server
     #: for the same reason.
     flight_stats: object | None = None
+    #: Plan→kernel cache for whole-plan fusion
+    #: (:class:`repro.executor.fusion.KernelCache`).  Private per session
+    #: by default; the server substitutes one shared cache so every
+    #: client reuses the same compiled plans.
+    kernel_cache: object | None = None
     #: True when the reuse components are shared with other sessions (a
     #: server deployment).  Destructive whole-state operations
     #: (:meth:`EvaSession.reset_reuse_state`, ``load_reuse_state``) are
@@ -136,6 +141,10 @@ class SessionState:
             self.slo = SloTracker.from_config(self.config)
         if self.flight_stats is None:
             self.flight_stats = FlightStats()
+        if self.kernel_cache is None:
+            from repro.executor.fusion import KernelCache
+
+            self.kernel_cache = KernelCache(self.config.kernel_cache_size)
 
     @classmethod
     def fresh(cls, config: EvaConfig | None = None,
@@ -213,6 +222,7 @@ class EvaSession:
             config=self.config,
             tracer=state.tracer,
             inference=state.inference,
+            kernel_cache=state.kernel_cache,
         )
         self.engine = ExecutionEngine(self.context)
         #: The OptimizedQuery of the most recent SELECT (introspection).
@@ -640,8 +650,12 @@ class EvaSession:
         self.optimizer.calibrated_costs.update(result.calibrated)
         # Cached plans were costed (and their sources chosen) with the
         # stale constants; the UdfManager version they key on does not
-        # change when the catalog's beliefs do.
+        # change when the catalog's beliefs do.  Compiled fused kernels
+        # key on plan structure, so plans the rebuild re-shapes would
+        # otherwise keep hitting stale deferral decisions.
         self._plan_cache.clear()
+        if self.context.kernel_cache is not None:
+            self.context.kernel_cache.invalidate()
         self.metrics.increment("cost_calibrations")
         self._emit_calibration_record(result)
 
@@ -808,6 +822,8 @@ class EvaSession:
         self.context.metrics = self.metrics
         self.clock.reset()
         self._plan_cache.clear()
+        if self.context.kernel_cache is not None:
+            self.context.kernel_cache.invalidate()
 
     def close(self) -> None:
         """Flush and snapshot a durable store (no-op otherwise).

@@ -5,13 +5,240 @@ Python objects (ints, strings, :class:`~repro.types.BoundingBox`, frame
 handles), so batches can carry video frames and model outputs alike.  The
 execution engine streams batches between physical operators, mirroring the
 paper's batch-level processing (section 5.3).
+
+Row-subset transforms (``take`` / ``filter_mask`` / ``slice``) are
+zero-copy: they return :class:`ColumnView` columns — a (base, indices)
+indirection over the source column — instead of copying every value.  The
+selection index list is built once per batch and shared by every column, so
+selecting k rows out of an n-row, c-column batch costs O(k + c) instead of
+O(k * c); columns that are never read downstream are never copied at all.
+A view materializes (copies) lazily, at most once, on first element access.
+Batches are immutable by convention, which is what makes the aliasing safe;
+:func:`aliasing_debug` turns on a checker that verifies the convention.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping
+import contextlib
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import ExecutorError
+
+
+class _DebugState:
+    """Process-wide state for the debug-mode aliasing checker.
+
+    Disabled by default (zero overhead beyond a truthiness check on the
+    cold paths).  When enabled via :func:`aliasing_debug`, every view
+    records the length of its base column at creation time and re-checks
+    it at materialization time — a mutated base (the one way aliasing can
+    go wrong under the immutable-by-convention contract) is reported as an
+    :class:`ExecutorError` instead of silent corruption.  The checker also
+    counts column-list allocations, which the ``Batch.concat`` unit test
+    uses to pin the one-allocation-per-output-column guarantee.
+    """
+
+    __slots__ = ("enabled", "column_allocations", "view_creations",
+                 "materializations", "_base_lengths")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.column_allocations = 0
+        self.view_creations = 0
+        self.materializations = 0
+        self._base_lengths: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self.column_allocations = 0
+        self.view_creations = 0
+        self.materializations = 0
+        self._base_lengths.clear()
+
+    def note_view(self, base: list) -> None:
+        self.view_creations += 1
+        key = id(base)
+        recorded = self._base_lengths.get(key)
+        if recorded is None:
+            self._base_lengths[key] = len(base)
+        elif recorded != len(base):
+            raise ExecutorError(
+                f"aliasing violation: base column length changed from "
+                f"{recorded} to {len(base)} while views were outstanding")
+
+    def note_allocation(self) -> None:
+        self.column_allocations += 1
+
+    def check_base(self, base: list) -> None:
+        recorded = self._base_lengths.get(id(base))
+        if recorded is not None and recorded != len(base):
+            raise ExecutorError(
+                f"aliasing violation: base column mutated ({recorded} -> "
+                f"{len(base)} values) after a zero-copy view was taken")
+
+
+_debug = _DebugState()
+
+
+@contextlib.contextmanager
+def aliasing_debug():
+    """Enable the aliasing checker for a ``with`` block.
+
+    Yields the debug-state object so tests can read
+    ``column_allocations`` / ``view_creations`` / ``materializations``.
+    Counters are reset on entry.  Not reentrant.
+    """
+    _debug.reset()
+    _debug.enabled = True
+    try:
+        yield _debug
+    finally:
+        _debug.enabled = False
+        _debug.reset()
+
+
+class ColumnView(Sequence):
+    """A zero-copy view over a base column list.
+
+    Either a contiguous range (``start``/``stop``) or an explicit index
+    list selects rows from ``base``.  Length is O(1); element access goes
+    through a lazily cached materialization, so a view costs nothing until
+    (unless) it is actually read, and at most one copy ever.  Index lists
+    are shared between all columns of the batch that created the views.
+    """
+
+    __slots__ = ("_base", "_indices", "_start", "_stop", "_materialized")
+
+    def __init__(self, base: list, indices: list | None = None,
+                 start: int = 0, stop: int | None = None):
+        self._base = base
+        self._indices = indices
+        self._materialized: list | None = None
+        if indices is None:
+            self._start = start
+            self._stop = len(base) if stop is None else stop
+        else:
+            self._start = 0
+            self._stop = len(indices)
+        if _debug.enabled:
+            _debug.note_view(base)
+
+    def __len__(self) -> int:
+        indices = self._indices
+        if indices is not None:
+            return len(indices)
+        return self._stop - self._start
+
+    def materialized(self) -> list:
+        """The selected values as a real list (computed once, cached)."""
+        values = self._materialized
+        if values is None:
+            base = self._base
+            if _debug.enabled:
+                _debug.check_base(base)
+                _debug.materializations += 1
+                _debug.note_allocation()
+            indices = self._indices
+            if indices is None:
+                values = base[self._start:self._stop]
+            else:
+                values = list(map(base.__getitem__, indices))
+            self._materialized = values
+        return values
+
+    def __getitem__(self, item):
+        return self.materialized()[item]
+
+    def __iter__(self) -> Iterator:
+        return iter(self.materialized())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ColumnView):
+            return self.materialized() == other.materialized()
+        if isinstance(other, list):
+            return self.materialized() == other
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # views compare by value, like lists
+
+    def __array__(self, dtype=None, copy=None):
+        """Numpy interop: ``np.asarray(view)`` converts via one list."""
+        import numpy as np
+        array = np.asarray(self.materialized())
+        if dtype is not None:
+            array = array.astype(dtype, copy=False)
+        return array
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "range" if self._indices is None else "indices"
+        state = "materialized" if self._materialized is not None else "lazy"
+        return f"<ColumnView {len(self)} rows via {kind}, {state}>"
+
+
+def materialize_column(values) -> list:
+    """``values`` as a plain list; no copy when it already is one."""
+    if isinstance(values, ColumnView):
+        return values.materialized()
+    if isinstance(values, list):
+        return values
+    return list(values)
+
+
+def _view_take(values, indices: list, memo: dict):
+    """A view of ``values`` at ``indices``, flattening nested views.
+
+    Composed index lists are memoised by the identity of the inner
+    indirection so sibling columns created by the same earlier selection
+    share one composed list.
+    """
+    if not isinstance(values, ColumnView):
+        return ColumnView(values, indices)
+    inner = values._materialized
+    if inner is not None:
+        return ColumnView(inner, indices)
+    inner_indices = values._indices
+    if inner_indices is not None:
+        key = (id(inner_indices), id(indices))
+        composed = memo.get(key)
+        if composed is None:
+            composed = [inner_indices[i] for i in indices]
+            memo[key] = composed
+        return ColumnView(values._base, composed)
+    start = values._start
+    if start == 0:
+        return ColumnView(values._base, indices)
+    key = (("range", start), id(indices))
+    composed = memo.get(key)
+    if composed is None:
+        composed = [start + i for i in indices]
+        memo[key] = composed
+    return ColumnView(values._base, composed)
+
+
+def _view_slice(values, start: int, stop: int, memo: dict):
+    """A view of ``values[start:stop]``, flattening nested views."""
+    if not isinstance(values, ColumnView):
+        return ColumnView(values, start=start, stop=min(stop, len(values)))
+    inner = values._materialized
+    if inner is not None:
+        return ColumnView(inner, start=start, stop=min(stop, len(inner)))
+    inner_indices = values._indices
+    if inner_indices is not None:
+        key = (id(inner_indices), "slice", start, stop)
+        sliced = memo.get(key)
+        if sliced is None:
+            sliced = inner_indices[start:stop]
+            memo[key] = sliced
+        return ColumnView(values._base, sliced)
+    base_start = values._start + start
+    base_stop = min(values._start + stop, values._stop)
+    return ColumnView(values._base, start=base_start,
+                      stop=max(base_start, base_stop))
 
 
 class Batch:
@@ -52,11 +279,15 @@ class Batch:
         Column order is allowed to differ between inputs (operators that
         assemble columns from dicts do not guarantee one order); the
         result uses the first batch's order.  Differing column *sets*
-        still raise.
+        still raise.  Each output column is built with exactly one list
+        allocation (sized up front, filled by slice assignment), not one
+        per input batch.
         """
         batches = [b for b in batches if b.num_rows or b.column_names]
         if not batches:
             return cls()
+        if len(batches) == 1:
+            return batches[0]
         names = batches[0].column_names
         name_set = set(names)
         for batch in batches[1:]:
@@ -65,10 +296,19 @@ class Batch:
                 raise ExecutorError(
                     "cannot concat batches with differing columns: "
                     f"{names} vs {batch.column_names}")
-        columns = {
-            name: [v for batch in batches for v in batch.column(name)]
-            for name in names
-        }
+        total = sum(batch.num_rows for batch in batches)
+        columns: dict[str, list] = {}
+        for name in names:
+            out = [None] * total
+            if _debug.enabled:
+                _debug.note_allocation()
+            position = 0
+            for batch in batches:
+                values = materialize_column(batch.column(name))
+                end = position + len(values)
+                out[position:end] = values
+                position = end
+            columns[name] = out
         return cls(columns)
 
     # -- shape ---------------------------------------------------------------
@@ -97,6 +337,17 @@ class Batch:
         except KeyError:
             raise ExecutorError(
                 f"no column {name!r}; have {self._names}") from None
+
+    def column_values(self, name: str) -> list:
+        """Column as a plain list (materializes a lazy view once).
+
+        Hot per-row loops index lists at C speed; going through
+        ``ColumnView.__getitem__`` would re-enter Python per element.
+        """
+        column = self.column(name)
+        if isinstance(column, ColumnView):
+            return column.materialized()
+        return column
 
     def has_column(self, name: str) -> bool:
         return name in self._columns
@@ -131,7 +382,8 @@ class Batch:
                 f"column {name!r} has {len(values)} values, "
                 f"batch has {self.num_rows} rows")
         columns = dict(self._columns)
-        columns[name] = list(values)
+        columns[name] = values if isinstance(values, ColumnView) \
+            else list(values)
         return Batch(columns)
 
     def with_columns(self, new_columns: Mapping[str, list]) -> "Batch":
@@ -145,7 +397,8 @@ class Batch:
                 raise ExecutorError(
                     f"column {name!r} has {len(values)} values, "
                     f"batch has {self.num_rows} rows")
-            columns[name] = list(values)
+            columns[name] = values if isinstance(values, ColumnView) \
+                else list(values)
         return Batch(columns)
 
     def filter(self, mask) -> "Batch":
@@ -164,6 +417,8 @@ class Batch:
         short-circuits the all-true / all-false cases: an all-true mask
         returns ``self`` unchanged (columns are immutable by convention,
         so sharing them is safe), an all-false mask skips per-column work.
+        Partial selections return zero-copy :class:`ColumnView` columns
+        over one shared index list.
         """
         if len(mask) != self.num_rows:
             raise ExecutorError(
@@ -173,23 +428,29 @@ class Batch:
             return self
         if not keep:
             return Batch({name: [] for name in self._names})
-        return Batch({
-            name: [values[i] for i in keep]
-            for name, values in self._columns.items()
-        })
+        return self._select(keep)
 
     def take(self, indices) -> "Batch":
         """Rows at ``indices`` (any integer sequence, numpy included)."""
+        if not isinstance(indices, list):
+            indices = list(indices)
+        return self._select(indices)
+
+    def _select(self, indices: list) -> "Batch":
+        memo: dict = {}
         return Batch({
-            name: [values[i] for i in indices]
+            name: _view_take(values, indices, memo)
             for name, values in self._columns.items()
         })
 
     def slice(self, start: int, stop: int) -> "Batch":
-        return Batch({name: values[start:stop]
-                      for name, values in self._columns.items()})
+        memo: dict = {}
+        return Batch({
+            name: _view_slice(values, start, stop, memo)
+            for name, values in self._columns.items()
+        })
 
     def sorted_by(self, column_name: str) -> "Batch":
-        order = sorted(range(self.num_rows),
-                       key=lambda i: self.column(column_name)[i])
+        values = materialize_column(self.column(column_name))
+        order = sorted(range(self.num_rows), key=values.__getitem__)
         return self.take(order)

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import StorageError
 from repro.catalog.schema import ColumnType, TableSchema
-from repro.storage.batch import Batch
+from repro.storage.batch import Batch, materialize_column
 from repro.types import BoundingBox
 
 _MANIFEST = "manifest.json"
@@ -84,6 +84,7 @@ def read_table(directory: str | Path) -> tuple[TableSchema, Batch]:
 
 
 def _encode_column(ctype: ColumnType, values: list) -> np.ndarray:
+    values = materialize_column(values)
     if ctype is ColumnType.INTEGER:
         return np.asarray(values, dtype=np.int64)
     if ctype is ColumnType.FLOAT:
@@ -103,12 +104,15 @@ def _encode_column(ctype: ColumnType, values: list) -> np.ndarray:
 
 
 def _decode_column(ctype: ColumnType, array: np.ndarray) -> list:
+    # tolist() converts int64/float64/bool_ arrays to native Python
+    # values in one C-level pass instead of one boxed conversion per
+    # element.
     if ctype is ColumnType.INTEGER:
-        return [int(v) for v in array]
+        return array.tolist()
     if ctype is ColumnType.FLOAT:
-        return [float(v) for v in array]
+        return array.tolist()
     if ctype is ColumnType.BOOLEAN:
-        return [bool(v) for v in array]
+        return array.tolist()
     if ctype is ColumnType.STRING:
         return json.loads(array.tobytes().decode("utf-8"))
     if ctype is ColumnType.BBOX:

@@ -60,6 +60,12 @@ class MaterializedView:
         #: Lazily-built secondary index: first key component -> keys.
         #: Used by fuzzy bounding-box reuse to enumerate a frame's boxes.
         self._prefix_index: dict[Hashable, list[Key]] | None = None
+        #: Opaque scratch space for data *derived* from stored entries
+        #: (e.g. the executor's decoded view-hit cache).  The view is
+        #: append-only — a key's rows never change once stored — so
+        #: derived entries can never go stale; the cache simply dies with
+        #: the view object (eviction, restart) and is never serialized.
+        self.runtime_cache: dict = {}
         #: Guards the entries/prefix-index pair.  Without it, a lazy index
         #: build racing a concurrent :meth:`put` could either miss the new
         #: key (put saw ``_prefix_index is None`` mid-build) or record it

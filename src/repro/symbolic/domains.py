@@ -23,6 +23,27 @@ from repro.errors import UnsupportedPredicateError
 from repro.expressions.expr import CompOp, Comparison, Expression, Literal, Or
 
 
+def _rationalize(value):
+    """Exact rational for a numeric literal.
+
+    ``sympy.nsimplify(..., rational=True)`` runs a PSLQ constant search —
+    tens of milliseconds per float — but query literals are decimal text,
+    so ``Rational(str(v))`` recovers the same exact rational directly
+    (Python's shortest-repr floats round-trip the typed decimal).
+    Anything exotic falls back to nsimplify.
+    """
+    if isinstance(value, bool):
+        return sympy.Integer(int(value))
+    if isinstance(value, int):
+        return sympy.Integer(value)
+    if isinstance(value, float):
+        try:
+            return sympy.Rational(str(value))
+        except (ValueError, TypeError):
+            return sympy.nsimplify(value, rational=True)
+    return sympy.nsimplify(value, rational=True)
+
+
 class Constraint:
     """Base class; see :class:`NumericConstraint` and
     :class:`CategoricalConstraint`."""
@@ -79,7 +100,7 @@ class NumericConstraint(Constraint):
 
     @classmethod
     def from_comparison(cls, op: CompOp, value) -> "NumericConstraint":
-        value = sympy.nsimplify(value, rational=True)
+        value = _rationalize(value)
         if op is CompOp.LT:
             return cls(Interval.open(-sympy.oo, value))
         if op is CompOp.LE:
@@ -98,8 +119,7 @@ class NumericConstraint(Constraint):
     @classmethod
     def interval(cls, lo, hi, left_open: bool = False,
                  right_open: bool = False) -> "NumericConstraint":
-        return cls(Interval(sympy.nsimplify(lo, rational=True),
-                            sympy.nsimplify(hi, rational=True),
+        return cls(Interval(_rationalize(lo), _rationalize(hi),
                             left_open, right_open))
 
     # -- algebra ----------------------------------------------------------------
@@ -128,8 +148,7 @@ class NumericConstraint(Constraint):
 
     def contains(self, value) -> bool:
         try:
-            return bool(self.sset.contains(sympy.nsimplify(
-                value, rational=True)))
+            return bool(self.sset.contains(_rationalize(value)))
         except (TypeError, ValueError):
             return False
 

@@ -1,0 +1,354 @@
+"""Tests for whole-plan kernel fusion and the zero-copy batch core.
+
+Covers the compiler/fusion fallback edges: constant-only predicates,
+``__udf::`` column resolution inside fused plans, short-circuit semantics
+preserved across fusion boundaries, kernel-cache eviction and
+invalidation-on-calibration, the miss-dominated deferral heuristic, and
+the one-allocation-per-column ``Batch.concat`` guarantee (via the debug
+aliasing checker).  The bit-identical fused-vs-row/vectorized sweep at
+parallelism 1/2/8 lives at the bottom.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.clock import CostCategory
+from repro.config import EvaConfig, ReusePolicy
+from repro.errors import ExecutorError
+from repro.executor.fusion import KernelCache, FusedPlan, fusion_key
+from repro.models.zoo import default_zoo
+from repro.session import EvaSession
+from repro.storage.batch import Batch, ColumnView, aliasing_debug
+from repro.types import VideoMetadata
+from repro.video.synthetic import SyntheticVideo
+
+FRAMES = 400
+
+
+def make_video(name="tiny", frames=FRAMES):
+    return SyntheticVideo(
+        VideoMetadata(name=name, num_frames=frames, width=960, height=540,
+                      fps=25.0, vehicles_per_frame=8.3), seed=7)
+
+
+def make_session(*, fusion=True, mode="vectorized",
+                 policy=ReusePolicy.EVA, video=None, **kwargs):
+    session = EvaSession(config=EvaConfig(
+        reuse_policy=policy, execution_mode=mode, kernel_fusion=fusion,
+        **kwargs))
+    session.register_video(video or make_video())
+    return session
+
+
+def run_all(session, queries):
+    return [(tuple(r.columns), tuple(r.rows))
+            for r in map(session.execute, queries)]
+
+
+# ---------------------------------------------------------------------------
+# zero-copy batches + concat allocation accounting
+# ---------------------------------------------------------------------------
+
+
+class TestZeroCopyBatches:
+    def test_selection_returns_views_not_copies(self):
+        batch = Batch({"a": list(range(100)), "b": list(range(100))})
+        with aliasing_debug() as debug:
+            taken = batch.take([1, 3, 5])
+            sliced = batch.slice(10, 20)
+            masked = batch.filter_mask([i % 2 == 0 for i in range(100)])
+            assert debug.column_allocations == 0  # nothing materialized
+        assert isinstance(taken.column("a"), ColumnView)
+        assert isinstance(sliced.column("b"), ColumnView)
+        assert masked.num_rows == 50
+
+    def test_materialization_copies_at_most_once(self):
+        batch = Batch({"a": list(range(50))})
+        with aliasing_debug() as debug:
+            view = batch.take(list(range(0, 50, 2))).column("a")
+            assert list(view) == list(range(0, 50, 2))
+            first = debug.materializations
+            assert list(view) == list(range(0, 50, 2))
+            assert debug.materializations == first  # cached
+
+    def test_unread_columns_never_materialize(self):
+        batch = Batch({"hot": list(range(64)), "cold": list(range(64))})
+        with aliasing_debug() as debug:
+            out = batch.take([0, 5, 9])
+            _ = list(out.column("hot"))
+            materialized_for_hot = debug.materializations
+        assert materialized_for_hot == 1  # "cold" untouched
+
+    def test_aliasing_checker_detects_base_mutation(self):
+        base = list(range(20))
+        batch = Batch({"a": base})
+        with aliasing_debug():
+            view = batch.take([0, 1, 2]).column("a")
+            base.append(99)  # mutate under an outstanding view
+            with pytest.raises(ExecutorError, match="aliasing"):
+                view.materialized()
+
+    def test_concat_allocates_once_per_output_column(self):
+        batches = [Batch({"a": [i, i + 1], "b": [str(i), str(i + 1)]})
+                   for i in range(0, 12, 2)]
+        with aliasing_debug() as debug:
+            merged = Batch.concat(batches)
+            assert debug.column_allocations == 2  # one per output column
+        assert merged.num_rows == 12
+        assert merged.column("a") == list(range(12))
+
+    def test_concat_of_views_allocates_once_per_column(self):
+        base = Batch({"a": list(range(40)), "b": list(range(40, 80))})
+        pieces = [base.slice(0, 10), base.take(list(range(10, 25))),
+                  base.slice(25, 40)]
+        with aliasing_debug() as debug:
+            merged = Batch.concat(pieces)
+            # One output allocation per column; the input views also
+            # materialize (at most once each) to be copied from.
+            assert debug.column_allocations <= 2 + 2 * len(pieces)
+            assert merged.column("a") == list(range(40))
+        assert merged.column("b") == list(range(40, 80))
+
+    def test_single_batch_concat_is_identity(self):
+        batch = Batch({"a": [1, 2, 3]})
+        assert Batch.concat([batch]) is batch
+
+
+# ---------------------------------------------------------------------------
+# compiler / fusion fallback edges
+# ---------------------------------------------------------------------------
+
+UDF_QUERY = ("SELECT id, bbox FROM tiny CROSS APPLY "
+             "FastRCNNObjectDetector(frame) WHERE id < 60 "
+             "AND CarType(frame, bbox) = 'Nissan';")
+
+
+class TestFusionEdges:
+    def test_constant_only_predicates_fuse(self):
+        queries = [
+            "SELECT id FROM tiny WHERE 1 < 2 AND id < 10;",
+            "SELECT id FROM tiny WHERE 3 + 4 > 100;",
+            "SELECT id, timestamp FROM tiny WHERE 1 = 1 AND id >= 395;",
+        ]
+        fused = run_all(make_session(fusion=True), queries)
+        plain = run_all(make_session(mode="row"), queries)
+        assert fused == plain
+
+    def test_udf_column_resolution_inside_fused_plan(self):
+        # CarType's output lands in a ``__udf::`` column that the fused
+        # filter above the classifier stage must resolve.
+        fused_session = make_session(fusion=True)
+        row_session = make_session(mode="row")
+        assert run_all(fused_session, [UDF_QUERY, UDF_QUERY]) == \
+            run_all(row_session, [UDF_QUERY, UDF_QUERY])
+        # The repeat (hit-heavy) run fused for real.
+        assert fused_session.context.kernel_cache.stats()["size"] > 0
+
+    def test_filter_group_demotes_when_upper_kernel_errors(self):
+        from repro.executor.fusion import _FusedRuntime, _filter_group
+        from repro.expressions.compiler import compile_expression
+        from repro.parser.parser import parse_predicate
+
+        session = make_session()
+        evaluator = session.context.evaluator
+        lower = compile_expression(parse_predicate("id < 3"), evaluator)
+        upper = compile_expression(parse_predicate("x * 2 < 10"), evaluator)
+        # Rows the lower filter removes hold values the upper kernel
+        # cannot evaluate vectorized; serial execution never sees them.
+        batch = Batch({"id": [0, 1, 2, 5, 6],
+                       "x": [1, 2, 3, "boom", object()]})
+        rt = _FusedRuntime(ReusePolicy.EVA, [], 0)
+        out = _filter_group(batch, rt,
+                            ((lower, "Scan"), (upper, "Filter")))
+        assert out.column("id") == [0, 1, 2]
+
+    def test_limit_short_circuits_across_fusion_boundary(self):
+        # LIMIT sits above the fused suffix; the fused operator must stay
+        # a lazy generator so the limit stops the scan (and its READ_VIDEO
+        # charges) exactly where the unfused pipeline would.
+        query = "SELECT id FROM tiny WHERE id >= 0 LIMIT 5;"
+        charges = {}
+        for key, fusion in (("fused", True), ("plain", False)):
+            session = make_session(fusion=fusion)
+            session.execute(query)
+            charges[key] = session.clock.breakdown()[
+                CostCategory.READ_VIDEO]
+        assert charges["fused"] == pytest.approx(charges["plain"])
+
+    def test_unfusable_boundary_demotes_only_the_tail(self):
+        # GROUP BY cannot fuse, but the streaming suffix below it can.
+        session = make_session(fusion=True)
+        query = ("SELECT label, COUNT(*) FROM tiny CROSS APPLY "
+                 "FastRCNNObjectDetector(frame) WHERE id < 40 "
+                 "GROUP BY label;")
+        session.execute(query)
+        out = session.execute(query)  # hit-heavy repeat fuses
+        assert session.context.kernel_cache.stats()["size"] > 0
+        plain = make_session(mode="row")
+        plain.execute(query)
+        assert out.rows == plain.execute(query).rows
+
+
+# ---------------------------------------------------------------------------
+# kernel cache: keying, eviction, invalidation
+# ---------------------------------------------------------------------------
+
+
+class TestKernelCache:
+    def test_lru_eviction_counts(self):
+        cache = KernelCache(capacity=2)
+
+        def plan(tag):
+            return FusedPlan(key=tag, kernels=[], stages=(),
+                             scan_columns=None, source="", fn=None,
+                             num_applies=0, num_projects=0,
+                             boundary_label="Project")
+
+        cache.store(("a",), plan("a"))
+        cache.store(("b",), plan("b"))
+        assert cache.lookup(("a",)).key == "a"   # refreshes a's slot
+        cache.store(("c",), plan("c"))           # evicts b
+        assert cache.lookup(("b",)) is None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["size"] == 2
+        assert stats["hits"] == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            KernelCache(capacity=0)
+        with pytest.raises(ValueError):
+            EvaConfig(kernel_cache_size=0)
+
+    def test_morsel_clones_share_one_key(self):
+        from dataclasses import replace
+
+        from repro.executor.parallel import _replace_scan
+        from repro.optimizer.plans import PhysScan, PhysFilter
+        from repro.parser.parser import parse_predicate
+
+        config = EvaConfig()
+        scan = PhysScan(table_name="tiny", ranges=((0, 400),))
+        plan = PhysFilter(child=scan,
+                          predicate=parse_predicate("id < 10"))
+        chain = [plan, scan]
+        key = fusion_key(chain, config)
+        morsel = _replace_scan(plan, ((128, 256),))
+        assert fusion_key([morsel, morsel.child], config) == key
+        other = replace(plan,
+                        predicate=parse_predicate("id < 11"))
+        assert fusion_key([other, scan], config) != key
+
+    def test_session_cache_evicts_under_pressure(self):
+        session = make_session(fusion=True, kernel_cache_size=1)
+        q1 = "SELECT id FROM tiny WHERE id < 5;"
+        q2 = "SELECT timestamp FROM tiny WHERE id < 5;"
+        run_all(session, [q1, q2, q1, q2])
+        stats = session.context.kernel_cache.stats()
+        assert stats["size"] == 1
+        assert stats["evictions"] >= 2
+
+    def test_calibration_rebuild_invalidates_kernel_cache(self):
+        session = EvaSession(config=EvaConfig(cost_calibration="apply",
+                                              kernel_fusion=True),
+                             zoo=copy.deepcopy(default_zoo()))
+        session.register_video(make_video(name="v", frames=120))
+        # Drift after registration: the post-query calibration pass
+        # rebuilds the catalog's believed costs ...
+        session.catalog.zoo.get("yolo_tiny").per_tuple_cost = 0.2
+        session.execute(
+            "SELECT id FROM v CROSS APPLY ObjectDetector(frame) "
+            "WHERE label = 'car' AND id < 60;")
+        assert session.calibration_events  # calibration fired
+        # ... and the kernel cache dropped its compiled plans with it.
+        stats = session.context.kernel_cache.stats()
+        assert stats["invalidations"] >= 1
+        assert stats["size"] == 0
+
+    def test_reset_reuse_state_invalidates(self):
+        session = make_session(fusion=True)
+        run_all(session, ["SELECT id FROM tiny WHERE id < 5;"])
+        assert session.context.kernel_cache.stats()["size"] > 0
+        session.reset_reuse_state()
+        stats = session.context.kernel_cache.stats()
+        assert stats["size"] == 0
+        assert stats["invalidations"] == 1
+
+
+# ---------------------------------------------------------------------------
+# miss-dominated deferral (apply_miss_heavy regression fix)
+# ---------------------------------------------------------------------------
+
+
+class TestMissDominatedDeferral:
+    MISS_QUERY = ("SELECT id, label FROM tiny CROSS APPLY "
+                  "FastRCNNObjectDetector(frame) WHERE id < 30;")
+
+    def test_first_sighting_defers_second_compiles(self):
+        session = make_session(fusion=True, policy=ReusePolicy.NONE)
+        session.execute(self.MISS_QUERY)
+        counters = session.metrics.counters
+        # The boundary chain defers (so does each sub-chain the build
+        # recursion walks below it); nothing compiles on first sight.
+        assert counters.get("kernel_cache:deferred", 0) >= 1
+        assert counters.get("kernel_cache:compile", 0) == 0
+        session.execute(self.MISS_QUERY)
+        counters = session.metrics.counters
+        assert counters.get("kernel_cache:compile", 0) == 1
+
+    def test_deferred_run_matches_row_mode(self):
+        fused = run_all(make_session(fusion=True, policy=ReusePolicy.NONE),
+                        [self.MISS_QUERY])
+        plain = run_all(make_session(mode="row", policy=ReusePolicy.NONE),
+                        [self.MISS_QUERY])
+        assert fused == plain
+
+    def test_hit_heavy_plans_fuse_immediately(self):
+        # With EVA reuse, the classifier/detector prologue probes views:
+        # not miss-dominated, so the very first sighting compiles.
+        session = make_session(fusion=True)
+        session.execute(UDF_QUERY)
+        assert session.metrics.counters.get("kernel_cache:compile", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# bit-identical differential at parallelism 1/2/8
+# ---------------------------------------------------------------------------
+
+
+def _clock_totals(session):
+    return {category: seconds
+            for category, seconds in session.clock.breakdown().items()
+            if category is not CostCategory.OPTIMIZE}
+
+
+def _view_contents(session):
+    out = {}
+    for name in session.view_store.names():
+        view = session.view_store.get(name)
+        out[name] = {key: view.get(key) for key in view.keys()}
+    return out
+
+
+class TestFusedDifferential:
+    @pytest.mark.parametrize("parallelism", [1, 2, 8])
+    def test_fused_matches_row_and_vectorized(self, parallelism):
+        from repro.vbench.queries import vbench_high
+
+        queries = vbench_high("tiny", FRAMES)[:4]
+        reference = make_session(mode="row")
+        ref_out = run_all(reference, queries)
+        vec = make_session(fusion=False)
+        assert run_all(vec, queries) == ref_out
+        fused = make_session(fusion=True, parallelism=parallelism)
+        assert run_all(fused, queries) == ref_out
+        assert _view_contents(fused) == _view_contents(reference)
+        ref_clock = _clock_totals(reference)
+        fused_clock = _clock_totals(fused)
+        assert set(fused_clock) == set(ref_clock)
+        for category, seconds in ref_clock.items():
+            assert fused_clock[category] == pytest.approx(
+                seconds, rel=1e-9, abs=1e-12), category

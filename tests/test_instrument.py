@@ -8,7 +8,11 @@ from repro.session import EvaSession
 
 @pytest.fixture
 def session(tiny_video):
-    session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.EVA))
+    # Per-operator attribution needs one operator per plan node; fused
+    # pipelines collapse the streaming suffix into a single operator
+    # (their reporting is covered by TestFusedReporting below).
+    session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.EVA,
+                                          kernel_fusion=False))
     session.register_video(tiny_video)
     return session
 
@@ -149,3 +153,54 @@ class TestSelfTimeAttribution:
         result = session.execute(f"EXPLAIN ANALYZE {QUERY}")
         lines = [row[0] for row in result.rows]
         assert all("self=" in line for line in lines)
+
+
+class TestFusedReporting:
+    """EXPLAIN ANALYZE over a fused plan reports the fusion boundary."""
+
+    @pytest.fixture
+    def fused_session(self, tiny_video):
+        session = EvaSession(config=EvaConfig(
+            reuse_policy=ReusePolicy.EVA, kernel_fusion=True))
+        session.register_video(tiny_video)
+        return session
+
+    def test_boundary_and_covered_nodes_annotated(self, fused_session):
+        lines = [row[0] for row in fused_session.execute(
+            f"EXPLAIN ANALYZE {QUERY}").rows]
+        boundary = [line for line in lines if "fusion-boundary=" in line]
+        covered = [line for line in lines if "fused-into=" in line]
+        assert len(boundary) == 1
+        assert "kernel=fused" in boundary[0]
+        # Every covered node names its boundary; the scan is among them.
+        assert covered
+        assert all("kernel=fused" in line for line in covered)
+        assert any(line.lstrip().startswith("Scan") for line in covered)
+
+    def test_fused_result_matches_unfused(self, fused_session, session):
+        fused = fused_session.execute(QUERY)
+        unfused = session.execute(QUERY)
+        assert fused.rows == unfused.rows
+        assert fused.columns == unfused.columns
+
+    def test_boundary_rows_match_query_output(self, fused_session):
+        analyzed = fused_session.execute(f"EXPLAIN ANALYZE {QUERY}")
+        root_line = analyzed.rows[0][0]
+        root_rows = int(root_line.split("rows=")[1].split()[0])
+        direct = fused_session.execute(QUERY)
+        assert root_rows == len(direct)
+
+    def test_operator_stats_mark_covered_nodes(self, fused_session):
+        from repro.executor.instrument import InstrumentedEngine
+        from repro.parser.parser import parse
+
+        optimized = fused_session.optimizer.optimize(parse(QUERY))
+        engine = InstrumentedEngine(fused_session.context)
+        engine.run(optimized.plan)
+        stats = engine.operator_stats(optimized.plan)
+        fused = [s for s in stats if s.fused_into is not None]
+        boundary = [s for s in stats if s.fused_ops]
+        assert fused and boundary
+        assert boundary[0].kernel_mode == "fused"
+        assert boundary[0].fused_ops == len(fused) + 1
+        assert {s.fused_into for s in fused} == {boundary[0].label}
