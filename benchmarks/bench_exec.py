@@ -46,6 +46,13 @@ speedup of the second over the first:
   p50/p99 against the server's ``slo_latency_*`` targets (``slo_ok``),
   plus one schema-tracked flight record per completed query
   (``flight_ok``).
+* ``reuse_efficiency`` (``unledgered`` vs ``ledgered``) — the hit-heavy
+  workload with the view-provenance ledger off vs on
+  (``EvaConfig.view_ledger``): the ledger is pure observability, so
+  rows/virtual must match and the wall overhead must stay inside the
+  regression tolerance, while the ledgered half reports the pool's
+  aggregate Eq. 3 net benefit, which must be positive
+  (``net_benefit_positive``; see ``docs/observability.md``).
 
 Usage::
 
@@ -380,6 +387,69 @@ def run_batched_miss_heavy(quick: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# reuse_efficiency: the provenance ledger must observe, not perturb
+# ---------------------------------------------------------------------------
+
+def run_ledger_pass(video: SyntheticVideo, warmup: list[str],
+                    queries: list[str], *, view_ledger: bool) -> dict:
+    """One hit-heavy pass with the view ledger on or off."""
+    session = EvaSession(config=EvaConfig(reuse_policy=ReusePolicy.EVA,
+                                          view_ledger=view_ledger))
+    session.register_video(video)
+    for sql in warmup:
+        session.execute(sql)
+    before = session.clock.snapshot()
+    start = time.perf_counter()
+    rows = 0
+    for sql in queries:
+        rows += len(session.execute(sql).rows)
+    wall = time.perf_counter() - start
+    breakdown = session.clock.snapshot_delta(before)
+    entry = {"wall_seconds": round(wall, 6), "rows": rows,
+             "virtual_seconds": virtual_total(breakdown),
+             "queries": len(queries)}
+    if view_ledger:
+        records = session.ledger.export_records()
+        entry["ledger"] = {
+            "views": len(records),
+            "hits": sum(r["hits"] for r in records),
+            "invocations_paid": sum(r["invocations_paid"]
+                                    for r in records),
+            "saved_virtual_seconds": round(
+                sum(r["saved_vs"] for r in records), 6),
+            "materialize_virtual_seconds": round(
+                sum(r["materialize_vs"] for r in records), 6),
+            "net_benefit_virtual_seconds": round(
+                sum(r["net_benefit"] for r in records), 6),
+            "wasted_views": len(session.ledger.wasted()),
+        }
+    return entry
+
+
+def run_reuse_efficiency(frames: int, repetitions: int) -> dict:
+    """Hit-heavy workload with the view ledger off vs on.
+
+    The ledger is pure observability, so both halves must agree on rows
+    and virtual cost, and the ledgered wall clock must stay inside the
+    regression tolerance (compare_bench gates ``ledger_overhead_ok``).
+    The on-half also reports the aggregate Eq. 3 economics the view pool
+    realized: after a materializing warmup, the measured hit-heavy
+    window must push the pool's net benefit positive.
+    """
+    video = make_video(frames)
+    query = apply_query(frames)
+    warmup, queries = [query], [query] * repetitions
+    unledgered = run_ledger_pass(video, warmup, queries,
+                                 view_ledger=False)
+    ledgered = run_ledger_pass(video, warmup, queries, view_ledger=True)
+    ledger = ledgered.pop("ledger")
+    return pair_entry(
+        ("unledgered", "ledgered"), unledgered, ledgered,
+        ledger=ledger,
+        net_benefit_positive=ledger["net_benefit_virtual_seconds"] > 0.0)
+
+
+# ---------------------------------------------------------------------------
 # stress_concurrent: 64 clients vs the same workload run serially
 # ---------------------------------------------------------------------------
 
@@ -532,6 +602,8 @@ def main(argv: list[str] | None = None) -> int:
         args.quick)
     report["scenarios"]["stress_concurrent"] = run_stress_concurrent(
         frames, args.quick)
+    report["scenarios"]["reuse_efficiency"] = run_reuse_efficiency(
+        frames, repetitions)
 
     ok = True
     for name, entry in report["scenarios"].items():
@@ -562,6 +634,12 @@ def main(argv: list[str] | None = None) -> int:
         print("ERROR: stress_concurrent did not record exactly one "
               "flight record per completed query", file=sys.stderr)
         ok = False
+    reuse = report["scenarios"]["reuse_efficiency"]
+    if not reuse["net_benefit_positive"]:
+        print("ERROR: reuse_efficiency pool net benefit is not positive "
+              f"({reuse['ledger']['net_benefit_virtual_seconds']} "
+              "virtual s) on a hit-heavy workload", file=sys.stderr)
+        ok = False
     cold = report["scenarios"]["cold_start_hit_heavy"]
     if not cold["hit_rate_match"]:
         print("ERROR: cold_start_hit_heavy lost hit rate across the "
@@ -587,6 +665,8 @@ def main(argv: list[str] | None = None) -> int:
         "latency_p50_seconds"]
     report["stress_p99_seconds"] = stress["concurrent"][
         "latency_p99_seconds"]
+    report["reuse_net_benefit_virtual_seconds"] = \
+        reuse["ledger"]["net_benefit_virtual_seconds"]
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     if not ok:

@@ -134,6 +134,22 @@ def compare(baseline: dict, fresh: dict, *, tolerance: float,
             failures.append(
                 f"{name}: flight recorder did not emit exactly one "
                 f"record per completed query")
+        if "net_benefit_positive" in scenario:
+            if not scenario["net_benefit_positive"]:
+                failures.append(
+                    f"{name}: view-pool net benefit is not positive on "
+                    f"a hit-heavy workload (the ledger's Eq. 3 "
+                    f"accounting regressed)")
+            # The ledger is observability: its wall overhead over the
+            # unledgered half must stay inside the tolerance band.
+            first_wall = scenario[first]["wall_seconds"]
+            second_wall = scenario[second]["wall_seconds"]
+            if first_wall > 0 \
+                    and second_wall > first_wall * (1.0 + tolerance):
+                failures.append(
+                    f"{name}: ledgered wall {second_wall:.3f}s exceeds "
+                    f"unledgered {first_wall:.3f}s by more than "
+                    f"{tolerance:.0%} (ledger overhead regression)")
 
     # 2. Scenario coverage: the fresh run must keep every baseline
     #    scenario (a silently dropped scenario hides regressions).
@@ -238,6 +254,8 @@ def history_entry(baseline: dict, fresh: dict, failures: list[str],
         "post_restart_hit_rate": fresh.get("post_restart_hit_rate"),
         "stress_p50_seconds": fresh.get("stress_p50_seconds"),
         "stress_p99_seconds": fresh.get("stress_p99_seconds"),
+        "reuse_net_benefit_virtual_seconds":
+            fresh.get("reuse_net_benefit_virtual_seconds"),
         "scenarios": {
             name: {
                 "pair": list(scenario_pair(s)),

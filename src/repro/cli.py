@@ -584,6 +584,141 @@ def run_flight(policy_name: str, dataset: str, sql: str,
     return exit_code
 
 
+def run_lineage(policy_name: str, dataset: str, sql: str,
+                stdout: IO[str], *, view: str | None = None,
+                graph: str | None = None, jsonl: str | None = None,
+                execution_mode: str = "vectorized",
+                parallelism: int = 0,
+                store_path: str | None = None) -> int:
+    """``repro lineage``: run statements and report view provenance.
+
+    Prints the ledger's per-view accounting (what each materialized
+    view cost, who reads it, and what it saves — Eq. 3 virtual
+    seconds), plus the wasted-materialization report.  ``--view`` drills
+    into one view's creation provenance, reader attribution, and
+    derivation edges; ``--graph dot|json`` exports the lineage DAG;
+    ``--jsonl`` writes the restart-stable records
+    (``tests/schemas/lineage.schema.json``).
+    """
+    import json
+
+    policy = ReusePolicy(policy_name.lower())
+    session = EvaSession(config=EvaConfig(
+        reuse_policy=policy, execution_mode=execution_mode,
+        parallelism=parallelism,
+        store_mode="durable" if store_path else "memory",
+        store_path=store_path))
+    session.register_video(make_video(dataset))
+    exit_code = 0
+    try:
+        for statement in split_statements(sql):
+            try:
+                session.execute(statement)
+            except EvaError as error:
+                print(f"error: {error}", file=stdout)
+                exit_code = 1
+        ledger = session.ledger
+        if ledger is None:
+            print("error: the view ledger is disabled "
+                  "(config.view_ledger)", file=stdout)
+            return 2
+        if view is not None:
+            record = ledger.export_current(view) \
+                or ledger.export_record(view)
+            if record is None:
+                print(f"error: no lineage for view {view!r}",
+                      file=stdout)
+                return 2
+            _print_lineage_record(record, stdout)
+            return exit_code
+        if graph is not None:
+            if graph == "dot":
+                print(ledger.to_dot(), file=stdout, end="")
+            else:
+                print(json.dumps(ledger.graph(), indent=2, sort_keys=True),
+                      file=stdout)
+            return exit_code
+        ranked = ledger.ranking()
+        rows = []
+        for record in ranked:
+            readers = record["readers"]
+            rows.append([
+                record["lineage_id"],
+                record["status"],
+                record["invocations_paid"],
+                f"{record['materialize_vs']:.3f}",
+                record["hits"],
+                record["misses"],
+                f"{record['saved_vs']:.3f}",
+                f"{record['net_benefit']:+.3f}",
+                len(readers),
+                record["bytes"],
+            ])
+        print(format_table(
+            ["view#gen", "status", "paid", "cost vs", "hits", "misses",
+             "saved vs", "net vs", "readers", "bytes"],
+            rows, title="view lineage (net benefit, Eq. 3 virtual "
+                        "seconds)"), file=stdout)
+        wasted = ledger.wasted()
+        if wasted:
+            print("-- wasted materializations (never re-read):",
+                  file=stdout)
+            for record in wasted:
+                print(f"   {record['lineage_id']}: paid "
+                      f"{record['invocations_paid']} invocations "
+                      f"({record['materialize_vs']:.3f} virtual s), "
+                      f"0 hits", file=stdout)
+        else:
+            print("-- no wasted materializations: every view was "
+                  "re-read at least once", file=stdout)
+        if jsonl is not None:
+            records = ledger.export_records()
+            with open(jsonl, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, sort_keys=True)
+                                 + "\n")
+            print(f"-- {len(records)} lineage records written to "
+                  f"{jsonl}", file=stdout)
+    finally:
+        session.close()
+    return exit_code
+
+
+def _print_lineage_record(record: dict, out: IO[str]) -> None:
+    """The ``repro lineage --view`` drill-down."""
+    created = record["created"]
+    out.write(f"{record['lineage_id']}  [{record['status']}]\n")
+    out.write(f"  model/video   {record['model']} @ {record['video']}\n")
+    if record["frame_range"]:
+        lo, hi = record["frame_range"]
+        out.write(f"  frame range   [{lo}, {hi}]\n")
+    out.write(f"  created by    query={created['query']!r}\n")
+    out.write(f"                trace={created['trace_id']} "
+              f"flight={created['flight_id']} "
+              f"client={created['client_id']} seq={created['seq']}\n")
+    out.write(f"  predicate     {created['predicate']}\n")
+    out.write(f"  invested      {record['invocations_paid']} "
+              f"invocations, {record['fresh_rows']} rows, "
+              f"{record['materialize_vs']:.3f} virtual s, "
+              f"{record['bytes']} bytes\n")
+    out.write(f"  served        {record['hits']} hits / "
+              f"{record['misses']} misses, "
+              f"{record['rows_served']} rows, "
+              f"saved {record['saved_vs']:.3f} virtual s\n")
+    out.write(f"  net benefit   {record['net_benefit']:+.3f} virtual s\n")
+    readers = record["readers"]
+    if readers:
+        attribution = ", ".join(f"{client} ({hits} hits)"
+                                for client, hits in readers.items())
+        out.write(f"  readers       {attribution}\n")
+    else:
+        out.write("  readers       none (wasted materialization)\n")
+    if record["edges"]:
+        out.write("  derived from\n")
+        for edge in record["edges"]:
+            out.write(f"    {edge['op']:<6} {edge['source']}\n")
+
+
 def _top_frame(server, *, clear: bool) -> str:
     """One rendered frame of the ``repro top`` dashboard."""
     snapshot = server.stats()
@@ -646,6 +781,16 @@ def _top_frame(server, *, clear: bool) -> str:
                 f"{waits['read_s'] * 1e3:>9.2f} "
                 f"{waits['write_s'] * 1e3:>9.2f} "
                 f"{waits.get('writers_waiting_high_water', 0):>7}")
+    views = sorted(server.ledger_snapshot(),
+                   key=lambda row: (-row["net_benefit"], row["id"]))
+    if views:
+        lines.append("top views                           "
+                     "   hits    net vs   idle s  status")
+        for row in views[:5]:
+            lines.append(
+                f"  {row['id'][:34]:<34} {row['hits']:>6} "
+                f"{row['net_benefit']:>+9.3f} "
+                f"{row['idle_s']:>8.1f}  {row['status']}")
     return "\n".join(lines)
 
 
@@ -845,6 +990,27 @@ def build_parser() -> argparse.ArgumentParser:
     flight.add_argument("--slo-p99", type=float, default=None,
                         help="p99 latency target in seconds (arms the "
                              "over-slo column)")
+    lineage = sub.add_parser(
+        "lineage",
+        help="run statement(s) and report per-view provenance: what "
+             "each materialized view cost, who reads it, what it saves "
+             "(Eq. 3), and the derivation DAG")
+    common(lineage)
+    lineage.add_argument("query",
+                         help="';'-separated EVAQL statement(s) sharing "
+                              "one session")
+    lineage.add_argument("--view", default=None, metavar="NAME",
+                         help="drill into one view (name or lineage "
+                              "id): creation provenance, reader "
+                              "attribution, derivation edges")
+    lineage.add_argument("--graph", default=None,
+                         choices=["dot", "json"],
+                         help="export the lineage DAG instead of the "
+                              "table")
+    lineage.add_argument("--jsonl", default=None, metavar="PATH",
+                         help="write the restart-stable ledger records "
+                              "as JSON lines "
+                              "(tests/schemas/lineage.schema.json)")
     top = sub.add_parser(
         "top",
         help="live refreshing dashboard over a running multi-client "
@@ -934,6 +1100,17 @@ def main(argv: list[str] | None = None, stdin: IO[str] | None = None,
                               parallelism=args.parallelism,
                               store_path=args.store_path,
                               slo_p50=args.slo_p50, slo_p99=args.slo_p99)
+        except ValueError as error:
+            print(f"error: {error}", file=stdout)
+            return 2
+    if args.command == "lineage":
+        try:
+            return run_lineage(args.policy, args.dataset, args.query,
+                               stdout, view=args.view, graph=args.graph,
+                               jsonl=args.jsonl,
+                               execution_mode=args.execution_mode,
+                               parallelism=args.parallelism,
+                               store_path=args.store_path)
         except ValueError as error:
             print(f"error: {error}", file=stdout)
             return 2

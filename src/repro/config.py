@@ -195,6 +195,14 @@ class EvaConfig:
     #: latency quantiles are tracked regardless.
     slo_latency_p50: float | None = None
     slo_latency_p99: float | None = None
+    #: Maintain the per-view lineage / reuse-provenance ledger
+    #: (:mod:`repro.obs.lineage`): creation provenance, Eq. 3 net-benefit
+    #: accounting, derivation edges, and the ``repro lineage`` surfaces.
+    #: Pure observation — results, view contents, and virtual clocks are
+    #: bit-identical with the ledger on or off (the differential guard in
+    #: ``tests/test_lineage.py`` enforces this); disable to shave the
+    #: per-probe accounting off hot paths.
+    view_ledger: bool = True
 
     def __post_init__(self):
         if self.execution_mode not in ("vectorized", "row"):

@@ -54,6 +54,11 @@ from repro.clock import SimulationClock
 from repro.config import ReusePolicy
 from repro.executor.context import ExecutionContext, OnceGates
 from repro.obs.flight import record_morsels
+from repro.obs.lineage import (
+    current_lineage,
+    install_lineage,
+    uninstall_lineage,
+)
 from repro.executor.operators.base import Operator
 from repro.metrics import MetricsCollector
 from repro.optimizer.plans import (
@@ -261,7 +266,9 @@ class ParallelExecutor:
                      morsels: list[Morsel],
                      gates: OnceGates) -> list[MorselResult]:
         pool = self._get_pool(self.context.config.parallelism)
-        futures = [pool.submit(self._run_one, suffix_root, morsel, gates)
+        lineage = current_lineage()
+        futures = [pool.submit(self._run_one, suffix_root, morsel, gates,
+                               lineage)
                    for morsel in morsels]
         results: list[MorselResult] = []
         error: BaseException | None = None
@@ -279,23 +286,33 @@ class ParallelExecutor:
         return results
 
     def _run_one(self, suffix_root: PhysicalPlan, morsel: Morsel,
-                 gates: OnceGates) -> MorselResult:
+                 gates: OnceGates,
+                 lineage=None) -> MorselResult:
         """Execute the streaming suffix over one morsel's frame range."""
         from repro.executor.engine import ExecutionEngine
 
-        clock = SimulationClock()
-        metrics = _MorselMetrics()
-        context = self.context.for_morsel(clock, metrics)
-        context.join_gates = gates
-        subplan = _replace_scan(suffix_root,
-                                ((morsel.start, morsel.stop),))
-        engine = ExecutionEngine(context)
-        root = engine.build(subplan)
-        start = time.perf_counter()
-        batch = root.run_to_completion()
-        engine.record_kernel_fallbacks(root)
-        return MorselResult(morsel, batch, clock, metrics,
-                            time.perf_counter() - start)
+        if lineage is not None:
+            # Share the driver's per-query lineage accumulator: its
+            # counts are commutative, so worker interleaving cannot
+            # change the per-query totals the ledger folds.
+            install_lineage(lineage)
+        try:
+            clock = SimulationClock()
+            metrics = _MorselMetrics()
+            context = self.context.for_morsel(clock, metrics)
+            context.join_gates = gates
+            subplan = _replace_scan(suffix_root,
+                                    ((morsel.start, morsel.stop),))
+            engine = ExecutionEngine(context)
+            root = engine.build(subplan)
+            start = time.perf_counter()
+            batch = root.run_to_completion()
+            engine.record_kernel_fallbacks(root)
+            return MorselResult(morsel, batch, clock, metrics,
+                                time.perf_counter() - start)
+        finally:
+            if lineage is not None:
+                uninstall_lineage()
 
     def _merge(self, results: list[MorselResult]) -> Batch:
         """Fold morsel outputs into the session state, in index order."""

@@ -34,6 +34,11 @@ KIND_COST_CALIBRATION = "cost-calibration"
 #: hit/miss/eviction deltas and the memo's current size, and ``reused``
 #: means at least one reduction was served from cache.
 KIND_SYMBOLIC_MEMO = "symbolic-memo"
+#: Emitted when the durable store's byte-budget policy demotes or drops
+#: a view: ``costs`` carry the eviction score (rebuild cost per byte),
+#: the freed bytes, and the view's ledger net benefit; ``chosen``
+#: records the action (``demote`` / ``evict_drop``) and tier reason.
+KIND_STORE_EVICTION = "store-eviction"
 
 
 def predicate_sql(predicate) -> str:
@@ -81,6 +86,10 @@ class ReuseDecisionRecord:
     #: Stamped by the session when the record is exported.
     trace_id: str | None = None
     client_id: str | None = None
+    #: Lineage id of the live (view, generation) this decision touched,
+    #: when the view ledger tracks one — joins the audit log to the
+    #: provenance ledger (``repro lineage --view``).
+    lineage_id: str | None = None
 
     def to_event(self) -> dict:
         """The JSON-serializable sink event for this record."""
@@ -100,6 +109,7 @@ class ReuseDecisionRecord:
             "reused": self.reused,
             "trace_id": self.trace_id,
             "client_id": self.client_id,
+            "lineage_id": self.lineage_id,
         }
 
 

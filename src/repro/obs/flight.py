@@ -262,7 +262,7 @@ class FlightRecorder:
                virtual_seconds: float, virtual_breakdown: dict,
                rows_returned: int, cache_hit: bool, reused: bool,
                kernel_fallbacks: int, invocations: dict,
-               reuse: dict) -> dict:
+               reuse: dict, views: dict | None = None) -> dict:
         """Assemble, classify, and emit the record; returns it.
 
         Also uninstalls the thread's active context, feeds the shared
@@ -332,6 +332,11 @@ class FlightRecorder:
             "kernel_fallbacks": kernel_fallbacks,
             "invocations": dict(invocations),
             "reuse": dict(reuse),
+            "views": {
+                "probed": list((views or {}).get("probed", ())),
+                "created": list((views or {}).get("created", ())),
+                "written": list((views or {}).get("written", ())),
+            },
         }
         self.stats.observe(record)
         with self._lock:

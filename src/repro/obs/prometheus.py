@@ -350,6 +350,47 @@ def _expose_store(exp: _Exposition, snapshot) -> None:
                        stat=key)
 
 
+def _expose_views(exp: _Exposition, views: list) -> None:
+    """Per-view lineage gauges (:meth:`ViewLedger.snapshot` rows)."""
+    if not views:
+        return
+    exp.header("eva_view_age_seconds",
+               "Seconds since the (view, generation) was first tracked "
+               "by this process (restored views restart at recovery)",
+               "gauge")
+    for row in views:
+        exp.sample("eva_view_age_seconds", row["age_s"], view=row["id"])
+    exp.header("eva_view_idle_seconds",
+               "Seconds since the view was last probed or written",
+               "gauge")
+    for row in views:
+        exp.sample("eva_view_idle_seconds", row["idle_s"],
+                   view=row["id"])
+    exp.header("eva_view_bytes",
+               "Serialized size of the view at its last observation",
+               "gauge")
+    for row in views:
+        exp.sample("eva_view_bytes", row["bytes"], view=row["id"],
+                   status=row["status"])
+    exp.header("eva_view_hits_total",
+               "Probes served from the view's materialized content",
+               "counter")
+    for row in views:
+        exp.sample("eva_view_hits_total", row["hits"], view=row["id"])
+    exp.header("eva_view_rows_served_total",
+               "Materialized rows served from the view", "counter")
+    for row in views:
+        exp.sample("eva_view_rows_served_total", row["rows_served"],
+                   view=row["id"])
+    exp.header("eva_view_net_benefit_virtual_seconds",
+               "Eq. 3 virtual seconds saved by reads minus the virtual "
+               "seconds invested materializing (negative = the view "
+               "has not yet paid for itself)", "gauge")
+    for row in views:
+        exp.sample("eva_view_net_benefit_virtual_seconds",
+                   row["net_benefit"], view=row["id"])
+
+
 def _expose_lock_waits(exp: _Exposition, lock_waits: dict) -> None:
     """Per-lock-class contention rollups (``snapshot.lock_waits``)."""
     if not lock_waits:
@@ -462,7 +503,8 @@ def _expose_slo(exp: _Exposition, snapshot) -> None:
 
 def prometheus_text(metrics=None, clock=None, server=None, *,
                     profile=None, drift=None, batcher=None,
-                    store=None, flight=None, slo=None) -> str:
+                    store=None, flight=None, slo=None,
+                    views=None) -> str:
     """Render the exposition for any subset of metric sources.
 
     Args:
@@ -483,6 +525,8 @@ def prometheus_text(metrics=None, clock=None, server=None, *,
             rollups and dominant-stage counts; ``eva_flight_*``).
         slo: a :class:`~repro.obs.slo.SloSnapshot` (latency histogram,
             targets, violations, burn rates; ``eva_slo_*``).
+        views: a :meth:`~repro.obs.lineage.ViewLedger.snapshot` list
+            (per-view age/idle/bytes/hits/net-benefit; ``eva_view_*``).
     """
     exp = _Exposition()
     if metrics is not None:
@@ -507,4 +551,6 @@ def prometheus_text(metrics=None, clock=None, server=None, *,
         _expose_flight(exp, flight)
     if slo is not None:
         _expose_slo(exp, slo)
+    if views is not None:
+        _expose_views(exp, views)
     return exp.text()

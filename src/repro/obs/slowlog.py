@@ -39,6 +39,10 @@ class SlowQueryEntry:
     #: None when the query ran without flight recording.
     flight_id: str | None = None
     dominant_stage: str | None = None
+    #: Lineage ids of every materialized view the query probed (hit or
+    #: miss) — joins a slow query to the exact views it touched in the
+    #: :mod:`~repro.obs.lineage` ledger.
+    views: tuple = ()
 
     def to_event(self) -> dict:
         return {
@@ -54,6 +58,7 @@ class SlowQueryEntry:
             "top_operators": [dict(op) for op in self.top_operators],
             "flight_id": self.flight_id,
             "dominant_stage": self.dominant_stage,
+            "views": list(self.views),
         }
 
 
@@ -77,7 +82,8 @@ class SlowQueryLog:
                 rows_returned: int = 0,
                 top_operators=(),
                 flight_id: str | None = None,
-                dominant_stage: str | None = None
+                dominant_stage: str | None = None,
+                views=()
                 ) -> SlowQueryEntry | None:
         """Record the query if it crossed the threshold.
 
@@ -98,6 +104,7 @@ class SlowQueryLog:
             top_operators=tuple(top_operators),
             flight_id=flight_id,
             dominant_stage=dominant_stage,
+            views=tuple(views),
         )
         with self._lock:
             self._entries.append(entry)

@@ -397,6 +397,19 @@ class EvaServer:
         seconds, dominant-stage and over-SLO attribution counts)."""
         return self.state.flight_stats.snapshot()
 
+    def ledger_snapshot(self) -> list[dict]:
+        """Per-view lineage gauges from the shared provenance ledger
+        (:meth:`~repro.obs.lineage.ViewLedger.snapshot`); empty when
+        ``config.view_ledger`` is off."""
+        ledger = self.state.ledger
+        return ledger.snapshot() if ledger is not None else []
+
+    def lineage_records(self) -> list[dict]:
+        """All provenance records of the shared ledger
+        (:meth:`~repro.obs.lineage.ViewLedger.export_records`)."""
+        ledger = self.state.ledger
+        return ledger.export_records() if ledger is not None else []
+
     def prometheus_text(self) -> str:
         """The Prometheus exposition for the whole server: merged
         per-UDF #TI/#DI/hit-rate metrics, summed per-client virtual-time
@@ -416,4 +429,5 @@ class EvaServer:
             store=self.state.view_store.store_snapshot(),
             flight=self.flight_stats(),
             slo=self.slo_snapshot(),
+            views=self.ledger_snapshot(),
         )

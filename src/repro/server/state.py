@@ -40,6 +40,7 @@ from repro.metrics import MetricsCollector
 from repro.models.zoo import ModelZoo, default_zoo
 from repro.obs.flight import FlightStats
 from repro.obs.flight import record_lock_wait as _flight_lock_wait
+from repro.obs.lineage import ViewLedger
 from repro.obs.profiler import ProfileStore
 from repro.obs.sinks import TraceSink
 from repro.obs.slo import SloTracker
@@ -359,12 +360,12 @@ class SharedViewStore:
     def total_serialized_bytes(self) -> int:
         return self._base.total_serialized_bytes()
 
-    def drop(self, name: str) -> int:
+    def drop(self, name: str, *, reason: str = "drop") -> int:
         """Drop one view; returns the (estimated) bytes freed, 0 if the
         view did not exist (see :meth:`ViewStore.drop`)."""
         lock = self._view_lock(name)
         with lock.write_locked():
-            freed = self._base.drop(name)
+            freed = self._base.drop(name, reason=reason)
         with self._registry_lock:
             self._owners.pop(name, None)
             # The RWLock stays registered: a concurrent reader blocked on
@@ -425,14 +426,28 @@ class ClientViewStore:
     def total_serialized_bytes(self) -> int:
         return self.shared.total_serialized_bytes()
 
-    def drop(self, name: str) -> int:
-        return self.shared.drop(name)
+    def view_bytes(self, names) -> dict:
+        return self.shared.base.view_bytes(names)
+
+    def drop(self, name: str, *, reason: str = "drop") -> int:
+        return self.shared.drop(name, reason=reason)
 
     def drop_all(self) -> int:
         return self.shared.drop_all()
 
     def save_to(self, directory) -> int:
         return self.shared.save_to(directory)
+
+    # -- lineage / durability passthrough -------------------------------------
+
+    @property
+    def is_durable(self) -> bool:
+        return bool(getattr(self.shared.base, "is_durable", False))
+
+    def log_lineage(self, records) -> None:
+        log = getattr(self.shared.base, "log_lineage", None)
+        if log is not None:
+            log(records)
 
 
 class SharedReuseState:
@@ -486,11 +501,51 @@ class SharedReuseState:
         from repro.executor.fusion import KernelCache
 
         self.kernel_cache = KernelCache(self.config.kernel_cache_size)
+        #: One shared view-provenance ledger: reader attribution must
+        #: span clients (client B reading client A's view is exactly the
+        #: cross-client benefit the ledger quantifies).
+        self.ledger = ViewLedger() if self.config.view_ledger else None
+        if self.ledger is not None:
+            base_store.ledger = self.ledger
+        #: Recent ``store-eviction`` audit records (bounded; admin API).
+        self.eviction_records: list = []
         if getattr(base_store, "is_durable", False):
             from repro.store import make_cost_resolver
             base_store.cost_resolver = make_cost_resolver(
                 self.profiler, self.catalog)
+            if self.ledger is not None:
+                recovered = base_store.recovered_lineage
+                if recovered:
+                    self.ledger.restore(recovered)
+            base_store.eviction_listener = self._record_eviction
         self._setup_lock = threading.Lock()
+
+    def _record_eviction(self, name: str, *, action: str, reason: str,
+                         score: float, nbytes: int) -> None:
+        """Keep a bounded audit trail of the store's tiering decisions.
+
+        Per-client sessions are not on this path (evictions fire from
+        whichever client's write tripped the budget), so the records
+        land on the shared state; the server exposes them alongside the
+        ledger snapshot.
+        """
+        from repro.obs.audit import KIND_STORE_EVICTION, \
+            ReuseDecisionRecord
+
+        ledger = self.ledger
+        net = ledger.net_benefit(name) if ledger is not None else None
+        self.eviction_records.append(ReuseDecisionRecord(
+            kind=KIND_STORE_EVICTION,
+            signature=name,
+            costs={"eviction_score": round(score, 9), "bytes": nbytes,
+                   "net_benefit": (None if net is None
+                                   else round(net, 9))},
+            chosen=[{"action": action, "reason": reason}],
+            reused=False,
+            lineage_id=(ledger.current_id(name)
+                        if ledger is not None else None),
+        ))
+        del self.eviction_records[:-256]
 
     def close_store(self) -> None:
         """Snapshot + close a durable base store (server shutdown)."""
@@ -542,5 +597,6 @@ class SharedReuseState:
             slo=self.slo,
             flight_stats=self.flight_stats,
             kernel_cache=self.kernel_cache,
+            ledger=self.ledger,
             shared=True,
         )

@@ -39,6 +39,8 @@ from repro.executor.engine import ExecutionEngine
 from repro.metrics import MetricsCollector, QueryMetrics
 from repro.models.zoo import ModelZoo, default_zoo
 from repro.obs.flight import FlightRecorder, FlightStats
+from repro.obs.lineage import (QueryLineage, ViewLedger, install_lineage,
+                               parse_view_name, uninstall_lineage)
 from repro.obs.profiler import ProfileStore
 from repro.obs.slo import SloTracker
 from repro.obs.slowlog import SlowQueryLog
@@ -127,6 +129,12 @@ class SessionState:
     #: by default; the server substitutes one shared cache so every
     #: client reuses the same compiled plans.
     kernel_cache: object | None = None
+    #: View lineage & reuse-provenance ledger
+    #: (:class:`repro.obs.lineage.ViewLedger`).  Private per session by
+    #: default (built when ``config.view_ledger`` is on); the server
+    #: substitutes one shared ledger so reader attribution spans
+    #: clients.  None disables per-view provenance entirely.
+    ledger: object | None = None
     #: True when the reuse components are shared with other sessions (a
     #: server deployment).  Destructive whole-state operations
     #: (:meth:`EvaSession.reset_reuse_state`, ``load_reuse_state``) are
@@ -145,6 +153,8 @@ class SessionState:
             from repro.executor.fusion import KernelCache
 
             self.kernel_cache = KernelCache(self.config.kernel_cache_size)
+        if self.ledger is None and self.config.view_ledger:
+            self.ledger = ViewLedger()
 
     @classmethod
     def fresh(cls, config: EvaConfig | None = None,
@@ -197,6 +207,13 @@ class EvaSession:
         self.udf_manager = state.udf_manager
         self.tracer = state.tracer
         self.profiler = state.profiler
+        #: View provenance ledger; the store emits create/drop events
+        #: into it.  Shared states attach it to the *base* store
+        #: themselves (repro.server.state), so only private stores are
+        #: wired here.
+        self.ledger = state.ledger
+        if self.ledger is not None and not state.shared:
+            self.view_store.ledger = self.ledger
         self.slow_log = SlowQueryLog(self.config.slow_query_threshold)
         #: Per-query flight recorder (docs/observability.md).  SLO
         #: accounting and aggregate stage rollups live on the state so
@@ -239,6 +256,13 @@ class EvaSession:
                 from repro.store import make_cost_resolver
                 self.view_store.cost_resolver = make_cost_resolver(
                     self.profiler, self.catalog)
+            if self.ledger is not None:
+                recovered = getattr(self.view_store,
+                                    "recovered_lineage", None)
+                if recovered:
+                    self.ledger.restore(recovered)
+                self.view_store.eviction_listener = \
+                    self._on_store_eviction
             self._emit_recovery_span()
 
     def _emit_recovery_span(self) -> None:
@@ -361,6 +385,12 @@ class EvaSession:
         flight_ctx = self.flight.begin(queue_wait_s) \
             if tracer.enabled else None
         kernel_fallbacks_before = self._kernel_fallback_total()
+        # Per-query view-touch accumulator (repro.obs.lineage): the
+        # store's probe/write hooks feed it from every executor thread;
+        # it folds into the ledger once the query finishes.
+        qlin = QueryLineage() if self.ledger is not None else None
+        if qlin is not None:
+            install_lineage(qlin)
         try:
             with tracer.span("query", sql=sql) as root:
                 self.metrics.begin_query(sql, self.clock)
@@ -397,6 +427,14 @@ class EvaSession:
         except BaseException:
             self.flight.abort()
             raise
+        finally:
+            if qlin is not None:
+                uninstall_lineage()
+        views = None
+        if qlin is not None:
+            views = self._observe_lineage(
+                qlin, sql, trace_id=getattr(root, "trace_id", None),
+                audit=optimized.audit)
         # Assembled after the root span closes so wall_seconds is final;
         # the flight record then feeds the slow-query observation (the
         # entry links the flight id and dominant-stage attribution).
@@ -405,10 +443,18 @@ class EvaSession:
             record = self._observe_flight(
                 flight_ctx, sql, root, query_metrics, batch.num_rows,
                 cache_hit=cache_hit, reused=reused, optimized=optimized,
-                kernel_fallbacks_before=kernel_fallbacks_before)
+                kernel_fallbacks_before=kernel_fallbacks_before,
+                views=views)
+            if views is not None and views["created"]:
+                self.ledger.attach_flight(views["created"],
+                                          record.get("flight_id"))
+        if views is not None:
+            self._persist_lineage(views["touched"])
         self._observe_slow(sql, query_metrics, before, batch.num_rows,
                            trace_id=getattr(root, "trace_id", None),
-                           flight=record)
+                           flight=record,
+                           views=[probe["id"] for probe
+                                  in views["probed"]] if views else ())
         return QueryResult(
             columns=batch.column_names,
             rows=batch.to_tuples(),
@@ -420,10 +466,105 @@ class EvaSession:
         return sum(value for name, value in self.metrics.counters.items()
                    if name.startswith("kernel_fallback:"))
 
+    def _observe_lineage(self, qlin, sql: str, *, trace_id, audit):
+        """Fold the finished query's view touches into the ledger.
+
+        Returns the ledger's summary (touched / created / written /
+        probed lineage ids) for the flight record and slow-query log,
+        or None when the query touched no views.
+        """
+        if not qlin.touched:
+            return None
+        names = set(qlin.probes) | set(qlin.writes) | set(qlin.creates)
+        # view_bytes (not get + serialize) on purpose: the fold runs
+        # after the root span closed, so it must not acquire view locks
+        # (flight contention attribution) or promote warm views.
+        view_bytes = self.view_store.view_bytes(sorted(names))
+        return self.ledger.observe_query(
+            qlin,
+            query=sql,
+            trace_id=trace_id,
+            client_id=self.tracer.client_id,
+            view_bytes=view_bytes,
+            model_costs=self._lineage_model_costs(names),
+            costs=self.context.costs,
+            audit=audit,
+        )
+
+    def _lineage_model_costs(self, names) -> dict:
+        """Eq. 3 ``c_e`` per model segment of the touched view names.
+
+        The segment is the lowercased UDF-signature head: a zoo model
+        name for detector views, a UDF name for classifier views.
+        """
+        resolved: dict[str, float] = {}
+        for name in names:
+            model, _video = parse_view_name(name)
+            if model and model not in resolved:
+                resolved[model] = self._per_tuple_cost(model)
+        return resolved
+
+    def _per_tuple_cost(self, model: str) -> float:
+        try:
+            return self.catalog.zoo.get(model).per_tuple_cost
+        except Exception:
+            pass
+        for udf in self.catalog.udfs.definitions():
+            if udf.name.lower() == model:
+                return udf.per_tuple_cost
+        from repro.store import DEFAULT_PER_TUPLE_COST
+        return DEFAULT_PER_TUPLE_COST
+
+    def _persist_lineage(self, lineage_ids) -> None:
+        """Append the touched ledger records to the durable control log."""
+        store = self.view_store
+        if not lineage_ids or not getattr(store, "is_durable", False):
+            return
+        log = getattr(store, "log_lineage", None)
+        if log is None:
+            return
+        records = [self.ledger.export_record(lineage_id)
+                   for lineage_id in lineage_ids]
+        log([record for record in records if record is not None])
+
+    def _on_store_eviction(self, name: str, *, action: str, reason: str,
+                           score: float, nbytes: int) -> None:
+        """Audit one tiered-eviction decision (durable store callback).
+
+        Emits a ``store-eviction`` reuse-decision record pairing the
+        store's eviction score (re-materialization cost per byte) with
+        the ledger's realized net benefit — the two quantities an
+        operator needs to judge whether the byte budget is evicting the
+        right views.
+        """
+        from repro.obs.audit import KIND_STORE_EVICTION, \
+            ReuseDecisionRecord
+
+        ledger = self.ledger
+        net = ledger.net_benefit(name) if ledger is not None else None
+        record = ReuseDecisionRecord(
+            kind=KIND_STORE_EVICTION,
+            signature=name,
+            costs={
+                "eviction_score": round(score, 9),
+                "bytes": nbytes,
+                "net_benefit": (None if net is None
+                                else round(net, 9)),
+            },
+            chosen=[{"action": action, "reason": reason}],
+            reused=False,
+            trace_id=self.tracer.current_trace_id,
+            client_id=self.tracer.client_id,
+            lineage_id=(ledger.current_id(name)
+                        if ledger is not None else None),
+        )
+        self.tracer.emit_event(record.to_event())
+
     def _observe_flight(self, flight_ctx, sql: str, root,
                         query_metrics: QueryMetrics, rows_returned: int,
                         *, cache_hit: bool, reused: bool, optimized,
-                        kernel_fallbacks_before: int) -> dict:
+                        kernel_fallbacks_before: int,
+                        views: dict | None = None) -> dict:
         """Assemble and emit the query's flight record."""
         from repro.obs.audit import KIND_COST_CALIBRATION, \
             KIND_SYMBOLIC_MEMO
@@ -468,6 +609,7 @@ class EvaSession:
                 "eq_costs": {label: round(value, 9) for label, value
                              in sorted(eq_costs.items())},
             },
+            views=views,
         )
 
     def _run_plan(self, plan):
@@ -548,17 +690,29 @@ class EvaSession:
         if not tracer.enabled:
             return
         trace_id = tracer.current_trace_id
+        ledger = self.ledger
         for record in optimized.audit:
             if record.trace_id is not None:
                 continue
             record.trace_id = trace_id
             record.client_id = tracer.client_id
+            # Apply decisions reference an existing view's content; link
+            # its live generation in the ledger.  A view first
+            # materialized *by* this query has no generation yet at
+            # optimize time — the flight record's ``views.created`` list
+            # carries that link instead.
+            if ledger is not None and record.lineage_id is None \
+                    and record.kind in ("classifier-apply",
+                                        "detector-apply"):
+                record.lineage_id = ledger.current_id(
+                    "mv::" + str(record.signature))
             tracer.emit_event(record.to_event())
 
     def _observe_slow(self, sql: str, query_metrics: QueryMetrics,
                       before, rows_returned: int, *,
                       trace_id: str | None = None,
-                      flight: dict | None = None) -> None:
+                      flight: dict | None = None,
+                      views=()) -> None:
         top_operators = [
             {
                 "operator": stats.label,
@@ -583,6 +737,7 @@ class EvaSession:
             top_operators=top_operators,
             flight_id=flight["flight_id"] if flight else None,
             dominant_stage=flight["dominant_stage"] if flight else None,
+            views=views,
         )
         if entry is not None:
             self.tracer.emit_event(entry.to_event())
@@ -795,6 +950,8 @@ class EvaSession:
         self._refuse_if_shared("load_reuse_state")
         directory = Path(directory)
         self.view_store = ViewStore.load_from(directory / "views")
+        if self.ledger is not None:
+            self.view_store.ledger = self.ledger
         self.state.view_store = self.view_store
         self.context.view_store = self.view_store
         self.udf_manager.reset()

@@ -22,6 +22,13 @@ from typing import Hashable, Iterable, Mapping
 import numpy as np
 
 from repro.errors import StorageError
+from repro.obs.lineage import (
+    record_view_create,
+    record_view_probe,
+    record_view_probe_many,
+    record_view_write,
+    suppress_lineage,
+)
 from repro.types import BoundingBox
 
 Key = tuple[Hashable, ...]
@@ -98,6 +105,7 @@ class MaterializedView:
         listener = self.listener
         if listener is not None:
             listener.view_put(self, key, stored)
+        record_view_write(self.name, ((key, stored),))
         return True
 
     def put_many(self, items: Iterable[tuple[Key, Iterable[Mapping]]]
@@ -133,6 +141,7 @@ class MaterializedView:
         listener = self.listener
         if listener is not None and fresh:
             listener.view_put_many(self, fresh)
+        record_view_write(self.name, fresh)
         return inserted
 
     # -- reads ------------------------------------------------------------------
@@ -142,7 +151,9 @@ class MaterializedView:
 
     def get(self, key: Key) -> tuple[dict, ...] | None:
         """Stored output rows for ``key``, or None if never computed."""
-        return self._entries.get(key)
+        rows = self._entries.get(key)
+        record_view_probe(self.name, rows)
+        return rows
 
     def get_many(self, keys: Iterable[Key]
                  ) -> list[tuple[dict, ...] | None]:
@@ -154,7 +165,9 @@ class MaterializedView:
         """
         entries = self._entries
         with self._lock:
-            return [entries.get(key) for key in keys]
+            found = [entries.get(key) for key in keys]
+        record_view_probe_many(self.name, found)
+        return found
 
     def keys(self) -> Iterable[Key]:
         return self._entries.keys()
@@ -241,9 +254,13 @@ class MaterializedView:
             rows_by_key[key_index].append({
                 col: _from_jsonable(columns[col][position])
                 for col in output_columns})
-        for index, raw_key in enumerate(keys_flat):
-            key = tuple(_from_jsonable(part) for part in raw_key)
-            view.put(key, rows_by_key[index])
+        # Replaying stored entries is not query work: without the
+        # suppression, a warm-tier promotion happening mid-query would
+        # attribute the whole view's materialization to that query.
+        with suppress_lineage():
+            for index, raw_key in enumerate(keys_flat):
+                key = tuple(_from_jsonable(part) for part in raw_key)
+                view.put(key, rows_by_key[index])
         return view
 
 
@@ -257,6 +274,10 @@ class ViewStore:
         #: ``view_dropped(name)`` after one is removed.  ``None`` (the
         #: default) keeps the store purely in-memory with zero overhead.
         self.backend = None
+        #: Optional :class:`repro.obs.lineage.ViewLedger`: told about
+        #: creations (generation bump) and drops.  Like ``backend`` it is
+        #: duck-typed and defaults to None for zero overhead.
+        self.ledger = None
         #: Guards the name -> view map.  Two threads racing to create the
         #: same view must receive the *same* instance, or one thread's
         #: entries would be silently lost when the other's map write wins.
@@ -276,6 +297,10 @@ class ViewStore:
                     # the WAL.  Creation is rare (once per view name), so
                     # the control-log fsync under the lock is immaterial.
                     backend.view_created(view)
+                ledger = self.ledger
+                if ledger is not None:
+                    ledger.on_create(name, key_columns, output_columns)
+                    record_view_create(name)
                 self._views[name] = view
                 return view
         if (view.key_columns != list(key_columns)
@@ -299,9 +324,26 @@ class ViewStore:
             views = list(self._views.values())
         return sum(v.serialized_bytes() for v in views)
 
-    def drop(self, name: str) -> int:
+    def view_bytes(self, names) -> dict[str, int]:
+        """Serialized sizes of the named resident views.
+
+        Observability-path accessor: no promotion, no per-view lock
+        acquisition (``serialized_bytes`` is O(1)), so the lineage
+        ledger's post-query fold cannot perturb flight-record stage
+        attribution or the durable store's tiering.
+        """
+        sizes: dict[str, int] = {}
+        with self._lock:
+            for name in names:
+                view = self._views.get(name)
+                if view is not None:
+                    sizes[name] = view.serialized_bytes()
+        return sizes
+
+    def drop(self, name: str, *, reason: str = "drop") -> int:
         """Evict one view; returns the (estimated) bytes it freed, 0 if
-        the view did not exist.
+        the view did not exist.  ``reason`` feeds the lineage ledger's
+        status (``"evicted"`` marks budget evictions).
 
         An existing view always frees a non-zero amount (the serialized
         container overhead), so truthiness still answers "did it exist".
@@ -317,6 +359,9 @@ class ViewStore:
             return 0
         freed = view.serialized_bytes()
         view.listener = None
+        ledger = self.ledger
+        if ledger is not None:
+            ledger.on_drop(name, reason=reason)
         backend = self.backend
         if backend is not None:
             backend.view_dropped(name)

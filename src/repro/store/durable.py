@@ -108,6 +108,14 @@ class DurableViewStore(ViewStore):
         #: seconds) for eviction scoring; wired by the owning session or
         #: server once a profiler exists.  None falls back to defaults.
         self.cost_resolver = None
+        #: Called as ``listener(name, action=..., reason=..., score=...,
+        #: nbytes=...)`` after every tiering decision (``demote`` /
+        #: ``evict_drop``); wired by the owning session or server to
+        #: emit ``store-eviction`` reuse-decision audit records.
+        self.eviction_listener = None
+        #: lineage_id -> latest persisted ledger export record (the
+        #: ``op: "lineage"`` control-log upserts; see repro.obs.lineage).
+        self._lineage_records: dict[str, dict] = {}
         self.counters: dict[str, int] = {
             "wal_records": 0, "snapshots": 0, "promotions": 0,
             "demotions": 0, "evicted_dropped": 0, "tombstones": 0,
@@ -165,6 +173,19 @@ class DurableViewStore(ViewStore):
             with self._lock:
                 return sorted(set(self._views) | set(self._meta))
 
+    def view_bytes(self, names) -> dict[str, int]:
+        """Per-view sizes without promoting warm views (hot=resident
+        estimate, warm=on-disk partition files)."""
+        sizes = super().view_bytes(names)
+        with self._io_lock:
+            for name in names:
+                if name in sizes:
+                    continue
+                meta = self._meta.get(name)
+                if meta is not None and meta.tier == "warm":
+                    sizes[name] = self._warm_file_bytes(meta)
+        return sizes
+
     def total_serialized_bytes(self) -> int:
         """Hot-tier resident estimate plus warm-tier on-disk bytes."""
         with self._io_lock:
@@ -174,13 +195,17 @@ class DurableViewStore(ViewStore):
                     total += self._warm_file_bytes(meta)
         return total
 
-    def drop(self, name: str) -> int:
+    def drop(self, name: str, *, reason: str = "drop") -> int:
         with self._io_lock:
-            freed = super().drop(name)  # resident path; logs tombstone
+            # resident path; logs tombstone
+            freed = super().drop(name, reason=reason)
             if freed == 0:
                 meta = self._meta.get(name)
                 if meta is not None:  # warm view: files only
                     freed = self._warm_file_bytes(meta)
+                    ledger = self.ledger
+                    if ledger is not None:
+                        ledger.on_drop(name, reason=reason)
                     self.view_dropped(name)
         return freed
 
@@ -223,6 +248,9 @@ class DurableViewStore(ViewStore):
             self.counters["tombstones"] += 1
             self._remove_partition_files(meta)
             self._audit("drop", view=name, reason="drop")
+            # The ledger marked the record dropped/evicted before this
+            # hook ran; persist that terminal status so recovery agrees.
+            self._persist_lineage_status(name)
             self._write_manifest()
 
     def view_put(self, view: MaterializedView, key, stored) -> None:
@@ -248,6 +276,64 @@ class DurableViewStore(ViewStore):
     def udf_history_records(self) -> list[dict]:
         with self._io_lock:
             return [dict(r) for r in self._udf_records.values()]
+
+    # -- lineage durability -----------------------------------------------------
+
+    def log_lineage(self, records) -> None:
+        """Persist ledger export records (upsert; latest wins on replay).
+
+        The session appends each query's touched records here, so a
+        restarted store rebuilds the exact provenance ledger of the
+        uninterrupted run (``repro lineage`` restart equality).
+        """
+        with self._io_lock:
+            if self._closed:
+                return
+            wrote = False
+            for payload in records:
+                lineage_id = payload.get("lineage_id")
+                if lineage_id is None or \
+                        self._lineage_records.get(lineage_id) == payload:
+                    continue
+                self._lineage_records[lineage_id] = payload
+                self._control.append({"op": "lineage",
+                                      "record": payload})
+                wrote = True
+            if wrote:
+                self._control.flush()
+
+    def lineage_records(self) -> list[dict]:
+        with self._io_lock:
+            return [dict(r) for r in self._lineage_records.values()]
+
+    @property
+    def recovered_lineage(self) -> list[dict]:
+        """Persisted ledger records, for :meth:`ViewLedger.restore`."""
+        with self._io_lock:
+            return [self._lineage_records[k]
+                    for k in sorted(self._lineage_records)]
+
+    def _persist_lineage_status(self, name: str) -> None:
+        """Re-log the view's current-generation ledger record."""
+        ledger = self.ledger
+        if ledger is None:
+            return
+        payload = ledger.export_current(name)
+        if payload is not None:
+            self.log_lineage([payload])
+
+    def _notify_eviction(self, name: str, *, action: str, reason: str,
+                         score: float, nbytes: int) -> None:
+        listener = self.eviction_listener
+        if listener is None:
+            return
+        try:
+            listener(name, action=action, reason=reason, score=score,
+                     nbytes=nbytes)
+        except Exception:
+            # Observability must never fail the write path that
+            # triggered the eviction.
+            pass
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -419,6 +505,10 @@ class DurableViewStore(ViewStore):
                             "output_columns": meta.output_columns})
         records.extend(self._udf_records[k]
                        for k in sorted(self._udf_records))
+        # Lineage records survive compaction even for dropped views —
+        # wasted-materialization history is the ledger's whole point.
+        records.extend({"op": "lineage", "record": self._lineage_records[k]}
+                       for k in sorted(self._lineage_records))
         path = self.layout.control_log_path
         tmp = path.with_suffix(".log.tmp")
         rewriter = WalWriter(tmp, sync_every=len(records) + 1)
@@ -506,10 +596,18 @@ class DurableViewStore(ViewStore):
                 meta.last_access, name) for name, meta in warm]
             score, _, name = min(scored, key=lambda c: (c[0], c[1]))
             nbytes = self._warm_file_bytes(self._meta[name])
+            ledger = self.ledger
+            if ledger is not None:
+                # Mark evicted *before* view_dropped persists the
+                # record's terminal status.
+                ledger.on_drop(name, reason="evicted")
             self.view_dropped(name)
             self.counters["evicted_dropped"] += 1
             self._audit("evict_drop", view=name, reason="warm_budget",
                         bytes=nbytes, score=score)
+            self._notify_eviction(name, action="evict_drop",
+                                  reason="warm_budget", score=score,
+                                  nbytes=nbytes)
 
     def _demote(self, name: str, view: MaterializedView, *,
                 score: float, nbytes: int) -> None:
@@ -528,6 +626,9 @@ class DurableViewStore(ViewStore):
         self.counters["demotions"] += 1
         self._audit("demote", view=name, reason="hot_budget",
                     bytes=nbytes, score=score)
+        self._notify_eviction(name, action="demote",
+                              reason="hot_budget", score=score,
+                              nbytes=nbytes)
         self._write_manifest()
 
     def _eviction_score(self, name: str, num_keys: int,
@@ -594,6 +695,22 @@ class DurableViewStore(ViewStore):
             elif op == "udf":
                 key = "@".join([record["udf"].lower(), *record["sources"]])
                 self._udf_records[key] = record
+            elif op == "lineage":
+                payload = record.get("record") or {}
+                lineage_id = payload.get("lineage_id")
+                if lineage_id:
+                    self._lineage_records[lineage_id] = payload
+        # A record still marked live whose (view, generation) did not
+        # survive replay belongs to a drop that crashed before the
+        # status upsert landed — settle it as dropped.
+        for payload in self._lineage_records.values():
+            if payload.get("status") != "live":
+                continue
+            current = live.get(payload.get("view"))
+            live_id = (f"{payload.get('view')}#g{current['gen']}"
+                       if current is not None else None)
+            if payload.get("lineage_id") != live_id:
+                payload["status"] = "dropped"
         manifest = self.layout.read_manifest()
         self._build_metas(live, manifest)
         report.stale_files_removed = self._sweep_stale_files()
