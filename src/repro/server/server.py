@@ -77,7 +77,8 @@ class EvaServer:
                  max_workers: int = 4,
                  max_queue: int = 16,
                  default_timeout: float | None = None,
-                 trace_sink: TraceSink | None = None):
+                 trace_sink: TraceSink | None = None,
+                 state: SharedReuseState | None = None):
         if max_workers < 1:
             raise ServerError("max_workers must be >= 1")
         if max_queue < 0:
@@ -89,7 +90,12 @@ class EvaServer:
         #: records, slow queries — all stamped with the client id).
         self.trace_sink: TraceSink = (trace_sink if trace_sink is not None
                                       else InMemorySink())
-        self.state = SharedReuseState(config, zoo)
+        #: ``state`` injection seam: the worker pool embeds one
+        #: EvaServer per worker process over a pre-built
+        #: :class:`~repro.server.shard.ShardedWorkerState` instead of
+        #: letting the server construct the default single-store state.
+        self.state = (state if state is not None
+                      else SharedReuseState(config, zoo))
         self.stats_hub = ServerStats()
         self.state.attach_stats(self.stats_hub)
         self._lock = threading.Lock()
